@@ -1,0 +1,79 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * `ablate_partition` — cut-minimizing DP boundaries vs a uniform
+//!   grid (quality proxy: the resulting ECO cost on the same change);
+//! * `ablate_expansion` — most-free-first vs nearest-first neighbour
+//!   expansion;
+//! * `ablate_slack` — 10% vs 20% vs 40% area overhead and its effect
+//!   on a test-logic insertion ECO.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netlist::TruthTable;
+use tiling::affected::ExpansionPolicy;
+use tiling::TilingOptions;
+
+fn eco_with_options(options: TilingOptions, policy: ExpansionPolicy) -> u64 {
+    let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
+    let mut td =
+        tiling::implement(bundle.netlist, bundle.hierarchy, options).expect("implement");
+    // Insert a small observation cone (2 LUTs + PO) — enough to need
+    // real slack, small enough to stay local.
+    let (seed_cell, net) = {
+        let (id, c) = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .expect("luts");
+        (id, c.output.expect("lut drives"))
+    };
+    let rep = netlist::eco::apply(
+        &mut td.netlist,
+        &netlist::EcoOp::AddLut {
+            name: "abl_inv".into(),
+            function: TruthTable::not(),
+            inputs: vec![net],
+        },
+    )
+    .expect("eco");
+    let inv = rep.added[0];
+    let inv_net = td.netlist.cell_output(inv).expect("net");
+    let po = td.netlist.add_output("abl_po", inv_net).expect("po");
+    let out = tiling::replace_and_route(&mut td, &[seed_cell], &[inv, po], policy)
+        .expect("replace");
+    out.effort.total()
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    group.bench_function("ablate_partition_cutmin", |b| {
+        b.iter(|| eco_with_options(TilingOptions::fast(5), ExpansionPolicy::MostFree));
+    });
+    // Uniform partition is exercised through target_tiles alone: the
+    // DP collapses to even cuts when no placement is provided, so the
+    // ablation contrast comes from disabling tile-slack balancing.
+    group.bench_function("ablate_partition_no_rebalance", |b| {
+        b.iter(|| {
+            let mut o = TilingOptions::fast(5);
+            o.enforce_tile_slack = false;
+            eco_with_options(o, ExpansionPolicy::MostFree)
+        });
+    });
+    group.bench_function("ablate_expansion_nearest_first", |b| {
+        b.iter(|| eco_with_options(TilingOptions::fast(5), ExpansionPolicy::NearestFirst));
+    });
+    for overhead in [0.10, 0.20, 0.40] {
+        group.bench_function(format!("ablate_slack_{:02}", (overhead * 100.0) as u32), |b| {
+            b.iter(|| {
+                let mut o = TilingOptions::fast(5);
+                o.overhead = overhead;
+                eco_with_options(o, ExpansionPolicy::MostFree)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind Figure 5: the wall-clock cost of one tiled
+//! ECO versus one full re-place-and-route, on 9sym.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiling::affected::ExpansionPolicy;
+
+fn bench_eco_vs_full(c: &mut Criterion) {
+    let td0 = bench_harness::implement_design(synth::PaperDesign::NineSym, 10, 7)
+        .expect("implement");
+
+    let mut group = c.benchmark_group("fig5_eco_vs_full");
+    group.sample_size(10);
+
+    group.bench_function("tiled_eco_one_lut_change", |b| {
+        b.iter_batched(
+            || {
+                let mut td = td0.clone();
+                let victim =
+                    bench_harness::apply_canonical_change(&mut td).expect("change");
+                (td, victim)
+            },
+            |(mut td, victim)| {
+                tiling::replace_and_route(
+                    &mut td,
+                    &[victim],
+                    &[],
+                    ExpansionPolicy::MostFree,
+                )
+                .expect("eco")
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("full_replace_and_route", |b| {
+        b.iter_batched(
+            || {
+                let mut td = td0.clone();
+                bench_harness::apply_canonical_change(&mut td).expect("change");
+                td
+            },
+            |td| tiling::full_replace_effort(&td).expect("full"),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_eco_vs_full);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench of the simulated-annealing placer (the dominant
+//! back-end cost in every flow Figure 5 compares).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use place::{Constraints, PlacerConfig};
+
+fn bench_placer(c: &mut Criterion) {
+    let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
+    let stats = bundle.netlist.stats();
+    let device = fpga::Device::for_design(
+        stats.luts,
+        stats.ffs,
+        stats.inputs + stats.outputs,
+        0.20,
+        11,
+    )
+    .expect("device");
+
+    let mut group = c.benchmark_group("placer");
+    group.sample_size(10);
+    group.bench_function("sa_place_9sym_full", |b| {
+        b.iter(|| {
+            place::place(
+                &bundle.netlist,
+                &device,
+                &Constraints::free(),
+                None,
+                &PlacerConfig::fast(3),
+            )
+            .expect("place")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placer);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench of the PathFinder router on a placed design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use place::{Constraints, PlacerConfig};
+
+fn bench_router(c: &mut Criterion) {
+    let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
+    let stats = bundle.netlist.stats();
+    let device = fpga::Device::for_design(
+        stats.luts,
+        stats.ffs,
+        stats.inputs + stats.outputs,
+        0.20,
+        11,
+    )
+    .expect("device");
+    let placement = place::place(
+        &bundle.netlist,
+        &device,
+        &Constraints::free(),
+        None,
+        &PlacerConfig::fast(3),
+    )
+    .expect("place")
+    .placement;
+    let rrg = fpga::RoutingGraph::new(&device);
+
+    let mut group = c.benchmark_group("router");
+    group.sample_size(10);
+    group.bench_function("pathfinder_route_9sym_full", |b| {
+        b.iter(|| {
+            let mut routing = fpga::Routing::new(rrg.num_nodes());
+            route::route_design(
+                &bundle.netlist,
+                &placement,
+                &rrg,
+                &mut routing,
+                &route::RouteOptions::default(),
+            )
+            .expect("route")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Writes all nine generated benchmarks as BLIF files, so they can be
+//! inspected or fed to external tools (ABC, VTR, ...).
+//!
+//! Usage: `cargo run --release -p bench-harness --bin dump_designs [dir]`
+//! (default output directory: `./designs`)
+
+use std::fs;
+use std::path::PathBuf;
+
+use synth::PaperDesign;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "designs".into()).into();
+    fs::create_dir_all(&dir)?;
+    for design in PaperDesign::ALL {
+        let bundle = design.generate()?;
+        let text = netlist::blif::write(&bundle.netlist);
+        let name = design.name().replace(' ', "_").to_lowercase();
+        let path = dir.join(format!("{name}.blif"));
+        fs::write(&path, &text)?;
+        let s = bundle.netlist.stats();
+        println!(
+            "{:<12} -> {} ({} LUTs, {} FFs, {} CLBs, depth {})",
+            design.name(),
+            path.display(),
+            s.luts,
+            s.ffs,
+            bundle.clbs(),
+            s.depth
+        );
+    }
+    Ok(())
+}

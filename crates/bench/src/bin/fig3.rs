@@ -1,0 +1,39 @@
+//! Regenerates **Figure 3**: percentage of tiles affected as a
+//! function of the size of newly introduced logic (1..=100 CLBs),
+//! for all nine designs at 20% area overhead and ~10 tiles.
+//!
+//! Run: `cargo run --release -p bench-harness --bin fig3`
+//! (set `FAST_BENCH=1` to skip MIPS/DES).
+
+use bench_harness::{implement_design, sweep_designs};
+use tiling::testpoints::affected_fraction;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = sweep_designs();
+    // The paper's x axis ticks: 1, 10, 19, ..., 100.
+    let sizes: Vec<usize> = (0..12).map(|k| 1 + 9 * k).collect();
+
+    println!("Figure 3. % affected tiles vs size of new logic (# CLBs)");
+    print!("{:<6}", "size");
+    for d in &designs {
+        print!(" {:>10}", d.name());
+    }
+    println!();
+
+    let tds: Vec<_> = designs
+        .iter()
+        .map(|&d| implement_design(d, 10, 33))
+        .collect::<Result<_, _>>()?;
+
+    for &size in &sizes {
+        print!("{:<6}", size);
+        for td in &tds {
+            let f = affected_fraction(td, size)?;
+            print!(" {:>9.0}%", 100.0 * f);
+        }
+        println!();
+    }
+    println!("\n(expected shape: rises with size; small designs saturate at 100%");
+    println!(" quickly, the large designs stay fine-grained — cf. paper Fig. 3)");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 4**: the maximum test-logic size (CLBs per
+//! point) that still fits as the number of evenly distributed test
+//! points grows (1..=100), same designs/overhead as Figure 3.
+//!
+//! Run: `cargo run --release -p bench-harness --bin fig4`
+//! (set `FAST_BENCH=1` to skip MIPS/DES).
+
+use bench_harness::{implement_design, sweep_designs};
+use tiling::testpoints::max_logic_per_point;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = sweep_designs();
+    let points: Vec<usize> = (0..12).map(|k| 1 + 9 * k).collect();
+
+    println!("Figure 4. Maximum test-logic size (# CLBs) vs # test points");
+    print!("{:<8}", "points");
+    for d in &designs {
+        print!(" {:>10}", d.name());
+    }
+    println!();
+
+    let tds: Vec<_> = designs
+        .iter()
+        .map(|&d| implement_design(d, 10, 44))
+        .collect::<Result<_, _>>()?;
+
+    for &n in &points {
+        print!("{:<8}", n);
+        for td in &tds {
+            let m = max_logic_per_point(td, n)?;
+            print!(" {:>10}", m);
+        }
+        println!();
+    }
+    println!("\n(expected shape: hyperbolic decay from ~slack-per-tile at one");
+    println!(" point toward 0-2 CLBs at 100 points — cf. paper Fig. 4)");
+
+    // §6.1 also discusses the *clustered* distribution: every test
+    // point lands in the same tile, so capacity decays like a single
+    // points×size insertion.
+    println!("\nclustered variant (all points seed one tile):");
+    print!("{:<8}", "points");
+    for d in &designs {
+        print!(" {:>10}", d.name());
+    }
+    println!();
+    for &n in &[1usize, 10, 28, 55, 100] {
+        print!("{:<8}", n);
+        for td in &tds {
+            let m = tiling::testpoints::max_logic_per_point_clustered(td, n)?;
+            print!(" {:>10}", m);
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Figure 5**: place-and-route speedup of the tiled
+//! flow over full re-place-and-route, for tile sizes of 2.5%, 5%,
+//! 15%, and 25% of the design, with the incremental and Quick_ECO
+//! baselines for reference.
+//!
+//! The change is the paper's canonical small debugging edit: one LUT's
+//! function modified, affecting one tile. Effort is deterministic
+//! (placer moves + router expansions); speedups are ratios.
+//!
+//! Run: `cargo run --release -p bench-harness --bin fig5`
+//! (set `FAST_BENCH=1` to skip MIPS/DES).
+
+use bench_harness::{apply_canonical_change, implement_design, sweep_designs};
+use tiling::affected::ExpansionPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let designs = sweep_designs();
+    // Tile size as % of design -> number of tiles.
+    let sweeps: [(f64, usize); 4] = [(2.5, 40), (5.0, 20), (15.0, 7), (25.0, 4)];
+
+    println!("Figure 5. Place-and-route speedup vs tile size (% of design)");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} | {:>9} {:>9}",
+        "design", "2.5%", "5%", "15%", "25%", "incr", "quickECO"
+    );
+
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sweeps.len()];
+    for design in designs {
+        let mut row = Vec::new();
+        let mut incr_speedup = 0.0;
+        let mut quick_speedup = 0.0;
+        for (k, &(_, tiles)) in sweeps.iter().enumerate() {
+            let mut td = implement_design(design, tiles, 55)?;
+            let victim = apply_canonical_change(&mut td)?;
+            let full = tiling::full_replace_effort(&td)?;
+            if k == 0 {
+                // Baselines measured once (tile size does not change
+                // what the baselines do; incremental uses the window
+                // around the change).
+                let incr = tiling::incremental_effort(&td, &[victim], 0, 2)?;
+                let quick = tiling::quick_eco_effort(&td, &[victim], true)?;
+                incr_speedup = full.speedup_over(&incr);
+                quick_speedup = full.speedup_over(&quick);
+            }
+            let eco = tiling::replace_and_route(
+                &mut td,
+                &[victim],
+                &[],
+                ExpansionPolicy::MostFree,
+            )?;
+            let speedup = full.speedup_over(&eco.effort);
+            per_size[k].push(speedup);
+            row.push(speedup);
+        }
+        println!(
+            "{:<12} {:>7.1}x {:>7.1}x {:>7.1}x {:>7.1}x | {:>8.1}x {:>8.1}x",
+            design.name(),
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            incr_speedup,
+            quick_speedup
+        );
+    }
+
+    println!("\nsummary (paper: 5% avg 7.6 / med 2.6; 15% avg 2.1 / med 1.7; 25% avg 1.5 / med 1.3):");
+    for (k, (pct, _)) in sweeps.iter().enumerate() {
+        let mut v = per_size[k].clone();
+        if v.is_empty() {
+            continue;
+        }
+        v.sort_by(f64::total_cmp);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let median = v[v.len() / 2];
+        println!("  tile size {pct:>4}%: average {mean:>5.1}x, median {median:>5.1}x");
+    }
+    Ok(())
+}

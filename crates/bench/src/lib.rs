@@ -1,0 +1,123 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each table/figure has a binary (`table1`, `fig3`, `fig4`, `fig5`)
+//! that prints the same rows/series the paper reports; the Criterion
+//! benches under `benches/` time the underlying flows. Absolute
+//! numbers differ from the 1996 testbed by construction — the *shape*
+//! (who wins, by what factor, where curves cross) is the claim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use place::PlacerConfig;
+use synth::PaperDesign;
+use tiling::{implement, TiledDesign, TilingError, TilingOptions};
+
+/// Channel width per design: denser designs need wider channels to
+/// route at low slack (the XC4000 family likewise scaled its routing
+/// with array size).
+pub fn tracks_for(design: PaperDesign) -> u16 {
+    if design.paper_clbs() >= 200 {
+        18
+    } else {
+        11
+    }
+}
+
+/// Standard options used by every experiment: 20% slack, the paper's
+/// ten-tile partitions, deterministic seeds.
+pub fn experiment_options(seed: u64, target_tiles: usize, tracks: u16) -> TilingOptions {
+    TilingOptions {
+        overhead: 0.20,
+        target_tiles,
+        tracks,
+        placer: PlacerConfig { seed, max_temps: 120, ..Default::default() },
+        router: route::RouteOptions { max_iterations: 45, ..Default::default() },
+        enforce_tile_slack: true,
+    }
+}
+
+/// Implements one paper design with the experiment options.
+///
+/// # Errors
+///
+/// Propagates generation/implementation failures.
+pub fn implement_design(
+    design: PaperDesign,
+    target_tiles: usize,
+    seed: u64,
+) -> Result<TiledDesign, TilingError> {
+    let bundle = design.generate()?;
+    implement(
+        bundle.netlist,
+        bundle.hierarchy,
+        experiment_options(seed, target_tiles, tracks_for(design)),
+    )
+}
+
+/// Picks the canonical "small debugging change" victim: the median
+/// LUT by cell index (deterministic, mid-design).
+pub fn canonical_victim(td: &TiledDesign) -> netlist::CellId {
+    let luts: Vec<netlist::CellId> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    luts[luts.len() / 2]
+}
+
+/// Applies the canonical change (complement the victim's function).
+///
+/// # Errors
+///
+/// Propagates netlist edit failures.
+pub fn apply_canonical_change(td: &mut TiledDesign) -> Result<netlist::CellId, TilingError> {
+    let victim = canonical_victim(td);
+    let tt = td
+        .netlist
+        .cell(victim)?
+        .lut_function()
+        .expect("victim is a lut")
+        .complement();
+    td.netlist.set_lut_function(victim, tt)?;
+    Ok(victim)
+}
+
+/// The design subset to sweep, honoring a `FAST_BENCH` env toggle
+/// (small designs only) for constrained environments.
+pub fn sweep_designs() -> Vec<PaperDesign> {
+    if std::env::var_os("FAST_BENCH").is_some() {
+        PaperDesign::SMALL.to_vec()
+    } else {
+        PaperDesign::ALL.to_vec()
+    }
+}
+
+/// Formats a ratio as the paper prints overheads (three decimals,
+/// sign included).
+pub fn fmt_overhead(x: f64) -> String {
+    format!("{x:+.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_deterministic_lut() {
+        let td = implement_design(PaperDesign::NineSym, 10, 1).unwrap();
+        let a = canonical_victim(&td);
+        let b = canonical_victim(&td);
+        assert_eq!(a, b);
+        assert!(td.netlist.cell(a).unwrap().lut_function().is_some());
+    }
+
+    #[test]
+    fn options_are_paper_shaped() {
+        let o = experiment_options(3, 10, 11);
+        assert!((o.overhead - 0.20).abs() < 1e-9);
+        assert_eq!(o.target_tiles, 10);
+        assert!(tracks_for(PaperDesign::Des) > tracks_for(PaperDesign::NineSym));
+    }
+}

@@ -1,0 +1,270 @@
+//! Affected-tile identification with neighbour expansion (paper §4.2).
+//!
+//! A debugging change or test-logic insertion seeds a set of tiles
+//! (via back-annotation from the changed cells). If the new logic
+//! needs more CLBs than the seed tiles' slack provides, neighbouring
+//! tiles are drafted in — "neighboring tiles can also be labeled
+//! 'affected' and may contribute their unused resources" — until the
+//! request fits or the whole device is consumed. Figure 3 sweeps the
+//! inserted-logic size through this exact algorithm.
+
+use fpga::Placement;
+use netlist::CellId;
+
+use crate::error::TilingError;
+use crate::tile::{TileId, TilePlan};
+
+/// Expansion policy when a tile's slack is insufficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExpansionPolicy {
+    /// Add the adjacent tile with the most free CLBs (default).
+    #[default]
+    MostFree,
+    /// Add the adjacent tile with the lowest id (nearest-first,
+    /// ablation baseline).
+    NearestFirst,
+}
+
+/// The tiles a change touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffectedSet {
+    /// Affected tiles in the order they were drafted.
+    pub tiles: Vec<TileId>,
+    /// CLBs of new logic requested.
+    pub needed_clbs: usize,
+    /// Free CLBs available across the affected set.
+    pub free_clbs: usize,
+    /// Whether the request fits in the affected set's slack.
+    pub fits: bool,
+}
+
+impl AffectedSet {
+    /// Fraction of all tiles affected (Figure 3's y-axis).
+    pub fn fraction_of(&self, plan: &TilePlan) -> f64 {
+        if plan.is_empty() {
+            return 0.0;
+        }
+        self.tiles.len() as f64 / plan.len() as f64
+    }
+
+    /// True if the tile is in the set.
+    pub fn contains(&self, tile: TileId) -> bool {
+        self.tiles.contains(&tile)
+    }
+
+    /// Computes the affected set for a change.
+    ///
+    /// `seeds` are the perturbed cells (from an
+    /// [`netlist::EcoReport`] or a test-point list); `extra_clbs` is
+    /// the CLB cost of newly inserted logic. The set saturates at the
+    /// whole device rather than failing; check [`AffectedSet::fits`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TilingError::UnknownTile`] only on internal plan
+    /// inconsistencies.
+    pub fn compute(
+        plan: &TilePlan,
+        placement: &Placement,
+        seeds: &[CellId],
+        extra_clbs: usize,
+        policy: ExpansionPolicy,
+    ) -> Result<AffectedSet, TilingError> {
+        let mut tiles: Vec<TileId> = Vec::new();
+        for &cell in seeds {
+            if let Some(t) = plan.tile_of_cell(placement, cell) {
+                if !tiles.contains(&t) {
+                    tiles.push(t);
+                }
+            }
+        }
+        let free_of = |t: TileId| -> Result<usize, TilingError> {
+            Ok(plan.usage(t, placement)?.free_clbs())
+        };
+        if tiles.is_empty() {
+            // Pure insertion with no placed seed: start at the tile
+            // with the most slack.
+            let mut best: Option<(usize, TileId)> = None;
+            for (id, _) in plan.iter() {
+                let f = free_of(id)?;
+                if best.map_or(true, |(bf, bid)| f > bf || (f == bf && id < bid)) {
+                    best = Some((f, id));
+                }
+            }
+            if let Some((_, id)) = best {
+                tiles.push(id);
+            }
+        }
+        let mut free: usize = 0;
+        for &t in &tiles {
+            free += free_of(t)?;
+        }
+        // Neighbour expansion until the request fits.
+        while free < extra_clbs {
+            let mut frontier: Vec<TileId> = Vec::new();
+            for &t in &tiles {
+                for n in plan.neighbors(t)? {
+                    if !tiles.contains(&n) && !frontier.contains(&n) {
+                        frontier.push(n);
+                    }
+                }
+            }
+            if frontier.is_empty() {
+                break; // saturated: every tile is affected
+            }
+            let chosen = match policy {
+                ExpansionPolicy::MostFree => {
+                    let mut best = frontier[0];
+                    let mut best_free = free_of(best)?;
+                    for &cand in &frontier[1..] {
+                        let f = free_of(cand)?;
+                        if f > best_free || (f == best_free && cand < best) {
+                            best = cand;
+                            best_free = f;
+                        }
+                    }
+                    best
+                }
+                ExpansionPolicy::NearestFirst => {
+                    let mut f = frontier.clone();
+                    f.sort_unstable();
+                    f[0]
+                }
+            };
+            free += free_of(chosen)?;
+            tiles.push(chosen);
+        }
+        Ok(AffectedSet { tiles, needed_clbs: extra_clbs, free_clbs: free, fits: free >= extra_clbs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga::{BelLoc, ClbSlot, Device, Rect};
+
+    /// 4x4 grid split into 4 tiles of 4 CLBs; each CLB = 2 LUT slots.
+    fn plan() -> (Device, TilePlan) {
+        let dev = Device::new(4, 4, 4, 2).unwrap();
+        let rects = vec![
+            Rect::new(0, 0, 1, 1),
+            Rect::new(2, 0, 3, 1),
+            Rect::new(0, 2, 1, 3),
+            Rect::new(2, 2, 3, 3),
+        ];
+        let plan = TilePlan::from_rects(&dev, rects);
+        (dev, plan)
+    }
+
+    /// Fills `n` LUT slots of tile 0 (coords (0,0),(1,0),(0,1),(1,1)).
+    fn fill_tile0(p: &mut Placement, n: usize) {
+        let coords = [(0u16, 0u16), (1, 0), (0, 1), (1, 1)];
+        let mut k = 0;
+        'outer: for (x, y) in coords {
+            for slot in [ClbSlot::LutF, ClbSlot::LutG] {
+                if k >= n {
+                    break 'outer;
+                }
+                p.place(CellId::new(k), BelLoc::clb(x, y, slot)).unwrap();
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn small_insertion_stays_in_one_tile() {
+        let (_, plan) = plan();
+        let mut p = Placement::new(16);
+        fill_tile0(&mut p, 4); // 2 CLBs used, 2 free in tile 0
+        let set =
+            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 2, ExpansionPolicy::MostFree)
+                .unwrap();
+        assert_eq!(set.tiles, vec![TileId(0)]);
+        assert!(set.fits);
+        assert_eq!(set.fraction_of(&plan), 0.25);
+    }
+
+    #[test]
+    fn large_insertion_expands_to_neighbors() {
+        let (_, plan) = plan();
+        let mut p = Placement::new(16);
+        fill_tile0(&mut p, 4);
+        // Need 6 CLBs: tile0 has 2 free, neighbours have 4 each.
+        let set =
+            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 6, ExpansionPolicy::MostFree)
+                .unwrap();
+        assert_eq!(set.tiles.len(), 2);
+        assert_eq!(set.tiles[0], TileId(0));
+        assert!(set.fits);
+        assert!(set.free_clbs >= 6);
+    }
+
+    #[test]
+    fn saturates_at_whole_device() {
+        let (_, plan) = plan();
+        let p = Placement::new(0);
+        let set = AffectedSet::compute(&plan, &p, &[], 1000, ExpansionPolicy::MostFree).unwrap();
+        assert_eq!(set.tiles.len(), 4);
+        assert!(!set.fits);
+        assert_eq!(set.fraction_of(&plan), 1.0);
+    }
+
+    #[test]
+    fn empty_seed_starts_at_most_free_tile() {
+        let (_, plan) = plan();
+        let mut p = Placement::new(16);
+        fill_tile0(&mut p, 8); // tile 0 completely full of LUTs
+        let set = AffectedSet::compute(&plan, &p, &[], 1, ExpansionPolicy::MostFree).unwrap();
+        assert_ne!(set.tiles[0], TileId(0));
+        assert!(set.fits);
+    }
+
+    #[test]
+    fn policies_differ() {
+        let (_, plan) = plan();
+        let mut p = Placement::new(64);
+        fill_tile0(&mut p, 8); // tile 0 full
+        // Fill tile 1 (x in 2..4, y in 0..2) halfway: 4 slots.
+        let mut k = 8;
+        for (x, y) in [(2u16, 0u16), (3, 0)] {
+            for slot in [ClbSlot::LutF, ClbSlot::LutG] {
+                p.place(CellId::new(k), BelLoc::clb(x, y, slot)).unwrap();
+                k += 1;
+            }
+        }
+        // Seed in tile 0 (full), need 4 CLBs. MostFree picks tile 2
+        // (4 free) over tile 1 (2 free); NearestFirst picks tile 1.
+        let most =
+            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 4, ExpansionPolicy::MostFree)
+                .unwrap();
+        let near = AffectedSet::compute(
+            &plan,
+            &p,
+            &[CellId::new(0)],
+            4,
+            ExpansionPolicy::NearestFirst,
+        )
+        .unwrap();
+        assert_eq!(most.tiles[1], TileId(2));
+        assert_eq!(near.tiles[1], TileId(1));
+        assert!(near.tiles.len() >= most.tiles.len());
+    }
+
+    #[test]
+    fn multi_seed_unions_tiles() {
+        let (_, plan) = plan();
+        let mut p = Placement::new(16);
+        p.place(CellId::new(0), BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
+        p.place(CellId::new(1), BelLoc::clb(3, 3, ClbSlot::LutF)).unwrap();
+        let set = AffectedSet::compute(
+            &plan,
+            &p,
+            &[CellId::new(0), CellId::new(1)],
+            0,
+            ExpansionPolicy::MostFree,
+        )
+        .unwrap();
+        assert_eq!(set.tiles, vec![TileId(0), TileId(3)]);
+        assert!(set.contains(TileId(3)));
+    }
+}

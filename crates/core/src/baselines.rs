@@ -1,0 +1,267 @@
+//! The comparison flows of Figure 5: full re-place-and-route,
+//! incremental place-and-route, and Quick_ECO.
+//!
+//! All three run on a *clone* of the tiled design so the caller's
+//! state is untouched; each returns the CAD effort the flow spends on
+//! the same change the tiled flow handled.
+
+use std::collections::BTreeSet;
+
+use fpga::{Placement, Rect, Routing};
+use netlist::{CellId, NetId};
+use place::Constraints;
+
+use crate::affected::{AffectedSet, ExpansionPolicy};
+use crate::effort::CadEffort;
+use crate::error::TilingError;
+use crate::flow::TiledDesign;
+
+/// Full re-place-and-route of the entire design from scratch — what a
+/// flow without any change tracking must do every iteration.
+///
+/// # Errors
+///
+/// Propagates placement/routing failures.
+pub fn full_replace_effort(td: &TiledDesign) -> Result<CadEffort, TilingError> {
+    let out = place::place(
+        &td.netlist,
+        &td.device,
+        &Constraints::free(),
+        None,
+        &td.options.placer,
+    )?;
+    let mut routing = Routing::new(td.rrg.num_nodes());
+    let stats = route::route_design(
+        &td.netlist,
+        &out.placement,
+        &td.rrg,
+        &mut routing,
+        &td.options.router,
+    )?;
+    Ok(CadEffort { place_moves: out.moves_evaluated, route_expansions: stats.expansions })
+}
+
+/// Incremental place-and-route: no locked interfaces, so the tool
+/// re-places everything inside an *inflated* window around the change
+/// (it needs room to shuffle surrounding logic) and fully re-routes
+/// every net that touches the window.
+///
+/// `margin` is the inflation in CLBs on each side (2 by default in the
+/// benches; bigger changes disturb more of their surroundings).
+///
+/// # Errors
+///
+/// Propagates placement/routing failures.
+pub fn incremental_effort(
+    td: &TiledDesign,
+    seeds: &[CellId],
+    extra_clbs: usize,
+    margin: u16,
+) -> Result<CadEffort, TilingError> {
+    // Window: bounding box of the tiles the change maps to, inflated.
+    let affected = AffectedSet::compute(
+        &td.plan,
+        &td.placement,
+        seeds,
+        extra_clbs,
+        ExpansionPolicy::MostFree,
+    )?;
+    let mut bbox: Option<Rect> = None;
+    for &t in &affected.tiles {
+        let r = td.plan.tile(t)?.rect;
+        bbox = Some(match bbox {
+            None => r,
+            Some(b) => b.union(&r),
+        });
+    }
+    let b = td.device.bounds();
+    let bbox = bbox.unwrap_or(b);
+    let window = Rect::new(
+        bbox.x0.saturating_sub(margin),
+        bbox.y0.saturating_sub(margin),
+        (bbox.x1 + margin).min(b.x1),
+        (bbox.y1 + margin).min(b.y1),
+    );
+    // Movable: every logic cell inside the window.
+    let movable: Vec<CellId> = td
+        .netlist
+        .cells()
+        .filter(|(id, c)| {
+            c.is_logic()
+                && td
+                    .placement
+                    .loc_of(*id)
+                    .and_then(|l| l.coord())
+                    .is_some_and(|co| window.contains(co))
+        })
+        .map(|(id, _)| id)
+        .collect();
+    reimplement_subset(td, &movable, Some(window))
+}
+
+/// Quick_ECO: change tracking stops at the netlist level, so the
+/// re-implemented unit is the *functional block* — the hierarchy
+/// children of the root. For the paper's experiments "each design
+/// will be considered the size of one functional block" (§6), which
+/// `whole_design_as_block` reproduces; with `false` the real hierarchy
+/// blocks of our generators are used instead.
+///
+/// # Errors
+///
+/// Propagates placement/routing failures.
+pub fn quick_eco_effort(
+    td: &TiledDesign,
+    seeds: &[CellId],
+    whole_design_as_block: bool,
+) -> Result<CadEffort, TilingError> {
+    let movable: Vec<CellId> = if whole_design_as_block {
+        td.netlist
+            .cells()
+            .filter(|(_, c)| c.is_logic())
+            .map(|(id, _)| id)
+            .collect()
+    } else {
+        let mut blocks = BTreeSet::new();
+        for &s in seeds {
+            if let Some(b) = td.hierarchy.functional_block_of(s) {
+                blocks.insert(b);
+            }
+        }
+        let mut cells = BTreeSet::new();
+        for b in blocks {
+            for c in td.hierarchy.subtree_cells(b)? {
+                if td.netlist.cell(c).map(|cc| cc.is_logic()).unwrap_or(false) {
+                    cells.insert(c);
+                }
+            }
+        }
+        cells.into_iter().collect()
+    };
+    reimplement_subset(td, &movable, None)
+}
+
+/// Re-places `movable` (optionally confined to a window) with the rest
+/// locked, then fully re-routes every net incident to a movable cell.
+/// No interface locking: severed nets are re-routed pin-to-pin, which
+/// is what both baseline flows do.
+fn reimplement_subset(
+    td: &TiledDesign,
+    movable: &[CellId],
+    window: Option<Rect>,
+) -> Result<CadEffort, TilingError> {
+    let mut placement: Placement = td.placement.clone();
+    for &c in movable {
+        let _ = placement.unplace(c);
+    }
+    let movable_set: BTreeSet<CellId> = movable.iter().copied().collect();
+    let mut constraints = Constraints::free();
+    for (id, _) in td.netlist.cells() {
+        if movable_set.contains(&id) {
+            if let Some(w) = window {
+                constraints.confine(id, w);
+            }
+        } else if placement.loc_of(id).is_some() {
+            constraints.lock(id);
+        }
+    }
+    let out = place::place(
+        &td.netlist,
+        &td.device,
+        &constraints,
+        Some(placement),
+        &td.options.placer,
+    )?;
+    let placement = out.placement;
+    let mut effort = CadEffort { place_moves: out.moves_evaluated, route_expansions: 0 };
+
+    // Re-route every net incident to a movable cell, from scratch.
+    let mut routing = td.routing.clone();
+    let mut work: BTreeSet<NetId> = BTreeSet::new();
+    for (net_id, net) in td.netlist.nets() {
+        let mut touched = net
+            .driver
+            .map(|d| movable_set.contains(&d))
+            .unwrap_or(false);
+        touched |= net.sinks.iter().any(|s| movable_set.contains(&s.cell));
+        if touched {
+            work.insert(net_id);
+            routing.clear_route(net_id);
+        }
+    }
+    let mut requests = Vec::with_capacity(work.len());
+    for net_id in work {
+        let net = td.netlist.net(net_id)?;
+        let Some(driver) = net.driver else { continue };
+        let Some(src_loc) = placement.loc_of(driver) else { continue };
+        let mut sinks = Vec::new();
+        for s in &net.sinks {
+            if let Some(loc) = placement.loc_of(s.cell) {
+                sinks.push(td.rrg.sink_node(loc, s.pin));
+            }
+        }
+        if sinks.is_empty() {
+            continue;
+        }
+        requests.push(route::ConnectionRequest {
+            net: net_id,
+            source: td.rrg.source_node(src_loc),
+            sinks,
+        });
+    }
+    if !requests.is_empty() {
+        let stats = route::route(&td.rrg, &requests, &mut routing, &td.options.router)?;
+        effort.route_expansions = stats.expansions;
+    }
+    Ok(effort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eco_flow::replace_and_route;
+    use crate::flow::{implement, TilingOptions};
+    use synth::PaperDesign;
+
+    #[test]
+    fn tiling_beats_the_baselines_on_a_small_change() {
+        let b = PaperDesign::NineSym.generate().unwrap();
+        let mut td =
+            implement(b.netlist, b.hierarchy, TilingOptions::fast(21)).unwrap();
+        let victim = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .unwrap();
+        let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+        td.netlist.set_lut_function(victim, tt).unwrap();
+
+        let full = full_replace_effort(&td).unwrap();
+        let quick = quick_eco_effort(&td, &[victim], true).unwrap();
+        let incr = incremental_effort(&td, &[victim], 0, 2).unwrap();
+        let tiled = replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+            .unwrap()
+            .effort;
+
+        assert!(full.total() > tiled.total(), "full {} vs tiled {}", full, tiled);
+        assert!(quick.total() > tiled.total(), "quick {} vs tiled {}", quick, tiled);
+        assert!(incr.total() >= tiled.total(), "incr {} vs tiled {}", incr, tiled);
+        // And the orderings the paper reports: full >= quick(whole) >= incremental.
+        assert!(full.total() >= incr.total());
+    }
+
+    #[test]
+    fn quick_eco_with_real_blocks_is_cheaper_than_whole_design() {
+        let b = PaperDesign::NineSym.generate().unwrap();
+        let td = implement(b.netlist, b.hierarchy, TilingOptions::fast(22)).unwrap();
+        let victim = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .unwrap();
+        let whole = quick_eco_effort(&td, &[victim], true).unwrap();
+        let blocks = quick_eco_effort(&td, &[victim], false).unwrap();
+        assert!(blocks.total() <= whole.total());
+    }
+}

@@ -1,0 +1,341 @@
+//! The full emulation-debugging iteration (paper §3.1 steps 9–22).
+//!
+//! Given a tiled DUT containing a design error and a golden reference
+//! netlist, one call to [`run_debug_iteration`]:
+//!
+//! 1. generates test patterns and **detects** the error by comparing
+//!    primary outputs (internal nets are invisible, as on hardware);
+//! 2. **localizes** it: computes the structural suspect cone, then
+//!    iteratively inserts observation taps — each insertion is a real
+//!    ECO that clears and re-implements only the affected tiles — and
+//!    re-emulates until the earliest diverging cell is pinned down;
+//! 3. **corrects** it with the repairing ECO, again re-implementing
+//!    only the affected tiles, and re-emulates to confirm.
+//!
+//! The accumulated [`CadEffort`] is what Figure 5 compares against the
+//! non-tiled baselines.
+
+use netlist::{CellId, Netlist};
+use sim::emulate::{first_mismatch, suspect_cells, Mismatch};
+use sim::inject::InjectedError;
+use sim::patterns::PatternGen;
+use sim::testlogic::{insert_control_point, insert_observation_tap};
+use sim::Simulator;
+
+use crate::affected::ExpansionPolicy;
+use crate::eco_flow::replace_and_route;
+use crate::effort::CadEffort;
+use crate::error::TilingError;
+use crate::flow::TiledDesign;
+
+/// Result of one debugging iteration.
+#[derive(Debug, Clone)]
+pub struct DebugOutcome {
+    /// The detected divergence (None if the DUT already matched).
+    pub mismatch: Option<Mismatch>,
+    /// Size of the initial structural suspect set.
+    pub initial_suspects: usize,
+    /// The cell the localization loop identified.
+    pub localized: Option<CellId>,
+    /// Observation taps inserted during localization.
+    pub taps_inserted: usize,
+    /// Whether the corrective ECO made the DUT match the golden model.
+    pub repaired: bool,
+    /// Total tiled-flow CAD effort across all ECOs of the iteration.
+    pub effort: CadEffort,
+    /// Tiles cleared across all ECOs (with multiplicity).
+    pub tiles_cleared: usize,
+    /// Physical ECOs performed (tap batches + the correction). A
+    /// non-tiled flow pays one full re-place-and-route per ECO.
+    pub ecos: usize,
+    /// Whether the localized cell was confirmed via a control point
+    /// (forcing its output to golden values makes the DUT match).
+    pub confirmed_by_control: bool,
+}
+
+fn patterns_for(nl: &Netlist, seed: u64) -> PatternGen {
+    let width = nl.primary_inputs().len();
+    if width <= 10 {
+        PatternGen::exhaustive(width)
+    } else {
+        PatternGen::lfsr(width, 512, seed)
+    }
+}
+
+/// Runs one full detect → localize → correct iteration.
+///
+/// # Errors
+///
+/// Propagates netlist/placement/routing failures from the ECO flow.
+pub fn run_debug_iteration(
+    td: &mut TiledDesign,
+    golden: &Netlist,
+    error: &InjectedError,
+    seed: u64,
+) -> Result<DebugOutcome, TilingError> {
+    let mut outcome = DebugOutcome {
+        mismatch: None,
+        initial_suspects: 0,
+        localized: None,
+        taps_inserted: 0,
+        repaired: false,
+        effort: CadEffort::default(),
+        tiles_cleared: 0,
+        ecos: 0,
+        confirmed_by_control: false,
+    };
+
+    // ---- Detection (steps 10, 21) --------------------------------
+    let mismatch = first_mismatch(golden, &td.netlist, patterns_for(golden, seed))?;
+    let Some(mismatch) = mismatch else {
+        outcome.repaired = true; // nothing to do
+        return Ok(outcome);
+    };
+    outcome.mismatch = Some(mismatch.clone());
+
+    // ---- Localization (steps 16–21) -------------------------------
+    // Structural suspect cone from the failing/passing output split.
+    let mut candidates: Vec<CellId> = suspect_cells(golden, &mismatch);
+    outcome.initial_suspects = candidates.len();
+    // Keep only LUTs that still exist in the DUT, topologically sorted.
+    let order = golden.topo_order()?;
+    let rank = |c: CellId| order.iter().position(|&o| o == c).unwrap_or(usize::MAX);
+    candidates.retain(|&c| {
+        td.netlist.cell(c).map(|cell| cell.lut_function().is_some()).unwrap_or(false)
+    });
+    candidates.sort_by_key(|&c| rank(c));
+
+    let mut diverging: Vec<CellId> = Vec::new();
+    for (batch_no, batch) in candidates.chunks(8).enumerate() {
+        // Insert observation taps for this batch (a real ECO).
+        let mut added = Vec::new();
+        let mut tapped: Vec<(CellId, netlist::NetId)> = Vec::new();
+        for &cell in batch {
+            let net = td.netlist.cell_output(cell)?;
+            let name = format!("dbg{batch_no}_{}", cell.index());
+            let rep = insert_observation_tap(&mut td.netlist, net, &name, false)?;
+            added.extend(rep.added.iter().copied());
+            tapped.push((cell, net));
+            outcome.taps_inserted += 1;
+        }
+        let phys =
+            replace_and_route(td, batch, &added, ExpansionPolicy::MostFree)?;
+        outcome.effort += phys.effort;
+        outcome.tiles_cleared += phys.affected.tiles.len();
+        outcome.ecos += 1;
+
+        // Re-emulate up to the failing stimulus with golden-side full
+        // visibility; find which tapped nets diverge at the earliest
+        // diverging cycle.
+        let mut gsim = Simulator::new(golden)?;
+        let mut dsim = Simulator::new(&td.netlist)?;
+        let pats: Vec<Vec<bool>> = patterns_for(golden, seed)
+            .take(mismatch.pattern_index + 1)
+            .collect();
+        let sequential = golden.is_sequential();
+        'cycles: for pat in &pats {
+            gsim.set_inputs(pat);
+            dsim.set_inputs(pat);
+            gsim.comb_eval();
+            dsim.comb_eval();
+            let mut this_cycle = Vec::new();
+            for &(cell, net) in &tapped {
+                if gsim.net_value(net) != dsim.net_value(net) {
+                    this_cycle.push(cell);
+                }
+            }
+            if !this_cycle.is_empty() {
+                diverging.extend(this_cycle);
+                break 'cycles;
+            }
+            if sequential {
+                gsim.step();
+                dsim.step();
+            }
+        }
+        if !diverging.is_empty() {
+            break;
+        }
+    }
+
+    // The topologically earliest diverging cell is the error site: all
+    // of its fanins agree (otherwise an earlier cell would diverge).
+    diverging.sort_by_key(|&c| rank(c));
+    outcome.localized = diverging.first().copied();
+
+    // ---- Controllability confirmation (§4.1) ------------------------
+    // Before committing to a fix, force the suspect's output to the
+    // golden value through an inserted control point: if the DUT then
+    // matches, the error is contained in that cell.
+    if let Some(suspect) = outcome.localized {
+        let confirmed = confirm_with_control_point(td, golden, suspect, seed, &mut outcome)?;
+        outcome.confirmed_by_control = confirmed;
+    }
+
+    // ---- Correction (steps 11–15, 17–21) ---------------------------
+    let fix = sim::inject::repair_op(error);
+    let rep = netlist::eco::apply(&mut td.netlist, &fix)?;
+    let phys = replace_and_route(td, &rep.touched(), &[], ExpansionPolicy::MostFree)?;
+    outcome.effort += phys.effort;
+    outcome.tiles_cleared += phys.affected.tiles.len();
+    outcome.ecos += 1;
+
+    // Confirmation emulation: ignore the observation taps added above
+    // (the golden model lacks them), so compare the original outputs
+    // only via a filtered mismatch check.
+    outcome.repaired = confirm_repair(golden, &td.netlist, seed)?;
+    Ok(outcome)
+}
+
+/// Inserts a control point on the suspect's output net (a tiled ECO),
+/// then re-emulates with the override enabled and driven to the golden
+/// value every cycle. Returns true if the DUT's original outputs then
+/// match the golden model — the §4.1 controllability check that the
+/// error is contained in the suspect cell.
+fn confirm_with_control_point(
+    td: &mut TiledDesign,
+    golden: &Netlist,
+    suspect: CellId,
+    seed: u64,
+    outcome: &mut DebugOutcome,
+) -> Result<bool, TilingError> {
+    let net = td.netlist.cell_output(suspect)?;
+    let cp = insert_control_point(&mut td.netlist, net, "cpconfirm")?;
+    let phys = replace_and_route(td, &[suspect], &cp.report.added, ExpansionPolicy::MostFree)?;
+    outcome.effort += phys.effort;
+    outcome.tiles_cleared += phys.affected.tiles.len();
+    outcome.ecos += 1;
+
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(&td.netlist)?;
+    // DUT inputs: golden pattern, then [force_val, force_en] (the two
+    // new PIs append to the input order).
+    assert_eq!(dsim.num_inputs(), gsim.num_inputs() + 2, "control point adds two PIs");
+    let pairs = po_pairs(golden, &td.netlist)?;
+    let sequential = golden.is_sequential();
+    for pat in patterns_for(golden, seed).take(256) {
+        gsim.set_inputs(&pat);
+        gsim.comb_eval();
+        let forced = gsim.net_value(net);
+        let mut dpat = pat.clone();
+        dpat.push(forced); // force_val
+        dpat.push(true); // force_en
+        dsim.set_inputs(&dpat);
+        dsim.comb_eval();
+        let g = gsim.outputs();
+        let d = dsim.outputs();
+        if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
+            return Ok(false);
+        }
+        if sequential {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    Ok(true)
+}
+
+/// Pairs golden primary outputs with the DUT cells of the same name
+/// (the DUT accumulates extra observation outputs during debug).
+fn po_pairs(golden: &Netlist, dut: &Netlist) -> Result<Vec<(usize, usize)>, TilingError> {
+    let gpos = golden.primary_outputs();
+    let dpos = dut.primary_outputs();
+    let mut pairs = Vec::with_capacity(gpos.len());
+    for (k, &gpo) in gpos.iter().enumerate() {
+        let name = &golden.cell(gpo)?.name;
+        if let Some(dpo) = dut.find_cell(name) {
+            if let Some(dk) = dpos.iter().position(|&c| c == dpo) {
+                pairs.push((k, dk));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// Re-emulates and checks that every *original* primary output now
+/// matches (the DUT has extra observation-tap outputs the golden model
+/// lacks, so a plain output-vector compare would be misaligned).
+fn confirm_repair(golden: &Netlist, dut: &Netlist, seed: u64) -> Result<bool, TilingError> {
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    let pairs = po_pairs(golden, dut)?;
+    let sequential = golden.is_sequential();
+    for pat in patterns_for(golden, seed) {
+        gsim.set_inputs(&pat);
+        // The DUT may have grown extra PIs (control points); drive
+        // them inactive.
+        let mut dpat = pat.clone();
+        dpat.resize(dsim.num_inputs(), false);
+        dsim.set_inputs(&dpat);
+        gsim.comb_eval();
+        dsim.comb_eval();
+        let g = gsim.outputs();
+        let d = dsim.outputs();
+        if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
+            return Ok(false);
+        }
+        if sequential {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{implement, TilingOptions};
+    use sim::inject::random_error;
+    use synth::PaperDesign;
+
+    #[test]
+    fn full_debug_iteration_on_9sym() {
+        let bundle = PaperDesign::NineSym.generate().unwrap();
+        let golden = bundle.netlist.clone();
+        let mut td =
+            implement(bundle.netlist, bundle.hierarchy, TilingOptions::fast(9)).unwrap();
+        let err = random_error(&mut td.netlist, 1234).unwrap();
+        let out = run_debug_iteration(&mut td, &golden, &err, 42).unwrap();
+        assert!(out.mismatch.is_some(), "planted error must be detectable");
+        assert!(out.repaired, "repair ECO must restore behaviour");
+        assert!(out.effort.total() > 0);
+        assert!(td.routing.is_feasible());
+        // Localization found the error site (or a tap batch that
+        // contains it, for masked propagation).
+        if let Some(found) = out.localized {
+            assert_eq!(found, err.cell, "localized the wrong cell");
+            // And controllability agreed: forcing the suspect's output
+            // to golden values made the DUT match.
+            assert!(out.confirmed_by_control, "control point failed to confirm");
+        }
+        assert!(out.taps_inserted > 0);
+    }
+
+    #[test]
+    fn clean_design_short_circuits() {
+        let bundle = PaperDesign::NineSym.generate().unwrap();
+        let golden = bundle.netlist.clone();
+        let mut td =
+            implement(bundle.netlist, bundle.hierarchy, TilingOptions::fast(10)).unwrap();
+        // Fabricate an "error" record without actually corrupting the
+        // netlist: detection must find nothing and return early.
+        let any_lut = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .unwrap();
+        let tt = *td.netlist.cell(any_lut).unwrap().lut_function().unwrap();
+        let fake = InjectedError {
+            cell: any_lut,
+            kind: sim::inject::DesignErrorKind::Complement,
+            original: tt,
+            buggy: tt,
+        };
+        let out = run_debug_iteration(&mut td, &golden, &fake, 1).unwrap();
+        assert!(out.mismatch.is_none());
+        assert!(out.repaired);
+        assert_eq!(out.effort.total(), 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The CAD-effort metric Figure 5's speedups are computed from.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Back-end CAD effort: placer moves plus router wavefront expansions.
+///
+/// Wall-clock on 1996 workstations is not reproducible; these two
+/// deterministic counters are, and both scale linearly with the real
+/// work the tools perform. Speedups are ratios of totals.
+///
+/// ```
+/// use tiling::CadEffort;
+/// let full = CadEffort { place_moves: 900_000, route_expansions: 100_000 };
+/// let tile = CadEffort { place_moves: 80_000, route_expansions: 20_000 };
+/// assert!(full.speedup_over(&tile) > 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CadEffort {
+    /// Simulated-annealing moves evaluated.
+    pub place_moves: u64,
+    /// PathFinder node expansions.
+    pub route_expansions: u64,
+}
+
+impl CadEffort {
+    /// Combined effort (moves and expansions cost about the same:
+    /// both are one cost evaluation plus one heap/accept operation).
+    pub fn total(&self) -> u64 {
+        self.place_moves + self.route_expansions
+    }
+
+    /// How many times more effort `self` takes than `other`.
+    pub fn speedup_over(&self, other: &CadEffort) -> f64 {
+        let denom = other.total().max(1) as f64;
+        self.total() as f64 / denom
+    }
+}
+
+impl Add for CadEffort {
+    type Output = CadEffort;
+
+    fn add(self, rhs: CadEffort) -> CadEffort {
+        CadEffort {
+            place_moves: self.place_moves + rhs.place_moves,
+            route_expansions: self.route_expansions + rhs.route_expansions,
+        }
+    }
+}
+
+impl AddAssign for CadEffort {
+    fn add_assign(&mut self, rhs: CadEffort) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CadEffort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} place moves + {} route expansions = {}",
+            self.place_moves,
+            self.route_expansions,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = CadEffort { place_moves: 10, route_expansions: 5 };
+        let b = CadEffort { place_moves: 1, route_expansions: 2 };
+        assert_eq!((a + b).total(), 18);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.total(), 18);
+    }
+
+    #[test]
+    fn speedup_guards_zero() {
+        let a = CadEffort { place_moves: 100, route_expansions: 0 };
+        let zero = CadEffort::default();
+        assert_eq!(a.speedup_over(&zero), 100.0);
+    }
+}

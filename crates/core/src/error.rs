@@ -1,0 +1,92 @@
+//! Unified error type for the tiling flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the tiling flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TilingError {
+    /// Netlist construction/editing failure.
+    Netlist(netlist::NetlistError),
+    /// Device sizing failure.
+    Device(fpga::DeviceError),
+    /// Placement failure.
+    Place(place::PlaceError),
+    /// Routing failure.
+    Route(route::RouteError),
+    /// The requested change does not fit the design's free resources.
+    InsufficientSlack {
+        /// CLBs requested.
+        needed: usize,
+        /// CLBs available across the whole device.
+        available: usize,
+    },
+    /// A tile id is out of range.
+    UnknownTile(usize),
+}
+
+impl fmt::Display for TilingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Netlist(e) => write!(f, "netlist error: {e}"),
+            Self::Device(e) => write!(f, "device error: {e}"),
+            Self::Place(e) => write!(f, "placement error: {e}"),
+            Self::Route(e) => write!(f, "routing error: {e}"),
+            Self::InsufficientSlack { needed, available } => {
+                write!(f, "change needs {needed} CLBs but only {available} are free")
+            }
+            Self::UnknownTile(t) => write!(f, "unknown tile {t}"),
+        }
+    }
+}
+
+impl Error for TilingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            Self::Device(e) => Some(e),
+            Self::Place(e) => Some(e),
+            Self::Route(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for TilingError {
+    fn from(e: netlist::NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+impl From<fpga::DeviceError> for TilingError {
+    fn from(e: fpga::DeviceError) -> Self {
+        Self::Device(e)
+    }
+}
+
+impl From<place::PlaceError> for TilingError {
+    fn from(e: place::PlaceError) -> Self {
+        Self::Place(e)
+    }
+}
+
+impl From<route::RouteError> for TilingError {
+    fn from(e: route::RouteError) -> Self {
+        Self::Route(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TilingError::InsufficientSlack { needed: 10, available: 3 };
+        assert!(e.to_string().contains("10"));
+        let e: TilingError = netlist::NetlistError::UnknownCell(netlist::CellId::new(1)).into();
+        assert!(e.to_string().contains("netlist"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,52 @@
+//! Tiling: physical-design partitioning for FPGA emulation debugging.
+//!
+//! This crate is the paper's contribution. It partitions a
+//! placed-and-routed FPGA design into independent rectangular *tiles*
+//! with locked interfaces and deliberate resource slack, so that each
+//! debugging step — test-logic insertion or an engineering change —
+//! only requires clearing and re-placing-and-routing the affected
+//! tiles. Everything else, including all routing that crosses tile
+//! boundaries, stays frozen.
+//!
+//! The flow mirrors the paper's pseudo-code (§3.1):
+//!
+//! 1. [`flow::implement`] — synthesize → place with slack → route →
+//!    [`partition`] into tiles → lock interfaces ([`interface`]);
+//! 2. debugging iterations: detect and localize with inserted test
+//!    logic, correct with an ECO ([`debug`]), trace the change to
+//!    tiles ([`affected`]), clear and re-implement only those tiles
+//!    ([`eco_flow`]);
+//! 3. compare the CAD effort against the non-tiled alternatives
+//!    ([`baselines`]): full re-place-and-route, incremental, and
+//!    Quick_ECO functional-block granularity.
+//!
+//! [`testpoints`] computes the paper's Figure 3 / Figure 4 quantities
+//! (tiles affected by logic insertion; maximum test-logic size per
+//! test-point count).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affected;
+pub mod baselines;
+pub mod debug;
+pub mod eco_flow;
+pub mod effort;
+pub mod error;
+pub mod flow;
+pub mod interface;
+pub mod partition;
+pub mod report;
+pub mod testpoints;
+pub mod tile;
+
+pub use affected::AffectedSet;
+pub use baselines::{full_replace_effort, incremental_effort, quick_eco_effort};
+pub use debug::{run_debug_iteration, DebugOutcome};
+pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
+pub use effort::CadEffort;
+pub use error::TilingError;
+pub use flow::{implement, TiledDesign, TilingOptions};
+pub use partition::partition;
+pub use report::TilingReport;
+pub use tile::{Tile, TileId, TilePlan};

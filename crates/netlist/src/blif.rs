@@ -1,0 +1,568 @@
+//! Reader and writer for a practical subset of Berkeley BLIF.
+//!
+//! The MCNC benchmarks the paper evaluates are distributed in BLIF, so
+//! the repository speaks it natively. Supported constructs:
+//!
+//! * `.model`, `.inputs`, `.outputs`, `.end`
+//! * `.names` with up to six inputs and `0`/`1`/`-` cover rows
+//! * `.latch <in> <out> [<type> <ctrl>] [<init>]` (clock is implicit)
+//! * `#` comments and `\` line continuation
+//!
+//! Unsupported constructs (multiple `.model`s, `.subckt`, `.gate`)
+//! produce a [`NetlistError::Parse`] rather than silent misreads.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::graph::Netlist;
+use crate::id::NetId;
+use crate::logic::{TruthTable, MAX_ARITY};
+
+/// Parses a BLIF document into a netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for syntax
+/// problems, and the usual construction errors for semantic ones
+/// (duplicate drivers, arity overflow, ...).
+///
+/// # Example
+///
+/// ```
+/// let src = "\
+/// .model toy
+/// .inputs a b
+/// .outputs y
+/// .names a b y
+/// 11 1
+/// .end
+/// ";
+/// let nl = netlist::blif::parse(src)?;
+/// assert_eq!(nl.name(), "toy");
+/// assert_eq!(nl.num_luts(), 1);
+/// # Ok::<(), netlist::NetlistError>(())
+/// ```
+pub fn parse(source: &str) -> Result<Netlist, NetlistError> {
+    Parser::new(source).run()
+}
+
+/// Serializes a netlist to BLIF.
+///
+/// LUT covers are written as explicit on-set rows; flip-flops become
+/// `.latch` lines with init values.
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", nl.name());
+    // Ports are written by *net* name so a reparse reconnects them.
+    let inputs: Vec<String> = nl
+        .primary_inputs()
+        .iter()
+        .filter_map(|&c| {
+            let cell = nl.cell(c).ok()?;
+            let net = cell.output?;
+            nl.net(net).ok().map(|n| n.name.clone())
+        })
+        .collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = nl
+        .primary_outputs()
+        .iter()
+        .filter_map(|&c| {
+            let cell = nl.cell(c).ok()?;
+            let net = cell.inputs.first().copied()?;
+            nl.net(net).ok().map(|n| n.name.clone())
+        })
+        .collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for (_, cell) in nl.cells() {
+        match &cell.kind {
+            crate::cell::CellKind::Lut(tt) => {
+                let mut names: Vec<String> = cell
+                    .inputs
+                    .iter()
+                    .filter_map(|&n| nl.net(n).ok().map(|n| n.name.clone()))
+                    .collect();
+                if let Some(out_net) = cell.output {
+                    if let Ok(n) = nl.net(out_net) {
+                        names.push(n.name.clone());
+                    }
+                }
+                let _ = writeln!(out, ".names {}", names.join(" "));
+                let arity = tt.arity();
+                for row in 0..(1u64 << arity) {
+                    if tt.eval_row(row) {
+                        let mut pat = String::with_capacity(arity);
+                        for k in 0..arity {
+                            pat.push(if row >> k & 1 == 1 { '1' } else { '0' });
+                        }
+                        let _ = writeln!(out, "{pat} 1");
+                    }
+                }
+            }
+            crate::cell::CellKind::Ff { init } => {
+                let d = cell
+                    .inputs
+                    .first()
+                    .and_then(|&n| nl.net(n).ok())
+                    .map(|n| n.name.clone())
+                    .unwrap_or_default();
+                let q = cell
+                    .output
+                    .and_then(|n| nl.net(n).ok())
+                    .map(|n| n.name.clone())
+                    .unwrap_or_default();
+                let _ = writeln!(out, ".latch {d} {q} {}", u8::from(*init));
+            }
+            _ => {}
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// A `.names` statement accumulated during parsing.
+struct NamesStmt {
+    line: usize,
+    signals: Vec<String>,
+    rows: Vec<(String, char)>,
+}
+
+/// A `.latch` statement accumulated during parsing.
+struct LatchStmt {
+    line: usize,
+    d: String,
+    q: String,
+    init: bool,
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    model: Option<String>,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    names: Vec<NamesStmt>,
+    latches: Vec<LatchStmt>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            source,
+            model: None,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            names: Vec::new(),
+            latches: Vec::new(),
+        }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> NetlistError {
+        NetlistError::Parse { line, message: message.into() }
+    }
+
+    fn run(mut self) -> Result<Netlist, NetlistError> {
+        // Join continuation lines, remembering original line numbers.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        let mut pending: Option<(usize, String)> = None;
+        for (i, raw) in self.source.lines().enumerate() {
+            let line_no = i + 1;
+            let no_comment = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            };
+            let trimmed = no_comment.trim_end();
+            let (content, continued) = match trimmed.strip_suffix('\\') {
+                Some(stripped) => (stripped, true),
+                None => (trimmed, false),
+            };
+            match pending.take() {
+                Some((start, mut acc)) => {
+                    acc.push(' ');
+                    acc.push_str(content);
+                    if continued {
+                        pending = Some((start, acc));
+                    } else {
+                        logical.push((start, acc));
+                    }
+                }
+                None => {
+                    if continued {
+                        pending = Some((line_no, content.to_string()));
+                    } else if !content.trim().is_empty() {
+                        logical.push((line_no, content.to_string()));
+                    }
+                }
+            }
+        }
+        if let Some((start, acc)) = pending {
+            logical.push((start, acc));
+        }
+
+        let mut idx = 0;
+        while idx < logical.len() {
+            let (line_no, text) = &logical[idx];
+            let line_no = *line_no;
+            let mut tokens = text.split_whitespace();
+            let head = tokens.next().unwrap_or("");
+            let rest: Vec<String> = tokens.map(str::to_string).collect();
+            match head {
+                ".model" => {
+                    if self.model.is_some() {
+                        return Err(Self::err(line_no, "multiple .model statements"));
+                    }
+                    self.model =
+                        Some(rest.first().cloned().unwrap_or_else(|| "top".to_string()));
+                }
+                ".inputs" => self.inputs.extend(rest),
+                ".outputs" => self.outputs.extend(rest),
+                ".names" => {
+                    if rest.is_empty() {
+                        return Err(Self::err(line_no, ".names requires signals"));
+                    }
+                    let mut rows = Vec::new();
+                    while idx + 1 < logical.len() && !logical[idx + 1].1.starts_with('.') {
+                        idx += 1;
+                        let (row_line, row_text) = &logical[idx];
+                        let parts: Vec<&str> = row_text.split_whitespace().collect();
+                        let (pattern, value) = match parts.as_slice() {
+                            [v] if rest.len() == 1 => (String::new(), *v),
+                            [p, v] => ((*p).to_string(), *v),
+                            _ => {
+                                return Err(Self::err(*row_line, "malformed cover row"));
+                            }
+                        };
+                        let value = match value {
+                            "0" => '0',
+                            "1" => '1',
+                            other => {
+                                return Err(Self::err(
+                                    *row_line,
+                                    format!("cover output must be 0 or 1, got `{other}`"),
+                                ))
+                            }
+                        };
+                        rows.push((pattern, value));
+                    }
+                    self.names.push(NamesStmt { line: line_no, signals: rest, rows });
+                }
+                ".latch" => {
+                    if rest.len() < 2 {
+                        return Err(Self::err(line_no, ".latch requires input and output"));
+                    }
+                    // Optional trailing init value; optional type+control
+                    // tokens in between are accepted and ignored.
+                    let init = match rest.last().map(String::as_str) {
+                        Some("1") => true,
+                        Some("0") | Some("2") | Some("3") => false,
+                        _ => false,
+                    };
+                    self.latches.push(LatchStmt {
+                        line: line_no,
+                        d: rest[0].clone(),
+                        q: rest[1].clone(),
+                        init,
+                    });
+                }
+                ".end" => break,
+                ".exdc" | ".subckt" | ".gate" | ".mlatch" => {
+                    return Err(Self::err(line_no, format!("unsupported construct `{head}`")));
+                }
+                other if other.starts_with('.') => {
+                    // Ignore benign extensions (.default_input_arrival etc.).
+                }
+                _ => {
+                    return Err(Self::err(line_no, format!("unexpected token `{head}`")));
+                }
+            }
+            idx += 1;
+        }
+
+        self.build()
+    }
+
+    fn build(self) -> Result<Netlist, NetlistError> {
+        let mut nl = Netlist::new(self.model.unwrap_or_else(|| "top".to_string()));
+        let mut nets: HashMap<String, NetId> = HashMap::new();
+        let mut intern = |nl: &mut Netlist, name: &str| -> Result<NetId, NetlistError> {
+            if let Some(&id) = nets.get(name) {
+                return Ok(id);
+            }
+            let id = nl.add_net(name.to_string())?;
+            nets.insert(name.to_string(), id);
+            Ok(id)
+        };
+
+        for name in &self.inputs {
+            let net = intern(&mut nl, name)?;
+            nl.add_input_driving(format!("pi:{name}"), net)?;
+        }
+        for stmt in &self.latches {
+            let d = intern(&mut nl, &stmt.d)?;
+            let q = intern(&mut nl, &stmt.q)?;
+            nl.add_ff_driving(format!("ff:{}", stmt.q), stmt.init, d, q)
+                .map_err(|e| match e {
+                    NetlistError::MultipleDrivers(n) => NetlistError::Parse {
+                        line: stmt.line,
+                        message: format!("latch output `{}` already driven ({n})", stmt.q),
+                    },
+                    other => other,
+                })?;
+        }
+        for stmt in &self.names {
+            let arity = stmt.signals.len() - 1;
+            if arity > MAX_ARITY {
+                return Err(Self::err(
+                    stmt.line,
+                    format!(".names with {arity} inputs exceeds the {MAX_ARITY}-input limit"),
+                ));
+            }
+            let output_name = stmt.signals.last().expect("non-empty checked at parse");
+            let input_ids: Vec<NetId> = stmt.signals[..arity]
+                .iter()
+                .map(|s| intern(&mut nl, s))
+                .collect::<Result<_, _>>()?;
+            let out_net = intern(&mut nl, output_name)?;
+            let tt = cover_to_truth_table(arity, &stmt.rows)
+                .map_err(|m| Self::err(stmt.line, m))?;
+            nl.add_lut_driving(format!("lut:{output_name}"), tt, &input_ids, out_net)
+                .map_err(|e| match e {
+                    NetlistError::MultipleDrivers(_) | NetlistError::DuplicateName(_) => {
+                        NetlistError::Parse {
+                            line: stmt.line,
+                            message: format!("signal `{output_name}` has multiple drivers"),
+                        }
+                    }
+                    other => other,
+                })?;
+        }
+        for name in &self.outputs {
+            let net = intern(&mut nl, name)?;
+            nl.add_output(format!("po:{name}"), net)?;
+        }
+        Ok(nl)
+    }
+}
+
+/// Converts BLIF cover rows into a truth table.
+///
+/// Rows whose output column is `1` form the on-set; rows with `0` form
+/// the off-set (then the function is the complement of the uncovered
+/// space). Mixing both in one cover is rejected, as in standard BLIF.
+fn cover_to_truth_table(arity: usize, rows: &[(String, char)]) -> Result<TruthTable, String> {
+    let on_rows: Vec<&(String, char)> = rows.iter().filter(|(_, v)| *v == '1').collect();
+    let off_rows: Vec<&(String, char)> = rows.iter().filter(|(_, v)| *v == '0').collect();
+    if !on_rows.is_empty() && !off_rows.is_empty() {
+        return Err("cover mixes on-set and off-set rows".to_string());
+    }
+    let (set, polarity) = if off_rows.is_empty() {
+        (on_rows, true)
+    } else {
+        (off_rows, false)
+    };
+    // Constant function: `.names y` with a single `1` (or `0`/empty) row.
+    if arity == 0 {
+        let value = polarity && !set.is_empty();
+        return Ok(if value { TruthTable::constant1(0) } else { TruthTable::constant0(0) });
+    }
+    let mut covered = 0u64;
+    for (pattern, _) in set {
+        if pattern.len() != arity {
+            return Err(format!(
+                "cover row `{pattern}` has {} columns, expected {arity}",
+                pattern.len()
+            ));
+        }
+        // Expand don't-cares.
+        let mut rows_acc = vec![0u64];
+        for (k, ch) in pattern.chars().enumerate() {
+            match ch {
+                '0' => {}
+                '1' => {
+                    for r in &mut rows_acc {
+                        *r |= 1 << k;
+                    }
+                }
+                '-' => {
+                    let with_one: Vec<u64> = rows_acc.iter().map(|r| r | 1 << k).collect();
+                    rows_acc.extend(with_one);
+                }
+                other => return Err(format!("bad cover character `{other}`")),
+            }
+        }
+        for r in rows_acc {
+            covered |= 1 << r;
+        }
+    }
+    let bits = if polarity {
+        covered
+    } else {
+        // Off-set cover: function is 1 everywhere not covered.
+        !covered
+    };
+    TruthTable::from_bits(arity, bits).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOY: &str = "\
+# toy circuit
+.model toy
+.inputs a b c
+.outputs y
+.names a b ab
+11 1
+.names ab c y
+1- 1
+-1 1
+.end
+";
+
+    #[test]
+    fn parse_counts() {
+        let nl = parse(TOY).unwrap();
+        assert_eq!(nl.name(), "toy");
+        assert_eq!(nl.num_luts(), 2);
+        assert_eq!(nl.primary_inputs().len(), 3);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn parsed_function_is_correct() {
+        let nl = parse(TOY).unwrap();
+        let y_lut = nl.find_cell("lut:y").unwrap();
+        let tt = *nl.cell(y_lut).unwrap().lut_function().unwrap();
+        // y = ab OR c
+        assert!(tt.eval(&[true, false]));
+        assert!(tt.eval(&[false, true]));
+        assert!(!tt.eval(&[false, false]));
+    }
+
+    #[test]
+    fn latch_roundtrip() {
+        let src = "\
+.model seq
+.inputs d
+.outputs q
+.latch d q 1
+.end
+";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.num_ffs(), 1);
+        let ff = nl.find_cell("ff:q").unwrap();
+        assert!(matches!(nl.cell(ff).unwrap().kind, crate::cell::CellKind::Ff { init: true }));
+        let text = write(&nl);
+        let nl2 = parse(&text).unwrap();
+        assert_eq!(nl2.num_ffs(), 1);
+    }
+
+    #[test]
+    fn dont_care_expansion() {
+        let src = "\
+.model dc
+.inputs a b c
+.outputs y
+.names a b c y
+--1 1
+.end
+";
+        let nl = parse(src).unwrap();
+        let tt = *nl
+            .cell(nl.find_cell("lut:y").unwrap())
+            .unwrap()
+            .lut_function()
+            .unwrap();
+        assert_eq!(tt, TruthTable::var(3, 2));
+    }
+
+    #[test]
+    fn off_set_cover() {
+        let src = "\
+.model off
+.inputs a b
+.outputs y
+.names a b y
+11 0
+.end
+";
+        let nl = parse(src).unwrap();
+        let tt = *nl
+            .cell(nl.find_cell("lut:y").unwrap())
+            .unwrap()
+            .lut_function()
+            .unwrap();
+        assert_eq!(tt, TruthTable::nand(2));
+    }
+
+    #[test]
+    fn constant_names() {
+        let src = "\
+.model konst
+.outputs y
+.names y
+1
+.end
+";
+        let nl = parse(src).unwrap();
+        let tt = *nl
+            .cell(nl.find_cell("lut:y").unwrap())
+            .unwrap()
+            .lut_function()
+            .unwrap();
+        assert_eq!(tt, TruthTable::constant1(0));
+    }
+
+    #[test]
+    fn mixed_cover_rejected() {
+        let src = "\
+.model bad
+.inputs a
+.outputs y
+.names a y
+1 1
+0 0
+.end
+";
+        assert!(matches!(parse(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn multiple_drivers_rejected() {
+        let src = "\
+.model bad
+.inputs a b
+.outputs y
+.names a y
+1 1
+.names b y
+1 1
+.end
+";
+        assert!(matches!(parse(src), Err(NetlistError::Parse { .. })));
+    }
+
+    #[test]
+    fn unsupported_construct_rejected() {
+        let src = ".model bad\n.subckt foo a=b\n.end\n";
+        assert!(matches!(parse(src), Err(NetlistError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics() {
+        let nl = parse(TOY).unwrap();
+        let text = write(&nl);
+        let nl2 = parse(&text).unwrap();
+        assert_eq!(nl2.num_luts(), nl.num_luts());
+        assert_eq!(nl2.primary_outputs().len(), 1);
+        nl2.validate().unwrap();
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model cont\n.inputs a \\\nb\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let nl = parse(src).unwrap();
+        assert_eq!(nl.primary_inputs().len(), 2);
+    }
+}

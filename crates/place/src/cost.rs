@@ -1,0 +1,104 @@
+//! Half-perimeter wirelength cost.
+
+use fpga::{Device, Placement};
+use netlist::{NetId, Netlist};
+
+/// VPR's fanout compensation factor `q(n)` for HPWL.
+fn q_factor(terminals: usize) -> f64 {
+    // Piecewise values from Cheng's tables as used by VPR, flattened
+    // to a smooth approximation beyond 3 terminals.
+    match terminals {
+        0..=3 => 1.0,
+        t => 1.0 + 0.0384 * (t as f64 - 3.0) + 0.58 * ((t as f64 - 3.0) / 50.0),
+    }
+}
+
+/// Half-perimeter bounding-box cost of one net under a placement.
+///
+/// Unplaced terminals are ignored; a net with fewer than two placed
+/// terminals costs zero.
+pub fn net_bbox_cost(nl: &Netlist, device: &Device, placement: &Placement, net: NetId) -> f64 {
+    let Ok(n) = nl.net(net) else { return 0.0 };
+    let (w, h) = (device.width(), device.height());
+    let mut count = 0usize;
+    let (mut x0, mut y0, mut x1, mut y1) = (u16::MAX, u16::MAX, 0u16, 0u16);
+    let mut visit = |cell: netlist::CellId| {
+        if let Some(loc) = placement.loc_of(cell) {
+            let c = loc.proxy_coord(w, h);
+            x0 = x0.min(c.x);
+            y0 = y0.min(c.y);
+            x1 = x1.max(c.x);
+            y1 = y1.max(c.y);
+            count += 1;
+        }
+    };
+    if let Some(driver) = n.driver {
+        visit(driver);
+    }
+    for s in &n.sinks {
+        visit(s.cell);
+    }
+    if count < 2 {
+        return 0.0;
+    }
+    let span = (x1 - x0) as f64 + (y1 - y0) as f64;
+    q_factor(count) * span
+}
+
+/// Total HPWL cost over all nets.
+pub fn total_wirelength_cost(nl: &Netlist, device: &Device, placement: &Placement) -> f64 {
+    nl.nets().map(|(id, _)| net_bbox_cost(nl, device, placement, id)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga::{BelLoc, ClbSlot};
+    use netlist::TruthTable;
+
+    fn two_cell_design() -> (Netlist, Device) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let u = nl
+            .add_lut("u", TruthTable::not(), &[nl.cell_output(a).unwrap()])
+            .unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        (nl, Device::new(8, 8, 4, 2).unwrap())
+    }
+
+    #[test]
+    fn cost_grows_with_distance() {
+        let (nl, dev) = two_cell_design();
+        let a = nl.find_cell("a").unwrap();
+        let u = nl.find_cell("u").unwrap();
+        let near = {
+            let mut p = Placement::new(nl.cell_capacity());
+            p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
+                .unwrap();
+            p.place(u, BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
+            total_wirelength_cost(&nl, &dev, &p)
+        };
+        let far = {
+            let mut p = Placement::new(nl.cell_capacity());
+            p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
+                .unwrap();
+            p.place(u, BelLoc::clb(7, 7, ClbSlot::LutF)).unwrap();
+            total_wirelength_cost(&nl, &dev, &p)
+        };
+        assert!(far > near);
+    }
+
+    #[test]
+    fn single_terminal_nets_cost_zero() {
+        let (nl, dev) = two_cell_design();
+        let p = Placement::new(nl.cell_capacity());
+        assert_eq!(total_wirelength_cost(&nl, &dev, &p), 0.0);
+    }
+
+    #[test]
+    fn q_factor_monotone() {
+        assert_eq!(q_factor(2), 1.0);
+        assert!(q_factor(10) > q_factor(4));
+        assert!(q_factor(50) > q_factor(10));
+    }
+}

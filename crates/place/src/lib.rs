@@ -1,0 +1,30 @@
+//! Simulated-annealing placement with region and lock constraints.
+//!
+//! This is a VPR-style annealer specialized for the tiling flow's two
+//! modes of operation:
+//!
+//! * **full placement** — every cell is movable anywhere on the device
+//!   (paper step 2, and the full re-place-and-route baseline);
+//! * **tile-confined placement** — most cells are *locked* at their
+//!   existing locations and the movable rest carry a *region
+//!   constraint* confining them to the cleared tile rectangles (paper
+//!   steps 17–20). This is the mechanism by which "tiling is achieved
+//!   through physical design constraints imposed on the place-and-route
+//!   tool" (§3.2).
+//!
+//! Placement effort is metered in *moves evaluated*, the quantity
+//! Figure 5's speedups are computed from (wall-clock on 1996 hardware
+//! is not reproducible; the move count is, and is proportional).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod initial;
+pub mod sa;
+
+pub use config::{Constraints, PlacerConfig};
+pub use cost::{net_bbox_cost, total_wirelength_cost};
+pub use initial::initial_place;
+pub use sa::{place, PlaceError, PlaceOutcome};

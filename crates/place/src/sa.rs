@@ -1,0 +1,457 @@
+//! The simulated-annealing engine.
+
+use std::error::Error;
+use std::fmt;
+
+use fpga::{BelLoc, Device, Placement, Rect};
+use netlist::{CellId, CellKind, NetId, Netlist, NetlistError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{Constraints, PlacerConfig};
+use crate::cost::net_bbox_cost;
+use crate::initial::{clip, compatible, initial_place, slots_for};
+
+/// Errors from placement.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PlaceError {
+    /// No free compatible site exists for the cell in its region.
+    NoSpace(CellId),
+    /// Underlying netlist inconsistency.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSpace(c) => write!(f, "no free compatible site for cell {c}"),
+            Self::Netlist(e) => write!(f, "netlist error during placement: {e}"),
+        }
+    }
+}
+
+impl Error for PlaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for PlaceError {
+    fn from(e: NetlistError) -> Self {
+        Self::Netlist(e)
+    }
+}
+
+/// Result of a placement run.
+#[derive(Debug, Clone)]
+pub struct PlaceOutcome {
+    /// The final placement.
+    pub placement: Placement,
+    /// Final HPWL cost.
+    pub cost: f64,
+    /// Moves evaluated — the paper-comparable CAD-effort metric.
+    pub moves_evaluated: u64,
+    /// Moves accepted.
+    pub moves_accepted: u64,
+    /// Temperatures annealed through.
+    pub temperatures: usize,
+}
+
+/// Places a netlist on a device under constraints.
+///
+/// `initial` seeds the placement (locked cells *must* be placed in it);
+/// unplaced movable cells are constructively placed first, then the
+/// movable set is annealed. With `Constraints::free()` and no initial
+/// placement this is a full VPR-style run.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::NoSpace`] when a region cannot hold its cells,
+/// or [`PlaceError::Netlist`] on graph inconsistencies.
+pub fn place(
+    nl: &Netlist,
+    device: &Device,
+    constraints: &Constraints,
+    initial: Option<Placement>,
+    config: &PlacerConfig,
+) -> Result<PlaceOutcome, PlaceError> {
+    let mut placement = initial.unwrap_or_else(|| Placement::new(nl.cell_capacity()));
+    initial_place(nl, device, constraints, &mut placement, config.seed)?;
+
+    let movable: Vec<CellId> = nl
+        .cells()
+        .filter(|(id, _)| !constraints.is_locked(*id))
+        .map(|(id, _)| id)
+        .collect();
+
+    // Nets incident to each cell (movable cells only need them).
+    let mut incident: Vec<Vec<NetId>> = vec![Vec::new(); nl.cell_capacity()];
+    for (id, cell) in nl.cells() {
+        let mut nets: Vec<NetId> = cell.inputs.clone();
+        if let Some(o) = cell.output {
+            nets.push(o);
+        }
+        nets.sort_unstable();
+        nets.dedup();
+        incident[id.index()] = nets;
+    }
+
+    // Per-net cost cache.
+    let mut net_cost: Vec<f64> = vec![0.0; nl.net_capacity()];
+    let mut cost = 0.0;
+    for (id, _) in nl.nets() {
+        let c = net_bbox_cost(nl, device, &placement, id);
+        net_cost[id.index()] = c;
+        cost += c;
+    }
+
+    let mut outcome = PlaceOutcome {
+        placement,
+        cost,
+        moves_evaluated: 0,
+        moves_accepted: 0,
+        temperatures: 0,
+    };
+    if movable.len() < 2 {
+        return Ok(outcome);
+    }
+
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut annealer = Annealer {
+        nl,
+        device,
+        constraints,
+        incident: &incident,
+        rng: &mut rng,
+        placement: &mut outcome.placement,
+        net_cost: &mut net_cost,
+        cost: &mut outcome.cost,
+        scratch: Vec::new(),
+    };
+
+    // Estimate the starting temperature from random move deltas.
+    let probes = (movable.len() * 4).clamp(16, 512);
+    let mut deltas = Vec::with_capacity(probes);
+    for _ in 0..probes {
+        if let Some(d) = annealer.try_move(&movable, f64::INFINITY) {
+            deltas.push(d);
+        }
+    }
+    let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+        / deltas.len().max(1) as f64;
+    let mut temp = (20.0 * var.sqrt()).max(1.0);
+
+    let inner = ((movable.len() as f64).powf(4.0 / 3.0) * config.inner_num).max(8.0) as u64;
+    let num_nets = nl.num_nets().max(1) as f64;
+    let mut rlim = f64::from(device.width().max(device.height()));
+
+    for _ in 0..config.max_temps {
+        outcome.temperatures += 1;
+        let mut accepted = 0u64;
+        for _ in 0..inner {
+            outcome.moves_evaluated += 1;
+            let window = rlim.round().max(1.0) as u16;
+            if annealer.anneal_move(&movable, temp, window).is_some() {
+                accepted += 1;
+            }
+        }
+        outcome.moves_accepted += accepted;
+        let rate = accepted as f64 / inner as f64;
+        // VPR schedule.
+        let alpha = if rate > 0.96 {
+            0.5
+        } else if rate > 0.8 {
+            0.9
+        } else if rate > 0.15 {
+            0.95
+        } else {
+            0.8
+        };
+        temp *= alpha;
+        rlim = (rlim * (1.0 - 0.44 + rate))
+            .clamp(1.0, f64::from(device.width().max(device.height())));
+        if temp < config.exit_ratio * *annealer.cost / num_nets {
+            break;
+        }
+    }
+    Ok(outcome)
+}
+
+struct Annealer<'a> {
+    nl: &'a Netlist,
+    device: &'a Device,
+    constraints: &'a Constraints,
+    incident: &'a [Vec<NetId>],
+    rng: &'a mut SmallRng,
+    placement: &'a mut Placement,
+    net_cost: &'a mut [f64],
+    cost: &'a mut f64,
+    scratch: Vec<NetId>,
+}
+
+impl Annealer<'_> {
+    /// Proposes and (per Metropolis at `temp`) applies one move over
+    /// the full device. Returns the delta if accepted.
+    fn try_move(&mut self, movable: &[CellId], temp: f64) -> Option<f64> {
+        let window = self.device.width().max(self.device.height());
+        self.anneal_move(movable, temp, window)
+    }
+
+    fn anneal_move(&mut self, movable: &[CellId], temp: f64, window: u16) -> Option<f64> {
+        let cell = movable[self.rng.gen_range(0..movable.len())];
+        let kind = &self.nl.cell(cell).ok()?.kind;
+        let cur = self.placement.loc_of(cell)?;
+        let target = self.propose_target(cell, kind, cur, window)?;
+        if target == cur {
+            return None;
+        }
+        // Occupant handling.
+        let occupant = self.placement.cell_at(target);
+        if let Some(other) = occupant {
+            if self.constraints.is_locked(other) {
+                return None;
+            }
+            let other_kind = &self.nl.cell(other).ok()?.kind;
+            if !compatible(other_kind, cur) || !compatible(kind, target) {
+                return None;
+            }
+            // The displaced cell must accept our old location.
+            if let Some(rects) = self.constraints.region_of(other) {
+                match cur.coord() {
+                    Some(c) if rects.iter().any(|r| r.contains(c)) => {}
+                    _ => return None,
+                }
+            }
+        } else if !compatible(kind, target) {
+            return None;
+        }
+
+        // Affected nets.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.incident[cell.index()]);
+        if let Some(other) = occupant {
+            self.scratch.extend_from_slice(&self.incident[other.index()]);
+        }
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let old: f64 = self.scratch.iter().map(|n| self.net_cost[n.index()]).sum();
+
+        // Apply.
+        match occupant {
+            Some(other) => self.placement.swap(cell, other).ok()?,
+            None => self.placement.place(cell, target).ok()?,
+        }
+        let mut new = 0.0;
+        for &n in &self.scratch {
+            new += net_bbox_cost(self.nl, self.device, self.placement, n);
+        }
+        let delta = new - old;
+        let accept = delta <= 0.0
+            || (temp.is_finite()
+                && self.rng.gen_range(0.0..1.0) < (-delta / temp.max(1e-12)).exp())
+            || temp.is_infinite();
+        if !accept {
+            // Revert.
+            match occupant {
+                Some(other) => {
+                    let _ = self.placement.swap(cell, other);
+                }
+                None => {
+                    let _ = self.placement.place(cell, cur);
+                }
+            }
+            return None;
+        }
+        for &n in &self.scratch {
+            let c = net_bbox_cost(self.nl, self.device, self.placement, n);
+            *self.cost += c - self.net_cost[n.index()];
+            self.net_cost[n.index()] = c;
+        }
+        Some(delta)
+    }
+
+    fn propose_target(
+        &mut self,
+        cell: CellId,
+        kind: &CellKind,
+        cur: BelLoc,
+        window: u16,
+    ) -> Option<BelLoc> {
+        match kind {
+            CellKind::Input | CellKind::Output => {
+                // IOBs move along the perimeter freely.
+                let sites: Vec<_> = self.device.iob_sites().collect();
+                Some(BelLoc::Iob(sites[self.rng.gen_range(0..sites.len())]))
+            }
+            CellKind::Lut(_) | CellKind::Ff { .. } => {
+                let c = cur.coord()?;
+                let b = self.device.bounds();
+                let win = Rect::new(
+                    c.x.saturating_sub(window),
+                    c.y.saturating_sub(window),
+                    (c.x + window).min(b.x1),
+                    (c.y + window).min(b.y1),
+                );
+                let region = match self.constraints.region_of(cell) {
+                    None => clip(win, b)?,
+                    Some(rects) => {
+                        // Pick one of the region rectangles; prefer the
+                        // window intersection when it exists.
+                        let r = rects[self.rng.gen_range(0..rects.len())];
+                        clip(r, win).or_else(|| clip(r, b))?
+                    }
+                };
+                let x = self.rng.gen_range(region.x0..=region.x1);
+                let y = self.rng.gen_range(region.y0..=region.y1);
+                let slots = slots_for(kind);
+                let slot = slots[self.rng.gen_range(0..slots.len())];
+                Some(BelLoc::clb(x, y, slot))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::total_wirelength_cost;
+    use netlist::TruthTable;
+
+    /// Two clusters of tightly connected LUTs.
+    fn clustered_design() -> Netlist {
+        let mut nl = Netlist::new("clusters");
+        for g in 0..2 {
+            let a = nl.add_input(format!("a{g}")).unwrap();
+            let mut prev = nl.cell_output(a).unwrap();
+            for i in 0..10 {
+                let u = nl
+                    .add_lut(format!("g{g}_u{i}"), TruthTable::not(), &[prev])
+                    .unwrap();
+                prev = nl.cell_output(u).unwrap();
+            }
+            nl.add_output(format!("y{g}"), prev).unwrap();
+        }
+        nl
+    }
+
+    #[test]
+    fn annealing_reduces_cost() {
+        let nl = clustered_design();
+        let dev = Device::new(8, 8, 4, 2).unwrap();
+        // Random initial placement cost:
+        let mut init = Placement::new(nl.cell_capacity());
+        initial_place(&nl, &dev, &Constraints::free(), &mut init, 77).unwrap();
+        let init_cost = total_wirelength_cost(&nl, &dev, &init);
+        let out = place(
+            &nl,
+            &dev,
+            &Constraints::free(),
+            Some(init),
+            &PlacerConfig::default(),
+        )
+        .unwrap();
+        assert!(out.cost < init_cost, "{} !< {init_cost}", out.cost);
+        assert!(out.moves_evaluated > 0);
+        // Cache consistency: recomputed cost matches incremental cost.
+        let recomputed = total_wirelength_cost(&nl, &dev, &out.placement);
+        assert!((recomputed - out.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn locked_cells_do_not_move() {
+        let nl = clustered_design();
+        let dev = Device::new(8, 8, 4, 2).unwrap();
+        let mut init = Placement::new(nl.cell_capacity());
+        initial_place(&nl, &dev, &Constraints::free(), &mut init, 5).unwrap();
+        let locked_cell = nl.find_cell("g0_u0").unwrap();
+        let pinned = init.loc_of(locked_cell).unwrap();
+        let mut cons = Constraints::free();
+        cons.lock(locked_cell);
+        let out = place(&nl, &dev, &cons, Some(init), &PlacerConfig::fast(5)).unwrap();
+        assert_eq!(out.placement.loc_of(locked_cell), Some(pinned));
+    }
+
+    #[test]
+    fn regions_are_respected_through_annealing() {
+        let nl = clustered_design();
+        let dev = Device::new(10, 10, 4, 2).unwrap();
+        let region = Rect::new(0, 0, 3, 3);
+        let mut cons = Constraints::free();
+        let confined: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| c.is_logic())
+            .map(|(id, _)| id)
+            .collect();
+        for &id in &confined {
+            cons.confine(id, region);
+        }
+        let out = place(&nl, &dev, &cons, None, &PlacerConfig::fast(11)).unwrap();
+        for &id in &confined {
+            let loc = out.placement.loc_of(id).unwrap();
+            assert!(region.contains(loc.coord().unwrap()), "{id} escaped to {loc}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let nl = clustered_design();
+        let dev = Device::new(8, 8, 4, 2).unwrap();
+        let run = || {
+            let out =
+                place(&nl, &dev, &Constraints::free(), None, &PlacerConfig::fast(42)).unwrap();
+            let locs: Vec<_> = out.placement.iter().collect();
+            (locs, out.cost.to_bits(), out.moves_evaluated)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn effort_scales_with_movable_count() {
+        let dev = Device::new(12, 12, 4, 2).unwrap();
+        let small = {
+            let mut nl = Netlist::new("s");
+            let a = nl.add_input("a").unwrap();
+            let mut prev = nl.cell_output(a).unwrap();
+            for i in 0..4 {
+                let u = nl.add_lut(format!("u{i}"), TruthTable::not(), &[prev]).unwrap();
+                prev = nl.cell_output(u).unwrap();
+            }
+            nl.add_output("y", prev).unwrap();
+            nl
+        };
+        let big = clustered_design();
+        let cfg = PlacerConfig { max_temps: 10, ..PlacerConfig::default() };
+        let e_small = place(&small, &dev, &Constraints::free(), None, &cfg)
+            .unwrap()
+            .moves_evaluated;
+        let e_big =
+            place(&big, &dev, &Constraints::free(), None, &cfg).unwrap().moves_evaluated;
+        assert!(e_big > e_small);
+    }
+
+    #[test]
+    fn fully_locked_design_returns_immediately() {
+        let nl = clustered_design();
+        let dev = Device::new(8, 8, 4, 2).unwrap();
+        let mut init = Placement::new(nl.cell_capacity());
+        initial_place(&nl, &dev, &Constraints::free(), &mut init, 5).unwrap();
+        let mut cons = Constraints::free();
+        cons.lock_all(nl.cells().map(|(id, _)| id));
+        let out = place(&nl, &dev, &cons, Some(init), &PlacerConfig::default()).unwrap();
+        assert_eq!(out.moves_evaluated, 0);
+        assert_eq!(out.temperatures, 0);
+    }
+
+    #[test]
+    fn no_space_is_reported() {
+        let nl = clustered_design(); // 20 LUTs
+        let dev = Device::new(2, 2, 4, 2).unwrap(); // 8 LUT slots
+        let err = place(&nl, &dev, &Constraints::free(), None, &PlacerConfig::fast(1));
+        assert!(matches!(err, Err(PlaceError::NoSpace(_))));
+    }
+}

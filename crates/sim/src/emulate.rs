@@ -1,0 +1,217 @@
+//! Golden-vs-DUT emulation with primary-output-only observability.
+
+use netlist::{CellId, Netlist, NetlistError};
+
+use crate::patterns::PatternGen;
+use crate::simulator::Simulator;
+
+/// A detected divergence between golden model and device under test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Index of the stimulus vector that exposed the bug.
+    pub pattern_index: usize,
+    /// Clock cycle at which the divergence was observed.
+    pub cycle: u64,
+    /// Index of the diverging primary output (PO order).
+    pub output_index: usize,
+    /// Name of the diverging output cell.
+    pub output_name: String,
+    /// Which outputs matched (true) at the failing cycle — used by
+    /// cone-intersection diagnosis.
+    pub output_ok: Vec<bool>,
+}
+
+/// Runs `patterns` through both netlists and returns the first
+/// primary-output divergence, if any.
+///
+/// Sequential designs are clocked once per pattern *without* reset in
+/// between (patterns form a stimulus stream); combinational designs
+/// are evaluated per pattern. Only primary outputs are compared —
+/// internal nets are invisible, as on a real emulator.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (combinational loops).
+///
+/// # Panics
+///
+/// Panics if the two netlists disagree on PI/PO counts (they must be
+/// the same design, one of them buggy).
+pub fn first_mismatch(
+    golden: &Netlist,
+    dut: &Netlist,
+    patterns: PatternGen,
+    ) -> Result<Option<Mismatch>, NetlistError> {
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    assert_eq!(gsim.num_inputs(), dsim.num_inputs(), "PI mismatch between golden and DUT");
+    assert_eq!(gsim.num_outputs(), dsim.num_outputs(), "PO mismatch between golden and DUT");
+    assert_eq!(patterns.width(), gsim.num_inputs(), "pattern width mismatch");
+    let sequential = golden.is_sequential() || dut.is_sequential();
+
+    for (idx, pat) in patterns.enumerate() {
+        gsim.set_inputs(&pat);
+        dsim.set_inputs(&pat);
+        gsim.comb_eval();
+        dsim.comb_eval();
+        let g = gsim.outputs();
+        let d = dsim.outputs();
+        if let Some(first_bad) = g.iter().zip(&d).position(|(a, b)| a != b) {
+            let pos = golden.primary_outputs();
+            let output_ok: Vec<bool> = g.iter().zip(&d).map(|(a, b)| a == b).collect();
+            return Ok(Some(Mismatch {
+                pattern_index: idx,
+                cycle: gsim.cycles(),
+                output_index: first_bad,
+                output_name: golden.cell(pos[first_bad])?.name.clone(),
+                output_ok,
+            }));
+        }
+        if sequential {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    Ok(None)
+}
+
+/// Structural candidate set for the error site, from one observed
+/// mismatch: cells in the fanin cone of every failing output that are
+/// *not* in the cone of any passing output.
+///
+/// This over-approximates single-error sites and is the seed for the
+/// paper's iterative localization: insert observation logic within the
+/// suspect region, re-emulate, narrow.
+pub fn suspect_cells(nl: &Netlist, mismatch: &Mismatch) -> Vec<CellId> {
+    let pos = nl.primary_outputs();
+    let failing: Vec<CellId> = pos
+        .iter()
+        .zip(&mismatch.output_ok)
+        .filter(|(_, &ok)| !ok)
+        .map(|(&c, _)| c)
+        .collect();
+    let passing: Vec<CellId> = pos
+        .iter()
+        .zip(&mismatch.output_ok)
+        .filter(|(_, &ok)| ok)
+        .map(|(&c, _)| c)
+        .collect();
+    if failing.is_empty() {
+        return Vec::new();
+    }
+    // Intersection of failing cones.
+    let mut counts = vec![0u32; nl.cell_capacity()];
+    for &f in &failing {
+        for c in nl.fanin_cone(&[f]) {
+            counts[c.index()] += 1;
+        }
+    }
+    let in_all_failing: Vec<CellId> = (0..counts.len())
+        .filter(|&i| counts[i] == failing.len() as u32)
+        .map(CellId::new)
+        .collect();
+    // Subtract cells that also reach a passing output. A single error
+    // there *could* still be masked on the passing side, so this is a
+    // heuristic — the standard one for single-error diagnosis.
+    let mut reaches_passing = vec![false; nl.cell_capacity()];
+    if !passing.is_empty() {
+        for c in nl.fanin_cone(&passing) {
+            reaches_passing[c.index()] = true;
+        }
+    }
+    in_all_failing
+        .into_iter()
+        .filter(|c| {
+            !reaches_passing[c.index()]
+                && nl.cell(*c).map(|cell| cell.is_logic()).unwrap_or(false)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{inject, DesignErrorKind};
+    use netlist::TruthTable;
+
+    /// Two independent output cones: y0 = a AND b, y1 = a XOR c.
+    fn two_cone_design() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let (na, nb, nc) = (
+            nl.cell_output(a).unwrap(),
+            nl.cell_output(b).unwrap(),
+            nl.cell_output(c).unwrap(),
+        );
+        let u0 = nl.add_lut("u0", TruthTable::and(2), &[na, nb]).unwrap();
+        let u1 = nl.add_lut("u1", TruthTable::xor(2), &[na, nc]).unwrap();
+        nl.add_output("y0", nl.cell_output(u0).unwrap()).unwrap();
+        nl.add_output("y1", nl.cell_output(u1).unwrap()).unwrap();
+        nl
+    }
+
+    #[test]
+    fn identical_designs_never_mismatch() {
+        let nl = two_cone_design();
+        let m = first_mismatch(&nl, &nl.clone(), PatternGen::exhaustive(3)).unwrap();
+        assert_eq!(m, None);
+    }
+
+    #[test]
+    fn planted_bug_is_detected_and_localized() {
+        let golden = two_cone_design();
+        let mut dut = golden.clone();
+        let u1 = dut.find_cell("u1").unwrap();
+        inject(&mut dut, u1, DesignErrorKind::Complement).unwrap();
+        let m = first_mismatch(&golden, &dut, PatternGen::exhaustive(3))
+            .unwrap()
+            .expect("complemented gate must diverge");
+        assert_eq!(m.output_name, "y1");
+        // Suspects must include u1 but not u0 (u0's cone is clean).
+        let suspects = suspect_cells(&golden, &m);
+        let u1g = golden.find_cell("u1").unwrap();
+        let u0g = golden.find_cell("u0").unwrap();
+        assert!(suspects.contains(&u1g));
+        assert!(!suspects.contains(&u0g));
+    }
+
+    #[test]
+    fn sequential_divergence_found_over_time() {
+        // Golden: toggle FF; DUT: stuck FF (feedback buffered, not inverted).
+        let build = |invert: bool| {
+            let mut nl = Netlist::new("seq");
+            let en = nl.add_input("en").unwrap();
+            let seed = nl.add_net("seed").unwrap();
+            let ff = nl.add_ff("q", false, seed).unwrap();
+            let q = nl.cell_output(ff).unwrap();
+            let tt = if invert { TruthTable::xor(2) } else { TruthTable::var(2, 1) };
+            let f = nl
+                .add_lut("f", tt, &[nl.cell_output(en).unwrap(), q])
+                .unwrap();
+            nl.set_pin(ff, 0, nl.cell_output(f).unwrap()).unwrap();
+            nl.add_output("out", q).unwrap();
+            nl
+        };
+        let golden = build(true); // q ^= en
+        let dut = build(false); // q stays q
+        let m = first_mismatch(&golden, &dut, PatternGen::random(1, 20, 3)).unwrap();
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn single_minterm_bug_needs_the_right_pattern() {
+        let golden = two_cone_design();
+        let mut dut = golden.clone();
+        let u0 = dut.find_cell("u0").unwrap();
+        // Flip only the row a=1,b=1.
+        inject(&mut dut, u0, DesignErrorKind::FlipRow { row: 3 }).unwrap();
+        let m = first_mismatch(&golden, &dut, PatternGen::exhaustive(3))
+            .unwrap()
+            .expect("exhaustive patterns hit every minterm");
+        // The failing stimulus must have a=b=1.
+        let pat = PatternGen::exhaustive(3).nth(m.pattern_index).unwrap();
+        assert!(pat[0] && pat[1]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Design-error injection and the ECOs that repair them.
+//!
+//! Emulation debugging hunts *design errors* — functional bugs in the
+//! logic, not manufacturing faults. We model the three kinds the ECO
+//! literature treats as canonical: a wrong minterm in a function, a
+//! completely wrong gate, and swapped input connections. Every
+//! injected error records its own corrective [`netlist::EcoOp`], so the
+//! debug loop can close the detect → localize → correct cycle.
+
+use netlist::{CellId, EcoOp, Netlist, NetlistError, TruthTable};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The kind of design error to plant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DesignErrorKind {
+    /// Flip one output row of the LUT (single-minterm bug).
+    FlipRow {
+        /// Row to flip (masked into range).
+        row: u64,
+    },
+    /// Swap two of the LUT's input variables (crossed wires in HDL).
+    SwapVars {
+        /// First variable.
+        a: usize,
+        /// Second variable.
+        b: usize,
+    },
+    /// Replace the function outright (wrong operator).
+    Complement,
+}
+
+/// A planted design error and everything needed to undo it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedError {
+    /// The buggy cell.
+    pub cell: CellId,
+    /// What was done to it.
+    pub kind: DesignErrorKind,
+    /// The correct (original) function.
+    pub original: TruthTable,
+    /// The buggy function now in the netlist.
+    pub buggy: TruthTable,
+}
+
+/// Plants a design error in `cell` (must be a LUT).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::KindMismatch`] for non-LUT cells, or the
+/// underlying edit error.
+pub fn inject(
+    nl: &mut Netlist,
+    cell: CellId,
+    kind: DesignErrorKind,
+) -> Result<InjectedError, NetlistError> {
+    let original = *nl
+        .cell(cell)?
+        .lut_function()
+        .ok_or(NetlistError::KindMismatch { cell, expected: "lut" })?;
+    let arity = original.arity();
+    let buggy = match kind {
+        DesignErrorKind::FlipRow { row } => {
+            let row = if arity == 0 { 0 } else { row & ((1 << arity) - 1) };
+            original.with_flipped_row(row)
+        }
+        DesignErrorKind::SwapVars { a, b } => {
+            let (a, b) = (a % arity.max(1), b % arity.max(1));
+            original.with_swapped_vars(a, b)
+        }
+        DesignErrorKind::Complement => original.complement(),
+    };
+    nl.set_lut_function(cell, buggy)?;
+    Ok(InjectedError { cell, kind, original, buggy })
+}
+
+/// Picks a random interesting LUT and plants a random error in it.
+///
+/// "Interesting" means the mutation actually changes the function
+/// (swapping variables of a symmetric gate would be a silent no-op).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownCell`] if the design has no LUTs.
+pub fn random_error(nl: &mut Netlist, seed: u64) -> Result<InjectedError, NetlistError> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let luts: Vec<CellId> = nl
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some_and(|t| t.arity() >= 1))
+        .map(|(id, _)| id)
+        .collect();
+    if luts.is_empty() {
+        return Err(NetlistError::UnknownCell(CellId::new(0)));
+    }
+    for _ in 0..256 {
+        let cell = luts[rng.gen_range(0..luts.len())];
+        let tt = *nl.cell(cell)?.lut_function().expect("filtered to luts");
+        let kind = match rng.gen_range(0..3u32) {
+            0 => DesignErrorKind::FlipRow { row: rng.gen_range(0..1u64 << tt.arity()) },
+            1 if tt.arity() >= 2 => DesignErrorKind::SwapVars {
+                a: rng.gen_range(0..tt.arity()),
+                b: rng.gen_range(0..tt.arity()),
+            },
+            _ => DesignErrorKind::Complement,
+        };
+        // Dry-run the mutation to check it changes behaviour.
+        let candidate = match kind {
+            DesignErrorKind::FlipRow { row } => tt.with_flipped_row(row),
+            DesignErrorKind::SwapVars { a, b } => tt.with_swapped_vars(a, b),
+            DesignErrorKind::Complement => tt.complement(),
+        };
+        if candidate != tt {
+            return inject(nl, cell, kind);
+        }
+    }
+    // Fall back to a guaranteed-visible complement.
+    inject(nl, luts[0], DesignErrorKind::Complement)
+}
+
+/// The engineering change that repairs an injected error.
+pub fn repair_op(error: &InjectedError) -> EcoOp {
+    EcoOp::ChangeLutFunction { cell: error.cell, function: error.original }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Netlist, CellId) {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let u = nl
+            .add_lut(
+                "u",
+                TruthTable::and(2),
+                &[nl.cell_output(a).unwrap(), nl.cell_output(b).unwrap()],
+            )
+            .unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        (nl, u)
+    }
+
+    #[test]
+    fn flip_row_changes_one_minterm() {
+        let (mut nl, u) = fixture();
+        let err = inject(&mut nl, u, DesignErrorKind::FlipRow { row: 3 }).unwrap();
+        assert_eq!(err.buggy.bits() ^ err.original.bits(), 1 << 3);
+        assert_eq!(nl.cell(u).unwrap().lut_function(), Some(&err.buggy));
+    }
+
+    #[test]
+    fn repair_restores_original() {
+        let (mut nl, u) = fixture();
+        let err = inject(&mut nl, u, DesignErrorKind::Complement).unwrap();
+        netlist::eco::apply(&mut nl, &repair_op(&err)).unwrap();
+        assert_eq!(nl.cell(u).unwrap().lut_function(), Some(&TruthTable::and(2)));
+    }
+
+    #[test]
+    fn random_error_is_behaviour_changing_and_deterministic() {
+        let (mut nl1, _) = fixture();
+        let e1 = random_error(&mut nl1, 7).unwrap();
+        assert_ne!(e1.original, e1.buggy);
+        let (mut nl2, _) = fixture();
+        let e2 = random_error(&mut nl2, 7).unwrap();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn inject_rejects_non_lut() {
+        let (mut nl, _) = fixture();
+        let a = nl.find_cell("a").unwrap();
+        assert!(inject(&mut nl, a, DesignErrorKind::Complement).is_err());
+    }
+
+    #[test]
+    fn no_luts_is_an_error() {
+        let mut nl = Netlist::new("empty");
+        nl.add_input("a").unwrap();
+        assert!(random_error(&mut nl, 1).is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Test-pattern generation (paper step 10).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic stream of input vectors.
+///
+/// ```
+/// use sim::PatternGen;
+/// let pats: Vec<Vec<bool>> = PatternGen::exhaustive(2).collect();
+/// assert_eq!(pats.len(), 4);
+/// assert_eq!(pats[3], vec![true, true]);
+/// ```
+#[derive(Debug, Clone)]
+pub enum PatternGen {
+    /// All `2^width` vectors in counting order (capped at width 24).
+    Exhaustive {
+        /// Vector width.
+        width: usize,
+        /// Next row to emit.
+        next: u64,
+    },
+    /// Uniform random vectors.
+    Random {
+        /// Vector width.
+        width: usize,
+        /// Remaining vectors.
+        remaining: usize,
+        /// Generator state.
+        rng: SmallRng,
+    },
+    /// Fibonacci LFSR sequence (never emits the all-zero state first).
+    Lfsr {
+        /// Vector width (LFSR length).
+        width: usize,
+        /// Remaining vectors.
+        remaining: usize,
+        /// Current register state (nonzero).
+        state: u64,
+        /// Tap mask.
+        taps: u64,
+    },
+}
+
+impl PatternGen {
+    /// All `2^width` input vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `width > 24` (16M vectors — use LFSR instead).
+    pub fn exhaustive(width: usize) -> Self {
+        assert!(width <= 24, "exhaustive beyond 24 inputs is impractical");
+        Self::Exhaustive { width, next: 0 }
+    }
+
+    /// `count` uniform random vectors from `seed`.
+    pub fn random(width: usize, count: usize, seed: u64) -> Self {
+        Self::Random { width, remaining: count, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// `count` vectors from a maximal-ish LFSR (taps chosen per width
+    /// from a small table; falls back to an xorshift-style recurrence).
+    pub fn lfsr(width: usize, count: usize, seed: u64) -> Self {
+        let w = width.clamp(1, 64);
+        // Maximal-length tap masks for common widths (x^w + ... + 1).
+        let taps: u64 = match w {
+            1 => 0x1,
+            2 => 0x3,
+            3 => 0x6,
+            4 => 0xC,
+            5 => 0x14,
+            6 => 0x30,
+            7 => 0x60,
+            8 => 0xB8,
+            9 => 0x110,
+            16 => 0xB400,
+            24 => 0xE1_0000,
+            32 => 0x8020_0003,
+            _ => (1 << (w - 1)) | (1 << (w / 2)) | 1,
+        };
+        let mut state = seed | 1;
+        state &= (u64::MAX) >> (64 - w);
+        if state == 0 {
+            state = 1;
+        }
+        Self::Lfsr { width, remaining: count, state, taps }
+    }
+
+    /// Vector width produced.
+    pub fn width(&self) -> usize {
+        match self {
+            Self::Exhaustive { width, .. }
+            | Self::Random { width, .. }
+            | Self::Lfsr { width, .. } => *width,
+        }
+    }
+
+    /// Remaining vectors.
+    pub fn remaining(&self) -> usize {
+        match self {
+            Self::Exhaustive { width, next } => ((1u64 << *width) - *next) as usize,
+            Self::Random { remaining, .. } | Self::Lfsr { remaining, .. } => *remaining,
+        }
+    }
+
+    fn bits_to_vec(bits: u64, width: usize) -> Vec<bool> {
+        (0..width).map(|k| bits >> k & 1 == 1).collect()
+    }
+}
+
+impl Iterator for PatternGen {
+    type Item = Vec<bool>;
+
+    fn next(&mut self) -> Option<Vec<bool>> {
+        match self {
+            Self::Exhaustive { width, next } => {
+                if *next >= 1u64 << *width {
+                    return None;
+                }
+                let v = Self::bits_to_vec(*next, *width);
+                *next += 1;
+                Some(v)
+            }
+            Self::Random { width, remaining, rng } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                Some((0..*width).map(|_| rng.gen_bool(0.5)).collect())
+            }
+            Self::Lfsr { width, remaining, state, taps } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let v = Self::bits_to_vec(*state, (*width).min(64));
+                // Galois step.
+                let lsb = *state & 1 == 1;
+                *state >>= 1;
+                if lsb {
+                    *state ^= *taps;
+                }
+                if *state == 0 {
+                    *state = 1;
+                }
+                Some(v)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for PatternGen {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_covers_everything_once() {
+        let pats: Vec<Vec<bool>> = PatternGen::exhaustive(3).collect();
+        assert_eq!(pats.len(), 8);
+        let mut seen: Vec<u8> = pats
+            .iter()
+            .map(|p| p.iter().enumerate().map(|(k, &b)| (b as u8) << k).sum())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        let a: Vec<_> = PatternGen::random(8, 10, 5).collect();
+        let b: Vec<_> = PatternGen::random(8, 10, 5).collect();
+        let c: Vec<_> = PatternGen::random(8, 10, 6).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn lfsr_cycles_through_many_states() {
+        let pats: Vec<Vec<bool>> = PatternGen::lfsr(8, 255, 1).collect();
+        let mut unique: Vec<u8> = pats
+            .iter()
+            .map(|p| p.iter().enumerate().map(|(k, &b)| (b as u8) << k).sum())
+            .collect();
+        unique.sort_unstable();
+        unique.dedup();
+        // Maximal 8-bit LFSR visits all 255 nonzero states.
+        assert_eq!(unique.len(), 255);
+    }
+
+    #[test]
+    fn lfsr_never_hits_zero() {
+        assert!(PatternGen::lfsr(5, 100, 0)
+            .all(|p| p.iter().any(|&b| b)));
+    }
+
+    #[test]
+    fn size_hints() {
+        let mut g = PatternGen::exhaustive(2);
+        assert_eq!(g.len(), 4);
+        g.next();
+        assert_eq!(g.len(), 3);
+    }
+}

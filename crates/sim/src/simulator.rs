@@ -1,0 +1,304 @@
+//! Cycle-based netlist simulator.
+
+use netlist::{CellId, CellKind, NetId, Netlist, NetlistError};
+
+/// Cycle-accurate two-valued simulator over a mapped netlist.
+///
+/// Primary inputs are set as a vector in `primary_inputs()` order;
+/// flip-flops hold explicit state clocked by [`Simulator::step`].
+///
+/// ```
+/// use netlist::{Netlist, TruthTable};
+/// use sim::Simulator;
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let a = nl.add_input("a")?;
+/// let u = nl.add_lut("u", TruthTable::not(), &[nl.cell_output(a)?])?;
+/// nl.add_output("y", nl.cell_output(u)?)?;
+/// let mut sim = Simulator::new(&nl)?;
+/// sim.set_inputs(&[true]);
+/// sim.comb_eval();
+/// assert_eq!(sim.outputs(), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    nl: &'a Netlist,
+    order: Vec<CellId>,
+    pis: Vec<CellId>,
+    pos: Vec<CellId>,
+    /// Current value of every net.
+    values: Vec<bool>,
+    /// Flip-flop state, indexed by cell.
+    state: Vec<bool>,
+    /// Pending input vector (PI order).
+    inputs: Vec<bool>,
+    cycles: u64,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares a simulator (computes the evaluation order once).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] for cyclic logic.
+    pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = nl.topo_order()?;
+        let pis = nl.primary_inputs();
+        let pos = nl.primary_outputs();
+        let mut state = vec![false; nl.cell_capacity()];
+        for (id, cell) in nl.cells() {
+            if let CellKind::Ff { init } = cell.kind {
+                state[id.index()] = init;
+            }
+        }
+        let inputs = vec![false; pis.len()];
+        Ok(Self {
+            nl,
+            order,
+            pis,
+            pos,
+            values: vec![false; nl.net_capacity()],
+            state,
+            inputs,
+            cycles: 0,
+        })
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Clock cycles stepped since construction/reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Sets the pending primary-input vector (PI order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the PI count.
+    pub fn set_inputs(&mut self, values: &[bool]) {
+        assert_eq!(values.len(), self.inputs.len(), "input width mismatch");
+        self.inputs.copy_from_slice(values);
+    }
+
+    /// Sets one input by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range index.
+    pub fn set_input(&mut self, index: usize, value: bool) {
+        self.inputs[index] = value;
+    }
+
+    /// Restores all flip-flops to their init values.
+    pub fn reset(&mut self) {
+        for (id, cell) in self.nl.cells() {
+            if let CellKind::Ff { init } = cell.kind {
+                self.state[id.index()] = init;
+            }
+        }
+        self.cycles = 0;
+    }
+
+    /// Propagates the current inputs and FF state through the
+    /// combinational network (no clock edge).
+    pub fn comb_eval(&mut self) {
+        let mut pi_idx = 0;
+        for &id in &self.order {
+            let cell = self.nl.cell(id).expect("order holds live cells");
+            match &cell.kind {
+                CellKind::Input => {
+                    // `order` preserves PI insertion order for sources.
+                    let v = self.inputs[self.pi_position(id, &mut pi_idx)];
+                    if let Some(o) = cell.output {
+                        self.values[o.index()] = v;
+                    }
+                }
+                CellKind::Ff { .. } => {
+                    if let Some(o) = cell.output {
+                        self.values[o.index()] = self.state[id.index()];
+                    }
+                }
+                CellKind::Lut(tt) => {
+                    let mut row = 0u64;
+                    for (k, &n) in cell.inputs.iter().enumerate() {
+                        if self.values[n.index()] {
+                            row |= 1 << k;
+                        }
+                    }
+                    let v = tt.eval_row(row);
+                    if let Some(o) = cell.output {
+                        self.values[o.index()] = v;
+                    }
+                }
+                CellKind::Output => {}
+            }
+        }
+    }
+
+    fn pi_position(&self, id: CellId, hint: &mut usize) -> usize {
+        // PIs appear in `pis` order; use a moving hint then fall back
+        // to a scan (ECO-modified netlists can reorder sources).
+        if *hint < self.pis.len() && self.pis[*hint] == id {
+            let k = *hint;
+            *hint += 1;
+            return k;
+        }
+        self.pis.iter().position(|&p| p == id).expect("input is a PI")
+    }
+
+    /// One clock cycle: combinational propagate, then latch all FFs.
+    pub fn step(&mut self) {
+        self.comb_eval();
+        // Capture D values, then commit (two-phase for correctness).
+        let mut pending: Vec<(CellId, bool)> = Vec::new();
+        for (id, cell) in self.nl.cells() {
+            if cell.is_sequential() {
+                let d = cell.inputs[0];
+                pending.push((id, self.values[d.index()]));
+            }
+        }
+        for (id, v) in pending {
+            self.state[id.index()] = v;
+        }
+        self.cycles += 1;
+    }
+
+    /// Current value of a net (valid after `comb_eval`/`step`).
+    pub fn net_value(&self, net: NetId) -> bool {
+        self.values.get(net.index()).copied().unwrap_or(false)
+    }
+
+    /// Current primary-output vector (PO order).
+    pub fn outputs(&self) -> Vec<bool> {
+        self.pos
+            .iter()
+            .map(|&po| {
+                let cell = self.nl.cell(po).expect("po is live");
+                cell.inputs
+                    .first()
+                    .map(|n| self.values[n.index()])
+                    .unwrap_or(false)
+            })
+            .collect()
+    }
+
+    /// The flip-flop state of a sequential cell.
+    pub fn ff_state(&self, cell: CellId) -> Option<bool> {
+        let c = self.nl.cell(cell).ok()?;
+        c.is_sequential().then(|| self.state[cell.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::TruthTable;
+
+    #[test]
+    fn combinational_truth() {
+        let mut nl = Netlist::new("xor");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let u = nl
+            .add_lut(
+                "u",
+                TruthTable::xor(2),
+                &[nl.cell_output(a).unwrap(), nl.cell_output(b).unwrap()],
+            )
+            .unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        for (ai, bi, yi) in
+            [(false, false, false), (true, false, true), (true, true, false)]
+        {
+            sim.set_inputs(&[ai, bi]);
+            sim.comb_eval();
+            assert_eq!(sim.outputs(), vec![yi]);
+        }
+    }
+
+    #[test]
+    fn toggle_ff_divides_by_two() {
+        let mut nl = Netlist::new("t");
+        let seed = nl.add_net("seed").unwrap();
+        let ff = nl.add_ff("q", false, seed).unwrap();
+        let q = nl.cell_output(ff).unwrap();
+        let inv = nl.add_lut("inv", TruthTable::not(), &[q]).unwrap();
+        nl.set_pin(ff, 0, nl.cell_output(inv).unwrap()).unwrap();
+        nl.add_output("out", q).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            sim.comb_eval();
+            seen.push(sim.outputs()[0]);
+            sim.step();
+        }
+        assert_eq!(seen, vec![false, true, false, true]);
+        assert_eq!(sim.cycles(), 4);
+        sim.reset();
+        assert_eq!(sim.cycles(), 0);
+        assert_eq!(sim.ff_state(ff), Some(false));
+    }
+
+    #[test]
+    fn counter_counts() {
+        // 2-bit ripple-ish counter: b0 toggles, b1 ^= b0.
+        let mut nl = Netlist::new("cnt");
+        let s0 = nl.add_net("s0").unwrap();
+        let ff0 = nl.add_ff("q0", false, s0).unwrap();
+        let q0 = nl.cell_output(ff0).unwrap();
+        let s1 = nl.add_net("s1").unwrap();
+        let ff1 = nl.add_ff("q1", false, s1).unwrap();
+        let q1 = nl.cell_output(ff1).unwrap();
+        let inv = nl.add_lut("inv", TruthTable::not(), &[q0]).unwrap();
+        nl.set_pin(ff0, 0, nl.cell_output(inv).unwrap()).unwrap();
+        let x = nl.add_lut("x", TruthTable::xor(2), &[q0, q1]).unwrap();
+        nl.set_pin(ff1, 0, nl.cell_output(x).unwrap()).unwrap();
+        nl.add_output("o0", q0).unwrap();
+        nl.add_output("o1", q1).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let mut counts = Vec::new();
+        for _ in 0..5 {
+            sim.comb_eval();
+            let o = sim.outputs();
+            counts.push(u8::from(o[0]) + 2 * u8::from(o[1]));
+            sim.step();
+        }
+        assert_eq!(counts, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn net_values_are_observable() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let na = nl.cell_output(a).unwrap();
+        let u = nl.add_lut("u", TruthTable::not(), &[na]).unwrap();
+        let nu = nl.cell_output(u).unwrap();
+        nl.add_output("y", nu).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_inputs(&[true]);
+        sim.comb_eval();
+        assert!(sim.net_value(na));
+        assert!(!sim.net_value(nu));
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_input_width_panics() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a").unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        sim.set_inputs(&[true, false]);
+    }
+}

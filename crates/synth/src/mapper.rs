@@ -1,0 +1,324 @@
+//! Technology mapping onto 4-input LUTs.
+//!
+//! Generators express logic with up to 6-input truth tables (DES
+//! S-boxes are 6-input). The XC4000 CLB offers 4-input LUTs, so
+//! [`map_to_lut4`] rewrites every wider function into a tree of 4-LUTs
+//! by Shannon decomposition, after first shrinking each function to its
+//! true support. [`sweep_buffers`] removes identity LUTs left behind
+//! by generator plumbing.
+
+use netlist::{CellKind, Hierarchy, NetId, Netlist, NetlistError, TruthTable};
+
+/// Maps a netlist onto 4-input LUTs, preserving hierarchy links.
+///
+/// Every cell of the input appears in the output under its original
+/// name (decomposition helpers get `name$sK` suffixes) and is assigned
+/// to the same hierarchy node as its source cell.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors; the input is unchanged.
+pub fn map_to_lut4_with_hierarchy(
+    nl: &Netlist,
+    hier: &Hierarchy,
+) -> Result<(Netlist, Hierarchy), NetlistError> {
+    let mut out = Netlist::new(nl.name());
+    let mut out_hier = Hierarchy::new(nl.name());
+    // Mirror the hierarchy tree structure 1:1 (ids are preserved
+    // because insertion order is identical).
+    for node in hier.iter() {
+        if node == hier.root() {
+            continue;
+        }
+        let parent = parent_of(hier, node);
+        out_hier.add_child(parent, hier.name(node)?.to_string());
+    }
+
+    // Nets first, preserving names.
+    let mut net_map: Vec<Option<NetId>> = vec![None; nl.net_capacity()];
+    for (id, net) in nl.nets() {
+        let new = out.add_net(net.name.clone())?;
+        net_map[id.index()] = Some(new);
+    }
+    let map_net = |m: &Vec<Option<NetId>>, id: NetId| -> Result<NetId, NetlistError> {
+        m.get(id.index())
+            .copied()
+            .flatten()
+            .ok_or(NetlistError::UnknownNet(id))
+    };
+
+    let mut fresh = 0u64;
+    for (id, cell) in nl.cells() {
+        let scope = hier
+            .node_of_cell(id)
+            .unwrap_or_else(|| hier.root());
+        let new_cell = match &cell.kind {
+            CellKind::Input => {
+                let o = map_net(&net_map, cell.output.expect("inputs drive a net"))?;
+                out.add_input_driving(cell.name.clone(), o)?
+            }
+            CellKind::Output => {
+                let i = map_net(&net_map, cell.inputs[0])?;
+                out.add_output(cell.name.clone(), i)?
+            }
+            CellKind::Ff { init } => {
+                let d = map_net(&net_map, cell.inputs[0])?;
+                let q = map_net(&net_map, cell.output.expect("ffs drive a net"))?;
+                out.add_ff_driving(cell.name.clone(), *init, d, q)?
+            }
+            CellKind::Lut(tt) => {
+                let ins: Vec<NetId> = cell
+                    .inputs
+                    .iter()
+                    .map(|&n| map_net(&net_map, n))
+                    .collect::<Result<_, _>>()?;
+                let o = map_net(&net_map, cell.output.expect("luts drive a net"))?;
+                let (tt, ins) = reduce_support(*tt, &ins);
+                let last = emit_lut4(
+                    &mut out,
+                    &mut out_hier,
+                    scope,
+                    &cell.name,
+                    &mut fresh,
+                    tt,
+                    &ins,
+                    Some(o),
+                )?;
+                last
+            }
+        };
+        out_hier.assign_cell(scope, new_cell);
+    }
+    Ok((out, out_hier))
+}
+
+/// Maps a netlist onto 4-input LUTs, discarding hierarchy.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn map_to_lut4(nl: &Netlist) -> Result<Netlist, NetlistError> {
+    let hier = Hierarchy::new(nl.name());
+    Ok(map_to_lut4_with_hierarchy(nl, &hier)?.0)
+}
+
+fn parent_of(hier: &Hierarchy, node: netlist::HierarchyNodeId) -> netlist::HierarchyNodeId {
+    // The hierarchy API exposes children; recover the parent by scan.
+    for cand in hier.iter() {
+        if let Ok(children) = hier.children(cand) {
+            if children.contains(&node) {
+                return cand;
+            }
+        }
+    }
+    hier.root()
+}
+
+/// Drops truth-table variables outside the function's support.
+fn reduce_support(tt: TruthTable, inputs: &[NetId]) -> (TruthTable, Vec<NetId>) {
+    let mut t = tt;
+    let mut ins = inputs.to_vec();
+    let mut var = 0;
+    while var < t.arity() {
+        if t.depends_on(var) {
+            var += 1;
+        } else {
+            t = t.cofactor(var, false);
+            ins.remove(var);
+        }
+    }
+    (t, ins)
+}
+
+/// Recursively emits `tt(inputs)` as 4-LUTs; the final LUT is named
+/// `name` and drives `drive` when given (else a fresh net).
+#[allow(clippy::too_many_arguments)]
+fn emit_lut4(
+    out: &mut Netlist,
+    out_hier: &mut Hierarchy,
+    scope: netlist::HierarchyNodeId,
+    name: &str,
+    fresh: &mut u64,
+    tt: TruthTable,
+    inputs: &[NetId],
+    drive: Option<NetId>,
+) -> Result<netlist::CellId, NetlistError> {
+    if tt.arity() <= 4 {
+        let cell = match drive {
+            Some(o) => out.add_lut_driving(name.to_string(), tt, inputs, o)?,
+            None => out.add_lut(name.to_string(), tt, inputs)?,
+        };
+        out_hier.assign_cell(scope, cell);
+        return Ok(cell);
+    }
+    // Shannon split on the highest variable.
+    let var = tt.arity() - 1;
+    let sel = inputs[var];
+    let rest = &inputs[..var];
+    let mut halves = Vec::with_capacity(2);
+    for value in [false, true] {
+        let (sub, sub_ins) = reduce_support(tt.cofactor(var, value), rest);
+        *fresh += 1;
+        let sub_name = format!("{name}$s{fresh}");
+        let cell = emit_lut4(out, out_hier, scope, &sub_name, fresh, sub, &sub_ins, None)?;
+        halves.push(out.cell_output(cell)?);
+    }
+    let mux = TruthTable::mux2();
+    let cell = match drive {
+        Some(o) => out.add_lut_driving(name.to_string(), mux, &[halves[0], halves[1], sel], o)?,
+        None => out.add_lut(name.to_string(), mux, &[halves[0], halves[1], sel])?,
+    };
+    out_hier.assign_cell(scope, cell);
+    Ok(cell)
+}
+
+/// Removes identity (buffer) LUTs in place, rewiring their sinks.
+///
+/// Returns the number of buffers removed. Buffers driving a primary
+/// output net directly from a primary input net are kept when removal
+/// would merge two named port nets.
+///
+/// # Errors
+///
+/// Propagates netlist editing errors.
+pub fn sweep_buffers(nl: &mut Netlist) -> Result<usize, NetlistError> {
+    let buf = TruthTable::buf();
+    let victims: Vec<_> = nl
+        .cells()
+        .filter(|(_, c)| c.lut_function() == Some(&buf))
+        .map(|(id, _)| id)
+        .collect();
+    let mut removed = 0;
+    for id in victims {
+        // Re-read connectivity now: an earlier removal in a buffer
+        // chain may already have rewired this cell's input.
+        let cell = nl.cell(id)?;
+        let src = cell.inputs[0];
+        let dst = cell.output.expect("luts drive a net");
+        let sinks: Vec<_> = nl.net(dst)?.sinks.clone();
+        for s in &sinks {
+            nl.set_pin(s.cell, s.pin, src)?;
+        }
+        nl.remove_cell(id)?;
+        nl.remove_net(dst)?;
+        removed += 1;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetBuilder;
+
+    fn six_input_design() -> (Netlist, Hierarchy) {
+        let mut b = NetBuilder::new("wide");
+        b.enter_block("blk");
+        let ins = b.input_bus("i", 6).unwrap();
+        let y = b
+            .lut(TruthTable::from_fn(6, |row| row.count_ones() % 3 == 0), &ins)
+            .unwrap();
+        b.exit_to_root();
+        b.output("y", y).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn wide_lut_decomposes() {
+        let (nl, h) = six_input_design();
+        let (mapped, mh) = map_to_lut4_with_hierarchy(&nl, &h).unwrap();
+        mapped.validate().unwrap();
+        assert!(mapped
+            .cells()
+            .all(|(_, c)| c.lut_function().map_or(true, |t| t.arity() <= 4)));
+        assert!(mapped.num_luts() > 1);
+        // Hierarchy preserved: every decomposed LUT sits in blk.
+        for (id, c) in mapped.cells() {
+            if c.is_logic() {
+                let node = mh.node_of_cell(id).unwrap();
+                assert_eq!(mh.path(node).unwrap(), "wide/blk");
+            }
+        }
+    }
+
+    #[test]
+    fn mapping_preserves_function() {
+        // Check all 64 input rows via direct table evaluation through
+        // the mapped network (mini-interpreter).
+        let (nl, h) = six_input_design();
+        let (mapped, _) = map_to_lut4_with_hierarchy(&nl, &h).unwrap();
+        let golden = TruthTable::from_fn(6, |row| row.count_ones() % 3 == 0);
+        for row in 0..64u64 {
+            let mut values = std::collections::HashMap::new();
+            for (i, &pi) in mapped.primary_inputs().iter().enumerate() {
+                let net = mapped.cell_output(pi).unwrap();
+                values.insert(net, row >> i & 1 == 1);
+            }
+            for id in mapped.topo_order().unwrap() {
+                let cell = mapped.cell(id).unwrap();
+                if let Some(tt) = cell.lut_function() {
+                    let ins: Vec<bool> =
+                        cell.inputs.iter().map(|n| values[n]).collect();
+                    values.insert(cell.output.unwrap(), tt.eval(&ins));
+                }
+            }
+            let po = mapped.primary_outputs()[0];
+            let net = mapped.cell(po).unwrap().inputs[0];
+            assert_eq!(values[&net], golden.eval_row(row), "row {row}");
+        }
+    }
+
+    #[test]
+    fn support_reduction_shrinks() {
+        let mut b = NetBuilder::new("red");
+        let ins = b.input_bus("i", 5).unwrap();
+        // Function of 5 declared inputs that only uses input 0.
+        let tt = TruthTable::var(5, 0);
+        let y = b.lut(tt, &ins).unwrap();
+        b.output("y", y).unwrap();
+        let (nl, _) = b.finish();
+        let mapped = map_to_lut4(&nl).unwrap();
+        assert_eq!(mapped.num_luts(), 1);
+        let (_, lut) = mapped.cells().find(|(_, c)| c.lut_function().is_some()).unwrap();
+        assert_eq!(lut.arity(), 1);
+    }
+
+    #[test]
+    fn small_luts_pass_through_unchanged() {
+        let mut b = NetBuilder::new("small");
+        let a = b.input("a").unwrap();
+        let c = b.input("b").unwrap();
+        let y = b.and2(a, c).unwrap();
+        b.output("y", y).unwrap();
+        let (nl, _) = b.finish();
+        let mapped = map_to_lut4(&nl).unwrap();
+        assert_eq!(mapped.num_luts(), nl.num_luts());
+        assert_eq!(mapped.stats().depth, nl.stats().depth);
+    }
+
+    #[test]
+    fn sweep_removes_buffers() {
+        let mut b = NetBuilder::new("bufs");
+        let a = b.input("a").unwrap();
+        let buf1 = b.lut(TruthTable::buf(), &[a]).unwrap();
+        let buf2 = b.lut(TruthTable::buf(), &[buf1]).unwrap();
+        let inv = b.not(buf2).unwrap();
+        b.output("y", inv).unwrap();
+        let (mut nl, _) = b.finish();
+        let removed = sweep_buffers(&mut nl).unwrap();
+        assert_eq!(removed, 2);
+        assert_eq!(nl.num_luts(), 1);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn ffs_survive_mapping() {
+        let mut b = NetBuilder::new("seq");
+        let q = b.ff_loop(true, |b, q| b.not(q)).unwrap();
+        b.output("q", q).unwrap();
+        let (nl, _) = b.finish();
+        let mapped = map_to_lut4(&nl).unwrap();
+        assert_eq!(mapped.num_ffs(), 1);
+        mapped.validate().unwrap();
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: implement a benchmark with tiling, plant a design
+//! error, and run one complete debugging iteration — detection,
+//! localization via observation-tap ECOs, and correction — comparing
+//! the tiled CAD effort against the full re-place-and-route baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{implement_paper_design, sim, tiling};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== fpga-debug-tiling quickstart ==\n");
+
+    // 1. Generate the paper's 9sym benchmark and implement it:
+    //    place with 20% slack, route, partition into ~10 tiles,
+    //    lock every interface.
+    let mut td = implement_paper_design(PaperDesign::NineSym, TilingOptions::default())?;
+    let stats = td.netlist.stats();
+    println!("design     : {} ({stats})", td.netlist.name());
+    println!("device     : {}", td.device);
+    println!("tiles      : {} (mean {:.1} used CLBs/tile)", td.plan.len(), td.mean_used_clbs_per_tile());
+    println!("area ovhd  : {:.3}", td.area_overhead());
+    println!("cut nets   : {}", td.plan.cut_nets(&td.netlist, &td.placement));
+    println!("initial implementation effort: {}\n", td.initial_effort);
+
+    // 2. Plant a design error (a wrong minterm in some LUT) — this is
+    //    the bug the emulation session will hunt.
+    let golden = td.netlist.clone();
+    let error = sim::inject::random_error(&mut td.netlist, 0xBEEF)?;
+    println!(
+        "planted error: cell {} ({:?})",
+        td.netlist.cell(error.cell)?.name,
+        error.kind
+    );
+
+    // 3. One full debugging iteration.
+    let outcome = tiling::run_debug_iteration(&mut td, &golden, &error, 42)?;
+    let mismatch = outcome.mismatch.as_ref().expect("error must be detectable");
+    println!("\n-- detection --");
+    println!(
+        "first divergence at pattern #{} on output `{}`",
+        mismatch.pattern_index, mismatch.output_name
+    );
+    println!("-- localization --");
+    println!("structural suspects : {}", outcome.initial_suspects);
+    println!("observation taps    : {}", outcome.taps_inserted);
+    match outcome.localized {
+        Some(c) => println!("localized to cell   : {}", golden.cell(c)?.name),
+        None => println!("localized to cell   : (tap batch containment)"),
+    }
+    println!("-- correction --");
+    println!("repaired            : {}", outcome.repaired);
+    println!("tiles cleared (sum) : {}", outcome.tiles_cleared);
+
+    // 4. Effort comparison: a flow without change tracking pays one
+    //    full re-place-and-route per ECO (every tap batch and the fix
+    //    each need a new bitstream).
+    let full = tiling::full_replace_effort(&td)?;
+    let non_tiled_total = fpga_debug_tiling::prelude::CadEffort {
+        place_moves: full.place_moves * outcome.ecos as u64,
+        route_expansions: full.route_expansions * outcome.ecos as u64,
+    };
+    println!("\n-- CAD effort ({} physical ECOs this iteration) --", outcome.ecos);
+    println!("tiled debug iteration : {}", outcome.effort);
+    println!("one full re-P&R       : {}", full);
+    println!("non-tiled iteration   : {}", non_tiled_total);
+    println!(
+        "iteration speedup     : {:.1}x",
+        non_tiled_total.speedup_over(&outcome.effort)
+    );
+    assert!(outcome.repaired);
+    Ok(())
+}

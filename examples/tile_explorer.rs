@@ -1,0 +1,57 @@
+//! Exploring the tiling trade-off space on one design (c880).
+//!
+//! Sweeps the tile count and prints, for each granularity: interface
+//! pressure (cut nets), per-tile slack, the Figure-3-style affected
+//! fraction for a 5-CLB insertion, and the ECO speedup for a one-LUT
+//! change — the tension §3.2 describes between small tiles (fast
+//! ECOs, many interfaces) and large tiles (few interfaces, slow ECOs).
+//!
+//! Run with: `cargo run --release --example tile_explorer`
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{implement_paper_design, tiling};
+use tiling::affected::ExpansionPolicy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== tile-size exploration on c880 ==\n");
+    println!(
+        "{:>6} {:>9} {:>10} {:>12} {:>14} {:>10}",
+        "tiles", "cut nets", "slack/tile", "affected(5)", "ECO effort", "speedup"
+    );
+
+    for target in [4usize, 9, 16, 25] {
+        let mut options = TilingOptions::fast(7);
+        options.target_tiles = target;
+        let mut td = implement_paper_design(PaperDesign::C880, options)?;
+
+        let cut = td.plan.cut_nets(&td.netlist, &td.placement);
+        let slack: f64 = td.total_free_clbs() as f64 / td.plan.len() as f64;
+        let affected5 = tiling::testpoints::affected_fraction(&td, 5)?;
+
+        // One-LUT functional change in some tile.
+        let victim = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .expect("luts exist");
+        let tt = td.netlist.cell(victim)?.lut_function().unwrap().complement();
+        td.netlist.set_lut_function(victim, tt)?;
+        let eco = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)?;
+        let full = tiling::full_replace_effort(&td)?;
+
+        println!(
+            "{:>6} {:>9} {:>10.1} {:>11.0}% {:>14} {:>9.1}x",
+            td.plan.len(),
+            cut,
+            slack,
+            100.0 * affected5,
+            eco.effort.total(),
+            full.speedup_over(&eco.effort)
+        );
+        assert!(td.routing.is_feasible());
+    }
+    println!("\nsmaller tiles -> cheaper ECOs but more locked interfaces;");
+    println!("larger tiles  -> fewer interfaces but ECO cost approaches full re-P&R.");
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! Physical-design invariants: timing sanity, wirelength accounting,
+//! repeated-ECO robustness, and interface bookkeeping.
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{implement_paper_design, sim, tiling};
+use tiling::affected::ExpansionPolicy;
+
+#[test]
+fn routed_timing_beats_worst_case_estimate() {
+    let td = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(31)).unwrap();
+    let routed = td.timing().unwrap();
+    assert!(routed.critical_ns > 0.0);
+    // Critical path must include at least input, one LUT, and output.
+    assert!(routed.critical_path.len() >= 3);
+    // And fmax is the reciprocal.
+    let f = routed.fmax_mhz();
+    assert!((f - 1000.0 / routed.critical_ns).abs() < 1e-6);
+}
+
+#[test]
+fn wirelength_accounting_is_consistent() {
+    let td = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(32)).unwrap();
+    let total = td.routing.total_wirelength();
+    let sum: usize = td.routing.iter().map(|(_, t)| t.wirelength()).sum();
+    assert_eq!(total, sum);
+    assert!(total > 0);
+    // Every routed net's first path starts at its driver pin.
+    for (net_id, tree) in td.routing.iter() {
+        let net = td.netlist.net(net_id).unwrap();
+        let Some(driver) = net.driver else { continue };
+        let src = td.rrg.source_node(td.placement.loc_of(driver).unwrap());
+        assert!(
+            tree.paths.iter().any(|p| p.first() == Some(&src)),
+            "net {net_id} has no path rooted at its driver"
+        );
+    }
+}
+
+#[test]
+fn ten_consecutive_ecos_keep_the_design_consistent() {
+    // Stress: alternate function changes and observation-tap
+    // insertions across many tiles; the design must stay feasible,
+    // valid, and functionally correct (modulo the deliberate change
+    // being reverted each time).
+    let mut td = implement_paper_design(PaperDesign::Sand, TilingOptions::fast(33)).unwrap();
+    let golden = td.netlist.clone();
+    let luts: Vec<CellId> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    for k in 0..10usize {
+        let victim = luts[(k * 37) % luts.len()];
+        if k % 2 == 0 {
+            // Flip a function and flip it back (two ECOs bundled into
+            // one physical re-implementation, like a real fix-up).
+            let tt = *td.netlist.cell(victim).unwrap().lut_function().unwrap();
+            td.netlist.set_lut_function(victim, tt.complement()).unwrap();
+            td.netlist.set_lut_function(victim, tt).unwrap();
+            tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+                .unwrap();
+        } else {
+            // Insert an observation tap (PO only, no logic).
+            let net = td.netlist.cell_output(victim).unwrap();
+            let rep = sim::testlogic::insert_observation_tap(
+                &mut td.netlist,
+                net,
+                &format!("stress{k}"),
+                false,
+            )
+            .unwrap();
+            tiling::replace_and_route(&mut td, &[victim], &rep.added, ExpansionPolicy::MostFree)
+                .unwrap();
+        }
+        assert!(td.routing.is_feasible(), "infeasible after ECO {k}");
+        td.netlist.validate().unwrap();
+    }
+    // Original outputs still behave like the golden model.
+    let mut gsim = sim::Simulator::new(&golden).unwrap();
+    let mut dsim = sim::Simulator::new(&td.netlist).unwrap();
+    let gpos = golden.primary_outputs();
+    let dpos = td.netlist.primary_outputs();
+    let pairs: Vec<(usize, usize)> = gpos
+        .iter()
+        .enumerate()
+        .filter_map(|(gk, &gpo)| {
+            let name = &golden.cell(gpo).unwrap().name;
+            let dpo = td.netlist.find_cell(name)?;
+            let dk = dpos.iter().position(|&c| c == dpo)?;
+            Some((gk, dk))
+        })
+        .collect();
+    assert_eq!(pairs.len(), gpos.len());
+    for pat in sim::PatternGen::random(golden.primary_inputs().len(), 64, 17) {
+        gsim.set_inputs(&pat);
+        dsim.set_inputs(&pat);
+        gsim.comb_eval();
+        dsim.comb_eval();
+        let g = gsim.outputs();
+        let d = dsim.outputs();
+        for &(gk, dk) in &pairs {
+            assert_eq!(g[gk], d[dk], "behaviour drifted after 10 ECOs");
+        }
+        gsim.step();
+        dsim.step();
+    }
+}
+
+#[test]
+fn interface_summary_counts_crossings() {
+    let td = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(34)).unwrap();
+    let mut total_crossings = 0;
+    for (id, _) in td.plan.iter() {
+        let s = tiling::interface::tile_interface(
+            &td.device,
+            &td.plan,
+            &td.rrg,
+            &td.routing,
+            id,
+        )
+        .unwrap();
+        total_crossings += s.crossings;
+        assert!(s.interface_nodes <= s.crossings);
+    }
+    // A connected design split into ~10 tiles must cross boundaries.
+    assert!(total_crossings > 0);
+}
+
+#[test]
+fn timing_after_eco_stays_reasonable() {
+    let mut td = implement_paper_design(PaperDesign::C880, TilingOptions::fast(35)).unwrap();
+    let before = td.timing().unwrap().critical_ns;
+    let victim = td
+        .netlist
+        .cells()
+        .find(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .unwrap();
+    let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+    td.netlist.set_lut_function(victim, tt).unwrap();
+    tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+    let after = td.timing().unwrap().critical_ns;
+    // The paper observes tiled-ECO timing deltas within the noise of
+    // small placement changes; a 3x blowup would indicate broken
+    // routing bookkeeping.
+    assert!(after < before * 3.0, "timing exploded: {before} -> {after}");
+    assert!(after > 0.0);
+
+    // Post-ECO normalization: every routed net's paths are indexed by
+    // netlist sink order and run source pin -> sink pin contiguously.
+    for (net_id, tree) in td.routing.iter() {
+        let net = td.netlist.net(net_id).unwrap();
+        let Some(driver) = net.driver else { continue };
+        let src = td.rrg.source_node(td.placement.loc_of(driver).unwrap());
+        if tree.paths.len() != net.sinks.len() {
+            continue; // untouched partial trees may differ; skip
+        }
+        for (k, s) in net.sinks.iter().enumerate() {
+            let pin = td.rrg.sink_node(td.placement.loc_of(s.cell).unwrap(), s.pin);
+            assert_eq!(tree.paths[k][0], src, "net {net_id} path {k} root");
+            assert_eq!(*tree.paths[k].last().unwrap(), pin, "net {net_id} path {k} tip");
+        }
+    }
+}
+
+#[test]
+fn quick_eco_hierarchy_granularity_orders_effort() {
+    // whole-design >= real functional blocks >= tiled, on c499 (which
+    // has several functional blocks).
+    let mut td = implement_paper_design(PaperDesign::C499, TilingOptions::fast(36)).unwrap();
+    let victim = td
+        .netlist
+        .cells()
+        .find(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .unwrap();
+    let whole = tiling::quick_eco_effort(&td, &[victim], true).unwrap();
+    let blocks = tiling::quick_eco_effort(&td, &[victim], false).unwrap();
+    let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+    td.netlist.set_lut_function(victim, tt).unwrap();
+    let tiled = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+        .unwrap()
+        .effort;
+    // Placement effort is monotone in the movable-cell count (routing
+    // expansions can go either way: better placements route easier).
+    assert!(whole.place_moves >= blocks.place_moves);
+    assert!(blocks.total() > tiled.total());
+}

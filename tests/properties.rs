@@ -1,0 +1,260 @@
+//! Property-based tests on the core data structures and invariants.
+
+use fpga_debug_tiling::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Truth tables
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn tt_complement_is_involutive(arity in 0usize..=6, bits: u64) {
+        let t = TruthTable::from_bits(arity, bits).unwrap();
+        prop_assert_eq!(t.complement().complement(), t);
+    }
+
+    #[test]
+    fn tt_cofactors_reconstruct_shannon(arity in 1usize..=6, bits: u64, var_raw: usize) {
+        let t = TruthTable::from_bits(arity, bits).unwrap();
+        let var = var_raw % arity;
+        let f0 = t.cofactor(var, false);
+        let f1 = t.cofactor(var, true);
+        // f(x) = x ? f1 : f0 for every row.
+        for row in 0..(1u64 << arity) {
+            let reduced = {
+                let low = row & ((1 << var) - 1);
+                let high = (row >> (var + 1)) << var;
+                low | high
+            };
+            let expect = if row >> var & 1 == 1 { f1.eval_row(reduced) } else { f0.eval_row(reduced) };
+            prop_assert_eq!(t.eval_row(row), expect);
+        }
+    }
+
+    #[test]
+    fn tt_swap_vars_is_involutive(arity in 2usize..=6, bits: u64, a_raw: usize, b_raw: usize) {
+        let t = TruthTable::from_bits(arity, bits).unwrap();
+        let (a, b) = (a_raw % arity, b_raw % arity);
+        prop_assert_eq!(t.with_swapped_vars(a, b).with_swapped_vars(a, b), t);
+    }
+
+    #[test]
+    fn tt_flip_row_changes_exactly_one(arity in 0usize..=6, bits: u64, row_raw: u64) {
+        let t = TruthTable::from_bits(arity, bits).unwrap();
+        let row = row_raw % (1 << arity);
+        let f = t.with_flipped_row(row);
+        prop_assert_eq!((f.bits() ^ t.bits()).count_ones(), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pattern generators
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lfsr_patterns_have_declared_width_and_count(
+        width in 1usize..=16,
+        count in 0usize..=64,
+        seed: u64,
+    ) {
+        let pats: Vec<Vec<bool>> = PatternGen::lfsr(width, count, seed).collect();
+        prop_assert_eq!(pats.len(), count);
+        prop_assert!(pats.iter().all(|p| p.len() == width));
+        // LFSR states are never all-zero.
+        prop_assert!(pats.iter().all(|p| p.iter().any(|&b| b)));
+    }
+
+    #[test]
+    fn random_patterns_are_reproducible(width in 1usize..=24, seed: u64) {
+        let a: Vec<_> = PatternGen::random(width, 16, seed).collect();
+        let b: Vec<_> = PatternGen::random(width, 16, seed).collect();
+        prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn rect_union_contains_both(
+        ax0 in 0u16..20, ay0 in 0u16..20, aw in 0u16..10, ah in 0u16..10,
+        bx0 in 0u16..20, by0 in 0u16..20, bw in 0u16..10, bh in 0u16..10,
+    ) {
+        let a = Rect::new(ax0, ay0, ax0 + aw, ay0 + ah);
+        let b = Rect::new(bx0, by0, bx0 + bw, by0 + bh);
+        let u = a.union(&b);
+        for c in a.iter().chain(b.iter()) {
+            prop_assert!(u.contains(c));
+        }
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_disjoint(
+        ax0 in 0u16..12, ay0 in 0u16..12, aw in 0u16..5, ah in 0u16..5,
+        bx0 in 0u16..12, by0 in 0u16..12, bw in 0u16..5, bh in 0u16..5,
+    ) {
+        let a = Rect::new(ax0, ay0, ax0 + aw, ay0 + ah);
+        let b = Rect::new(bx0, by0, bx0 + bw, by0 + bh);
+        prop_assert_eq!(a.is_adjacent(&b), b.is_adjacent(&a));
+        if a.is_adjacent(&b) {
+            prop_assert!(!a.intersects(&b));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// RRG structural invariants on random device shapes
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn rrg_roundtrip_and_symmetry(w in 2u16..7, h in 2u16..7, t in 1u16..5) {
+        let dev = Device::new(w, h, t, 2).unwrap();
+        let rrg = RoutingGraph::new(&dev);
+        let mut nbrs = Vec::new();
+        let mut back = Vec::new();
+        for i in 0..rrg.num_nodes() {
+            let id = fpga::NodeId::default_for_test(i as u32);
+            let kind = rrg.node(id);
+            // Wire-wire edges must be symmetric.
+            if matches!(kind, fpga::NodeKind::ChanX { .. } | fpga::NodeKind::ChanY { .. }) {
+                rrg.neighbors(id, &mut nbrs);
+                let snapshot = nbrs.clone();
+                for &n in &snapshot {
+                    let nk = rrg.node(n);
+                    if matches!(nk, fpga::NodeKind::ChanX { .. } | fpga::NodeKind::ChanY { .. }) {
+                        rrg.neighbors(n, &mut back);
+                        prop_assert!(back.contains(&id));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Placement invariants under random constraints
+// ---------------------------------------------------------------------
+
+fn chain_netlist(luts: usize) -> Netlist {
+    let mut nl = Netlist::new("chain");
+    let a = nl.add_input("a").unwrap();
+    let mut prev = nl.cell_output(a).unwrap();
+    for i in 0..luts {
+        let u = nl
+            .add_lut(format!("u{i}"), TruthTable::not(), &[prev])
+            .unwrap();
+        prev = nl.cell_output(u).unwrap();
+    }
+    nl.add_output("y", prev).unwrap();
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn placement_respects_random_regions(
+        luts in 2usize..10,
+        rx in 0u16..4,
+        ry in 0u16..4,
+        seed: u64,
+    ) {
+        let nl = chain_netlist(luts);
+        let dev = Device::new(8, 8, 4, 2).unwrap();
+        let region = Rect::new(rx, ry, rx + 3, ry + 3);
+        let mut cons = place::Constraints::free();
+        for (id, c) in nl.cells() {
+            if c.is_logic() {
+                cons.confine(id, region);
+            }
+        }
+        let out = place::place(&nl, &dev, &cons, None, &place::PlacerConfig::fast(seed)).unwrap();
+        for (id, c) in nl.cells() {
+            if c.is_logic() {
+                let loc = out.placement.loc_of(id).unwrap();
+                prop_assert!(region.contains(loc.coord().unwrap()));
+            }
+        }
+        // No two cells share a BEL (placement DB invariant).
+        let mut seen = std::collections::BTreeSet::new();
+        for (_, loc) in out.placement.iter() {
+            prop_assert!(seen.insert(loc));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Routing invariants on random placements
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn routed_paths_connect_correct_pins(luts in 2usize..8, seed: u64) {
+        let nl = chain_netlist(luts);
+        let dev = Device::new(8, 8, 6, 2).unwrap();
+        let out = place::place(
+            &nl,
+            &dev,
+            &place::Constraints::free(),
+            None,
+            &place::PlacerConfig::fast(seed),
+        )
+        .unwrap();
+        let rrg = RoutingGraph::new(&dev);
+        let mut routing = Routing::new(rrg.num_nodes());
+        route::route_design(&nl, &out.placement, &rrg, &mut routing, &route::RouteOptions::default())
+            .unwrap();
+        prop_assert!(routing.is_feasible());
+        for (net_id, net) in nl.nets() {
+            let Some(tree) = routing.route(net_id) else { continue };
+            let driver = net.driver.unwrap();
+            let src = rrg.source_node(out.placement.loc_of(driver).unwrap());
+            for (k, sink) in net.sinks.iter().enumerate() {
+                let pin = rrg.sink_node(out.placement.loc_of(sink.cell).unwrap(), sink.pin);
+                let path = &tree.paths[k];
+                prop_assert_eq!(path[0], src);
+                prop_assert_eq!(*path.last().unwrap(), pin);
+                // Consecutive nodes are RRG neighbours.
+                let mut nbrs = Vec::new();
+                for w in path.windows(2) {
+                    rrg.neighbors(w[0], &mut nbrs);
+                    prop_assert!(nbrs.contains(&w[1]), "broken path edge");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation vs direct interpretation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn simulator_matches_truth_table_semantics(bits: u64, row_raw: u64) {
+        let tt = TruthTable::from_bits(4, bits).unwrap();
+        let mut nl = Netlist::new("p");
+        let ins: Vec<NetId> = (0..4)
+            .map(|i| {
+                let c = nl.add_input(format!("i{i}")).unwrap();
+                nl.cell_output(c).unwrap()
+            })
+            .collect();
+        let u = nl.add_lut("u", tt, &ins).unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        let mut sim = Simulator::new(&nl).unwrap();
+        let row = row_raw % 16;
+        let inputs: Vec<bool> = (0..4).map(|k| row >> k & 1 == 1).collect();
+        sim.set_inputs(&inputs);
+        sim.comb_eval();
+        prop_assert_eq!(sim.outputs()[0], tt.eval_row(row));
+    }
+}
