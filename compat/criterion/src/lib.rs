@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's
+//! benches use: [`Criterion::benchmark_group`], group
+//! [`sample_size`](BenchmarkGroup::sample_size) /
+//! [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`finish`](BenchmarkGroup::finish), bencher
+//! [`iter`](Bencher::iter) / [`iter_batched`](Bencher::iter_batched),
+//! [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark runs `sample_size` timed iterations and prints the
+//! mean wall time — enough to compare flows locally. Statistical
+//! machinery (outlier analysis, HTML reports) is intentionally out of
+//! scope. Set `CRITERION_STUB_SAMPLES` to override the sample count,
+//! e.g. `CRITERION_STUB_SAMPLES=1` for a smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How per-iteration setup output is batched (accepted for API
+/// compatibility; the stub times routine calls individually either
+/// way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small setup values: many per batch.
+    SmallInput,
+    /// Large setup values: one per batch.
+    LargeInput,
+    /// Per-iteration batching.
+    PerIteration,
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` `sample_size` times, timing each call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(black_box(out));
+        }
+    }
+
+    /// Runs `setup` (untimed) then `routine` (timed) `sample_size`
+    /// times.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(black_box(out));
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean wall time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = env_samples().unwrap_or(self.samples);
+        let mut b = Bencher {
+            samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters as u32
+        };
+        println!(
+            "{}/{}: mean {:?} over {} iters",
+            self.name, id, mean, b.iters
+        );
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("CRITERION_STUB_SAMPLES").ok()?.parse().ok()
+}
+
+/// Top-level benchmark driver, one per bench binary.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a function running the given benchmark functions in order
+/// (criterion-compatible signature).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_pairs_setup_with_routine() {
+        let mut c = Criterion::default();
+        let mut seen = Vec::new();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4).bench_function("batched", |b| {
+            let mut k = 0;
+            b.iter_batched(
+                || {
+                    k += 1;
+                    k
+                },
+                |v| seen.push(v),
+                BatchSize::LargeInput,
+            );
+        });
+        assert_eq!(seen, vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Type-driven generation for `name: Type` bindings.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Types that can be generated uniformly from an RNG (the stub's
+/// equivalent of proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Draws one uniformly distributed value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                (rng.gen::<u64>() as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+/// Returns the strategy generating any value of `T`, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+    crate::strategy::Any {
+        _marker: core::marker::PhantomData,
+    }
+}

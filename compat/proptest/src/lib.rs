@@ -1,0 +1,215 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Supports the subset of the proptest 1.x surface the workspace's
+//! tests use:
+//!
+//! * the [`proptest!`] macro with `#[test] fn name(..) { .. }` items
+//!   whose parameters are either `name in strategy` (range
+//!   strategies) or `name: Type` (type-driven generation), plus the
+//!   `#![proptest_config(..)]` inner attribute;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Cases are generated from a deterministic per-test RNG (seeded from
+//! the test name and case index), so failures reproduce on rerun.
+//! Shrinking is intentionally not implemented: a failing case panics
+//! with its case index and the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything the tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Accepts an optional `#![proptest_config(expr)]` inner attribute
+/// followed by `#[test] fn` items whose parameters are `name in
+/// strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($params:tt)* ) $body:block
+     $($rest:tt)*
+    ) => {
+        // The item's attributes — including the user-written `#[test]`
+        // plus any `#[ignore]`/`#[should_panic]`/docs — are re-emitted
+        // verbatim on the generated zero-argument test fn.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng =
+                    $crate::test_runner::case_rng(stringify!($name), case);
+                $crate::__proptest_bindings!(proptest_rng, $($params)*);
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    ::std::panic!(
+                        "proptest case {}/{} of `{}` failed: {}",
+                        case + 1, config.cases, stringify!($name), e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one parameter list.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bindings {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strategy:expr) => {
+        let $name = $crate::strategy::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bindings!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), l
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn range_strategy_respects_bounds(x in 3usize..10, y in 0u16..=4, seed: u64) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = seed;
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_is_applied(value: u64) {
+            // 5 cases, each deterministic on rerun.
+            prop_assert_eq!(value, value);
+        }
+    }
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use crate::test_runner::case_rng;
+        use rand::Rng;
+        let a = case_rng("t", 3).gen::<u64>();
+        let b = case_rng("t", 3).gen::<u64>();
+        let c = case_rng("t", 4).gen::<u64>();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        // Mirrors the expansion of a failing proptest body (the
+        // macro's `#[test]` output can't be nested inside a test fn).
+        let config = ProptestConfig::with_cases(2);
+        for case in 0..config.cases {
+            let _rng = crate::test_runner::case_rng("always_fails", case);
+            let outcome: Result<(), TestCaseError> = (|| {
+                prop_assert!(1 == 2, "intentional");
+                Ok(())
+            })();
+            if let Err(e) = outcome {
+                panic!("proptest case {}/{} failed: {}", case + 1, config.cases, e);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Configuration and per-case RNG derivation for the [`proptest!`]
+//! macro.
+//!
+//! [`proptest!`]: crate::proptest
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Controls how many cases each property runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than upstream proptest's 256, chosen so the
+    /// deterministic (non-shrinking) stub keeps CI fast while still
+    /// exploring a meaningful slice of each input space.
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed property case: carries the assertion message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Wraps an assertion failure message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives the deterministic RNG for one case of one property: the
+/// seed mixes an FNV-1a hash of the test name with the case index, so
+/// every (test, case) pair replays identically across runs.
+pub fn case_rng(test_name: &str, case: u32) -> SmallRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(hash ^ (u64::from(case) << 32 | u64::from(case)))
+}

@@ -14,8 +14,7 @@ use tiling::TilingOptions;
 
 fn eco_with_options(options: TilingOptions, policy: ExpansionPolicy) -> u64 {
     let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
-    let mut td =
-        tiling::implement(bundle.netlist, bundle.hierarchy, options).expect("implement");
+    let mut td = tiling::implement(bundle.netlist, bundle.hierarchy, options).expect("implement");
     // Insert a small observation cone (2 LUTs + PO) — enough to need
     // real slack, small enough to stay local.
     let (seed_cell, net) = {
@@ -38,8 +37,8 @@ fn eco_with_options(options: TilingOptions, policy: ExpansionPolicy) -> u64 {
     let inv = rep.added[0];
     let inv_net = td.netlist.cell_output(inv).expect("net");
     let po = td.netlist.add_output("abl_po", inv_net).expect("po");
-    let out = tiling::replace_and_route(&mut td, &[seed_cell], &[inv, po], policy)
-        .expect("replace");
+    let out =
+        tiling::replace_and_route(&mut td, &[seed_cell], &[inv, po], policy).expect("replace");
     out.effort.total()
 }
 
@@ -64,13 +63,16 @@ fn ablations(c: &mut Criterion) {
         b.iter(|| eco_with_options(TilingOptions::fast(5), ExpansionPolicy::NearestFirst));
     });
     for overhead in [0.10, 0.20, 0.40] {
-        group.bench_function(format!("ablate_slack_{:02}", (overhead * 100.0) as u32), |b| {
-            b.iter(|| {
-                let mut o = TilingOptions::fast(5);
-                o.overhead = overhead;
-                eco_with_options(o, ExpansionPolicy::MostFree)
-            });
-        });
+        group.bench_function(
+            format!("ablate_slack_{:02}", (overhead * 100.0) as u32),
+            |b| {
+                b.iter(|| {
+                    let mut o = TilingOptions::fast(5);
+                    o.overhead = overhead;
+                    eco_with_options(o, ExpansionPolicy::MostFree)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -5,8 +5,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use tiling::affected::ExpansionPolicy;
 
 fn bench_eco_vs_full(c: &mut Criterion) {
-    let td0 = bench_harness::implement_design(synth::PaperDesign::NineSym, 10, 7)
-        .expect("implement");
+    let td0 =
+        bench_harness::implement_design(synth::PaperDesign::NineSym, 10, 7).expect("implement");
 
     let mut group = c.benchmark_group("fig5_eco_vs_full");
     group.sample_size(10);
@@ -15,18 +15,12 @@ fn bench_eco_vs_full(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut td = td0.clone();
-                let victim =
-                    bench_harness::apply_canonical_change(&mut td).expect("change");
+                let victim = bench_harness::apply_canonical_change(&mut td).expect("change");
                 (td, victim)
             },
             |(mut td, victim)| {
-                tiling::replace_and_route(
-                    &mut td,
-                    &[victim],
-                    &[],
-                    ExpansionPolicy::MostFree,
-                )
-                .expect("eco")
+                tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+                    .expect("eco")
             },
             criterion::BatchSize::LargeInput,
         );

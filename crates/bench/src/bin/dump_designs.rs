@@ -10,7 +10,10 @@ use std::path::PathBuf;
 use synth::PaperDesign;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "designs".into()).into();
+    let dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "designs".into())
+        .into();
     fs::create_dir_all(&dir)?;
     for design in PaperDesign::ALL {
         let bundle = design.generate()?;

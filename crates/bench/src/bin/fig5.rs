@@ -42,12 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 incr_speedup = full.speedup_over(&incr);
                 quick_speedup = full.speedup_over(&quick);
             }
-            let eco = tiling::replace_and_route(
-                &mut td,
-                &[victim],
-                &[],
-                ExpansionPolicy::MostFree,
-            )?;
+            let eco =
+                tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)?;
             let speedup = full.speedup_over(&eco.effort);
             per_size[k].push(speedup);
             row.push(speedup);
@@ -64,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\nsummary (paper: 5% avg 7.6 / med 2.6; 15% avg 2.1 / med 1.7; 25% avg 1.5 / med 1.3):");
+    println!(
+        "\nsummary (paper: 5% avg 7.6 / med 2.6; 15% avg 2.1 / med 1.7; 25% avg 1.5 / med 1.3):"
+    );
     for (k, (pct, _)) in sweeps.iter().enumerate() {
         let mut v = per_size[k].clone();
         if v.is_empty() {

@@ -31,8 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let base_t = base.timing()?.critical_ns;
 
         // Tiled layout: 20% slack, ten tiles, per-tile balance.
-        let tiled =
-            implement(bundle.netlist, bundle.hierarchy, experiment_options(11, 10, tracks))?;
+        let tiled = implement(
+            bundle.netlist,
+            bundle.hierarchy,
+            experiment_options(11, 10, tracks),
+        )?;
         let tiled_t = tiled.timing()?.critical_ns;
 
         let area_ovhd = tiled.area_overhead();

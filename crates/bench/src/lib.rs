@@ -31,8 +31,15 @@ pub fn experiment_options(seed: u64, target_tiles: usize, tracks: u16) -> Tiling
         overhead: 0.20,
         target_tiles,
         tracks,
-        placer: PlacerConfig { seed, max_temps: 120, ..Default::default() },
-        router: route::RouteOptions { max_iterations: 45, ..Default::default() },
+        placer: PlacerConfig {
+            seed,
+            max_temps: 120,
+            ..Default::default()
+        },
+        router: route::RouteOptions {
+            max_iterations: 45,
+            ..Default::default()
+        },
         enforce_tile_slack: true,
     }
 }

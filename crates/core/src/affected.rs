@@ -78,16 +78,15 @@ impl AffectedSet {
                 }
             }
         }
-        let free_of = |t: TileId| -> Result<usize, TilingError> {
-            Ok(plan.usage(t, placement)?.free_clbs())
-        };
+        let free_of =
+            |t: TileId| -> Result<usize, TilingError> { Ok(plan.usage(t, placement)?.free_clbs()) };
         if tiles.is_empty() {
             // Pure insertion with no placed seed: start at the tile
             // with the most slack.
             let mut best: Option<(usize, TileId)> = None;
             for (id, _) in plan.iter() {
                 let f = free_of(id)?;
-                if best.map_or(true, |(bf, bid)| f > bf || (f == bf && id < bid)) {
+                if best.is_none_or(|(bf, bid)| f > bf || (f == bf && id < bid)) {
                     best = Some((f, id));
                 }
             }
@@ -134,7 +133,12 @@ impl AffectedSet {
             free += free_of(chosen)?;
             tiles.push(chosen);
         }
-        Ok(AffectedSet { tiles, needed_clbs: extra_clbs, free_clbs: free, fits: free >= extra_clbs })
+        Ok(AffectedSet {
+            tiles,
+            needed_clbs: extra_clbs,
+            free_clbs: free,
+            fits: free >= extra_clbs,
+        })
     }
 }
 
@@ -176,9 +180,8 @@ mod tests {
         let (_, plan) = plan();
         let mut p = Placement::new(16);
         fill_tile0(&mut p, 4); // 2 CLBs used, 2 free in tile 0
-        let set =
-            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 2, ExpansionPolicy::MostFree)
-                .unwrap();
+        let set = AffectedSet::compute(&plan, &p, &[CellId::new(0)], 2, ExpansionPolicy::MostFree)
+            .unwrap();
         assert_eq!(set.tiles, vec![TileId(0)]);
         assert!(set.fits);
         assert_eq!(set.fraction_of(&plan), 0.25);
@@ -190,9 +193,8 @@ mod tests {
         let mut p = Placement::new(16);
         fill_tile0(&mut p, 4);
         // Need 6 CLBs: tile0 has 2 free, neighbours have 4 each.
-        let set =
-            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 6, ExpansionPolicy::MostFree)
-                .unwrap();
+        let set = AffectedSet::compute(&plan, &p, &[CellId::new(0)], 6, ExpansionPolicy::MostFree)
+            .unwrap();
         assert_eq!(set.tiles.len(), 2);
         assert_eq!(set.tiles[0], TileId(0));
         assert!(set.fits);
@@ -224,7 +226,7 @@ mod tests {
         let (_, plan) = plan();
         let mut p = Placement::new(64);
         fill_tile0(&mut p, 8); // tile 0 full
-        // Fill tile 1 (x in 2..4, y in 0..2) halfway: 4 slots.
+                               // Fill tile 1 (x in 2..4, y in 0..2) halfway: 4 slots.
         let mut k = 8;
         for (x, y) in [(2u16, 0u16), (3, 0)] {
             for slot in [ClbSlot::LutF, ClbSlot::LutG] {
@@ -234,9 +236,8 @@ mod tests {
         }
         // Seed in tile 0 (full), need 4 CLBs. MostFree picks tile 2
         // (4 free) over tile 1 (2 free); NearestFirst picks tile 1.
-        let most =
-            AffectedSet::compute(&plan, &p, &[CellId::new(0)], 4, ExpansionPolicy::MostFree)
-                .unwrap();
+        let most = AffectedSet::compute(&plan, &p, &[CellId::new(0)], 4, ExpansionPolicy::MostFree)
+            .unwrap();
         let near = AffectedSet::compute(
             &plan,
             &p,
@@ -254,8 +255,10 @@ mod tests {
     fn multi_seed_unions_tiles() {
         let (_, plan) = plan();
         let mut p = Placement::new(16);
-        p.place(CellId::new(0), BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
-        p.place(CellId::new(1), BelLoc::clb(3, 3, ClbSlot::LutF)).unwrap();
+        p.place(CellId::new(0), BelLoc::clb(0, 0, ClbSlot::LutF))
+            .unwrap();
+        p.place(CellId::new(1), BelLoc::clb(3, 3, ClbSlot::LutF))
+            .unwrap();
         let set = AffectedSet::compute(
             &plan,
             &p,

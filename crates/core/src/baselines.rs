@@ -38,7 +38,10 @@ pub fn full_replace_effort(td: &TiledDesign) -> Result<CadEffort, TilingError> {
         &mut routing,
         &td.options.router,
     )?;
-    Ok(CadEffort { place_moves: out.moves_evaluated, route_expansions: stats.expansions })
+    Ok(CadEffort {
+        place_moves: out.moves_evaluated,
+        route_expansions: stats.expansions,
+    })
 }
 
 /// Incremental place-and-route: no locked interfaces, so the tool
@@ -172,7 +175,10 @@ fn reimplement_subset(
         &td.options.placer,
     )?;
     let placement = out.placement;
-    let mut effort = CadEffort { place_moves: out.moves_evaluated, route_expansions: 0 };
+    let mut effort = CadEffort {
+        place_moves: out.moves_evaluated,
+        route_expansions: 0,
+    };
 
     // Re-route every net incident to a movable cell, from scratch.
     let mut routing = td.routing.clone();
@@ -192,7 +198,9 @@ fn reimplement_subset(
     for net_id in work {
         let net = td.netlist.net(net_id)?;
         let Some(driver) = net.driver else { continue };
-        let Some(src_loc) = placement.loc_of(driver) else { continue };
+        let Some(src_loc) = placement.loc_of(driver) else {
+            continue;
+        };
         let mut sinks = Vec::new();
         for s in &net.sinks {
             if let Some(loc) = placement.loc_of(s.cell) {
@@ -225,15 +233,20 @@ mod tests {
     #[test]
     fn tiling_beats_the_baselines_on_a_small_change() {
         let b = PaperDesign::NineSym.generate().unwrap();
-        let mut td =
-            implement(b.netlist, b.hierarchy, TilingOptions::fast(21)).unwrap();
+        let mut td = implement(b.netlist, b.hierarchy, TilingOptions::fast(21)).unwrap();
         let victim = td
             .netlist
             .cells()
             .find(|(_, c)| c.lut_function().is_some())
             .map(|(id, _)| id)
             .unwrap();
-        let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+        let tt = td
+            .netlist
+            .cell(victim)
+            .unwrap()
+            .lut_function()
+            .unwrap()
+            .complement();
         td.netlist.set_lut_function(victim, tt).unwrap();
 
         let full = full_replace_effort(&td).unwrap();
@@ -243,9 +256,24 @@ mod tests {
             .unwrap()
             .effort;
 
-        assert!(full.total() > tiled.total(), "full {} vs tiled {}", full, tiled);
-        assert!(quick.total() > tiled.total(), "quick {} vs tiled {}", quick, tiled);
-        assert!(incr.total() >= tiled.total(), "incr {} vs tiled {}", incr, tiled);
+        assert!(
+            full.total() > tiled.total(),
+            "full {} vs tiled {}",
+            full,
+            tiled
+        );
+        assert!(
+            quick.total() > tiled.total(),
+            "quick {} vs tiled {}",
+            quick,
+            tiled
+        );
+        assert!(
+            incr.total() >= tiled.total(),
+            "incr {} vs tiled {}",
+            incr,
+            tiled
+        );
         // And the orderings the paper reports: full >= quick(whole) >= incremental.
         assert!(full.total() >= incr.total());
     }

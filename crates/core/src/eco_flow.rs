@@ -77,8 +77,7 @@ pub fn replace_and_route(
     let extra_clbs = new_luts.max(new_ffs).div_ceil(2);
 
     // Steps 16–17: identify affected tiles (with neighbour expansion).
-    let affected =
-        AffectedSet::compute(&td.plan, &td.placement, seeds, extra_clbs, policy)?;
+    let affected = AffectedSet::compute(&td.plan, &td.placement, seeds, extra_clbs, policy)?;
     if !affected.fits {
         return Err(TilingError::InsufficientSlack {
             needed: extra_clbs,
@@ -113,11 +112,7 @@ pub fn replace_and_route(
                 // approach" (§6.1). Placement from the failed attempt
                 // is kept (all tiles were movable anyway).
                 wasted += spent;
-                let all_nets: Vec<NetId> = td
-                    .routing
-                    .iter()
-                    .map(|(n, _)| n)
-                    .collect();
+                let all_nets: Vec<NetId> = td.routing.iter().map(|(n, _)| n).collect();
                 for n in all_nets {
                     td.routing.clear_route(n);
                 }
@@ -172,7 +167,7 @@ pub fn replace_and_route(
                             continue;
                         }
                         let f = td.plan.usage(nb, &td.placement)?.free_clbs();
-                        if best.map_or(true, |(bf, bid)| f > bf || (f == bf && nb < bid)) {
+                        if best.is_none_or(|(bf, bid)| f > bf || (f == bf && nb < bid)) {
                             best = Some((f, nb));
                         }
                     }
@@ -323,7 +318,10 @@ fn attempt_inner(
     )?;
     td.placement = out.placement;
     spent.place_moves += out.moves_evaluated;
-    let mut effort = CadEffort { place_moves: out.moves_evaluated, route_expansions: 0 };
+    let mut effort = CadEffort {
+        place_moves: out.moves_evaluated,
+        route_expansions: 0,
+    };
     let _ = added_io;
 
     // Coarse-granularity path: when the cleared region covers a large
@@ -382,7 +380,9 @@ fn attempt_inner(
             td.routing.clear_route(net_id);
             continue;
         };
-        let Some(driver_loc) = td.placement.loc_of(driver) else { continue };
+        let Some(driver_loc) = td.placement.loc_of(driver) else {
+            continue;
+        };
         let driver_inside = match driver_loc {
             fpga::BelLoc::Clb { coord, .. } => {
                 region.contains_clamped(i32::from(coord.x), i32::from(coord.y))
@@ -394,7 +394,9 @@ fn attempt_inner(
         let mut inside_pins: Vec<NodeId> = Vec::new();
         let mut outside_pins: Vec<NodeId> = Vec::new();
         for s in &net.sinks {
-            let Some(loc) = td.placement.loc_of(s.cell) else { continue };
+            let Some(loc) = td.placement.loc_of(s.cell) else {
+                continue;
+            };
             let pin = td.rrg.sink_node(loc, s.pin);
             let inside = match loc {
                 fpga::BelLoc::Clb { coord, .. } => {
@@ -422,12 +424,23 @@ fn attempt_inner(
         let outside_set: BTreeSet<NodeId> = outside_pins.iter().copied().collect();
         let mut base = RouteTree::default();
         let mut entry_nodes: Vec<NodeId> = Vec::new();
+        let base_paths_before = split.base.paths.len();
         for path in split.base.paths {
             let last = *path.last().expect("paths are non-empty");
             let is_pin_path = outside_set.contains(&last);
+            // A genuine interface stub ends on a channel wire (the
+            // CrossIn prefix was cut at the region boundary); a path
+            // ending on any *pin* that is not a live outside sink is a
+            // dangling fragment toward a removed sink (e.g. a retired
+            // observation pad) and must be dropped — keeping it would
+            // hand the masked pass a dead pad pin as a route source.
+            let ends_on_wire = matches!(
+                td.rrg.node(last),
+                fpga::NodeKind::ChanX { .. } | fpga::NodeKind::ChanY { .. }
+            );
             if is_pin_path {
                 base.paths.push(path);
-            } else if !inside_pins.is_empty() {
+            } else if !inside_pins.is_empty() && ends_on_wire {
                 // Interface stub (CrossIn prefix ending on a wire).
                 entry_nodes.push(last);
                 base.paths.push(path);
@@ -446,10 +459,16 @@ fn attempt_inner(
         let exits: Vec<NodeId> = split.route_to_interface;
 
         let needs_inside = !inside_pins.is_empty() || (driver_inside && !exits.is_empty());
+        // A kept-path count below the split's means a dangling fragment
+        // to a removed sink (e.g. a retired observation pad) was
+        // dropped: the net must be re-installed so those resources are
+        // actually freed rather than squatting on the dead sink's pin.
+        let dropped_fragment = base.paths.len() < base_paths_before;
         let untouched = !needs_inside
             && outside_missing.is_empty()
             && split.reroute_free.is_empty()
             && !driver_inside
+            && !dropped_fragment
             && had_route;
         if untouched {
             continue;
@@ -480,7 +499,11 @@ fn attempt_inner(
             let mut sinks = inside_pins.clone();
             sinks.extend(exits.iter().copied());
             if !sinks.is_empty() {
-                masked_requests.push(ConnectionRequest { net: net_id, source, sinks });
+                masked_requests.push(ConnectionRequest {
+                    net: net_id,
+                    source,
+                    sinks,
+                });
             }
             if !outside_missing.is_empty() {
                 free_requests.push(ConnectionRequest {
@@ -526,15 +549,17 @@ fn attempt_inner(
         // the router's stall limit; slow-but-converging negotiation is
         // allowed to finish (cutting it off just pays for a retry on a
         // bigger region).
-        let opts = RouteOptions { allowed: Some(mask), ..td.options.router.clone() };
+        let opts = RouteOptions {
+            allowed: Some(mask),
+            ..td.options.router.clone()
+        };
         let stats = route::route(&td.rrg, &masked_requests, &mut td.routing, &opts)?;
         effort.route_expansions += stats.expansions;
         spent.route_expansions += stats.expansions;
     }
     // ----- Free pass: region-escaping connections --------------------
     if !free_requests.is_empty() {
-        let stats =
-            route::route(&td.rrg, &free_requests, &mut td.routing, &td.options.router)?;
+        let stats = route::route(&td.rrg, &free_requests, &mut td.routing, &td.options.router)?;
         effort.route_expansions += stats.expansions;
         spent.route_expansions += stats.expansions;
     }
@@ -578,25 +603,31 @@ mod tests {
         let victim = td
             .netlist
             .cells()
-            .find(|(_, c)| c.lut_function().map_or(false, |t| t.arity() == 2))
+            .find(|(_, c)| c.lut_function().is_some_and(|t| t.arity() == 2))
             .map(|(id, _)| id)
             .expect("design has 2-input LUTs");
-        let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+        let tt = td
+            .netlist
+            .cell(victim)
+            .unwrap()
+            .lut_function()
+            .unwrap()
+            .complement();
         netlist::eco::apply(
             &mut td.netlist,
-            &netlist::EcoOp::ChangeLutFunction { cell: victim, function: tt },
+            &netlist::EcoOp::ChangeLutFunction {
+                cell: victim,
+                function: tt,
+            },
         )
         .unwrap();
-        let out =
-            replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+        let out = replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
         assert_eq!(out.affected.tiles.len(), 1, "function change fits one tile");
         assert!(td.routing.is_feasible());
         // Cells outside the affected tile did not move.
         let tile = out.affected.tiles[0];
         for (c, old_loc) in outside_snapshot {
-            if td.plan.tile_of_cell(&td.placement, c) != Some(tile)
-                && td.netlist.cell(c).is_ok()
-            {
+            if td.plan.tile_of_cell(&td.placement, c) != Some(tile) && td.netlist.cell(c).is_ok() {
                 if let Some(new_loc) = td.placement.loc_of(c) {
                     if td.plan.tile_of_cell(&td.placement, c).is_some() {
                         assert_eq!(new_loc, old_loc, "cell {c} moved outside affected tile");
@@ -633,17 +664,15 @@ mod tests {
         let obs_net = td.netlist.cell_output(obs).unwrap();
         let po = td.netlist.add_output("obs_po", obs_net).unwrap();
 
-        let out = replace_and_route(
-            &mut td,
-            &[tile_cell],
-            &[obs, po],
-            ExpansionPolicy::MostFree,
-        )
-        .unwrap();
+        let out = replace_and_route(&mut td, &[tile_cell], &[obs, po], ExpansionPolicy::MostFree)
+            .unwrap();
         assert!(td.routing.is_feasible());
         assert!(out.replaced_cells > 0);
         // The new LUT landed inside an affected tile.
-        let t = td.plan.tile_of_cell(&td.placement, obs).expect("obs placed on a CLB");
+        let t = td
+            .plan
+            .tile_of_cell(&td.placement, obs)
+            .expect("obs placed on a CLB");
         assert!(out.affected.contains(t));
         // Its net is routed.
         assert!(td.routing.route(obs_net).is_some());
@@ -662,10 +691,15 @@ mod tests {
             .unwrap();
         let before: Vec<(NetId, RouteTree)> =
             td.routing.iter().map(|(n, t)| (n, t.clone())).collect();
-        let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+        let tt = td
+            .netlist
+            .cell(victim)
+            .unwrap()
+            .lut_function()
+            .unwrap()
+            .complement();
         td.netlist.set_lut_function(victim, tt).unwrap();
-        let out =
-            replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+        let out = replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
         let region = RegionSet::from_tiles(&td.device, &td.plan, &out.affected.tiles);
         let mut checked = 0;
         for (net, tree) in before {
@@ -675,7 +709,11 @@ mod tests {
                 .iter()
                 .any(|&n| region.contains_node(&td.rrg, n));
             if !touches {
-                assert_eq!(td.routing.route(net), Some(&tree), "net {net} was perturbed");
+                assert_eq!(
+                    td.routing.route(net),
+                    Some(&tree),
+                    "net {net} was perturbed"
+                );
                 checked += 1;
             }
         }

@@ -72,8 +72,14 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        let a = CadEffort { place_moves: 10, route_expansions: 5 };
-        let b = CadEffort { place_moves: 1, route_expansions: 2 };
+        let a = CadEffort {
+            place_moves: 10,
+            route_expansions: 5,
+        };
+        let b = CadEffort {
+            place_moves: 1,
+            route_expansions: 2,
+        };
         assert_eq!((a + b).total(), 18);
         let mut c = a;
         c += b;
@@ -82,7 +88,10 @@ mod tests {
 
     #[test]
     fn speedup_guards_zero() {
-        let a = CadEffort { place_moves: 100, route_expansions: 0 };
+        let a = CadEffort {
+            place_moves: 100,
+            route_expansions: 0,
+        };
         let zero = CadEffort::default();
         assert_eq!(a.speedup_over(&zero), 100.0);
     }

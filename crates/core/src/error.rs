@@ -34,7 +34,10 @@ impl fmt::Display for TilingError {
             Self::Place(e) => write!(f, "placement error: {e}"),
             Self::Route(e) => write!(f, "routing error: {e}"),
             Self::InsufficientSlack { needed, available } => {
-                write!(f, "change needs {needed} CLBs but only {available} are free")
+                write!(
+                    f,
+                    "change needs {needed} CLBs but only {available} are free"
+                )
             }
             Self::UnknownTile(t) => write!(f, "unknown tile {t}"),
         }
@@ -83,7 +86,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = TilingError::InsufficientSlack { needed: 10, available: 3 };
+        let e = TilingError::InsufficientSlack {
+            needed: 10,
+            available: 3,
+        };
         assert!(e.to_string().contains("10"));
         let e: TilingError = netlist::NetlistError::UnknownCell(netlist::CellId::new(1)).into();
         assert!(e.to_string().contains("netlist"));

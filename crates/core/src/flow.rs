@@ -52,7 +52,10 @@ impl TilingOptions {
         Self {
             tracks: 12,
             placer: PlacerConfig::fast(seed),
-            router: RouteOptions { max_iterations: 30, ..Default::default() },
+            router: RouteOptions {
+                max_iterations: 30,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -162,9 +165,18 @@ pub fn implement(
     let rrg = RoutingGraph::new(&device);
 
     // Step 5: place-and-route with resource slack.
-    let outcome = place::place(&netlist, &device, &Constraints::free(), None, &options.placer)?;
+    let outcome = place::place(
+        &netlist,
+        &device,
+        &Constraints::free(),
+        None,
+        &options.placer,
+    )?;
     let mut placement = outcome.placement;
-    let mut effort = CadEffort { place_moves: outcome.moves_evaluated, route_expansions: 0 };
+    let mut effort = CadEffort {
+        place_moves: outcome.moves_evaluated,
+        route_expansions: 0,
+    };
 
     // Step 6: draw tile boundaries (cut-minimizing).
     let plan = partition(&netlist, &device, &placement, options.target_tiles);
@@ -222,23 +234,29 @@ fn rebalance(
                 }
             }
         }
-        let Some((tile, _, _)) = worst else { return Ok(()) };
+        let Some((tile, _, _)) = worst else {
+            return Ok(());
+        };
         // Move one cell from this tile to the adjacent tile with the
         // most slack.
         let neighbors = plan.neighbors(tile)?;
         let mut best_n: Option<(usize, TileId)> = None;
         for n in neighbors {
             let f = plan.usage(n, placement)?.free_clbs();
-            if best_n.map_or(true, |(bf, _)| f > bf) {
+            if best_n.is_none_or(|(bf, _)| f > bf) {
                 best_n = Some((f, n));
             }
         }
-        let Some((nf, target)) = best_n else { return Ok(()) };
+        let Some((nf, target)) = best_n else {
+            return Ok(());
+        };
         if nf == 0 {
             return Ok(()); // nowhere to shed load
         }
         let cells = plan.cells_in_tile(tile, nl, placement)?;
-        let Some(&victim) = cells.last() else { return Ok(()) };
+        let Some(&victim) = cells.last() else {
+            return Ok(());
+        };
         // Find a free compatible slot in the target tile.
         let rect = plan.tile(target)?.rect;
         let kind = &nl.cell(victim)?.kind;
@@ -287,7 +305,11 @@ mod tests {
         assert!(td.routing.num_routed() > 0);
         assert!(td.initial_effort.total() > 0);
         // target_tiles = 10; the aspect-matched grid may round up.
-        assert!((10..=14).contains(&td.plan.len()), "{} tiles", td.plan.len());
+        assert!(
+            (10..=14).contains(&td.plan.len()),
+            "{} tiles",
+            td.plan.len()
+        );
     }
 
     #[test]
@@ -305,8 +327,7 @@ mod tests {
         let mut starved = 0;
         for (id, tile) in td.plan.iter() {
             let free = td.free_clbs(id).unwrap();
-            let want = ((tile.capacity_clbs() as f64) * td.options.overhead / 2.0).floor()
-                as usize;
+            let want = ((tile.capacity_clbs() as f64) * td.options.overhead / 2.0).floor() as usize;
             if free < want {
                 starved += 1;
             }

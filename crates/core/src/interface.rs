@@ -30,7 +30,11 @@ impl RegionSet {
                 inside[c.y as usize * w as usize + c.x as usize] = true;
             }
         }
-        Self { width: w, height: h, inside }
+        Self {
+            width: w,
+            height: h,
+            inside,
+        }
     }
 
     /// Builds the region of an affected-tile set.
@@ -247,15 +251,12 @@ pub fn split_tree(rrg: &RoutingGraph, region: &RegionSet, tree: &RouteTree) -> T
 }
 
 /// A placed cell's membership in a region.
-pub fn cell_in_region(
-    region: &RegionSet,
-    placement: &Placement,
-    cell: netlist::CellId,
-) -> bool {
+pub fn cell_in_region(region: &RegionSet, placement: &Placement, cell: netlist::CellId) -> bool {
     match placement.loc_of(cell) {
-        Some(fpga::BelLoc::Clb { coord: Coord { x, y }, .. }) => {
-            region.contains_clamped(i32::from(x), i32::from(y))
-        }
+        Some(fpga::BelLoc::Clb {
+            coord: Coord { x, y },
+            ..
+        }) => region.contains_clamped(i32::from(x), i32::from(y)),
         _ => false,
     }
 }
@@ -289,7 +290,11 @@ mod tests {
         assert_eq!(region.area(), 9);
         // IOB pads are outside every region, even adjacent to an edge
         // tile (their nets split as driver-outside crossings).
-        let pad = rrg.iob(fpga::IobSite { side: fpga::IobSide::West, pos: 1, k: 0 });
+        let pad = rrg.iob(fpga::IobSite {
+            side: fpga::IobSide::West,
+            pos: 1,
+            k: 0,
+        });
         assert!(!region.contains_node(&rrg, pad));
         assert!(!region.touches_node(&rrg, pad));
     }
@@ -314,11 +319,31 @@ mod tests {
             PathSplit::DropInside
         );
         assert_eq!(
-            split_path(&rrg, &region, &[inside_pin, inside_wire, boundary, outside_wire, outside_ipin]),
+            split_path(
+                &rrg,
+                &region,
+                &[
+                    inside_pin,
+                    inside_wire,
+                    boundary,
+                    outside_wire,
+                    outside_ipin
+                ]
+            ),
             PathSplit::CrossOut { cross: 2 }
         );
         assert_eq!(
-            split_path(&rrg, &region, &[outside_opin, outside_wire, boundary, inside_wire, inside_ipin]),
+            split_path(
+                &rrg,
+                &region,
+                &[
+                    outside_opin,
+                    outside_wire,
+                    boundary,
+                    inside_wire,
+                    inside_ipin
+                ]
+            ),
             PathSplit::CrossIn { cross: 2 }
         );
         assert_eq!(
@@ -342,7 +367,13 @@ mod tests {
         let inside_ipin = rrg.ipin(Coord::new(1, 1), 0);
         let tree = RouteTree {
             paths: vec![
-                vec![inside_pin, inside_wire, boundary, outside_wire, outside_ipin],
+                vec![
+                    inside_pin,
+                    inside_wire,
+                    boundary,
+                    outside_wire,
+                    outside_ipin,
+                ],
                 vec![inside_pin, inside_wire, inside_ipin],
             ],
         };

@@ -162,8 +162,13 @@ fn best_cuts(cross: &[u32], len: usize, parts: usize) -> Vec<usize> {
             } else {
                 u64::from(cross[p])
             };
+            // A boundary closer to the origin than `lo` would make the
+            // first segment under-width (saturating here used to let
+            // cut 1 land at x=1, creating 1-CLB sliver tiles).
+            let Some(hi_prev) = p.checked_sub(lo) else {
+                continue;
+            };
             let lo_prev = p.saturating_sub(hi);
-            let hi_prev = p.saturating_sub(lo);
             for q in lo_prev..=hi_prev.min(len) {
                 if dp[i - 1][q] == INF {
                     continue;
@@ -216,11 +221,18 @@ mod tests {
         let make_cluster = |nl: &mut Netlist, tag: &str, x: u16| {
             let a = nl.add_input(format!("{tag}_a")).unwrap();
             let na = nl.cell_output(a).unwrap();
-            let u = nl.add_lut(format!("{tag}_u"), TruthTable::not(), &[na]).unwrap();
-            let v = nl
-                .add_lut(format!("{tag}_v"), TruthTable::not(), &[nl.cell_output(u).unwrap()])
+            let u = nl
+                .add_lut(format!("{tag}_u"), TruthTable::not(), &[na])
                 .unwrap();
-            nl.add_output(format!("{tag}_y"), nl.cell_output(v).unwrap()).unwrap();
+            let v = nl
+                .add_lut(
+                    format!("{tag}_v"),
+                    TruthTable::not(),
+                    &[nl.cell_output(u).unwrap()],
+                )
+                .unwrap();
+            nl.add_output(format!("{tag}_y"), nl.cell_output(v).unwrap())
+                .unwrap();
             (u, v, x)
         };
         let (u0, v0, _) = make_cluster(&mut nl, "l", 0);
@@ -253,7 +265,11 @@ mod tests {
         for target in [1, 2, 4, 9, 10, 25] {
             let plan = partition(&nl, &dev, &p, target);
             assert!(plan.len() >= target, "target {target} got {}", plan.len());
-            assert!(plan.len() <= target * 2, "target {target} got {}", plan.len());
+            assert!(
+                plan.len() <= target * 2,
+                "target {target} got {}",
+                plan.len()
+            );
         }
     }
 

@@ -160,7 +160,11 @@ mod tests {
         let b = PaperDesign::S9234.generate().unwrap();
         let mut opts = TilingOptions::fast(42);
         opts.tracks = 18;
-        opts.placer = place::PlacerConfig { seed: 42, max_temps: 120, ..Default::default() };
+        opts.placer = place::PlacerConfig {
+            seed: 42,
+            max_temps: 120,
+            ..Default::default()
+        };
         let td = implement(b.netlist, b.hierarchy, opts).unwrap();
         let r = TilingReport::build(&td).unwrap();
         let used = r.mean_used_clbs();
@@ -169,6 +173,9 @@ mod tests {
             (15.0..=30.0).contains(&used),
             "mean used {used} vs paper's 23.5"
         );
-        assert!((2.0..=9.0).contains(&free), "mean free {free} vs paper's 4.7");
+        assert!(
+            (2.0..=9.0).contains(&free),
+            "mean free {free} vs paper's 4.7"
+        );
     }
 }

@@ -26,8 +26,8 @@ pub fn affected_fraction(td: &TiledDesign, logic_clbs: usize) -> Result<f64, Til
     }
     let mut total = 0.0;
     for seed in 0..n {
-        let count = expand_from(td, &mut free.clone(), TileId(seed as u32), logic_clbs)?
-            .unwrap_or(n);
+        let count =
+            expand_from(td, &mut free.clone(), TileId(seed as u32), logic_clbs)?.unwrap_or(n);
         total += count as f64 / n as f64;
     }
     Ok(total / n as f64)
@@ -93,7 +93,11 @@ fn fits(
     let mut free = free_per_tile(td)?;
     let n = td.plan.len();
     for k in 0..points {
-        let seed = if clustered { TileId(0) } else { TileId((k % n) as u32) };
+        let seed = if clustered {
+            TileId(0)
+        } else {
+            TileId((k % n) as u32)
+        };
         if expand_from(td, &mut free, seed, size)?.is_none() {
             return Ok(false);
         }
@@ -130,7 +134,7 @@ fn expand_from(
                     continue;
                 }
                 let f = free[nb.index()];
-                if best.map_or(true, |(bf, bid)| f > bf || (f == bf && nb < bid)) {
+                if best.is_none_or(|(bf, bid)| f > bf || (f == bf && nb < bid)) {
                     best = Some((f, nb));
                 }
             }

@@ -124,12 +124,17 @@ impl TilePlan {
     ///
     /// Returns [`TilingError::UnknownTile`] for bad ids.
     pub fn tile(&self, id: TileId) -> Result<&Tile, TilingError> {
-        self.tiles.get(id.index()).ok_or(TilingError::UnknownTile(id.index()))
+        self.tiles
+            .get(id.index())
+            .ok_or(TilingError::UnknownTile(id.index()))
     }
 
     /// Iterates over `(id, tile)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TileId, &Tile)> {
-        self.tiles.iter().enumerate().map(|(i, t)| (TileId(i as u32), t))
+        self.tiles
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TileId(i as u32), t))
     }
 
     /// The tile covering a CLB coordinate.
@@ -184,13 +189,12 @@ impl TilePlan {
     /// # Errors
     ///
     /// Returns [`TilingError::UnknownTile`] for bad ids.
-    pub fn usage(
-        &self,
-        id: TileId,
-        placement: &Placement,
-    ) -> Result<TileUsage, TilingError> {
+    pub fn usage(&self, id: TileId, placement: &Placement) -> Result<TileUsage, TilingError> {
         let rect = self.tile(id)?.rect;
-        let mut u = TileUsage { capacity: rect.area(), ..Default::default() };
+        let mut u = TileUsage {
+            capacity: rect.area(),
+            ..Default::default()
+        };
         for c in rect.iter() {
             for slot in ClbSlot::ALL {
                 let loc = BelLoc::Clb { coord: c, slot };
@@ -265,8 +269,7 @@ impl TilePlan {
         if self.tiles.is_empty() {
             return 0.0;
         }
-        self.tiles.iter().map(|t| t.rect.area()).sum::<usize>() as f64
-            / self.tiles.len() as f64
+        self.tiles.iter().map(|t| t.rect.area()).sum::<usize>() as f64 / self.tiles.len() as f64
     }
 }
 
@@ -315,19 +318,19 @@ mod tests {
     #[should_panic(expected = "overlap")]
     fn overlapping_tiles_panic() {
         let dev = Device::new(2, 1, 4, 2).unwrap();
-        let _ = TilePlan::from_rects(
-            &dev,
-            vec![Rect::new(0, 0, 1, 0), Rect::new(1, 0, 1, 0)],
-        );
+        let _ = TilePlan::from_rects(&dev, vec![Rect::new(0, 0, 1, 0), Rect::new(1, 0, 1, 0)]);
     }
 
     #[test]
     fn usage_counts_slots() {
         let (_, plan) = quad_plan();
         let mut p = Placement::new(4);
-        p.place(CellId::new(0), BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
-        p.place(CellId::new(1), BelLoc::clb(1, 1, ClbSlot::LutG)).unwrap();
-        p.place(CellId::new(2), BelLoc::clb(0, 1, ClbSlot::FfA)).unwrap();
+        p.place(CellId::new(0), BelLoc::clb(0, 0, ClbSlot::LutF))
+            .unwrap();
+        p.place(CellId::new(1), BelLoc::clb(1, 1, ClbSlot::LutG))
+            .unwrap();
+        p.place(CellId::new(2), BelLoc::clb(0, 1, ClbSlot::FfA))
+            .unwrap();
         let u = plan.usage(TileId(0), &p).unwrap();
         assert_eq!(u.used_luts, 2);
         assert_eq!(u.used_ffs, 1);
@@ -345,13 +348,24 @@ mod tests {
         let na = nl.cell_output(a).unwrap();
         let u = nl.add_lut("u", netlist::TruthTable::not(), &[na]).unwrap();
         let v = nl
-            .add_lut("v", netlist::TruthTable::not(), &[nl.cell_output(u).unwrap()])
+            .add_lut(
+                "v",
+                netlist::TruthTable::not(),
+                &[nl.cell_output(u).unwrap()],
+            )
             .unwrap();
         nl.add_output("y", nl.cell_output(v).unwrap()).unwrap();
         let mut p = Placement::new(nl.cell_capacity());
         // u in tile 0, v in tile 3: u->v is cut. a is an IOB (outside).
-        p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
-            .unwrap();
+        p.place(
+            a,
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::West,
+                pos: 0,
+                k: 0,
+            }),
+        )
+        .unwrap();
         p.place(u, BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
         p.place(v, BelLoc::clb(3, 3, ClbSlot::LutF)).unwrap();
         // a->u also counts: IOB (None) vs tile 0. v->y does not: the

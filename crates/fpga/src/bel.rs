@@ -156,7 +156,10 @@ pub enum BelLoc {
 impl BelLoc {
     /// Convenience constructor for CLB slots.
     pub fn clb(x: u16, y: u16, slot: ClbSlot) -> Self {
-        Self::Clb { coord: Coord::new(x, y), slot }
+        Self::Clb {
+            coord: Coord::new(x, y),
+            slot,
+        }
     }
 
     /// The CLB coordinate, if this is a CLB slot.
@@ -223,9 +226,17 @@ mod tests {
 
     #[test]
     fn proxy_coord_clamps_to_grid() {
-        let north = BelLoc::Iob(IobSite { side: IobSide::North, pos: 99, k: 0 });
+        let north = BelLoc::Iob(IobSite {
+            side: IobSide::North,
+            pos: 99,
+            k: 0,
+        });
         assert_eq!(north.proxy_coord(10, 8), Coord::new(9, 7));
-        let west = BelLoc::Iob(IobSite { side: IobSide::West, pos: 3, k: 1 });
+        let west = BelLoc::Iob(IobSite {
+            side: IobSide::West,
+            pos: 3,
+            k: 1,
+        });
         assert_eq!(west.proxy_coord(10, 8), Coord::new(0, 3));
         let clb = BelLoc::clb(4, 5, ClbSlot::LutG);
         assert_eq!(clb.proxy_coord(10, 8), Coord::new(4, 5));
@@ -235,7 +246,11 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(BelLoc::clb(1, 2, ClbSlot::LutF).to_string(), "CLB(1,2).F");
-        let site = IobSite { side: IobSide::East, pos: 7, k: 1 };
+        let site = IobSite {
+            side: IobSide::East,
+            pos: 7,
+            k: 1,
+        };
         assert_eq!(site.to_string(), "IOB-E7#1");
     }
 }

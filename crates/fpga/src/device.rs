@@ -26,7 +26,10 @@ impl fmt::Display for DeviceError {
         match self {
             Self::EmptyDevice => write!(f, "device dimensions must be nonzero"),
             Self::TooLarge { clbs, ios } => {
-                write!(f, "design needs {clbs} CLBs / {ios} pads, exceeding the largest device")
+                write!(
+                    f,
+                    "design needs {clbs} CLBs / {ios} pads, exceeding the largest device"
+                )
             }
         }
     }
@@ -81,7 +84,12 @@ impl Device {
                 ios: 0,
             });
         }
-        Ok(Self { width, height, tracks, iobs_per_pos })
+        Ok(Self {
+            width,
+            height,
+            tracks,
+            iobs_per_pos,
+        })
     }
 
     /// Sizes a near-square device for a design.
@@ -129,9 +137,7 @@ impl Device {
             let better = match best {
                 None => true,
                 Some((ba, bw, bh)) => {
-                    area < ba
-                        || (area == ba
-                            && (w.max(h) - w.min(h)) < (bw.max(bh) - bw.min(bh)))
+                    area < ba || (area == ba && (w.max(h) - w.min(h)) < (bw.max(bh) - bw.min(bh)))
                 }
             };
             if better {
@@ -145,7 +151,10 @@ impl Device {
         let mut edge = side.ceil().max(2.0) as u16;
         loop {
             if edge > MAX_EDGE {
-                return Err(DeviceError::TooLarge { clbs: with_slack, ios });
+                return Err(DeviceError::TooLarge {
+                    clbs: with_slack,
+                    ios,
+                });
             }
             let io_cap = 4 * edge as usize * iobs_per_pos as usize;
             if (edge as usize * edge as usize) >= with_slack && io_cap >= ios {
@@ -213,7 +222,9 @@ impl Device {
 
     /// Iterates over the four BEL slots of one CLB.
     pub fn clb_slots(&self, c: Coord) -> impl Iterator<Item = BelLoc> {
-        ClbSlot::ALL.into_iter().map(move |slot| BelLoc::Clb { coord: c, slot })
+        ClbSlot::ALL
+            .into_iter()
+            .map(move |slot| BelLoc::Clb { coord: c, slot })
     }
 
     /// Iterates over all CLB BELs on the device.
@@ -289,8 +300,7 @@ mod tests {
         assert!(d.num_clbs() >= 60);
         // The rectangle search keeps the realized overhead tight.
         assert!(d.num_clbs() <= 66, "{} CLBs is too loose", d.num_clbs());
-        let aspect =
-            f64::from(d.width().max(d.height())) / f64::from(d.width().min(d.height()));
+        let aspect = f64::from(d.width().max(d.height())) / f64::from(d.width().min(d.height()));
         assert!(aspect <= 1.5);
         assert!(d.io_capacity() >= 30);
     }
@@ -309,8 +319,16 @@ mod tests {
         let sites: Vec<IobSite> = d.iob_sites().collect();
         assert_eq!(sites.len(), d.io_capacity());
         assert!(sites.iter().all(|&s| d.has_iob(s)));
-        assert!(!d.has_iob(IobSite { side: IobSide::North, pos: 5, k: 0 }));
-        assert!(!d.has_iob(IobSite { side: IobSide::North, pos: 0, k: 2 }));
+        assert!(!d.has_iob(IobSite {
+            side: IobSide::North,
+            pos: 5,
+            k: 0
+        }));
+        assert!(!d.has_iob(IobSite {
+            side: IobSide::North,
+            pos: 0,
+            k: 2
+        }));
     }
 
     #[test]

@@ -50,7 +50,10 @@ pub struct Placement {
 impl Placement {
     /// Creates an empty placement able to hold `num_cells` cells.
     pub fn new(num_cells: usize) -> Self {
-        Self { locs: vec![None; num_cells], occ: HashMap::new() }
+        Self {
+            locs: vec![None; num_cells],
+            occ: HashMap::new(),
+        }
     }
 
     /// Number of cell slots (not all necessarily placed).
@@ -159,7 +162,10 @@ mod tests {
         let mut p = Placement::new(2);
         let loc = BelLoc::clb(0, 0, ClbSlot::LutF);
         p.place(CellId::new(0), loc).unwrap();
-        assert_eq!(p.place(CellId::new(1), loc), Err(PlacementError::Occupied(loc)));
+        assert_eq!(
+            p.place(CellId::new(1), loc),
+            Err(PlacementError::Occupied(loc))
+        );
         // Re-placing the same cell at its own location is a no-op.
         p.place(CellId::new(0), loc).unwrap();
     }
@@ -199,7 +205,8 @@ mod tests {
     #[test]
     fn grows_on_demand() {
         let mut p = Placement::new(0);
-        p.place(CellId::new(7), BelLoc::clb(0, 0, ClbSlot::FfA)).unwrap();
+        p.place(CellId::new(7), BelLoc::clb(0, 0, ClbSlot::FfA))
+            .unwrap();
         assert!(p.capacity() >= 8);
         assert_eq!(p.iter().count(), 1);
     }

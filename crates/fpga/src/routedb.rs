@@ -61,7 +61,10 @@ pub struct Routing {
 impl Routing {
     /// Creates an empty routing over a graph with `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        Self { routes: Vec::new(), occupancy: vec![0; num_nodes] }
+        Self {
+            routes: Vec::new(),
+            occupancy: vec![0; num_nodes],
+        }
     }
 
     /// Number of nets currently routed.
@@ -201,7 +204,9 @@ mod tests {
     #[test]
     fn set_and_clear_updates_occupancy() {
         let mut r = Routing::new(10);
-        let tree = RouteTree { paths: vec![ids(&[0, 1, 2]), ids(&[0, 1, 3])] };
+        let tree = RouteTree {
+            paths: vec![ids(&[0, 1, 2]), ids(&[0, 1, 3])],
+        };
         r.set_route(NetId::new(0), tree);
         assert_eq!(r.occupancy(NodeId::default_for_test(1)), 1); // shared prefix counts once
         assert_eq!(r.num_routed(), 1);
@@ -213,8 +218,18 @@ mod tests {
     #[test]
     fn conflicts_detected() {
         let mut r = Routing::new(10);
-        r.set_route(NetId::new(0), RouteTree { paths: vec![ids(&[4, 5])] });
-        r.set_route(NetId::new(1), RouteTree { paths: vec![ids(&[5, 6])] });
+        r.set_route(
+            NetId::new(0),
+            RouteTree {
+                paths: vec![ids(&[4, 5])],
+            },
+        );
+        r.set_route(
+            NetId::new(1),
+            RouteTree {
+                paths: vec![ids(&[5, 6])],
+            },
+        );
         assert!(!r.is_feasible());
         assert_eq!(r.overused_nodes(), ids(&[5]));
     }
@@ -222,8 +237,18 @@ mod tests {
     #[test]
     fn replace_route_releases_old_nodes() {
         let mut r = Routing::new(10);
-        r.set_route(NetId::new(0), RouteTree { paths: vec![ids(&[1, 2])] });
-        r.set_route(NetId::new(0), RouteTree { paths: vec![ids(&[3, 4])] });
+        r.set_route(
+            NetId::new(0),
+            RouteTree {
+                paths: vec![ids(&[1, 2])],
+            },
+        );
+        r.set_route(
+            NetId::new(0),
+            RouteTree {
+                paths: vec![ids(&[3, 4])],
+            },
+        );
         assert_eq!(r.occupancy(NodeId::default_for_test(1)), 0);
         assert_eq!(r.occupancy(NodeId::default_for_test(3)), 1);
         assert_eq!(r.num_routed(), 1);
@@ -257,7 +282,9 @@ mod tests {
         assert_eq!(empty.utilization(), 0.0);
         r.set_route(
             NetId::new(0),
-            RouteTree { paths: vec![vec![rrg.chanx(0, 1, 0), rrg.chanx(1, 1, 0)]] },
+            RouteTree {
+                paths: vec![vec![rrg.chanx(0, 1, 0), rrg.chanx(1, 1, 0)]],
+            },
         );
         let c = r.congestion(&rrg);
         assert_eq!(c.used, 2);
@@ -268,8 +295,18 @@ mod tests {
     #[test]
     fn total_wirelength_accumulates() {
         let mut r = Routing::new(10);
-        r.set_route(NetId::new(0), RouteTree { paths: vec![ids(&[0, 1])] });
-        r.set_route(NetId::new(2), RouteTree { paths: vec![ids(&[2, 3, 4])] });
+        r.set_route(
+            NetId::new(0),
+            RouteTree {
+                paths: vec![ids(&[0, 1])],
+            },
+        );
+        r.set_route(
+            NetId::new(2),
+            RouteTree {
+                paths: vec![ids(&[2, 3, 4])],
+            },
+        );
         assert_eq!(r.total_wirelength(), 5);
         assert_eq!(r.iter().count(), 2);
     }

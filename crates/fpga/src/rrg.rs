@@ -207,7 +207,10 @@ impl RoutingGraph {
     /// Panics on out-of-range coordinates.
     pub fn chanx(&self, x: u16, y: u16, t: u16) -> NodeId {
         let (x, y, t) = (x as usize, y as usize, t as usize);
-        assert!(x < self.w && y <= self.h && t < self.t, "chanx out of range");
+        assert!(
+            x < self.w && y <= self.h && t < self.t,
+            "chanx out of range"
+        );
         NodeId((self.chanx_base + (y * self.w + x) * self.t + t) as u32)
     }
 
@@ -218,7 +221,10 @@ impl RoutingGraph {
     /// Panics on out-of-range coordinates.
     pub fn chany(&self, x: u16, y: u16, t: u16) -> NodeId {
         let (x, y, t) = (x as usize, y as usize, t as usize);
-        assert!(x <= self.w && y < self.h && t < self.t, "chany out of range");
+        assert!(
+            x <= self.w && y < self.h && t < self.t,
+            "chany out of range"
+        );
         NodeId((self.chany_base + (x * self.h + y) * self.t + t) as u32)
     }
 
@@ -229,7 +235,10 @@ impl RoutingGraph {
     /// Panics on out-of-range coordinates.
     pub fn ipin(&self, coord: Coord, pin: u8) -> NodeId {
         let (x, y, p) = (coord.x as usize, coord.y as usize, pin as usize);
-        assert!(x < self.w && y < self.h && p < CLB_IN_PINS, "ipin out of range");
+        assert!(
+            x < self.w && y < self.h && p < CLB_IN_PINS,
+            "ipin out of range"
+        );
         NodeId((self.ipin_base + (y * self.w + x) * CLB_IN_PINS + p) as u32)
     }
 
@@ -287,9 +296,7 @@ impl RoutingGraph {
     /// LUTs, 0 for flip-flops); IOBs have a single pad node.
     pub fn sink_node(&self, loc: BelLoc, pin: usize) -> NodeId {
         match loc {
-            BelLoc::Clb { coord, slot } => {
-                self.ipin(coord, (slot.pin_base() + pin) as u8)
-            }
+            BelLoc::Clb { coord, slot } => self.ipin(coord, (slot.pin_base() + pin) as u8),
             BelLoc::Iob(site) => self.iob(site),
         }
     }
@@ -404,9 +411,12 @@ impl RoutingGraph {
         match self.node(id) {
             NodeKind::ChanX { x, y, .. } => (x as i32, y as i32 - 1, x as i32, y as i32),
             NodeKind::ChanY { x, y, .. } => (x as i32 - 1, y as i32, x as i32, y as i32),
-            NodeKind::IPin { coord, .. } | NodeKind::OPin { coord, .. } => {
-                (coord.x as i32, coord.y as i32, coord.x as i32, coord.y as i32)
-            }
+            NodeKind::IPin { coord, .. } | NodeKind::OPin { coord, .. } => (
+                coord.x as i32,
+                coord.y as i32,
+                coord.x as i32,
+                coord.y as i32,
+            ),
             NodeKind::Iob(site) => {
                 let (x, y) = match site.side {
                     IobSide::North => (site.pos as i32, self.h as i32),
@@ -471,11 +481,19 @@ impl RoutingGraph {
                 // Boundary pads.
                 if y == 0 {
                     for kk in 0..k {
-                        out.push(self.iob(IobSite { side: IobSide::South, pos: x, k: kk }));
+                        out.push(self.iob(IobSite {
+                            side: IobSide::South,
+                            pos: x,
+                            k: kk,
+                        }));
                     }
                 } else if y == h {
                     for kk in 0..k {
-                        out.push(self.iob(IobSite { side: IobSide::North, pos: x, k: kk }));
+                        out.push(self.iob(IobSite {
+                            side: IobSide::North,
+                            pos: x,
+                            k: kk,
+                        }));
                     }
                 }
             }
@@ -512,11 +530,19 @@ impl RoutingGraph {
                 // Boundary pads.
                 if x == 0 {
                     for kk in 0..k {
-                        out.push(self.iob(IobSite { side: IobSide::West, pos: y, k: kk }));
+                        out.push(self.iob(IobSite {
+                            side: IobSide::West,
+                            pos: y,
+                            k: kk,
+                        }));
                     }
                 } else if x == w {
                     for kk in 0..k {
-                        out.push(self.iob(IobSite { side: IobSide::East, pos: y, k: kk }));
+                        out.push(self.iob(IobSite {
+                            side: IobSide::East,
+                            pos: y,
+                            k: kk,
+                        }));
                     }
                 }
             }
@@ -587,8 +613,7 @@ mod tests {
         for i in 0..g.num_nodes() {
             let id = NodeId(i as u32);
             let kind = g.node(id);
-            let is_wire =
-                matches!(kind, NodeKind::ChanX { .. } | NodeKind::ChanY { .. });
+            let is_wire = matches!(kind, NodeKind::ChanX { .. } | NodeKind::ChanY { .. });
             if !is_wire {
                 continue;
             }
@@ -638,12 +663,20 @@ mod tests {
     fn boundary_wires_reach_pads_and_back() {
         let g = graph();
         let mut nbrs = Vec::new();
-        let south_site = IobSite { side: IobSide::South, pos: 2, k: 1 };
+        let south_site = IobSite {
+            side: IobSide::South,
+            pos: 2,
+            k: 1,
+        };
         g.neighbors(g.chanx(2, 0, 1), &mut nbrs);
         assert!(nbrs.contains(&g.iob(south_site)));
         g.neighbors(g.iob(south_site), &mut nbrs);
         assert!(nbrs.contains(&g.chanx(2, 0, 1)));
-        let east_site = IobSite { side: IobSide::East, pos: 1, k: 0 };
+        let east_site = IobSite {
+            side: IobSide::East,
+            pos: 1,
+            k: 0,
+        };
         g.neighbors(g.iob(east_site), &mut nbrs);
         assert!(nbrs.contains(&g.chany(4, 1, 0)));
     }
@@ -653,9 +686,7 @@ mod tests {
         let g = graph();
         let mut nbrs = Vec::new();
         g.neighbors(g.chanx(1, 1, 0), &mut nbrs);
-        assert!(nbrs
-            .iter()
-            .all(|&n| !matches!(g.node(n), NodeKind::Iob(_))));
+        assert!(nbrs.iter().all(|&n| !matches!(g.node(n), NodeKind::Iob(_))));
     }
 
     #[test]

@@ -113,7 +113,9 @@ fn estimate(
     net: netlist::NetId,
     sink_idx: usize,
 ) -> f64 {
-    let Ok(n) = nl.net(net) else { return model.est_base };
+    let Ok(n) = nl.net(net) else {
+        return model.est_base;
+    };
     let (Some(driver), Some(sink)) = (n.driver, n.sinks.get(sink_idx)) else {
         return model.est_base;
     };
@@ -194,10 +196,7 @@ fn analyze(
         }
     }
 
-    let worst = endpoints
-        .iter()
-        .cloned()
-        .max_by(|a, b| a.0.total_cmp(&b.0));
+    let worst = endpoints.iter().cloned().max_by(|a, b| a.0.total_cmp(&b.0));
     let (critical_ns, worst_endpoint) = match worst {
         Some((t, id)) => (t, Some(id)),
         None => (0.0, None),
@@ -214,7 +213,11 @@ fn analyze(
         }
     }
     critical_path.reverse();
-    Ok(TimingReport { critical_ns, worst_endpoint, critical_path })
+    Ok(TimingReport {
+        critical_ns,
+        worst_endpoint,
+        critical_path,
+    })
 }
 
 #[cfg(test)]
@@ -245,14 +248,28 @@ mod tests {
         let l1 = nl.find_cell("l1").unwrap();
         let l2 = nl.find_cell("l2").unwrap();
         let y = nl.find_cell("y").unwrap();
-        p.place(a, BelLoc::Iob(crate::IobSite { side: crate::IobSide::West, pos: 0, k: 0 }))
-            .unwrap();
+        p.place(
+            a,
+            BelLoc::Iob(crate::IobSite {
+                side: crate::IobSide::West,
+                pos: 0,
+                k: 0,
+            }),
+        )
+        .unwrap();
         p.place(l1, BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
         p.place(l2, BelLoc::clb(spread, 0, ClbSlot::LutF)).unwrap();
         // Output pad on the west edge so total path length grows with
         // `spread` (out and back) instead of staying constant.
-        p.place(y, BelLoc::Iob(crate::IobSite { side: crate::IobSide::West, pos: 1, k: 0 }))
-            .unwrap();
+        p.place(
+            y,
+            BelLoc::Iob(crate::IobSite {
+                side: crate::IobSide::West,
+                pos: 1,
+                k: 0,
+            }),
+        )
+        .unwrap();
         (nl, dev, p)
     }
 
@@ -298,7 +315,11 @@ mod tests {
         let t = TimingReport::analyze_placed(&nl, &dev, &p, &m).unwrap();
         // clk->q + net + lut + net + setup, nets at distance 0.
         let expect = m.ff_clk_to_q + m.est_base + m.lut + m.est_base + m.ff_setup;
-        assert!((t.critical_ns - expect).abs() < 1e-9, "{} vs {expect}", t.critical_ns);
+        assert!(
+            (t.critical_ns - expect).abs() < 1e-9,
+            "{} vs {expect}",
+            t.critical_ns
+        );
     }
 
     #[test]
@@ -306,8 +327,7 @@ mod tests {
         let nl = Netlist::new("empty");
         let dev = Device::new(2, 2, 2, 2).unwrap();
         let p = Placement::new(0);
-        let t =
-            TimingReport::analyze_placed(&nl, &dev, &p, &DelayModel::default()).unwrap();
+        let t = TimingReport::analyze_placed(&nl, &dev, &p, &DelayModel::default()).unwrap();
         assert_eq!(t.critical_ns, 0.0);
         assert!(t.worst_endpoint.is_none());
         assert!(t.fmax_mhz().is_infinite());
@@ -332,8 +352,7 @@ mod tests {
             },
         );
         let m = DelayModel::default();
-        let routed =
-            TimingReport::analyze_routed(&nl, &dev, &p, &routing, &rrg, &m).unwrap();
+        let routed = TimingReport::analyze_routed(&nl, &dev, &p, &routing, &rrg, &m).unwrap();
         let placed = TimingReport::analyze_placed(&nl, &dev, &p, &m).unwrap();
         // The routed l1->l2 hop (1.05ns) is cheaper than the 3-CLB
         // estimate (0.8 + 3*0.35 = 1.85ns).

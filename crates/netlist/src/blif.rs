@@ -158,7 +158,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err(line: usize, message: impl Into<String>) -> NetlistError {
-        NetlistError::Parse { line, message: message.into() }
+        NetlistError::Parse {
+            line,
+            message: message.into(),
+        }
     }
 
     fn run(mut self) -> Result<Netlist, NetlistError> {
@@ -211,8 +214,7 @@ impl<'a> Parser<'a> {
                     if self.model.is_some() {
                         return Err(Self::err(line_no, "multiple .model statements"));
                     }
-                    self.model =
-                        Some(rest.first().cloned().unwrap_or_else(|| "top".to_string()));
+                    self.model = Some(rest.first().cloned().unwrap_or_else(|| "top".to_string()));
                 }
                 ".inputs" => self.inputs.extend(rest),
                 ".outputs" => self.outputs.extend(rest),
@@ -244,7 +246,11 @@ impl<'a> Parser<'a> {
                         };
                         rows.push((pattern, value));
                     }
-                    self.names.push(NamesStmt { line: line_no, signals: rest, rows });
+                    self.names.push(NamesStmt {
+                        line: line_no,
+                        signals: rest,
+                        rows,
+                    });
                 }
                 ".latch" => {
                     if rest.len() < 2 {
@@ -266,7 +272,10 @@ impl<'a> Parser<'a> {
                 }
                 ".end" => break,
                 ".exdc" | ".subckt" | ".gate" | ".mlatch" => {
-                    return Err(Self::err(line_no, format!("unsupported construct `{head}`")));
+                    return Err(Self::err(
+                        line_no,
+                        format!("unsupported construct `{head}`"),
+                    ));
                 }
                 other if other.starts_with('.') => {
                     // Ignore benign extensions (.default_input_arrival etc.).
@@ -323,8 +332,8 @@ impl<'a> Parser<'a> {
                 .map(|s| intern(&mut nl, s))
                 .collect::<Result<_, _>>()?;
             let out_net = intern(&mut nl, output_name)?;
-            let tt = cover_to_truth_table(arity, &stmt.rows)
-                .map_err(|m| Self::err(stmt.line, m))?;
+            let tt =
+                cover_to_truth_table(arity, &stmt.rows).map_err(|m| Self::err(stmt.line, m))?;
             nl.add_lut_driving(format!("lut:{output_name}"), tt, &input_ids, out_net)
                 .map_err(|e| match e {
                     NetlistError::MultipleDrivers(_) | NetlistError::DuplicateName(_) => {
@@ -363,7 +372,11 @@ fn cover_to_truth_table(arity: usize, rows: &[(String, char)]) -> Result<TruthTa
     // Constant function: `.names y` with a single `1` (or `0`/empty) row.
     if arity == 0 {
         let value = polarity && !set.is_empty();
-        return Ok(if value { TruthTable::constant1(0) } else { TruthTable::constant0(0) });
+        return Ok(if value {
+            TruthTable::constant1(0)
+        } else {
+            TruthTable::constant0(0)
+        });
     }
     let mut covered = 0u64;
     for (pattern, _) in set {
@@ -452,7 +465,10 @@ mod tests {
         let nl = parse(src).unwrap();
         assert_eq!(nl.num_ffs(), 1);
         let ff = nl.find_cell("ff:q").unwrap();
-        assert!(matches!(nl.cell(ff).unwrap().kind, crate::cell::CellKind::Ff { init: true }));
+        assert!(matches!(
+            nl.cell(ff).unwrap().kind,
+            crate::cell::CellKind::Ff { init: true }
+        ));
         let text = write(&nl);
         let nl2 = parse(&text).unwrap();
         assert_eq!(nl2.num_ffs(), 1);
@@ -546,7 +562,10 @@ mod tests {
     #[test]
     fn unsupported_construct_rejected() {
         let src = ".model bad\n.subckt foo a=b\n.end\n";
-        assert!(matches!(parse(src), Err(NetlistError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse(src),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

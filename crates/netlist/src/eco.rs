@@ -136,7 +136,11 @@ pub fn apply(nl: &mut Netlist, op: &EcoOp) -> Result<EcoReport, NetlistError> {
             nl.set_pin(*cell, *pin, *net)?;
             report.modified.push(*cell);
         }
-        EcoOp::AddLut { name, function, inputs } => {
+        EcoOp::AddLut {
+            name,
+            function,
+            inputs,
+        } => {
             let id = nl.add_lut(name.clone(), *function, inputs)?;
             report.added.push(id);
             // Every sink that will consume the new net is untouched
@@ -189,7 +193,10 @@ mod tests {
         let (mut nl, u, ..) = fixture();
         let rep = apply(
             &mut nl,
-            &EcoOp::ChangeLutFunction { cell: u, function: TruthTable::or(2) },
+            &EcoOp::ChangeLutFunction {
+                cell: u,
+                function: TruthTable::or(2),
+            },
         )
         .unwrap();
         assert_eq!(rep.modified, vec![u]);
@@ -209,7 +216,11 @@ mod tests {
                     function: TruthTable::not(),
                     inputs: vec![na],
                 },
-                EcoOp::RewirePin { cell: u, pin: 0, net: NetId::new(0) },
+                EcoOp::RewirePin {
+                    cell: u,
+                    pin: 0,
+                    net: NetId::new(0),
+                },
             ],
         );
         // The rewire above used a guessed net id; do it properly:
@@ -226,7 +237,15 @@ mod tests {
         let inv = rep2.added[0];
         let inv_net = nl2.cell_output(inv).unwrap();
         let u2 = nl2.find_cell("u").unwrap();
-        apply(&mut nl2, &EcoOp::RewirePin { cell: u2, pin: 0, net: inv_net }).unwrap();
+        apply(
+            &mut nl2,
+            &EcoOp::RewirePin {
+                cell: u2,
+                pin: 0,
+                net: inv_net,
+            },
+        )
+        .unwrap();
         nl2.validate().unwrap();
         assert_eq!(nl2.cell(u2).unwrap().inputs[0], inv_net);
         // First (sloppy) batch also succeeded or failed cleanly.
@@ -268,8 +287,22 @@ mod tests {
 
     #[test]
     fn op_metadata() {
-        assert!(EcoOp::AddFf { name: "r".into(), init: false, d: NetId::new(0) }.adds_logic());
-        assert!(!EcoOp::RemoveCell { cell: CellId::new(0) }.adds_logic());
-        assert_eq!(EcoOp::RemoveCell { cell: CellId::new(0) }.tag(), "remove");
+        assert!(EcoOp::AddFf {
+            name: "r".into(),
+            init: false,
+            d: NetId::new(0)
+        }
+        .adds_logic());
+        assert!(!EcoOp::RemoveCell {
+            cell: CellId::new(0)
+        }
+        .adds_logic());
+        assert_eq!(
+            EcoOp::RemoveCell {
+                cell: CellId::new(0)
+            }
+            .tag(),
+            "remove"
+        );
     }
 }

@@ -70,7 +70,10 @@ impl fmt::Display for NetlistError {
             Self::UnknownCell(c) => write!(f, "unknown cell {c}"),
             Self::UnknownNet(n) => write!(f, "unknown net {n}"),
             Self::PinOutOfRange { cell, pin, arity } => {
-                write!(f, "pin {pin} out of range for cell {cell} with {arity} inputs")
+                write!(
+                    f,
+                    "pin {pin} out of range for cell {cell} with {arity} inputs"
+                )
             }
             Self::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
             Self::Undriven(n) => write!(f, "net {n} is consumed but never driven"),

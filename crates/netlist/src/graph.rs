@@ -316,9 +316,10 @@ impl Netlist {
     /// [`NetlistError::KindMismatch`] if the cell drives nothing
     /// (primary outputs).
     pub fn cell_output(&self, id: CellId) -> Result<NetId, NetlistError> {
-        self.cell(id)?
-            .output
-            .ok_or(NetlistError::KindMismatch { cell: id, expected: "driving cell" })
+        self.cell(id)?.output.ok_or(NetlistError::KindMismatch {
+            cell: id,
+            expected: "driving cell",
+        })
     }
 
     /// Finds a cell by name.
@@ -375,7 +376,9 @@ impl Netlist {
 
     /// Number of LUT cells.
     pub fn num_luts(&self) -> usize {
-        self.cells().filter(|(_, c)| matches!(c.kind, CellKind::Lut(_))).count()
+        self.cells()
+            .filter(|(_, c)| matches!(c.kind, CellKind::Lut(_)))
+            .count()
     }
 
     /// Number of flip-flop cells.
@@ -459,7 +462,12 @@ impl Netlist {
                     });
                 }
             }
-            _ => return Err(NetlistError::KindMismatch { cell, expected: "lut" }),
+            _ => {
+                return Err(NetlistError::KindMismatch {
+                    cell,
+                    expected: "lut",
+                })
+            }
         }
         self.cell_mut_raw(cell)?.kind = CellKind::Lut(function);
         Ok(())
@@ -696,7 +704,10 @@ impl Netlist {
         for (id, cell) in self.cells() {
             if let CellKind::Lut(tt) = &cell.kind {
                 if tt.arity() != cell.arity() {
-                    return Err(NetlistError::BadArity { arity: cell.arity(), max: tt.arity() });
+                    return Err(NetlistError::BadArity {
+                        arity: cell.arity(),
+                        max: tt.arity(),
+                    });
                 }
             }
             for (pin, &net) in cell.inputs.iter().enumerate() {
@@ -752,7 +763,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut nl = Netlist::new("t");
         nl.add_input("a").unwrap();
-        assert!(matches!(nl.add_input("a"), Err(NetlistError::DuplicateName(_))));
+        assert!(matches!(
+            nl.add_input("a"),
+            Err(NetlistError::DuplicateName(_))
+        ));
     }
 
     #[test]
@@ -839,7 +853,10 @@ mod tests {
             .add_lut("v", TruthTable::buf(), &[nl.cell_output(u).unwrap()])
             .unwrap();
         nl.set_pin(u, 0, nl.cell_output(v).unwrap()).unwrap();
-        assert!(matches!(nl.topo_order(), Err(NetlistError::CombinationalLoop(_))));
+        assert!(matches!(
+            nl.topo_order(),
+            Err(NetlistError::CombinationalLoop(_))
+        ));
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl Hierarchy {
     /// # Panics
     ///
     /// Panics if `parent` is not a valid node.
-    pub fn add_child(&mut self, parent: HierarchyNodeId, name: impl Into<String>) -> HierarchyNodeId {
+    pub fn add_child(
+        &mut self,
+        parent: HierarchyNodeId,
+        name: impl Into<String>,
+    ) -> HierarchyNodeId {
         assert!(parent.index() < self.nodes.len(), "bad parent node");
         let id = HierarchyNodeId::new(self.nodes.len());
         self.nodes.push(Node {
@@ -252,7 +256,10 @@ mod tests {
     #[test]
     fn subtree_collects_descendant_cells() {
         let (h, alu, _, _) = sample();
-        assert_eq!(h.subtree_cells(alu).unwrap(), vec![CellId::new(0), CellId::new(1)]);
+        assert_eq!(
+            h.subtree_cells(alu).unwrap(),
+            vec![CellId::new(0), CellId::new(1)]
+        );
         assert_eq!(h.subtree_cells(h.root()).unwrap().len(), 3);
     }
 

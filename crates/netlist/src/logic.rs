@@ -39,9 +39,15 @@ impl TruthTable {
     /// Returns [`NetlistError::BadArity`] if `arity > 6`.
     pub fn from_bits(arity: usize, bits: u64) -> Result<Self, NetlistError> {
         if arity > MAX_ARITY {
-            return Err(NetlistError::BadArity { arity, max: MAX_ARITY });
+            return Err(NetlistError::BadArity {
+                arity,
+                max: MAX_ARITY,
+            });
         }
-        Ok(Self { bits: bits & Self::row_mask(arity), arity: arity as u8 })
+        Ok(Self {
+            bits: bits & Self::row_mask(arity),
+            arity: arity as u8,
+        })
     }
 
     /// Creates a truth table by evaluating `f` on every input row.
@@ -59,7 +65,10 @@ impl TruthTable {
                 bits |= 1 << row;
             }
         }
-        Self { bits, arity: arity as u8 }
+        Self {
+            bits,
+            arity: arity as u8,
+        }
     }
 
     /// The constant-0 function of the given arity.
@@ -223,7 +232,10 @@ impl TruthTable {
     #[must_use]
     pub fn with_flipped_row(&self, row: u64) -> Self {
         assert!(row < Self::row_count(self.arity()), "row out of range");
-        Self { bits: self.bits ^ (1 << row), arity: self.arity }
+        Self {
+            bits: self.bits ^ (1 << row),
+            arity: self.arity,
+        }
     }
 
     /// Swaps two input variables, returning the permuted table.
@@ -251,7 +263,10 @@ impl TruthTable {
     /// [`MAX_ARITY`] or smaller than the current arity.
     pub fn extended_to(&self, new_arity: usize) -> Result<Self, NetlistError> {
         if new_arity > MAX_ARITY || new_arity < self.arity() {
-            return Err(NetlistError::BadArity { arity: new_arity, max: MAX_ARITY });
+            return Err(NetlistError::BadArity {
+                arity: new_arity,
+                max: MAX_ARITY,
+            });
         }
         Ok(Self::from_fn(new_arity, |row| {
             self.eval_row(row & (Self::row_count(self.arity()) - 1))
@@ -275,7 +290,13 @@ impl TruthTable {
 
 impl fmt::Display for TruthTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lut{}:{:0width$b}", self.arity, self.bits, width = 1 << self.arity())
+        write!(
+            f,
+            "lut{}:{:0width$b}",
+            self.arity,
+            self.bits,
+            width = 1 << self.arity()
+        )
     }
 }
 

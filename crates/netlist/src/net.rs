@@ -33,7 +33,11 @@ pub struct Net {
 impl Net {
     /// Creates a named, unconnected net.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), driver: None, sinks: Vec::new() }
+        Self {
+            name: name.into(),
+            driver: None,
+            sinks: Vec::new(),
+        }
     }
 
     /// Number of sinks.
@@ -68,15 +72,24 @@ mod tests {
     #[test]
     fn fanout_counts_sinks() {
         let mut n = Net::new("w");
-        n.sinks.push(Sink { cell: CellId::new(0), pin: 0 });
-        n.sinks.push(Sink { cell: CellId::new(1), pin: 2 });
+        n.sinks.push(Sink {
+            cell: CellId::new(0),
+            pin: 0,
+        });
+        n.sinks.push(Sink {
+            cell: CellId::new(1),
+            pin: 2,
+        });
         assert_eq!(n.fanout(), 2);
         assert!(!n.is_dangling());
     }
 
     #[test]
     fn sink_display() {
-        let s = Sink { cell: CellId::new(4), pin: 1 };
+        let s = Sink {
+            cell: CellId::new(4),
+            pin: 1,
+        };
         assert_eq!(s.to_string(), "c4.1");
     }
 }

@@ -85,9 +85,17 @@ mod tests {
 
     #[test]
     fn clb_estimate_packs_pairs() {
-        let s = NetlistStats { luts: 10, ffs: 4, ..Default::default() };
+        let s = NetlistStats {
+            luts: 10,
+            ffs: 4,
+            ..Default::default()
+        };
         assert_eq!(s.clb_estimate(), 5);
-        let s = NetlistStats { luts: 3, ffs: 8, ..Default::default() };
+        let s = NetlistStats {
+            luts: 3,
+            ffs: 8,
+            ..Default::default()
+        };
         assert_eq!(s.clb_estimate(), 4);
         assert_eq!(NetlistStats::default().clb_estimate(), 0);
     }

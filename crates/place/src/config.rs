@@ -20,14 +20,24 @@ pub struct PlacerConfig {
 
 impl Default for PlacerConfig {
     fn default() -> Self {
-        Self { seed: 1, inner_num: 1.0, exit_ratio: 0.005, max_temps: 200 }
+        Self {
+            seed: 1,
+            inner_num: 1.0,
+            exit_ratio: 0.005,
+            max_temps: 200,
+        }
     }
 }
 
 impl PlacerConfig {
     /// A light schedule for unit tests and small ECO regions.
     pub fn fast(seed: u64) -> Self {
-        Self { seed, inner_num: 0.5, exit_ratio: 0.02, max_temps: 60 }
+        Self {
+            seed,
+            inner_num: 0.5,
+            exit_ratio: 0.02,
+            max_temps: 60,
+        }
     }
 }
 
@@ -110,9 +120,15 @@ mod tests {
         assert_eq!(c.num_locked(), 3);
         assert!(c.is_locked(CellId::new(2)));
         assert!(!c.is_locked(CellId::new(5)));
-        assert_eq!(c.region_of(CellId::new(5)), Some(&[Rect::new(1, 1, 2, 2)][..]));
+        assert_eq!(
+            c.region_of(CellId::new(5)),
+            Some(&[Rect::new(1, 1, 2, 2)][..])
+        );
         assert_eq!(c.region_of(CellId::new(0)), None);
-        c.confine_any(CellId::new(6), vec![Rect::new(0, 0, 1, 1), Rect::new(4, 4, 5, 5)]);
+        c.confine_any(
+            CellId::new(6),
+            vec![Rect::new(0, 0, 1, 1), Rect::new(4, 4, 5, 5)],
+        );
         assert_eq!(c.region_of(CellId::new(6)).unwrap().len(), 2);
     }
 

@@ -47,7 +47,9 @@ pub fn net_bbox_cost(nl: &Netlist, device: &Device, placement: &Placement, net: 
 
 /// Total HPWL cost over all nets.
 pub fn total_wirelength_cost(nl: &Netlist, device: &Device, placement: &Placement) -> f64 {
-    nl.nets().map(|(id, _)| net_bbox_cost(nl, device, placement, id)).sum()
+    nl.nets()
+        .map(|(id, _)| net_bbox_cost(nl, device, placement, id))
+        .sum()
 }
 
 #[cfg(test)]
@@ -73,15 +75,29 @@ mod tests {
         let u = nl.find_cell("u").unwrap();
         let near = {
             let mut p = Placement::new(nl.cell_capacity());
-            p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
-                .unwrap();
+            p.place(
+                a,
+                BelLoc::Iob(fpga::IobSite {
+                    side: fpga::IobSide::West,
+                    pos: 0,
+                    k: 0,
+                }),
+            )
+            .unwrap();
             p.place(u, BelLoc::clb(0, 0, ClbSlot::LutF)).unwrap();
             total_wirelength_cost(&nl, &dev, &p)
         };
         let far = {
             let mut p = Placement::new(nl.cell_capacity());
-            p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
-                .unwrap();
+            p.place(
+                a,
+                BelLoc::Iob(fpga::IobSite {
+                    side: fpga::IobSide::West,
+                    pos: 0,
+                    k: 0,
+                }),
+            )
+            .unwrap();
             p.place(u, BelLoc::clb(7, 7, ClbSlot::LutF)).unwrap();
             total_wirelength_cost(&nl, &dev, &p)
         };

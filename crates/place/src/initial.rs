@@ -50,7 +50,9 @@ pub fn initial_place(
             continue;
         }
         let loc = find_free(nl, device, constraints, placement, &mut rng, id)?;
-        placement.place(id, loc).map_err(|_| PlaceError::NoSpace(id))?;
+        placement
+            .place(id, loc)
+            .map_err(|_| PlaceError::NoSpace(id))?;
         let _ = cell;
     }
     Ok(())
@@ -123,7 +125,12 @@ pub(crate) fn clip(a: Rect, b: Rect) -> Option<Rect> {
     if !a.intersects(&b) {
         return None;
     }
-    Some(Rect::new(a.x0.max(b.x0), a.y0.max(b.y0), a.x1.min(b.x1), a.y1.min(b.y1)))
+    Some(Rect::new(
+        a.x0.max(b.x0),
+        a.y0.max(b.y0),
+        a.x1.min(b.x1),
+        a.y1.min(b.y1),
+    ))
 }
 
 #[cfg(test)]
@@ -136,7 +143,9 @@ mod tests {
         let a = nl.add_input("a").unwrap();
         let mut prev = nl.cell_output(a).unwrap();
         for i in 0..luts {
-            let u = nl.add_lut(format!("u{i}"), TruthTable::not(), &[prev]).unwrap();
+            let u = nl
+                .add_lut(format!("u{i}"), TruthTable::not(), &[prev])
+                .unwrap();
             prev = nl.cell_output(u).unwrap();
         }
         nl.add_output("y", prev).unwrap();

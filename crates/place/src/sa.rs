@@ -142,8 +142,8 @@ pub fn place(
         }
     }
     let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
-    let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
-        / deltas.len().max(1) as f64;
+    let var =
+        deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len().max(1) as f64;
     let mut temp = (20.0 * var.sqrt()).max(1.0);
 
     let inner = ((movable.len() as f64).powf(4.0 / 3.0) * config.inner_num).max(8.0) as u64;
@@ -173,8 +173,8 @@ pub fn place(
             0.8
         };
         temp *= alpha;
-        rlim = (rlim * (1.0 - 0.44 + rate))
-            .clamp(1.0, f64::from(device.width().max(device.height())));
+        rlim =
+            (rlim * (1.0 - 0.44 + rate)).clamp(1.0, f64::from(device.width().max(device.height())));
         if temp < config.exit_ratio * *annealer.cost / num_nets {
             break;
         }
@@ -235,7 +235,8 @@ impl Annealer<'_> {
         self.scratch.clear();
         self.scratch.extend_from_slice(&self.incident[cell.index()]);
         if let Some(other) = occupant {
-            self.scratch.extend_from_slice(&self.incident[other.index()]);
+            self.scratch
+                .extend_from_slice(&self.incident[other.index()]);
         }
         self.scratch.sort_unstable();
         self.scratch.dedup();
@@ -393,7 +394,10 @@ mod tests {
         let out = place(&nl, &dev, &cons, None, &PlacerConfig::fast(11)).unwrap();
         for &id in &confined {
             let loc = out.placement.loc_of(id).unwrap();
-            assert!(region.contains(loc.coord().unwrap()), "{id} escaped to {loc}");
+            assert!(
+                region.contains(loc.coord().unwrap()),
+                "{id} escaped to {loc}"
+            );
         }
     }
 
@@ -402,8 +406,14 @@ mod tests {
         let nl = clustered_design();
         let dev = Device::new(8, 8, 4, 2).unwrap();
         let run = || {
-            let out =
-                place(&nl, &dev, &Constraints::free(), None, &PlacerConfig::fast(42)).unwrap();
+            let out = place(
+                &nl,
+                &dev,
+                &Constraints::free(),
+                None,
+                &PlacerConfig::fast(42),
+            )
+            .unwrap();
             let locs: Vec<_> = out.placement.iter().collect();
             (locs, out.cost.to_bits(), out.moves_evaluated)
         };
@@ -418,19 +428,25 @@ mod tests {
             let a = nl.add_input("a").unwrap();
             let mut prev = nl.cell_output(a).unwrap();
             for i in 0..4 {
-                let u = nl.add_lut(format!("u{i}"), TruthTable::not(), &[prev]).unwrap();
+                let u = nl
+                    .add_lut(format!("u{i}"), TruthTable::not(), &[prev])
+                    .unwrap();
                 prev = nl.cell_output(u).unwrap();
             }
             nl.add_output("y", prev).unwrap();
             nl
         };
         let big = clustered_design();
-        let cfg = PlacerConfig { max_temps: 10, ..PlacerConfig::default() };
+        let cfg = PlacerConfig {
+            max_temps: 10,
+            ..PlacerConfig::default()
+        };
         let e_small = place(&small, &dev, &Constraints::free(), None, &cfg)
             .unwrap()
             .moves_evaluated;
-        let e_big =
-            place(&big, &dev, &Constraints::free(), None, &cfg).unwrap().moves_evaluated;
+        let e_big = place(&big, &dev, &Constraints::free(), None, &cfg)
+            .unwrap()
+            .moves_evaluated;
         assert!(e_big > e_small);
     }
 
@@ -451,7 +467,13 @@ mod tests {
     fn no_space_is_reported() {
         let nl = clustered_design(); // 20 LUTs
         let dev = Device::new(2, 2, 4, 2).unwrap(); // 8 LUT slots
-        let err = place(&nl, &dev, &Constraints::free(), None, &PlacerConfig::fast(1));
+        let err = place(
+            &nl,
+            &dev,
+            &Constraints::free(),
+            None,
+            &PlacerConfig::fast(1),
+        );
         assert!(matches!(err, Err(PlaceError::NoSpace(_))));
     }
 }

@@ -82,7 +82,10 @@ impl fmt::Display for RouteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Unroutable { net } => write!(f, "net {net} has an unreachable sink"),
-            Self::CongestionUnresolved { iterations, overused } => {
+            Self::CongestionUnresolved {
+                iterations,
+                overused,
+            } => {
                 write!(f, "congestion unresolved after {iterations} iterations ({overused} nodes overused)")
             }
             Self::BadRequest(msg) => write!(f, "bad routing request: {msg}"),
@@ -162,8 +165,7 @@ pub fn route(
             comp[i]
         }
         for i in 0..paths.len() {
-            let set_i: std::collections::BTreeSet<NodeId> =
-                paths[i].iter().copied().collect();
+            let set_i: std::collections::BTreeSet<NodeId> = paths[i].iter().copied().collect();
             for j in (i + 1)..paths.len() {
                 if paths[j].iter().any(|nd| set_i.contains(nd)) {
                     let (ri, rj) = (find(&mut comp, i), find(&mut comp, j));
@@ -186,7 +188,10 @@ pub fn route(
         }
         seed_nodes.sort_unstable();
         seed_nodes.dedup();
-        splits.push(BaseSplit { seed_nodes, fragments });
+        splits.push(BaseSplit {
+            seed_nodes,
+            fragments,
+        });
     }
     // Per-net overlays for the net currently being routed:
     // `own_frag[i]` marks its disconnected-fragment nodes (blocked
@@ -195,7 +200,10 @@ pub fn route(
     let mut own_frag = vec![false; n];
     let mut own_seed = vec![false; n];
 
-    let mut stats = RouteStats { nets: requests.len(), ..Default::default() };
+    let mut stats = RouteStats {
+        nets: requests.len(),
+        ..Default::default()
+    };
     let mut hist = vec![0.0f32; n];
     let mut pres = options.pres_fac_init;
     let mut astar = AStar::new(n);
@@ -426,7 +434,10 @@ impl AStar {
             self.stamp[i] = self.generation;
             self.g[i] = 0.0;
             self.prev[i] = NO_PREV;
-            self.heap.push(Entry { f: h_of(rrg, s), node: s.index() as u32 });
+            self.heap.push(Entry {
+                f: h_of(rrg, s),
+                node: s.index() as u32,
+            });
         }
         // Re-pops of stale heap entries are filtered by comparing the
         // entry's f against the node's current g + h.
@@ -469,7 +480,10 @@ impl AStar {
                     self.stamp[mi] = self.generation;
                     self.g[mi] = cand;
                     self.prev[mi] = node;
-                    self.heap.push(Entry { f: cand + h_of(rrg, m), node: mi as u32 });
+                    self.heap.push(Entry {
+                        f: cand + h_of(rrg, m),
+                        node: mi as u32,
+                    });
                 }
             }
             self.nbrs = neighbors;
@@ -510,14 +524,24 @@ mod tests {
         let mut p = Placement::new(nl.cell_capacity());
         p.place(
             nl.find_cell("a").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 1, k: 0 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::West,
+                pos: 1,
+                k: 0,
+            }),
         )
         .unwrap();
-        p.place(nl.find_cell("u").unwrap(), BelLoc::clb(1, 1, ClbSlot::LutF)).unwrap();
-        p.place(nl.find_cell("v").unwrap(), BelLoc::clb(4, 4, ClbSlot::LutG)).unwrap();
+        p.place(nl.find_cell("u").unwrap(), BelLoc::clb(1, 1, ClbSlot::LutF))
+            .unwrap();
+        p.place(nl.find_cell("v").unwrap(), BelLoc::clb(4, 4, ClbSlot::LutG))
+            .unwrap();
         p.place(
             nl.find_cell("y").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::East, pos: 4, k: 1 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::East,
+                pos: 4,
+                k: 1,
+            }),
         )
         .unwrap();
         (nl, dev, rrg, p)
@@ -527,14 +551,9 @@ mod tests {
     fn routes_a_chain() {
         let (nl, _dev, rrg, p) = small_world();
         let mut routing = Routing::new(rrg.num_nodes());
-        let stats = crate::request::route_design(
-            &nl,
-            &p,
-            &rrg,
-            &mut routing,
-            &RouteOptions::default(),
-        )
-        .unwrap();
+        let stats =
+            crate::request::route_design(&nl, &p, &rrg, &mut routing, &RouteOptions::default())
+                .unwrap();
         assert_eq!(stats.nets, 3);
         assert!(routing.is_feasible());
         assert_eq!(routing.num_routed(), 3);
@@ -555,22 +574,20 @@ mod tests {
         let a = nl.add_input("a").unwrap();
         let src = nl.cell_output(a).unwrap();
         for i in 0..4 {
-            let u = nl.add_lut(format!("u{i}"), TruthTable::not(), &[src]).unwrap();
-            nl.add_output(format!("y{i}"), nl.cell_output(u).unwrap()).unwrap();
+            let u = nl
+                .add_lut(format!("u{i}"), TruthTable::not(), &[src])
+                .unwrap();
+            nl.add_output(format!("y{i}"), nl.cell_output(u).unwrap())
+                .unwrap();
         }
         let dev = Device::new(6, 6, 6, 2).unwrap();
         let rrg = RoutingGraph::new(&dev);
         let mut p = Placement::new(nl.cell_capacity());
         place::initial_place_for_tests(&nl, &dev, &mut p);
         let mut routing = Routing::new(rrg.num_nodes());
-        let stats = crate::request::route_design(
-            &nl,
-            &p,
-            &rrg,
-            &mut routing,
-            &RouteOptions::default(),
-        )
-        .unwrap();
+        let stats =
+            crate::request::route_design(&nl, &p, &rrg, &mut routing, &RouteOptions::default())
+                .unwrap();
         assert!(routing.is_feasible());
         let tree = routing.route(src).unwrap();
         assert_eq!(tree.paths.len(), 4);
@@ -593,7 +610,14 @@ mod tests {
                     }
                     _ => {
                         let c = coords.next().unwrap();
-                        p.place(id, BelLoc::Clb { coord: c, slot: ClbSlot::LutF }).unwrap();
+                        p.place(
+                            id,
+                            BelLoc::Clb {
+                                coord: c,
+                                slot: ClbSlot::LutF,
+                            },
+                        )
+                        .unwrap();
                     }
                 }
             }
@@ -618,7 +642,10 @@ mod tests {
             &p,
             &rrg,
             &mut routing,
-            &RouteOptions { allowed: Some(mask), ..Default::default() },
+            &RouteOptions {
+                allowed: Some(mask),
+                ..Default::default()
+            },
         );
         assert!(matches!(err, Err(RouteError::Unroutable { .. })));
     }
@@ -638,10 +665,8 @@ mod tests {
             .filter(|r| r.net == unet)
             .collect::<Vec<_>>();
         routing.clear_route(unet);
-        let locked_nodes: std::collections::BTreeSet<_> = routing
-            .iter()
-            .flat_map(|(_, t)| t.nodes())
-            .collect();
+        let locked_nodes: std::collections::BTreeSet<_> =
+            routing.iter().flat_map(|(_, t)| t.nodes()).collect();
         route(&rrg, &reqs, &mut routing, &RouteOptions::default()).unwrap();
         assert!(routing.is_feasible());
         // New route avoids every locked node.
@@ -662,12 +687,18 @@ mod tests {
         // Split the path in half: keep the source-side fragment as the
         // fixed base, re-route from its tip to the sink.
         let mid = full_path.len() / 2;
-        let base = RouteTree { paths: vec![full_path[..=mid].to_vec()] };
+        let base = RouteTree {
+            paths: vec![full_path[..=mid].to_vec()],
+        };
         let tip = full_path[mid];
         let sink = *full_path.last().unwrap();
         routing.clear_route(unet);
         routing.set_route(unet, base.clone());
-        let req = ConnectionRequest { net: unet, source: tip, sinks: vec![sink] };
+        let req = ConnectionRequest {
+            net: unet,
+            source: tip,
+            sinks: vec![sink],
+        };
         route(&rrg, &[req], &mut routing, &RouteOptions::default()).unwrap();
         let merged = routing.route(unet).unwrap();
         assert!(routing.is_feasible());
@@ -685,44 +716,68 @@ mod tests {
         for i in 0..2 {
             let a = nl.add_input(format!("a{i}")).unwrap();
             let u = nl
-                .add_lut(format!("u{i}"), TruthTable::not(), &[nl.cell_output(a).unwrap()])
+                .add_lut(
+                    format!("u{i}"),
+                    TruthTable::not(),
+                    &[nl.cell_output(a).unwrap()],
+                )
                 .unwrap();
-            nl.add_output(format!("y{i}"), nl.cell_output(u).unwrap()).unwrap();
+            nl.add_output(format!("y{i}"), nl.cell_output(u).unwrap())
+                .unwrap();
         }
         let dev = Device::new(4, 4, 2, 2).unwrap();
         let rrg = RoutingGraph::new(&dev);
         let mut p = Placement::new(nl.cell_capacity());
         p.place(
             nl.find_cell("a0").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 1, k: 0 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::West,
+                pos: 1,
+                k: 0,
+            }),
         )
         .unwrap();
         p.place(
             nl.find_cell("a1").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 1, k: 1 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::West,
+                pos: 1,
+                k: 1,
+            }),
         )
         .unwrap();
-        p.place(nl.find_cell("u0").unwrap(), BelLoc::clb(2, 1, ClbSlot::LutF)).unwrap();
-        p.place(nl.find_cell("u1").unwrap(), BelLoc::clb(2, 1, ClbSlot::LutG)).unwrap();
+        p.place(
+            nl.find_cell("u0").unwrap(),
+            BelLoc::clb(2, 1, ClbSlot::LutF),
+        )
+        .unwrap();
+        p.place(
+            nl.find_cell("u1").unwrap(),
+            BelLoc::clb(2, 1, ClbSlot::LutG),
+        )
+        .unwrap();
         p.place(
             nl.find_cell("y0").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::East, pos: 1, k: 0 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::East,
+                pos: 1,
+                k: 0,
+            }),
         )
         .unwrap();
         p.place(
             nl.find_cell("y1").unwrap(),
-            BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::East, pos: 1, k: 1 }),
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::East,
+                pos: 1,
+                k: 1,
+            }),
         )
         .unwrap();
         let mut routing = Routing::new(rrg.num_nodes());
-        let stats = crate::request::route_design(
-            &nl,
-            &p,
-            &rrg,
-            &mut routing,
-            &RouteOptions::default(),
-        )
-        .unwrap();
+        let stats =
+            crate::request::route_design(&nl, &p, &rrg, &mut routing, &RouteOptions::default())
+                .unwrap();
         assert!(routing.is_feasible());
         assert!(stats.iterations >= 1);
     }
@@ -731,7 +786,10 @@ mod tests {
     fn error_display() {
         let e = RouteError::Unroutable { net: NetId::new(3) };
         assert!(e.to_string().contains("n3"));
-        let e = RouteError::CongestionUnresolved { iterations: 5, overused: 2 };
+        let e = RouteError::CongestionUnresolved {
+            iterations: 5,
+            overused: 2,
+        };
         assert!(e.to_string().contains('5'));
     }
 }

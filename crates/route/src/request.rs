@@ -39,17 +39,25 @@ pub fn derive_requests(
     let mut out = Vec::new();
     for (net_id, net) in nl.nets() {
         let Some(driver) = net.driver else { continue };
-        let Some(src_loc) = placement.loc_of(driver) else { continue };
+        let Some(src_loc) = placement.loc_of(driver) else {
+            continue;
+        };
         let source = rrg.source_node(src_loc);
         let mut sinks = Vec::with_capacity(net.sinks.len());
         for s in &net.sinks {
-            let Some(sink_loc) = placement.loc_of(s.cell) else { continue };
+            let Some(sink_loc) = placement.loc_of(s.cell) else {
+                continue;
+            };
             sinks.push(rrg.sink_node(sink_loc, s.pin));
         }
         if sinks.is_empty() {
             continue;
         }
-        out.push(ConnectionRequest { net: net_id, source, sinks });
+        out.push(ConnectionRequest {
+            net: net_id,
+            source,
+            sinks,
+        });
     }
     Ok(out)
 }
@@ -67,8 +75,8 @@ pub fn route_design(
     routing: &mut Routing,
     options: &RouteOptions,
 ) -> Result<RouteStats, RouteError> {
-    let requests = derive_requests(nl, placement, rrg)
-        .map_err(|e| RouteError::BadRequest(e.to_string()))?;
+    let requests =
+        derive_requests(nl, placement, rrg).map_err(|e| RouteError::BadRequest(e.to_string()))?;
     route(rrg, &requests, routing, options)
 }
 
@@ -92,9 +100,13 @@ pub fn normalize_routes(
     for net_id in nets {
         let Ok(net) = nl.net(net_id) else { continue };
         let Some(driver) = net.driver else { continue };
-        let Some(driver_loc) = placement.loc_of(driver) else { continue };
+        let Some(driver_loc) = placement.loc_of(driver) else {
+            continue;
+        };
         let source = rrg.source_node(driver_loc);
-        let Some(tree) = routing.route(net_id) else { continue };
+        let Some(tree) = routing.route(net_id) else {
+            continue;
+        };
         let mut pred: HashMap<fpga::NodeId, fpga::NodeId> = HashMap::new();
         for path in &tree.paths {
             for w in path.windows(2) {
@@ -157,8 +169,15 @@ mod tests {
         let rrg = RoutingGraph::new(&dev);
         let mut p = Placement::new(nl.cell_capacity());
         // Only a and u placed; y unplaced -> u's output net has no sinks.
-        p.place(a, BelLoc::Iob(fpga::IobSite { side: fpga::IobSide::West, pos: 0, k: 0 }))
-            .unwrap();
+        p.place(
+            a,
+            BelLoc::Iob(fpga::IobSite {
+                side: fpga::IobSide::West,
+                pos: 0,
+                k: 0,
+            }),
+        )
+        .unwrap();
         p.place(u, BelLoc::clb(1, 1, ClbSlot::LutF)).unwrap();
         let reqs = derive_requests(&nl, &p, &rrg).unwrap();
         assert_eq!(reqs.len(), 1); // only a -> u

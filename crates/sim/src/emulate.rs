@@ -41,12 +41,24 @@ pub fn first_mismatch(
     golden: &Netlist,
     dut: &Netlist,
     patterns: PatternGen,
-    ) -> Result<Option<Mismatch>, NetlistError> {
+) -> Result<Option<Mismatch>, NetlistError> {
     let mut gsim = Simulator::new(golden)?;
     let mut dsim = Simulator::new(dut)?;
-    assert_eq!(gsim.num_inputs(), dsim.num_inputs(), "PI mismatch between golden and DUT");
-    assert_eq!(gsim.num_outputs(), dsim.num_outputs(), "PO mismatch between golden and DUT");
-    assert_eq!(patterns.width(), gsim.num_inputs(), "pattern width mismatch");
+    assert_eq!(
+        gsim.num_inputs(),
+        dsim.num_inputs(),
+        "PI mismatch between golden and DUT"
+    );
+    assert_eq!(
+        gsim.num_outputs(),
+        dsim.num_outputs(),
+        "PO mismatch between golden and DUT"
+    );
+    assert_eq!(
+        patterns.width(),
+        gsim.num_inputs(),
+        "pattern width mismatch"
+    );
     let sequential = golden.is_sequential() || dut.is_sequential();
 
     for (idx, pat) in patterns.enumerate() {
@@ -122,8 +134,7 @@ pub fn suspect_cells(nl: &Netlist, mismatch: &Mismatch) -> Vec<CellId> {
     in_all_failing
         .into_iter()
         .filter(|c| {
-            !reaches_passing[c.index()]
-                && nl.cell(*c).map(|cell| cell.is_logic()).unwrap_or(false)
+            !reaches_passing[c.index()] && nl.cell(*c).map(|cell| cell.is_logic()).unwrap_or(false)
         })
         .collect()
 }
@@ -186,7 +197,11 @@ mod tests {
             let seed = nl.add_net("seed").unwrap();
             let ff = nl.add_ff("q", false, seed).unwrap();
             let q = nl.cell_output(ff).unwrap();
-            let tt = if invert { TruthTable::xor(2) } else { TruthTable::var(2, 1) };
+            let tt = if invert {
+                TruthTable::xor(2)
+            } else {
+                TruthTable::var(2, 1)
+            };
             let f = nl
                 .add_lut("f", tt, &[nl.cell_output(en).unwrap(), q])
                 .unwrap();

@@ -58,11 +58,18 @@ pub fn inject(
     let original = *nl
         .cell(cell)?
         .lut_function()
-        .ok_or(NetlistError::KindMismatch { cell, expected: "lut" })?;
+        .ok_or(NetlistError::KindMismatch {
+            cell,
+            expected: "lut",
+        })?;
     let arity = original.arity();
     let buggy = match kind {
         DesignErrorKind::FlipRow { row } => {
-            let row = if arity == 0 { 0 } else { row & ((1 << arity) - 1) };
+            let row = if arity == 0 {
+                0
+            } else {
+                row & ((1 << arity) - 1)
+            };
             original.with_flipped_row(row)
         }
         DesignErrorKind::SwapVars { a, b } => {
@@ -72,7 +79,12 @@ pub fn inject(
         DesignErrorKind::Complement => original.complement(),
     };
     nl.set_lut_function(cell, buggy)?;
-    Ok(InjectedError { cell, kind, original, buggy })
+    Ok(InjectedError {
+        cell,
+        kind,
+        original,
+        buggy,
+    })
 }
 
 /// Picks a random interesting LUT and plants a random error in it.
@@ -97,7 +109,9 @@ pub fn random_error(nl: &mut Netlist, seed: u64) -> Result<InjectedError, Netlis
         let cell = luts[rng.gen_range(0..luts.len())];
         let tt = *nl.cell(cell)?.lut_function().expect("filtered to luts");
         let kind = match rng.gen_range(0..3u32) {
-            0 => DesignErrorKind::FlipRow { row: rng.gen_range(0..1u64 << tt.arity()) },
+            0 => DesignErrorKind::FlipRow {
+                row: rng.gen_range(0..1u64 << tt.arity()),
+            },
             1 if tt.arity() >= 2 => DesignErrorKind::SwapVars {
                 a: rng.gen_range(0..tt.arity()),
                 b: rng.gen_range(0..tt.arity()),
@@ -120,7 +134,10 @@ pub fn random_error(nl: &mut Netlist, seed: u64) -> Result<InjectedError, Netlis
 
 /// The engineering change that repairs an injected error.
 pub fn repair_op(error: &InjectedError) -> EcoOp {
-    EcoOp::ChangeLutFunction { cell: error.cell, function: error.original }
+    EcoOp::ChangeLutFunction {
+        cell: error.cell,
+        function: error.original,
+    }
 }
 
 #[cfg(test)]
@@ -155,7 +172,10 @@ mod tests {
         let (mut nl, u) = fixture();
         let err = inject(&mut nl, u, DesignErrorKind::Complement).unwrap();
         netlist::eco::apply(&mut nl, &repair_op(&err)).unwrap();
-        assert_eq!(nl.cell(u).unwrap().lut_function(), Some(&TruthTable::and(2)));
+        assert_eq!(
+            nl.cell(u).unwrap().lut_function(),
+            Some(&TruthTable::and(2))
+        );
     }
 
     #[test]

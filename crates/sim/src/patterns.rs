@@ -55,7 +55,11 @@ impl PatternGen {
 
     /// `count` uniform random vectors from `seed`.
     pub fn random(width: usize, count: usize, seed: u64) -> Self {
-        Self::Random { width, remaining: count, rng: SmallRng::seed_from_u64(seed) }
+        Self::Random {
+            width,
+            remaining: count,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// `count` vectors from a maximal-ish LFSR (taps chosen per width
@@ -83,7 +87,12 @@ impl PatternGen {
         if state == 0 {
             state = 1;
         }
-        Self::Lfsr { width, remaining: count, state, taps }
+        Self::Lfsr {
+            width,
+            remaining: count,
+            state,
+            taps,
+        }
     }
 
     /// Vector width produced.
@@ -121,14 +130,23 @@ impl Iterator for PatternGen {
                 *next += 1;
                 Some(v)
             }
-            Self::Random { width, remaining, rng } => {
+            Self::Random {
+                width,
+                remaining,
+                rng,
+            } => {
                 if *remaining == 0 {
                     return None;
                 }
                 *remaining -= 1;
                 Some((0..*width).map(|_| rng.gen_bool(0.5)).collect())
             }
-            Self::Lfsr { width, remaining, state, taps } => {
+            Self::Lfsr {
+                width,
+                remaining,
+                state,
+                taps,
+            } => {
                 if *remaining == 0 {
                     return None;
                 }
@@ -197,8 +215,7 @@ mod tests {
 
     #[test]
     fn lfsr_never_hits_zero() {
-        assert!(PatternGen::lfsr(5, 100, 0)
-            .all(|p| p.iter().any(|&b| b)));
+        assert!(PatternGen::lfsr(5, 100, 0).all(|p| p.iter().any(|&b| b)));
     }
 
     #[test]

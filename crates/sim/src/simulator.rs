@@ -154,7 +154,10 @@ impl<'a> Simulator<'a> {
             *hint += 1;
             return k;
         }
-        self.pis.iter().position(|&p| p == id).expect("input is a PI")
+        self.pis
+            .iter()
+            .position(|&p| p == id)
+            .expect("input is a PI")
     }
 
     /// One clock cycle: combinational propagate, then latch all FFs.
@@ -219,9 +222,11 @@ mod tests {
             .unwrap();
         nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
         let mut sim = Simulator::new(&nl).unwrap();
-        for (ai, bi, yi) in
-            [(false, false, false), (true, false, true), (true, true, false)]
-        {
+        for (ai, bi, yi) in [
+            (false, false, false),
+            (true, false, true),
+            (true, true, false),
+        ] {
             sim.set_inputs(&[ai, bi]);
             sim.comb_eval();
             assert_eq!(sim.outputs(), vec![yi]);

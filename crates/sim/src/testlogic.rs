@@ -81,7 +81,11 @@ pub fn insert_control_point(
     let force_enable = nl.add_input(format!("{name}_force_en"))?;
     let val_net = nl.cell_output(force_value)?;
     let en_net = nl.cell_output(force_enable)?;
-    let mux = nl.add_lut(format!("{name}_ctl_mux"), TruthTable::mux2(), &[net, val_net, en_net])?;
+    let mux = nl.add_lut(
+        format!("{name}_ctl_mux"),
+        TruthTable::mux2(),
+        &[net, val_net, en_net],
+    )?;
     let mux_net = nl.cell_output(mux)?;
     for s in &sinks {
         nl.set_pin(s.cell, s.pin, mux_net)?;
@@ -91,7 +95,12 @@ pub fn insert_control_point(
         modified: sinks.iter().map(|s| s.cell).collect(),
         removed: Vec::new(),
     };
-    Ok(ControlPoint { mux, force_value, force_enable, report })
+    Ok(ControlPoint {
+        mux,
+        force_value,
+        force_enable,
+        report,
+    })
 }
 
 /// Inserts a `width`-bit event counter clocked by `trigger` (the
@@ -117,11 +126,19 @@ pub fn insert_event_counter(
         let ff = nl.add_ff(format!("{name}_cnt_ff{i}"), false, seed)?;
         report.added.push(ff);
         let q = nl.cell_output(ff)?;
-        let sum = nl.add_lut(format!("{name}_cnt_sum{i}"), TruthTable::xor(2), &[q, carry])?;
+        let sum = nl.add_lut(
+            format!("{name}_cnt_sum{i}"),
+            TruthTable::xor(2),
+            &[q, carry],
+        )?;
         report.added.push(sum);
         nl.set_pin(ff, 0, nl.cell_output(sum)?)?;
         if i + 1 < width {
-            let c = nl.add_lut(format!("{name}_cnt_car{i}"), TruthTable::and(2), &[q, carry])?;
+            let c = nl.add_lut(
+                format!("{name}_cnt_car{i}"),
+                TruthTable::and(2),
+                &[q, carry],
+            )?;
             report.added.push(c);
             carry = nl.cell_output(c)?;
         }
@@ -165,7 +182,11 @@ pub fn insert_misr(
     // d_i = tap_i XOR q_{i-1 mod width}.
     for i in 0..width {
         let prev = qs[(i + width - 1) % width];
-        let x = nl.add_lut(format!("{name}_sig_x{i}"), TruthTable::xor(2), &[taps[i], prev])?;
+        let x = nl.add_lut(
+            format!("{name}_sig_x{i}"),
+            TruthTable::xor(2),
+            &[taps[i], prev],
+        )?;
         report.added.push(x);
         nl.set_pin(ffs[i], 0, nl.cell_output(x)?)?;
         let po = nl.add_output(format!("{name}_sig[{i}]"), qs[i])?;
@@ -261,7 +282,7 @@ mod tests {
         sim.step();
         sim.comb_eval();
         let outs = sim.outputs();
-        assert_eq!(outs[1], true); // captured last cycle
+        assert!(outs[1]); // captured last cycle
     }
 
     #[test]

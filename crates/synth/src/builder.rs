@@ -38,7 +38,12 @@ impl NetBuilder {
         let name = name.into();
         let hier = Hierarchy::new(name.clone());
         let scope = hier.root();
-        Self { nl: Netlist::new(name), hier, scope, unique: 0 }
+        Self {
+            nl: Netlist::new(name),
+            hier,
+            scope,
+            unique: 0,
+        }
     }
 
     /// Consumes the builder, returning the netlist and hierarchy.
@@ -105,12 +110,10 @@ impl NetBuilder {
     /// # Errors
     ///
     /// Propagates netlist construction errors.
-    pub fn input_bus(
-        &mut self,
-        name: &str,
-        width: usize,
-    ) -> Result<Vec<NetId>, NetlistError> {
-        (0..width).map(|i| self.input(format!("{name}[{i}]"))).collect()
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Result<Vec<NetId>, NetlistError> {
+        (0..width)
+            .map(|i| self.input(format!("{name}[{i}]")))
+            .collect()
     }
 
     /// Adds one primary output consuming `net`.
@@ -144,11 +147,7 @@ impl NetBuilder {
     /// # Errors
     ///
     /// Propagates netlist construction errors (arity mismatch etc.).
-    pub fn lut(
-        &mut self,
-        function: TruthTable,
-        inputs: &[NetId],
-    ) -> Result<NetId, NetlistError> {
+    pub fn lut(&mut self, function: TruthTable, inputs: &[NetId]) -> Result<NetId, NetlistError> {
         let name = self.fresh("u");
         let id = self.nl.add_lut(name, function, inputs)?;
         self.track(id);
@@ -161,7 +160,11 @@ impl NetBuilder {
     ///
     /// Propagates netlist construction errors.
     pub fn constant(&mut self, value: bool) -> Result<NetId, NetlistError> {
-        let tt = if value { TruthTable::constant1(0) } else { TruthTable::constant0(0) };
+        let tt = if value {
+            TruthTable::constant1(0)
+        } else {
+            TruthTable::constant0(0)
+        };
         self.lut(tt, &[])
     }
 
@@ -321,11 +324,7 @@ impl NetBuilder {
     /// # Panics
     ///
     /// Panics on a width mismatch.
-    pub fn mux_n(
-        &mut self,
-        inputs: &[NetId],
-        select: &[NetId],
-    ) -> Result<NetId, NetlistError> {
+    pub fn mux_n(&mut self, inputs: &[NetId], select: &[NetId]) -> Result<NetId, NetlistError> {
         assert_eq!(inputs.len(), 1usize << select.len(), "mux width mismatch");
         let mut layer: Vec<NetId> = inputs.to_vec();
         for &s in select {

@@ -288,7 +288,10 @@ mod tests {
             assert_eq!(k >> 48, 0);
         }
         // First round key of the classic example.
-        assert_eq!(round_keys(0x1334_5779_9BBC_DFF1)[0], 0b000110_110000_001011_101111_111111_000111_000001_110010);
+        assert_eq!(
+            round_keys(0x1334_5779_9BBC_DFF1)[0],
+            0b000110_110000_001011_101111_111111_000111_000001_110010
+        );
     }
 
     fn eval_circuit(nl: &Netlist, pt: u64) -> u64 {
@@ -324,8 +327,17 @@ mod tests {
     fn circuit_matches_reference_two_rounds() {
         let key = 0x1334_5779_9BBC_DFF1;
         let (nl, _) = generate(key, 2).unwrap();
-        for pt in [0u64, 0x0123_4567_89AB_CDEF, 0xFFFF_FFFF_FFFF_FFFF, 0xA5A5_5A5A_DEAD_BEEF] {
-            assert_eq!(eval_circuit(&nl, pt), reference_encrypt(pt, key, 2), "pt={pt:#x}");
+        for pt in [
+            0u64,
+            0x0123_4567_89AB_CDEF,
+            0xFFFF_FFFF_FFFF_FFFF,
+            0xA5A5_5A5A_DEAD_BEEF,
+        ] {
+            assert_eq!(
+                eval_circuit(&nl, pt),
+                reference_encrypt(pt, key, 2),
+                "pt={pt:#x}"
+            );
         }
     }
 
@@ -333,7 +345,10 @@ mod tests {
     fn full_des_circuit_matches_fips_vector() {
         let key = 0x1334_5779_9BBC_DFF1;
         let (nl, _) = generate(key, 16).unwrap();
-        assert_eq!(eval_circuit(&nl, 0x0123_4567_89AB_CDEF), 0x85E8_1354_0F0A_B405);
+        assert_eq!(
+            eval_circuit(&nl, 0x0123_4567_89AB_CDEF),
+            0x85E8_1354_0F0A_B405
+        );
     }
 
     #[test]
@@ -349,7 +364,11 @@ mod tests {
     #[test]
     fn rounds_are_separate_blocks() {
         let (nl, h) = generate(0, 2).unwrap();
-        let some_lut = nl.cells().find(|(_, c)| c.lut_function().is_some()).unwrap().0;
+        let some_lut = nl
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .unwrap()
+            .0;
         let blk = h.functional_block_of(some_lut).unwrap();
         assert!(h.name(blk).unwrap().starts_with("round"));
     }

@@ -143,7 +143,11 @@ impl PaperDesign {
         };
         let (netlist, hierarchy) = map_to_lut4_with_hierarchy(&raw, &hier)?;
         netlist.validate()?;
-        Ok(DesignBundle { design: self, netlist, hierarchy })
+        Ok(DesignBundle {
+            design: self,
+            netlist,
+            hierarchy,
+        })
     }
 }
 

@@ -21,7 +21,9 @@ use crate::builder::NetBuilder;
 pub fn random_lut(rng: &mut SmallRng, arity: usize) -> TruthTable {
     loop {
         let bits: u64 = rng.gen();
-        let Ok(tt) = TruthTable::from_bits(arity, bits) else { continue };
+        let Ok(tt) = TruthTable::from_bits(arity, bits) else {
+            continue;
+        };
         if !tt.is_constant() && tt.support_size() == arity {
             return tt;
         }

@@ -68,7 +68,13 @@ pub fn generate(name: &str, spec: FsmSpec) -> Result<(Netlist, Hierarchy), Netli
     cloud_in.extend(&qs);
 
     b.enter_block("next_logic");
-    let next = random_cloud(&mut b, spec.seed, &cloud_in, spec.next_state_luts, spec.state_bits)?;
+    let next = random_cloud(
+        &mut b,
+        spec.seed,
+        &cloud_in,
+        spec.next_state_luts,
+        spec.state_bits,
+    )?;
     b.exit_to_root();
 
     b.enter_block("out_logic");

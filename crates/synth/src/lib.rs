@@ -17,8 +17,8 @@
 #![warn(missing_docs)]
 
 pub mod builder;
-pub mod designs;
 pub mod des;
+pub mod designs;
 pub mod filler;
 pub mod fsm;
 pub mod mapper;

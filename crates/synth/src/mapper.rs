@@ -49,9 +49,7 @@ pub fn map_to_lut4_with_hierarchy(
 
     let mut fresh = 0u64;
     for (id, cell) in nl.cells() {
-        let scope = hier
-            .node_of_cell(id)
-            .unwrap_or_else(|| hier.root());
+        let scope = hier.node_of_cell(id).unwrap_or_else(|| hier.root());
         let new_cell = match &cell.kind {
             CellKind::Input => {
                 let o = map_net(&net_map, cell.output.expect("inputs drive a net"))?;
@@ -74,7 +72,8 @@ pub fn map_to_lut4_with_hierarchy(
                     .collect::<Result<_, _>>()?;
                 let o = map_net(&net_map, cell.output.expect("luts drive a net"))?;
                 let (tt, ins) = reduce_support(*tt, &ins);
-                let last = emit_lut4(
+
+                emit_lut4(
                     &mut out,
                     &mut out_hier,
                     scope,
@@ -83,8 +82,7 @@ pub fn map_to_lut4_with_hierarchy(
                     tt,
                     &ins,
                     Some(o),
-                )?;
-                last
+                )?
             }
         };
         out_hier.assign_cell(scope, new_cell);
@@ -216,7 +214,10 @@ mod tests {
         b.enter_block("blk");
         let ins = b.input_bus("i", 6).unwrap();
         let y = b
-            .lut(TruthTable::from_fn(6, |row| row.count_ones() % 3 == 0), &ins)
+            .lut(
+                TruthTable::from_fn(6, |row| row.count_ones() % 3 == 0),
+                &ins,
+            )
             .unwrap();
         b.exit_to_root();
         b.output("y", y).unwrap();
@@ -230,7 +231,7 @@ mod tests {
         mapped.validate().unwrap();
         assert!(mapped
             .cells()
-            .all(|(_, c)| c.lut_function().map_or(true, |t| t.arity() <= 4)));
+            .all(|(_, c)| c.lut_function().is_none_or(|t| t.arity() <= 4)));
         assert!(mapped.num_luts() > 1);
         // Hierarchy preserved: every decomposed LUT sits in blk.
         for (id, c) in mapped.cells() {
@@ -257,8 +258,7 @@ mod tests {
             for id in mapped.topo_order().unwrap() {
                 let cell = mapped.cell(id).unwrap();
                 if let Some(tt) = cell.lut_function() {
-                    let ins: Vec<bool> =
-                        cell.inputs.iter().map(|n| values[n]).collect();
+                    let ins: Vec<bool> = cell.inputs.iter().map(|n| values[n]).collect();
                     values.insert(cell.output.unwrap(), tt.eval(&ins));
                 }
             }
@@ -279,7 +279,10 @@ mod tests {
         let (nl, _) = b.finish();
         let mapped = map_to_lut4(&nl).unwrap();
         assert_eq!(mapped.num_luts(), 1);
-        let (_, lut) = mapped.cells().find(|(_, c)| c.lut_function().is_some()).unwrap();
+        let (_, lut) = mapped
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .unwrap();
         assert_eq!(lut.arity(), 1);
     }
 

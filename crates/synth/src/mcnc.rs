@@ -91,7 +91,13 @@ pub fn c499() -> Result<(Netlist, Hierarchy), NetlistError> {
     let mut flips = Vec::with_capacity(32);
     for &pos in &positions {
         let conds: Vec<_> = (0..6)
-            .map(|j| if pos >> j & 1 == 1 { syndrome[j] } else { syndrome_n[j] })
+            .map(|j| {
+                if pos >> j & 1 == 1 {
+                    syndrome[j]
+                } else {
+                    syndrome_n[j]
+                }
+            })
             .collect();
         flips.push(b.and_tree(&conds)?);
     }
@@ -158,8 +164,10 @@ pub fn c880() -> Result<(Netlist, Hierarchy), NetlistError> {
         result.push(b.mux_n(&choices, &op)?);
     }
     let zero_flag = {
-        let inverted: Vec<_> =
-            result.iter().map(|&n| b.not(n)).collect::<Result<Vec<_>, _>>()?;
+        let inverted: Vec<_> = result
+            .iter()
+            .map(|&n| b.not(n))
+            .collect::<Result<Vec<_>, _>>()?;
         b.and_tree(&inverted)?
     };
     let parity = b.xor_tree(&result)?;
@@ -234,7 +242,7 @@ pub fn planet1() -> Result<(Netlist, Hierarchy), NetlistError> {
             state_bits: 6,
             next_state_luts: 135,
             output_luts: 85,
-            seed: 0x91a_e7,
+            seed: 0x0009_1ae7,
         },
     )
 }
@@ -280,7 +288,7 @@ pub fn s9234() -> Result<(Netlist, Hierarchy), NetlistError> {
     }
 
     b.enter_block("out_logic");
-    let outs = random_cloud(&mut b, 0x9234_0ff, &cloud_in, 55, 39)?;
+    let outs = random_cloud(&mut b, 0x0923_40ff, &cloud_in, 55, 39)?;
     b.exit_to_root();
     b.output_bus("out", &outs)?;
 
@@ -324,10 +332,12 @@ mod tests {
         assert!(!eval(0b110000000)); // 2 ones
     }
 
+    type Generator = fn() -> Result<(Netlist, Hierarchy), NetlistError>;
+
     #[test]
     fn sizes_match_table1() {
         // (generator, paper CLBs)
-        let cases: Vec<(fn() -> Result<(Netlist, Hierarchy), NetlistError>, usize)> = vec![
+        let cases: Vec<(Generator, usize)> = vec![
             (nine_sym, 56),
             (styr, 98),
             (sand, 100),

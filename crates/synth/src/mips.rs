@@ -85,7 +85,7 @@ pub fn generate() -> Result<(Netlist, Hierarchy), NetlistError> {
     b.enter_block("signext");
     let sign = imm[15];
     let mut imm_ext: Vec<NetId> = imm.to_vec();
-    imm_ext.extend(std::iter::repeat(sign).take(XLEN - imm.len()));
+    imm_ext.extend(std::iter::repeat_n(sign, XLEN - imm.len()));
     // op[3] selects immediate addressing.
     let use_imm = op[3];
     let mut opb = Vec::with_capacity(XLEN);
@@ -114,7 +114,7 @@ pub fn generate() -> Result<(Netlist, Hierarchy), NetlistError> {
     }
     // slt: sign bit of the subtraction, zero-extended.
     let zero = b.constant(false)?;
-    let mut slt_bus = vec![zero; XLEN];
+    let mut slt_bus = [zero; XLEN];
     slt_bus[0] = sum[XLEN - 1];
     b.exit_to_root();
 
@@ -127,7 +127,11 @@ pub fn generate() -> Result<(Netlist, Hierarchy), NetlistError> {
         let amount = 1usize << stage;
         let mut next = Vec::with_capacity(XLEN);
         for i in 0..XLEN {
-            let moved = if i >= amount { shifted[i - amount] } else { zero };
+            let moved = if i >= amount {
+                shifted[i - amount]
+            } else {
+                zero
+            };
             next.push(b.mux2(shifted[i], moved, sel)?);
         }
         shifted = next;
@@ -163,8 +167,10 @@ pub fn generate() -> Result<(Netlist, Hierarchy), NetlistError> {
     // ------------------------------------------------------------
     b.enter_block("pc");
     let zero_flag = {
-        let inverted: Vec<NetId> =
-            result.iter().map(|&n| b.not(n)).collect::<Result<Vec<_>, _>>()?;
+        let inverted: Vec<NetId> = result
+            .iter()
+            .map(|&n| b.not(n))
+            .collect::<Result<Vec<_>, _>>()?;
         b.and_tree(&inverted)?
     };
     let is_branch = b.equals_const(op, 0b0110)?;
@@ -260,6 +266,6 @@ mod tests {
         let (nl, _) = generate().unwrap();
         assert!(nl
             .cells()
-            .all(|(_, c)| c.lut_function().map_or(true, |t| t.arity() <= 4)));
+            .all(|(_, c)| c.lut_function().is_none_or(|t| t.arity() <= 4)));
     }
 }

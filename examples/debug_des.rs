@@ -17,11 +17,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let key = 0x1334_5779_9BBC_DFF1;
     let (raw, hier) = synth::des::generate(key, 8)?;
     let (netlist, hierarchy) = synth::mapper::map_to_lut4_with_hierarchy(&raw, &hier)?;
-    println!("DES mapped: {} ({} CLBs)", netlist.stats(), netlist.stats().clb_estimate());
+    println!(
+        "DES mapped: {} ({} CLBs)",
+        netlist.stats(),
+        netlist.stats().clb_estimate()
+    );
 
-    let mut options = TilingOptions::default();
-    options.tracks = 16; // the 32x32-CLB DES needs a wide channel
-    options.placer = place::PlacerConfig { max_temps: 60, ..Default::default() };
+    let options = TilingOptions {
+        tracks: 16, // the 32x32-CLB DES needs a wide channel
+        placer: place::PlacerConfig {
+            max_temps: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let mut td = tiling::implement(netlist, hierarchy, options)?;
     println!("device    : {}", td.device);
     println!("tiles     : {}", td.plan.len());
@@ -49,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         victim,
         sim::inject::DesignErrorKind::FlipRow { row: 5 },
     )?;
-    println!("planted: flipped one minterm of {}", golden.cell(victim)?.name);
+    println!(
+        "planted: flipped one minterm of {}",
+        golden.cell(victim)?.name
+    );
 
     // Detect with LFSR stimulus on the 64-bit plaintext port.
     let outcome = tiling::run_debug_iteration(&mut td, &golden, &error, 0xD0E5)?;

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --release --example mips_emulation`
 
 use fpga_debug_tiling::prelude::*;
-use fpga_debug_tiling::{sim, synth, tiling};
+use fpga_debug_tiling::{sim, tiling};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== MIPS R2000 emulation ==\n");
@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Encoding (see synth::mips): op[0..4] rs[4..7] rt[7..10] rd[10..13]
     // shamt[13..18] imm[16..32]; op=0b1000 selects the immediate.
     // r1 <- r0 + 5  (opb = imm because op[3] is set; sum select 000)
-    let instr: u64 = 0b1000 | (0 << 4) | (0 << 7) | (1 << 10) | (5 << 16);
+    let instr: u64 = 0b1000 | (1 << 10) | (5 << 16);
     set_bus(&mut sim0, 0, 32, instr); // instr bus is PIs 0..32
     set_bus(&mut sim0, 32, 32, 0); // din bus
     sim0.step(); // latch IR
@@ -42,17 +42,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(result, 5, "ALU immediate add must work");
 
     // --- Implement with tiling. -------------------------------------
-    let mut options = TilingOptions::default();
-    options.tracks = 18; // register-file fanout needs a wide channel
-    options.placer = place::PlacerConfig { max_temps: 60, ..Default::default() };
+    let options = TilingOptions {
+        tracks: 18, // register-file fanout needs a wide channel
+        placer: place::PlacerConfig {
+            max_temps: 60,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     let mut td = tiling::implement(bundle.netlist, bundle.hierarchy, options)?;
-    println!("\ndevice: {} | tiles: {} | area ovhd {:.3}", td.device, td.plan.len(), td.area_overhead());
+    println!(
+        "\ndevice: {} | tiles: {} | area ovhd {:.3}",
+        td.device,
+        td.plan.len(),
+        td.area_overhead()
+    );
     println!("initial implementation: {}", td.initial_effort);
 
     // --- Insert a MISR over the ALU result bus as a tiled ECO. ------
     let taps: Vec<NetId> = (0..8)
         .map(|i| {
-            let po = td.netlist.find_cell(&format!("result[{i}]")).expect("result PO");
+            let po = td
+                .netlist
+                .find_cell(&format!("result[{i}]"))
+                .expect("result PO");
             td.netlist.cell(po).unwrap().inputs[0]
         })
         .collect();
@@ -62,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let report = sim::testlogic::insert_misr(&mut td.netlist, &taps, "alu")?;
     let clbs = sim::testlogic::clb_cost(&td.netlist, &report);
-    println!("\ninserting {}-tap MISR ({clbs} CLBs of test logic)...", taps.len());
+    println!(
+        "\ninserting {}-tap MISR ({clbs} CLBs of test logic)...",
+        taps.len()
+    );
     let outcome = tiling::replace_and_route(
         &mut td,
         &seeds,

@@ -18,9 +18,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = td.netlist.stats();
     println!("design     : {} ({stats})", td.netlist.name());
     println!("device     : {}", td.device);
-    println!("tiles      : {} (mean {:.1} used CLBs/tile)", td.plan.len(), td.mean_used_clbs_per_tile());
+    println!(
+        "tiles      : {} (mean {:.1} used CLBs/tile)",
+        td.plan.len(),
+        td.mean_used_clbs_per_tile()
+    );
     println!("area ovhd  : {:.3}", td.area_overhead());
-    println!("cut nets   : {}", td.plan.cut_nets(&td.netlist, &td.placement));
+    println!(
+        "cut nets   : {}",
+        td.plan.cut_nets(&td.netlist, &td.placement)
+    );
     println!("initial implementation effort: {}\n", td.initial_effort);
 
     // 2. Plant a design error (a wrong minterm in some LUT) — this is
@@ -60,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         place_moves: full.place_moves * outcome.ecos as u64,
         route_expansions: full.route_expansions * outcome.ecos as u64,
     };
-    println!("\n-- CAD effort ({} physical ECOs this iteration) --", outcome.ecos);
+    println!(
+        "\n-- CAD effort ({} physical ECOs this iteration) --",
+        outcome.ecos
+    );
     println!("tiled debug iteration : {}", outcome.effort);
     println!("one full re-P&R       : {}", full);
     println!("non-tiled iteration   : {}", non_tiled_total);

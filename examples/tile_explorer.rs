@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|(_, c)| c.lut_function().is_some())
             .map(|(id, _)| id)
             .expect("luts exist");
-        let tt = td.netlist.cell(victim)?.lut_function().unwrap().complement();
+        let tt = td
+            .netlist
+            .cell(victim)?
+            .lut_function()
+            .unwrap()
+            .complement();
         td.netlist.set_lut_function(victim, tt)?;
         let eco = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)?;
         let full = tiling::full_replace_effort(&td)?;

@@ -59,15 +59,20 @@ fn eco_locality_invariant_c499() {
         .netlist
         .cells()
         .find(|(id, c)| {
-            c.lut_function().is_some()
-                && td.plan.tile_of_cell(&td.placement, *id) == Some(smallest)
+            c.lut_function().is_some() && td.plan.tile_of_cell(&td.placement, *id) == Some(smallest)
         })
         .map(|(id, _)| id)
         .expect("smallest tile holds a LUT");
-    let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+    let tt = td
+        .netlist
+        .cell(victim)
+        .unwrap()
+        .lut_function()
+        .unwrap()
+        .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
-    let out = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
-        .unwrap();
+    let out =
+        tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
     assert!(td.routing.is_feasible());
     // Placement outside untouched — holds on every path, including
     // the coarse fallback (which only re-routes).
@@ -95,21 +100,24 @@ fn eco_locality_invariant_c499() {
         return;
     }
 
-    let region = tiling::interface::RegionSet::from_tiles(
-        &td.device,
-        &td.plan,
-        &out.affected.tiles,
-    );
+    let region =
+        tiling::interface::RegionSet::from_tiles(&td.device, &td.plan, &out.affected.tiles);
     // Routing outside untouched (nets not touching the region).
     let mut checked = 0;
     for (net, tree) in routes_before {
-        let touches = tree.nodes().iter().any(|&n| region.touches_node(&td.rrg, n));
+        let touches = tree
+            .nodes()
+            .iter()
+            .any(|&n| region.touches_node(&td.rrg, n));
         if !touches {
             assert_eq!(td.routing.route(net), Some(&tree), "net {net} perturbed");
             checked += 1;
         }
     }
-    assert!(checked > 10, "locality check must cover many nets, got {checked}");
+    assert!(
+        checked > 10,
+        "locality check must cover many nets, got {checked}"
+    );
 }
 
 #[test]
@@ -161,8 +169,14 @@ fn observation_logic_figures_in_affected_tiles() {
     for &c in &rep.added {
         let cell = td.netlist.cell(c).unwrap();
         if cell.is_logic() {
-            let t = td.plan.tile_of_cell(&td.placement, c).expect("placed on a CLB");
-            assert!(out.affected.contains(t), "added cell {c} outside affected tiles");
+            let t = td
+                .plan
+                .tile_of_cell(&td.placement, c)
+                .expect("placed on a CLB");
+            assert!(
+                out.affected.contains(t),
+                "added cell {c} outside affected tiles"
+            );
         }
     }
     td.netlist.validate().unwrap();
@@ -182,8 +196,7 @@ fn control_point_lets_emulation_force_state() {
     let cp = sim::testlogic::insert_control_point(&mut td.netlist, net, "cp").unwrap();
     let mut added = cp.report.added.clone();
     // New PIs occupy pads; the mux is logic.
-    tiling::replace_and_route(&mut td, &[seed_cell], &added, ExpansionPolicy::MostFree)
-        .unwrap();
+    tiling::replace_and_route(&mut td, &[seed_cell], &added, ExpansionPolicy::MostFree).unwrap();
     added.clear();
     assert!(td.routing.is_feasible());
     // The mux must be placed and routed.

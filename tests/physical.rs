@@ -56,10 +56,11 @@ fn ten_consecutive_ecos_keep_the_design_consistent() {
             // Flip a function and flip it back (two ECOs bundled into
             // one physical re-implementation, like a real fix-up).
             let tt = *td.netlist.cell(victim).unwrap().lut_function().unwrap();
-            td.netlist.set_lut_function(victim, tt.complement()).unwrap();
-            td.netlist.set_lut_function(victim, tt).unwrap();
-            tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+            td.netlist
+                .set_lut_function(victim, tt.complement())
                 .unwrap();
+            td.netlist.set_lut_function(victim, tt).unwrap();
+            tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
         } else {
             // Insert an observation tap (PO only, no logic).
             let net = td.netlist.cell_output(victim).unwrap();
@@ -112,14 +113,8 @@ fn interface_summary_counts_crossings() {
     let td = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(34)).unwrap();
     let mut total_crossings = 0;
     for (id, _) in td.plan.iter() {
-        let s = tiling::interface::tile_interface(
-            &td.device,
-            &td.plan,
-            &td.rrg,
-            &td.routing,
-            id,
-        )
-        .unwrap();
+        let s = tiling::interface::tile_interface(&td.device, &td.plan, &td.rrg, &td.routing, id)
+            .unwrap();
         total_crossings += s.crossings;
         assert!(s.interface_nodes <= s.crossings);
     }
@@ -137,7 +132,13 @@ fn timing_after_eco_stays_reasonable() {
         .find(|(_, c)| c.lut_function().is_some())
         .map(|(id, _)| id)
         .unwrap();
-    let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+    let tt = td
+        .netlist
+        .cell(victim)
+        .unwrap()
+        .lut_function()
+        .unwrap()
+        .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
     tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
     let after = td.timing().unwrap().critical_ns;
@@ -157,9 +158,15 @@ fn timing_after_eco_stays_reasonable() {
             continue; // untouched partial trees may differ; skip
         }
         for (k, s) in net.sinks.iter().enumerate() {
-            let pin = td.rrg.sink_node(td.placement.loc_of(s.cell).unwrap(), s.pin);
+            let pin = td
+                .rrg
+                .sink_node(td.placement.loc_of(s.cell).unwrap(), s.pin);
             assert_eq!(tree.paths[k][0], src, "net {net_id} path {k} root");
-            assert_eq!(*tree.paths[k].last().unwrap(), pin, "net {net_id} path {k} tip");
+            assert_eq!(
+                *tree.paths[k].last().unwrap(),
+                pin,
+                "net {net_id} path {k} tip"
+            );
         }
     }
 }
@@ -177,7 +184,13 @@ fn quick_eco_hierarchy_granularity_orders_effort() {
         .unwrap();
     let whole = tiling::quick_eco_effort(&td, &[victim], true).unwrap();
     let blocks = tiling::quick_eco_effort(&td, &[victim], false).unwrap();
-    let tt = td.netlist.cell(victim).unwrap().lut_function().unwrap().complement();
+    let tt = td
+        .netlist
+        .cell(victim)
+        .unwrap()
+        .lut_function()
+        .unwrap()
+        .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
     let tiled = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
         .unwrap()

@@ -1,0 +1,16 @@
+//! Fast facade smoke test: the full implement flow on the paper's
+//! smallest design, with light effort settings. This keeps the
+//! facade's happy path covered in every CI run even when the
+//! paper-scale tests are `#[ignore]`d.
+
+use fpga_debug_tiling::prelude::*;
+
+#[test]
+fn facade_quickstart_implements_and_routes() {
+    let td =
+        fpga_debug_tiling::implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(1))
+            .expect("9sym implements with fast options");
+    assert!(td.routing.is_feasible(), "routing must be feasible");
+    assert!(td.plan.len() >= 2, "design is actually tiled");
+    assert!(td.initial_effort.total() > 0, "effort metering is live");
+}
