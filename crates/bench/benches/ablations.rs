@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use netlist::TruthTable;
 use tiling::affected::ExpansionPolicy;
-use tiling::TilingOptions;
+use tiling::{ReimplFlow, TiledFlow, TilingOptions};
 
 fn eco_with_options(options: TilingOptions, policy: ExpansionPolicy) -> u64 {
     let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
@@ -37,8 +37,9 @@ fn eco_with_options(options: TilingOptions, policy: ExpansionPolicy) -> u64 {
     let inv = rep.added[0];
     let inv_net = td.netlist.cell_output(inv).expect("net");
     let po = td.netlist.add_output("abl_po", inv_net).expect("po");
-    let out =
-        tiling::replace_and_route(&mut td, &[seed_cell], &[inv, po], policy).expect("replace");
+    let out = TiledFlow { policy }
+        .reimplement(&mut td, &[seed_cell], &[inv, po])
+        .expect("replace");
     out.effort.total()
 }
 

@@ -1,8 +1,9 @@
 //! Criterion bench behind Figure 5: the wall-clock cost of one tiled
-//! ECO versus one full re-place-and-route, on 9sym.
+//! ECO versus one full re-place-and-route, on 9sym — both invoked
+//! through the unified [`tiling::ReimplFlow`] trait.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use tiling::affected::ExpansionPolicy;
+use tiling::{FullReplaceFlow, ReimplFlow, TiledFlow};
 
 fn bench_eco_vs_full(c: &mut Criterion) {
     let td0 =
@@ -19,7 +20,8 @@ fn bench_eco_vs_full(c: &mut Criterion) {
                 (td, victim)
             },
             |(mut td, victim)| {
-                tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+                TiledFlow::default()
+                    .reimplement(&mut td, &[victim], &[])
                     .expect("eco")
             },
             criterion::BatchSize::LargeInput,
@@ -30,10 +32,14 @@ fn bench_eco_vs_full(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut td = td0.clone();
-                bench_harness::apply_canonical_change(&mut td).expect("change");
-                td
+                let victim = bench_harness::apply_canonical_change(&mut td).expect("change");
+                (td, victim)
             },
-            |td| tiling::full_replace_effort(&td).expect("full"),
+            |(mut td, victim)| {
+                FullReplaceFlow
+                    .reimplement(&mut td, &[victim], &[])
+                    .expect("full")
+            },
             criterion::BatchSize::LargeInput,
         );
     });

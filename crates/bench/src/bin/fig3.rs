@@ -3,13 +3,13 @@
 //! for all nine designs at 20% area overhead and ~10 tiles.
 //!
 //! Run: `cargo run --release -p bench-harness --bin fig3`
-//! (set `FAST_BENCH=1` to skip MIPS/DES).
+//! (set `FAST_BENCH=1` to skip MIPS/DES, pass `--quick` for 9sym only).
 
-use bench_harness::{implement_design, sweep_designs};
+use bench_harness::{cli_designs, implement_design};
 use tiling::testpoints::affected_fraction;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let designs = sweep_designs();
+    let designs = cli_designs();
     // The paper's x axis ticks: 1, 10, 19, ..., 100.
     let sizes: Vec<usize> = (0..12).map(|k| 1 + 9 * k).collect();
 

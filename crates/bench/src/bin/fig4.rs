@@ -3,13 +3,13 @@
 //! points grows (1..=100), same designs/overhead as Figure 3.
 //!
 //! Run: `cargo run --release -p bench-harness --bin fig4`
-//! (set `FAST_BENCH=1` to skip MIPS/DES).
+//! (set `FAST_BENCH=1` to skip MIPS/DES, pass `--quick` for 9sym only).
 
-use bench_harness::{implement_design, sweep_designs};
+use bench_harness::{cli_designs, implement_design};
 use tiling::testpoints::max_logic_per_point;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let designs = sweep_designs();
+    let designs = cli_designs();
     let points: Vec<usize> = (0..12).map(|k| 1 + 9 * k).collect();
 
     println!("Figure 4. Maximum test-logic size (# CLBs) vs # test points");

@@ -3,18 +3,20 @@
 //! 15%, and 25% of the design, with the incremental and Quick_ECO
 //! baselines for reference.
 //!
-//! The change is the paper's canonical small debugging edit: one LUT's
-//! function modified, affecting one tile. Effort is deterministic
-//! (placer moves + router expansions); speedups are ratios.
+//! All four flows run through the one [`tiling::ReimplFlow`] trait on
+//! the same change — the paper's canonical small debugging edit: one
+//! LUT's function modified, affecting one tile. Effort is
+//! deterministic (placer moves + router expansions); speedups are
+//! ratios.
 //!
 //! Run: `cargo run --release -p bench-harness --bin fig5`
-//! (set `FAST_BENCH=1` to skip MIPS/DES).
+//! (set `FAST_BENCH=1` to skip MIPS/DES, pass `--quick` for 9sym only).
 
-use bench_harness::{apply_canonical_change, implement_design, sweep_designs};
-use tiling::affected::ExpansionPolicy;
+use bench_harness::{apply_canonical_change, cli_designs, implement_design};
+use tiling::{CadEffort, FullReplaceFlow, IncrementalFlow, QuickEcoFlow, ReimplFlow, TiledFlow};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let designs = sweep_designs();
+    let designs = cli_designs();
     // Tile size as % of design -> number of tiles.
     let sweeps: [(f64, usize); 4] = [(2.5, 40), (5.0, 20), (15.0, 7), (25.0, 4)];
 
@@ -32,18 +34,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (k, &(_, tiles)) in sweeps.iter().enumerate() {
             let mut td = implement_design(design, tiles, 55)?;
             let victim = apply_canonical_change(&mut td)?;
-            let full = tiling::full_replace_effort(&td)?;
+            let full = tiling::flow_effort(&td, &mut FullReplaceFlow, &[victim])?;
             if k == 0 {
                 // Baselines measured once (tile size does not change
                 // what the baselines do; incremental uses the window
-                // around the change).
-                let incr = tiling::incremental_effort(&td, &[victim], 0, 2)?;
-                let quick = tiling::quick_eco_effort(&td, &[victim], true)?;
-                incr_speedup = full.speedup_over(&incr);
-                quick_speedup = full.speedup_over(&quick);
+                // around the change). Same trait, different flows.
+                let mut incr_flow = IncrementalFlow::default();
+                let mut quick_flow = QuickEcoFlow::default();
+                let baselines: [(&mut dyn ReimplFlow, &mut f64); 2] = [
+                    (&mut incr_flow, &mut incr_speedup),
+                    (&mut quick_flow, &mut quick_speedup),
+                ];
+                for (flow, speedup) in baselines {
+                    let effort: CadEffort = tiling::flow_effort(&td, flow, &[victim])?;
+                    *speedup = full.speedup_over(&effort);
+                }
             }
-            let eco =
-                tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)?;
+            let mut tiled = TiledFlow::default();
+            let eco = tiled.reimplement(&mut td, &[victim], &[])?;
             let speedup = full.speedup_over(&eco.effort);
             per_size[k].push(speedup);
             row.push(speedup);

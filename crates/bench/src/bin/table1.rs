@@ -5,9 +5,10 @@
 //! layout versus a minimally-sized non-tiled implementation.
 //!
 //! Run: `cargo run --release -p bench-harness --bin table1`
-//! (set `FAST_BENCH=1` to skip MIPS/DES).
+//! (set `FAST_BENCH=1` to skip MIPS/DES; pass `--quick` for the
+//! smallest design only — the mode CI runs end-to-end).
 
-use bench_harness::{experiment_options, fmt_overhead, sweep_designs};
+use bench_harness::{cli_designs, experiment_options, fmt_overhead};
 use tiling::implement;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -16,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>7} {:>14} {:>16} | paper: {:>6} {:>8} {:>8}",
         "design", "# CLBs", "area overhead", "timing overhead", "CLBs", "area", "timing"
     );
-    for design in sweep_designs() {
+    for design in cli_designs() {
         let bundle = design.generate()?;
         let clbs = bundle.clbs();
 

@@ -101,6 +101,17 @@ pub fn sweep_designs() -> Vec<PaperDesign> {
     }
 }
 
+/// Design subset for a bench binary, also honoring a `--quick` CLI
+/// flag: with `--quick` only the smallest design runs, which is what
+/// CI executes end-to-end to keep the harness exercised.
+pub fn cli_designs() -> Vec<PaperDesign> {
+    if std::env::args().any(|a| a == "--quick") {
+        vec![PaperDesign::NineSym]
+    } else {
+        sweep_designs()
+    }
+}
+
 /// Formats a ratio as the paper prints overheads (three decimals,
 /// sign included).
 pub fn fmt_overhead(x: f64) -> String {
@@ -126,5 +137,18 @@ mod tests {
         assert!((o.overhead - 0.20).abs() < 1e-9);
         assert_eq!(o.target_tiles, 10);
         assert!(tracks_for(PaperDesign::Des) > tracks_for(PaperDesign::NineSym));
+    }
+
+    #[test]
+    fn flow_effort_prices_without_mutating() {
+        let mut td = implement_design(PaperDesign::NineSym, 10, 2).unwrap();
+        let victim = apply_canonical_change(&mut td).unwrap();
+        let before: Vec<_> = td.placement.iter().collect();
+        for mut flow in tiling::standard_flows() {
+            let effort = tiling::flow_effort(&td, flow.as_mut(), &[victim]).unwrap();
+            assert!(effort.total() > 0, "{}", flow.name());
+        }
+        let after: Vec<_> = td.placement.iter().collect();
+        assert_eq!(before, after, "measurement mutated the design");
     }
 }

@@ -1,20 +1,33 @@
-//! The comparison flows of Figure 5: full re-place-and-route,
-//! incremental place-and-route, and Quick_ECO.
+//! The comparison flows of Figure 5, as effort probes.
 //!
-//! All three run on a *clone* of the tiled design so the caller's
-//! state is untouched; each returns the CAD effort the flow spends on
-//! the same change the tiled flow handled.
+//! The flows themselves live in [`crate::flows`] behind the
+//! [`ReimplFlow`] trait; these helpers price a flow on a *clone* of
+//! the tiled design so the caller's state is untouched — each returns
+//! the CAD effort the flow spends on the same change the tiled flow
+//! handled.
 
-use std::collections::BTreeSet;
+use netlist::CellId;
 
-use fpga::{Placement, Rect, Routing};
-use netlist::{CellId, NetId};
-use place::Constraints;
-
-use crate::affected::{AffectedSet, ExpansionPolicy};
 use crate::effort::CadEffort;
 use crate::error::TilingError;
 use crate::flow::TiledDesign;
+use crate::flows::{FullReplaceFlow, IncrementalFlow, QuickEcoFlow, ReimplFlow};
+
+/// Prices `flow` on a clone of the design: the clone is
+/// re-implemented, the caller's design is untouched, and only the
+/// effort is returned.
+///
+/// # Errors
+///
+/// Propagates placement/routing failures.
+pub fn flow_effort(
+    td: &TiledDesign,
+    flow: &mut dyn ReimplFlow,
+    seeds: &[CellId],
+) -> Result<CadEffort, TilingError> {
+    let mut trial = td.clone();
+    Ok(flow.reimplement(&mut trial, seeds, &[])?.effort)
+}
 
 /// Full re-place-and-route of the entire design from scratch — what a
 /// flow without any change tracking must do every iteration.
@@ -23,25 +36,7 @@ use crate::flow::TiledDesign;
 ///
 /// Propagates placement/routing failures.
 pub fn full_replace_effort(td: &TiledDesign) -> Result<CadEffort, TilingError> {
-    let out = place::place(
-        &td.netlist,
-        &td.device,
-        &Constraints::free(),
-        None,
-        &td.options.placer,
-    )?;
-    let mut routing = Routing::new(td.rrg.num_nodes());
-    let stats = route::route_design(
-        &td.netlist,
-        &out.placement,
-        &td.rrg,
-        &mut routing,
-        &td.options.router,
-    )?;
-    Ok(CadEffort {
-        place_moves: out.moves_evaluated,
-        route_expansions: stats.expansions,
-    })
+    flow_effort(td, &mut FullReplaceFlow, &[])
 }
 
 /// Incremental place-and-route: no locked interfaces, so the tool
@@ -61,45 +56,7 @@ pub fn incremental_effort(
     extra_clbs: usize,
     margin: u16,
 ) -> Result<CadEffort, TilingError> {
-    // Window: bounding box of the tiles the change maps to, inflated.
-    let affected = AffectedSet::compute(
-        &td.plan,
-        &td.placement,
-        seeds,
-        extra_clbs,
-        ExpansionPolicy::MostFree,
-    )?;
-    let mut bbox: Option<Rect> = None;
-    for &t in &affected.tiles {
-        let r = td.plan.tile(t)?.rect;
-        bbox = Some(match bbox {
-            None => r,
-            Some(b) => b.union(&r),
-        });
-    }
-    let b = td.device.bounds();
-    let bbox = bbox.unwrap_or(b);
-    let window = Rect::new(
-        bbox.x0.saturating_sub(margin),
-        bbox.y0.saturating_sub(margin),
-        (bbox.x1 + margin).min(b.x1),
-        (bbox.y1 + margin).min(b.y1),
-    );
-    // Movable: every logic cell inside the window.
-    let movable: Vec<CellId> = td
-        .netlist
-        .cells()
-        .filter(|(id, c)| {
-            c.is_logic()
-                && td
-                    .placement
-                    .loc_of(*id)
-                    .and_then(|l| l.coord())
-                    .is_some_and(|co| window.contains(co))
-        })
-        .map(|(id, _)| id)
-        .collect();
-    reimplement_subset(td, &movable, Some(window))
+    flow_effort(td, &mut IncrementalFlow { margin, extra_clbs }, seeds)
 }
 
 /// Quick_ECO: change tracking stops at the netlist level, so the
@@ -117,117 +74,20 @@ pub fn quick_eco_effort(
     seeds: &[CellId],
     whole_design_as_block: bool,
 ) -> Result<CadEffort, TilingError> {
-    let movable: Vec<CellId> = if whole_design_as_block {
-        td.netlist
-            .cells()
-            .filter(|(_, c)| c.is_logic())
-            .map(|(id, _)| id)
-            .collect()
-    } else {
-        let mut blocks = BTreeSet::new();
-        for &s in seeds {
-            if let Some(b) = td.hierarchy.functional_block_of(s) {
-                blocks.insert(b);
-            }
-        }
-        let mut cells = BTreeSet::new();
-        for b in blocks {
-            for c in td.hierarchy.subtree_cells(b)? {
-                if td.netlist.cell(c).map(|cc| cc.is_logic()).unwrap_or(false) {
-                    cells.insert(c);
-                }
-            }
-        }
-        cells.into_iter().collect()
-    };
-    reimplement_subset(td, &movable, None)
-}
-
-/// Re-places `movable` (optionally confined to a window) with the rest
-/// locked, then fully re-routes every net incident to a movable cell.
-/// No interface locking: severed nets are re-routed pin-to-pin, which
-/// is what both baseline flows do.
-fn reimplement_subset(
-    td: &TiledDesign,
-    movable: &[CellId],
-    window: Option<Rect>,
-) -> Result<CadEffort, TilingError> {
-    let mut placement: Placement = td.placement.clone();
-    for &c in movable {
-        let _ = placement.unplace(c);
-    }
-    let movable_set: BTreeSet<CellId> = movable.iter().copied().collect();
-    let mut constraints = Constraints::free();
-    for (id, _) in td.netlist.cells() {
-        if movable_set.contains(&id) {
-            if let Some(w) = window {
-                constraints.confine(id, w);
-            }
-        } else if placement.loc_of(id).is_some() {
-            constraints.lock(id);
-        }
-    }
-    let out = place::place(
-        &td.netlist,
-        &td.device,
-        &constraints,
-        Some(placement),
-        &td.options.placer,
-    )?;
-    let placement = out.placement;
-    let mut effort = CadEffort {
-        place_moves: out.moves_evaluated,
-        route_expansions: 0,
-    };
-
-    // Re-route every net incident to a movable cell, from scratch.
-    let mut routing = td.routing.clone();
-    let mut work: BTreeSet<NetId> = BTreeSet::new();
-    for (net_id, net) in td.netlist.nets() {
-        let mut touched = net
-            .driver
-            .map(|d| movable_set.contains(&d))
-            .unwrap_or(false);
-        touched |= net.sinks.iter().any(|s| movable_set.contains(&s.cell));
-        if touched {
-            work.insert(net_id);
-            routing.clear_route(net_id);
-        }
-    }
-    let mut requests = Vec::with_capacity(work.len());
-    for net_id in work {
-        let net = td.netlist.net(net_id)?;
-        let Some(driver) = net.driver else { continue };
-        let Some(src_loc) = placement.loc_of(driver) else {
-            continue;
-        };
-        let mut sinks = Vec::new();
-        for s in &net.sinks {
-            if let Some(loc) = placement.loc_of(s.cell) {
-                sinks.push(td.rrg.sink_node(loc, s.pin));
-            }
-        }
-        if sinks.is_empty() {
-            continue;
-        }
-        requests.push(route::ConnectionRequest {
-            net: net_id,
-            source: td.rrg.source_node(src_loc),
-            sinks,
-        });
-    }
-    if !requests.is_empty() {
-        let stats = route::route(&td.rrg, &requests, &mut routing, &td.options.router)?;
-        effort.route_expansions = stats.expansions;
-    }
-    Ok(effort)
+    flow_effort(
+        td,
+        &mut QuickEcoFlow {
+            whole_design_as_block,
+        },
+        seeds,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eco_flow::replace_and_route;
     use crate::flow::{implement, TilingOptions};
+    use crate::flows::{standard_flows, TiledFlow};
     use synth::PaperDesign;
 
     #[test]
@@ -249,12 +109,29 @@ mod tests {
             .complement();
         td.netlist.set_lut_function(victim, tt).unwrap();
 
-        let full = full_replace_effort(&td).unwrap();
-        let quick = quick_eco_effort(&td, &[victim], true).unwrap();
-        let incr = incremental_effort(&td, &[victim], 0, 2).unwrap();
-        let tiled = replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+        // All four flows priced through the one trait, on the same
+        // change (the Figure 5 harness shape).
+        let mut efforts = std::collections::HashMap::new();
+        for mut flow in standard_flows() {
+            let name = flow.name();
+            let effort = flow_effort(&td, flow.as_mut(), &[victim]).unwrap();
+            efforts.insert(name, effort);
+        }
+        let full = efforts["full"];
+        let quick = efforts["quick_eco"];
+        let incr = efforts["incremental"];
+
+        // The tiled flow commits for real (the state the next debug
+        // step iterates on).
+        let tiled = TiledFlow::default()
+            .reimplement(&mut td, &[victim], &[])
             .unwrap()
             .effort;
+        assert_eq!(
+            efforts["tiled"].total(),
+            tiled.total(),
+            "probe and committed tiled run disagree"
+        );
 
         assert!(
             full.total() > tiled.total(),
@@ -291,5 +168,23 @@ mod tests {
         let whole = quick_eco_effort(&td, &[victim], true).unwrap();
         let blocks = quick_eco_effort(&td, &[victim], false).unwrap();
         assert!(blocks.total() <= whole.total());
+    }
+
+    #[test]
+    fn legacy_probes_leave_the_design_untouched() {
+        let b = PaperDesign::NineSym.generate().unwrap();
+        let td = implement(b.netlist, b.hierarchy, TilingOptions::fast(23)).unwrap();
+        let victim = td
+            .netlist
+            .cells()
+            .find(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .unwrap();
+        let placement_before: Vec<_> = td.placement.iter().collect();
+        let _ = full_replace_effort(&td).unwrap();
+        let _ = incremental_effort(&td, &[victim], 0, 2).unwrap();
+        let _ = quick_eco_effort(&td, &[victim], true).unwrap();
+        let placement_after: Vec<_> = td.placement.iter().collect();
+        assert_eq!(placement_before, placement_after);
     }
 }

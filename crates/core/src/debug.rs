@@ -1,68 +1,29 @@
-//! The full emulation-debugging iteration (paper §3.1 steps 9–22).
+//! Compatibility wrapper for the original single-call debug API.
 //!
-//! Given a tiled DUT containing a design error and a golden reference
-//! netlist, one call to [`run_debug_iteration`]:
-//!
-//! 1. generates test patterns and **detects** the error by comparing
-//!    primary outputs (internal nets are invisible, as on hardware);
-//! 2. **localizes** it: computes the structural suspect cone, then
-//!    iteratively inserts observation taps — each insertion is a real
-//!    ECO that clears and re-implements only the affected tiles — and
-//!    re-emulates until the earliest diverging cell is pinned down;
-//! 3. **corrects** it with the repairing ECO, again re-implementing
-//!    only the affected tiles, and re-emulates to confirm.
-//!
-//! The accumulated [`CadEffort`] is what Figure 5 compares against the
-//! non-tiled baselines.
+//! The full emulation-debugging iteration (paper §3.1 steps 9–22) now
+//! lives in [`crate::session`]: [`DebugSession`] runs detect →
+//! localize → confirm → correct through a pluggable
+//! [`crate::flows::ReimplFlow`] and
+//! [`crate::strategy::LocalizationStrategy`]. [`run_debug_iteration`]
+//! keeps the old signature on top of the paper-shaped defaults
+//! (linear 8-tap batches through the tiled flow).
 
-use netlist::{CellId, Netlist};
-use sim::emulate::{first_mismatch, suspect_cells, Mismatch};
+use netlist::Netlist;
 use sim::inject::InjectedError;
-use sim::patterns::PatternGen;
-use sim::testlogic::{insert_control_point, insert_observation_tap};
-use sim::Simulator;
 
-use crate::affected::ExpansionPolicy;
-use crate::eco_flow::replace_and_route;
-use crate::effort::CadEffort;
 use crate::error::TilingError;
 use crate::flow::TiledDesign;
+use crate::session::DebugSession;
 
-/// Result of one debugging iteration.
-#[derive(Debug, Clone)]
-pub struct DebugOutcome {
-    /// The detected divergence (None if the DUT already matched).
-    pub mismatch: Option<Mismatch>,
-    /// Size of the initial structural suspect set.
-    pub initial_suspects: usize,
-    /// The cell the localization loop identified.
-    pub localized: Option<CellId>,
-    /// Observation taps inserted during localization.
-    pub taps_inserted: usize,
-    /// Whether the corrective ECO made the DUT match the golden model.
-    pub repaired: bool,
-    /// Total tiled-flow CAD effort across all ECOs of the iteration.
-    pub effort: CadEffort,
-    /// Tiles cleared across all ECOs (with multiplicity).
-    pub tiles_cleared: usize,
-    /// Physical ECOs performed (tap batches + the correction). A
-    /// non-tiled flow pays one full re-place-and-route per ECO.
-    pub ecos: usize,
-    /// Whether the localized cell was confirmed via a control point
-    /// (forcing its output to golden values makes the DUT match).
-    pub confirmed_by_control: bool,
-}
+pub use crate::session::DebugOutcome;
 
-fn patterns_for(nl: &Netlist, seed: u64) -> PatternGen {
-    let width = nl.primary_inputs().len();
-    if width <= 10 {
-        PatternGen::exhaustive(width)
-    } else {
-        PatternGen::lfsr(width, 512, seed)
-    }
-}
-
-/// Runs one full detect → localize → correct iteration.
+/// Runs one full detect → localize → correct iteration with the
+/// paper-shaped defaults ([`crate::strategy::LinearBatches`] through
+/// the [`crate::flows::TiledFlow`]).
+///
+/// Equivalent to
+/// `DebugSession::new(td, golden).seed(seed).run(error)`; new code
+/// should build a [`DebugSession`] directly.
 ///
 /// # Errors
 ///
@@ -73,231 +34,7 @@ pub fn run_debug_iteration(
     error: &InjectedError,
     seed: u64,
 ) -> Result<DebugOutcome, TilingError> {
-    let mut outcome = DebugOutcome {
-        mismatch: None,
-        initial_suspects: 0,
-        localized: None,
-        taps_inserted: 0,
-        repaired: false,
-        effort: CadEffort::default(),
-        tiles_cleared: 0,
-        ecos: 0,
-        confirmed_by_control: false,
-    };
-
-    // ---- Detection (steps 10, 21) --------------------------------
-    let mismatch = first_mismatch(golden, &td.netlist, patterns_for(golden, seed))?;
-    let Some(mismatch) = mismatch else {
-        outcome.repaired = true; // nothing to do
-        return Ok(outcome);
-    };
-    outcome.mismatch = Some(mismatch.clone());
-
-    // ---- Localization (steps 16–21) -------------------------------
-    // Structural suspect cone from the failing/passing output split.
-    let mut candidates: Vec<CellId> = suspect_cells(golden, &mismatch);
-    outcome.initial_suspects = candidates.len();
-    // Keep only LUTs that still exist in the DUT, topologically sorted.
-    let order = golden.topo_order()?;
-    let rank = |c: CellId| order.iter().position(|&o| o == c).unwrap_or(usize::MAX);
-    candidates.retain(|&c| {
-        td.netlist
-            .cell(c)
-            .map(|cell| cell.lut_function().is_some())
-            .unwrap_or(false)
-    });
-    candidates.sort_by_key(|&c| rank(c));
-
-    let mut diverging: Vec<CellId> = Vec::new();
-    for (batch_no, batch) in candidates.chunks(8).enumerate() {
-        // Insert observation taps for this batch (a real ECO).
-        let mut added = Vec::new();
-        let mut tapped: Vec<(CellId, netlist::NetId)> = Vec::new();
-        for &cell in batch {
-            let net = td.netlist.cell_output(cell)?;
-            let name = format!("dbg{batch_no}_{}", cell.index());
-            let rep = insert_observation_tap(&mut td.netlist, net, &name, false)?;
-            added.extend(rep.added.iter().copied());
-            tapped.push((cell, net));
-            outcome.taps_inserted += 1;
-        }
-        let phys = replace_and_route(td, batch, &added, ExpansionPolicy::MostFree)?;
-        outcome.effort += phys.effort;
-        outcome.tiles_cleared += phys.affected.tiles.len();
-        outcome.ecos += 1;
-
-        // Re-emulate up to the failing stimulus with golden-side full
-        // visibility; find which tapped nets diverge at the earliest
-        // diverging cycle.
-        let mut gsim = Simulator::new(golden)?;
-        let mut dsim = Simulator::new(&td.netlist)?;
-        let pats: Vec<Vec<bool>> = patterns_for(golden, seed)
-            .take(mismatch.pattern_index + 1)
-            .collect();
-        let sequential = golden.is_sequential();
-        'cycles: for pat in &pats {
-            gsim.set_inputs(pat);
-            dsim.set_inputs(pat);
-            gsim.comb_eval();
-            dsim.comb_eval();
-            let mut this_cycle = Vec::new();
-            for &(cell, net) in &tapped {
-                if gsim.net_value(net) != dsim.net_value(net) {
-                    this_cycle.push(cell);
-                }
-            }
-            if !this_cycle.is_empty() {
-                diverging.extend(this_cycle);
-                break 'cycles;
-            }
-            if sequential {
-                gsim.step();
-                dsim.step();
-            }
-        }
-        // Retire this batch's observation taps: visibility instruments
-        // are temporary, and pads are scarce — accumulating one PO per
-        // tapped cell exhausts the device's IOB sites on small designs.
-        // The physical cleanup (stale pad placement, dangling route
-        // fragment) is folded into the next ECO's replace-and-route.
-        let removals: Vec<netlist::EcoOp> = added
-            .iter()
-            .map(|&cell| netlist::EcoOp::RemoveCell { cell })
-            .collect();
-        netlist::eco::apply_all(&mut td.netlist, &removals)?;
-
-        if !diverging.is_empty() {
-            break;
-        }
-    }
-
-    // The topologically earliest diverging cell is the error site: all
-    // of its fanins agree (otherwise an earlier cell would diverge).
-    diverging.sort_by_key(|&c| rank(c));
-    outcome.localized = diverging.first().copied();
-
-    // ---- Controllability confirmation (§4.1) ------------------------
-    // Before committing to a fix, force the suspect's output to the
-    // golden value through an inserted control point: if the DUT then
-    // matches, the error is contained in that cell.
-    if let Some(suspect) = outcome.localized {
-        let confirmed = confirm_with_control_point(td, golden, suspect, seed, &mut outcome)?;
-        outcome.confirmed_by_control = confirmed;
-    }
-
-    // ---- Correction (steps 11–15, 17–21) ---------------------------
-    let fix = sim::inject::repair_op(error);
-    let rep = netlist::eco::apply(&mut td.netlist, &fix)?;
-    let phys = replace_and_route(td, &rep.touched(), &[], ExpansionPolicy::MostFree)?;
-    outcome.effort += phys.effort;
-    outcome.tiles_cleared += phys.affected.tiles.len();
-    outcome.ecos += 1;
-
-    // Confirmation emulation: observation taps were already retired
-    // per batch, but the DUT may still carry extra PIs (the §4.1
-    // control point's force inputs and mux), so compare by pairing
-    // the golden primary outputs with their same-named DUT cells.
-    outcome.repaired = confirm_repair(golden, &td.netlist, seed)?;
-    Ok(outcome)
-}
-
-/// Inserts a control point on the suspect's output net (a tiled ECO),
-/// then re-emulates with the override enabled and driven to the golden
-/// value every cycle. Returns true if the DUT's original outputs then
-/// match the golden model — the §4.1 controllability check that the
-/// error is contained in the suspect cell.
-fn confirm_with_control_point(
-    td: &mut TiledDesign,
-    golden: &Netlist,
-    suspect: CellId,
-    seed: u64,
-    outcome: &mut DebugOutcome,
-) -> Result<bool, TilingError> {
-    let net = td.netlist.cell_output(suspect)?;
-    let cp = insert_control_point(&mut td.netlist, net, "cpconfirm")?;
-    let phys = replace_and_route(td, &[suspect], &cp.report.added, ExpansionPolicy::MostFree)?;
-    outcome.effort += phys.effort;
-    outcome.tiles_cleared += phys.affected.tiles.len();
-    outcome.ecos += 1;
-
-    let mut gsim = Simulator::new(golden)?;
-    let mut dsim = Simulator::new(&td.netlist)?;
-    // DUT inputs: golden pattern, then [force_val, force_en] (the two
-    // new PIs append to the input order).
-    assert_eq!(
-        dsim.num_inputs(),
-        gsim.num_inputs() + 2,
-        "control point adds two PIs"
-    );
-    let pairs = po_pairs(golden, &td.netlist)?;
-    let sequential = golden.is_sequential();
-    for pat in patterns_for(golden, seed).take(256) {
-        gsim.set_inputs(&pat);
-        gsim.comb_eval();
-        let forced = gsim.net_value(net);
-        let mut dpat = pat.clone();
-        dpat.push(forced); // force_val
-        dpat.push(true); // force_en
-        dsim.set_inputs(&dpat);
-        dsim.comb_eval();
-        let g = gsim.outputs();
-        let d = dsim.outputs();
-        if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
-            return Ok(false);
-        }
-        if sequential {
-            gsim.step();
-            dsim.step();
-        }
-    }
-    Ok(true)
-}
-
-/// Pairs golden primary outputs with the DUT cells of the same name
-/// (the DUT accumulates extra observation outputs during debug).
-fn po_pairs(golden: &Netlist, dut: &Netlist) -> Result<Vec<(usize, usize)>, TilingError> {
-    let gpos = golden.primary_outputs();
-    let dpos = dut.primary_outputs();
-    let mut pairs = Vec::with_capacity(gpos.len());
-    for (k, &gpo) in gpos.iter().enumerate() {
-        let name = &golden.cell(gpo)?.name;
-        if let Some(dpo) = dut.find_cell(name) {
-            if let Some(dk) = dpos.iter().position(|&c| c == dpo) {
-                pairs.push((k, dk));
-            }
-        }
-    }
-    Ok(pairs)
-}
-
-/// Re-emulates and checks that every *original* primary output now
-/// matches (the DUT has extra observation-tap outputs the golden model
-/// lacks, so a plain output-vector compare would be misaligned).
-fn confirm_repair(golden: &Netlist, dut: &Netlist, seed: u64) -> Result<bool, TilingError> {
-    let mut gsim = Simulator::new(golden)?;
-    let mut dsim = Simulator::new(dut)?;
-    let pairs = po_pairs(golden, dut)?;
-    let sequential = golden.is_sequential();
-    for pat in patterns_for(golden, seed) {
-        gsim.set_inputs(&pat);
-        // The DUT may have grown extra PIs (control points); drive
-        // them inactive.
-        let mut dpat = pat.clone();
-        dpat.resize(dsim.num_inputs(), false);
-        dsim.set_inputs(&dpat);
-        gsim.comb_eval();
-        dsim.comb_eval();
-        let g = gsim.outputs();
-        let d = dsim.outputs();
-        if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
-            return Ok(false);
-        }
-        if sequential {
-            gsim.step();
-            dsim.step();
-        }
-    }
-    Ok(true)
+    DebugSession::new(td, golden).seed(seed).run(error)
 }
 
 #[cfg(test)]
@@ -327,6 +64,9 @@ mod tests {
             assert!(out.confirmed_by_control, "control point failed to confirm");
         }
         assert!(out.taps_inserted > 0);
+        // The wrapper runs the paper defaults.
+        assert_eq!(out.strategy, "linear");
+        assert_eq!(out.flow, "tiled");
     }
 
     #[test]

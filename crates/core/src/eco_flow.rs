@@ -263,16 +263,9 @@ fn attempt_inner(
     let region = RegionSet::from_tiles(&td.device, &td.plan, &affected.tiles);
 
     // ----- Clear the affected tiles -------------------------------
-    // Remove stale placements of netlist-deleted cells anywhere.
-    let stale: Vec<CellId> = td
-        .placement
-        .iter()
-        .map(|(c, _)| c)
-        .filter(|&c| td.netlist.cell(c).is_err())
-        .collect();
-    for c in stale {
-        let _ = td.placement.unplace(c);
-    }
+    // Remove stale placements/routes of netlist-deleted objects
+    // (retired instruments) anywhere.
+    crate::flow::drop_stale_physical_state(td);
     // Unplace all logic inside the affected tiles.
     let mut to_replace: Vec<CellId> = Vec::new();
     for &t in &affected.tiles {
@@ -358,17 +351,7 @@ fn attempt_inner(
     }
 
     // ----- Routing work list ---------------------------------------
-    // Drop routes of dead nets first.
-    let dead_nets: Vec<NetId> = td
-        .routing
-        .iter()
-        .map(|(n, _)| n)
-        .filter(|&n| td.netlist.net(n).is_err())
-        .collect();
-    for n in dead_nets {
-        td.routing.clear_route(n);
-    }
-
+    // (Dead-net routes were already dropped with the stale state.)
     let mut masked_requests: Vec<ConnectionRequest> = Vec::new();
     let mut free_requests: Vec<ConnectionRequest> = Vec::new();
     let mut rerouted = BTreeSet::new();

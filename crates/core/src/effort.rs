@@ -66,6 +66,148 @@ impl fmt::Display for CadEffort {
     }
 }
 
+/// The four phases of one debugging iteration (paper §3.1): error
+/// *detection* by emulation, iterative *localization* with observation
+/// taps, controllability *confirmation* (§4.1), and the corrective
+/// ECO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Pattern emulation until the first primary-output divergence.
+    Detect,
+    /// Observation-tap ECOs narrowing the suspect cone.
+    Localize,
+    /// Control-point ECO forcing the suspect to golden values.
+    Confirm,
+    /// The repairing ECO plus confirmation emulation.
+    Correct,
+}
+
+impl Phase {
+    /// All phases, in iteration order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Detect,
+        Phase::Localize,
+        Phase::Confirm,
+        Phase::Correct,
+    ];
+
+    /// Lower-case phase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Detect => "detect",
+            Phase::Localize => "localize",
+            Phase::Confirm => "confirm",
+            Phase::Correct => "correct",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Phase::Detect => 0,
+            Phase::Localize => 1,
+            Phase::Confirm => 2,
+            Phase::Correct => 3,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Effort accumulated within one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseEffort {
+    /// CAD effort of this phase's physical ECOs.
+    pub effort: CadEffort,
+    /// Physical ECOs performed in this phase.
+    pub ecos: usize,
+    /// Tiles cleared (with multiplicity) across those ECOs.
+    pub tiles_cleared: usize,
+}
+
+/// Per-phase effort bookkeeping for a debug session
+/// (detect / localize / confirm / correct).
+///
+/// [`crate::report::DebugReport`] and the bench binaries render it;
+/// [`crate::session::DebugSession`] fills it in.
+///
+/// ```
+/// use tiling::effort::{CadEffort, EffortLedger, Phase};
+/// let mut ledger = EffortLedger::default();
+/// ledger.charge(
+///     Phase::Localize,
+///     CadEffort { place_moves: 10, route_expansions: 5 },
+///     2,
+/// );
+/// assert_eq!(ledger.phase(Phase::Localize).ecos, 1);
+/// assert_eq!(ledger.total().total(), 15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EffortLedger {
+    phases: [PhaseEffort; 4],
+}
+
+impl EffortLedger {
+    /// Records one physical ECO against a phase.
+    pub fn charge(&mut self, phase: Phase, effort: CadEffort, tiles_cleared: usize) {
+        let p = &mut self.phases[phase.index()];
+        p.effort += effort;
+        p.ecos += 1;
+        p.tiles_cleared += tiles_cleared;
+    }
+
+    /// One phase's accumulated effort.
+    pub fn phase(&self, phase: Phase) -> &PhaseEffort {
+        &self.phases[phase.index()]
+    }
+
+    /// Total CAD effort across all phases.
+    pub fn total(&self) -> CadEffort {
+        self.phases
+            .iter()
+            .fold(CadEffort::default(), |acc, p| acc + p.effort)
+    }
+
+    /// Total physical ECOs across all phases.
+    pub fn total_ecos(&self) -> usize {
+        self.phases.iter().map(|p| p.ecos).sum()
+    }
+
+    /// Total tiles cleared (with multiplicity) across all phases.
+    pub fn total_tiles_cleared(&self) -> usize {
+        self.phases.iter().map(|p| p.tiles_cleared).sum()
+    }
+
+    /// Folds another ledger into this one (campaign aggregation).
+    pub fn merge(&mut self, other: &EffortLedger) {
+        for (mine, theirs) in self.phases.iter_mut().zip(&other.phases) {
+            mine.effort += theirs.effort;
+            mine.ecos += theirs.ecos;
+            mine.tiles_cleared += theirs.tiles_cleared;
+        }
+    }
+}
+
+impl fmt::Display for EffortLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, phase) in Phase::ALL.into_iter().enumerate() {
+            let p = self.phase(phase);
+            if k > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{:<9} {:>2} ECOs, {:>2} tiles cleared, {}",
+                phase, p.ecos, p.tiles_cleared, p.effort
+            )?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +226,33 @@ mod tests {
         let mut c = a;
         c += b;
         assert_eq!(c.total(), 18);
+    }
+
+    #[test]
+    fn ledger_charges_and_merges_per_phase() {
+        let eco = CadEffort {
+            place_moves: 7,
+            route_expansions: 3,
+        };
+        let mut a = EffortLedger::default();
+        a.charge(Phase::Localize, eco, 2);
+        a.charge(Phase::Localize, eco, 1);
+        a.charge(Phase::Correct, eco, 1);
+        assert_eq!(a.phase(Phase::Localize).ecos, 2);
+        assert_eq!(a.phase(Phase::Localize).tiles_cleared, 3);
+        assert_eq!(a.phase(Phase::Detect).ecos, 0);
+        assert_eq!(a.total_ecos(), 3);
+        assert_eq!(a.total().total(), 30);
+
+        let mut b = EffortLedger::default();
+        b.charge(Phase::Confirm, eco, 4);
+        b.merge(&a);
+        assert_eq!(b.total_ecos(), 4);
+        assert_eq!(b.total_tiles_cleared(), 8);
+        let text = b.to_string();
+        for phase in Phase::ALL {
+            assert!(text.contains(phase.name()), "missing {phase} in {text}");
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! resource slack, draw tile boundaries, lock interfaces.
 
 use fpga::{DelayModel, Device, Placement, Routing, RoutingGraph, TimingReport};
-use netlist::{Hierarchy, Netlist};
+use netlist::{CellId, Hierarchy, NetId, Netlist};
 use place::{Constraints, PlacerConfig};
 use route::RouteOptions;
 
@@ -137,6 +137,33 @@ impl TiledDesign {
             .map(|u| u.used_clbs())
             .sum();
         used as f64 / self.plan.len().max(1) as f64
+    }
+}
+
+/// Drops physical state that refers to netlist-deleted objects:
+/// placements of removed cells (retired observation taps and control
+/// points) and routes of removed nets. Every re-implementation flow
+/// calls this before touching placement or routing, so instrument
+/// retirement folds into the next ECO regardless of which flow runs
+/// it.
+pub(crate) fn drop_stale_physical_state(td: &mut TiledDesign) {
+    let stale: Vec<CellId> = td
+        .placement
+        .iter()
+        .map(|(c, _)| c)
+        .filter(|&c| td.netlist.cell(c).is_err())
+        .collect();
+    for c in stale {
+        let _ = td.placement.unplace(c);
+    }
+    let dead: Vec<NetId> = td
+        .routing
+        .iter()
+        .map(|(n, _)| n)
+        .filter(|&n| td.netlist.net(n).is_err())
+        .collect();
+    for n in dead {
+        td.routing.clear_route(n);
     }
 }
 

@@ -12,13 +12,16 @@
 //!
 //! 1. [`flow::implement`] — synthesize → place with slack → route →
 //!    [`partition`] into tiles → lock interfaces ([`interface`]);
-//! 2. debugging iterations: detect and localize with inserted test
-//!    logic, correct with an ECO ([`debug`]), trace the change to
-//!    tiles ([`affected`]), clear and re-implement only those tiles
-//!    ([`eco_flow`]);
+//! 2. debugging iterations through a [`session::DebugSession`]:
+//!    detect and localize with inserted test logic (strategy chosen
+//!    via [`strategy`]), correct with an ECO, trace the change to
+//!    tiles ([`affected`]), and re-implement through a pluggable
+//!    physical flow ([`flows`]) — the tiled flow clears only the
+//!    affected tiles ([`eco_flow`]);
 //! 3. compare the CAD effort against the non-tiled alternatives
-//!    ([`baselines`]): full re-place-and-route, incremental, and
-//!    Quick_ECO functional-block granularity.
+//!    (the same [`flows`] behind one trait; [`baselines`] prices them
+//!    on clones): full re-place-and-route, incremental, and Quick_ECO
+//!    functional-block granularity.
 //!
 //! [`testpoints`] computes the paper's Figure 3 / Figure 4 quantities
 //! (tiles affected by logic insertion; maximum test-logic size per
@@ -34,19 +37,27 @@ pub mod eco_flow;
 pub mod effort;
 pub mod error;
 pub mod flow;
+pub mod flows;
 pub mod interface;
 pub mod partition;
 pub mod report;
+pub mod session;
+pub mod strategy;
 pub mod testpoints;
 pub mod tile;
 
 pub use affected::AffectedSet;
-pub use baselines::{full_replace_effort, incremental_effort, quick_eco_effort};
-pub use debug::{run_debug_iteration, DebugOutcome};
+pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_eco_effort};
+pub use debug::run_debug_iteration;
 pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
-pub use effort::CadEffort;
+pub use effort::{CadEffort, EffortLedger, Phase};
 pub use error::TilingError;
 pub use flow::{implement, TiledDesign, TilingOptions};
+pub use flows::{
+    standard_flows, FullReplaceFlow, IncrementalFlow, QuickEcoFlow, ReimplFlow, TiledFlow,
+};
 pub use partition::partition;
-pub use report::TilingReport;
+pub use report::{DebugReport, TilingReport};
+pub use session::{CampaignOutcome, DebugEvent, DebugOutcome, DebugSession, PatternSpec};
+pub use strategy::{BinarySearch, LinearBatches, LocalizationStrategy, TapObservation};
 pub use tile::{Tile, TileId, TilePlan};

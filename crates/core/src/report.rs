@@ -5,9 +5,11 @@
 
 use std::fmt;
 
+use crate::effort::EffortLedger;
 use crate::error::TilingError;
 use crate::flow::TiledDesign;
 use crate::interface::tile_interface;
+use crate::session::DebugOutcome;
 
 /// Per-tile summary row.
 #[derive(Debug, Clone, PartialEq)]
@@ -128,9 +130,74 @@ impl fmt::Display for TilingReport {
     }
 }
 
+/// Aggregated summary of one or more debug iterations: the per-phase
+/// [`EffortLedger`] plus the headline counters the examples and bench
+/// binaries print.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DebugReport {
+    /// Iterations summarized.
+    pub iterations: usize,
+    /// Iterations whose DUT matched golden at the end.
+    pub repaired: usize,
+    /// Iterations where localization pinned a cell down.
+    pub localized: usize,
+    /// Observation taps inserted in total.
+    pub taps_inserted: usize,
+    /// Merged per-phase ledger.
+    pub ledger: EffortLedger,
+    /// Strategy name (from the first outcome; campaigns share one).
+    pub strategy: String,
+    /// Flow name (from the first outcome; campaigns share one).
+    pub flow: String,
+}
+
+impl DebugReport {
+    /// Builds the report from session outcomes.
+    pub fn from_outcomes(outcomes: &[DebugOutcome]) -> Self {
+        let mut report = DebugReport {
+            iterations: outcomes.len(),
+            ..Default::default()
+        };
+        if let Some(first) = outcomes.first() {
+            report.strategy = first.strategy.to_string();
+            report.flow = first.flow.to_string();
+        }
+        for o in outcomes {
+            report.repaired += usize::from(o.repaired);
+            report.localized += usize::from(o.localized.is_some());
+            report.taps_inserted += o.taps_inserted;
+            report.ledger.merge(&o.ledger);
+        }
+        report
+    }
+}
+
+impl fmt::Display for DebugReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} iteration(s) via {} / {}: {} repaired, {} localized, {} taps",
+            self.iterations,
+            self.strategy,
+            self.flow,
+            self.repaired,
+            self.localized,
+            self.taps_inserted
+        )?;
+        writeln!(f, "{}", self.ledger)?;
+        write!(
+            f,
+            "total: {} ECOs, {}",
+            self.ledger.total_ecos(),
+            self.ledger.total()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::effort::Phase;
     use crate::flow::{implement, TilingOptions};
     use synth::PaperDesign;
 
@@ -150,6 +217,28 @@ mod tests {
         for t in &r.tiles {
             assert!(t.used + t.free <= t.capacity);
         }
+    }
+
+    #[test]
+    fn debug_report_aggregates_session_outcomes() {
+        let b = PaperDesign::NineSym.generate().unwrap();
+        let golden = b.netlist.clone();
+        let mut td = implement(b.netlist, b.hierarchy, TilingOptions::fast(43)).unwrap();
+        let err = sim::inject::random_error(&mut td.netlist, 99).unwrap();
+        let out = crate::session::DebugSession::new(&mut td, &golden)
+            .seed(17)
+            .run(&err)
+            .unwrap();
+        let report = DebugReport::from_outcomes(std::slice::from_ref(&out));
+        assert_eq!(report.iterations, 1);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.taps_inserted, out.taps_inserted);
+        assert_eq!(report.ledger.total(), out.effort);
+        let text = report.to_string();
+        for phase in Phase::ALL {
+            assert!(text.contains(phase.name()), "missing {phase}: {text}");
+        }
+        assert!(text.contains("tiled"));
     }
 
     #[test]

@@ -1,0 +1,737 @@
+//! Session-oriented debugging: one object that drives detect →
+//! localize → confirm → correct through a pluggable physical flow and
+//! localization strategy (paper §3.1 steps 9–22).
+//!
+//! [`DebugSession`] generalizes the old monolithic
+//! `run_debug_iteration` (which survives as a thin wrapper in
+//! [`crate::debug`]):
+//!
+//! * the physical re-implementation behind every ECO is a
+//!   [`ReimplFlow`], so the same campaign can be priced through the
+//!   tiled flow or any Figure 5 baseline;
+//! * localization is a [`LocalizationStrategy`], so linear batching
+//!   and binary-search bisection are interchangeable;
+//! * progress is emitted as a typed [`DebugEvent`] stream;
+//! * effort is recorded per phase in an [`EffortLedger`] that
+//!   [`crate::report::DebugReport`] and the bench bins consume.
+
+use std::collections::HashMap;
+
+use netlist::{CellId, NetId, Netlist};
+use sim::emulate::{first_mismatch, suspect_cells, Mismatch};
+use sim::inject::InjectedError;
+use sim::patterns::PatternGen;
+use sim::testlogic::{insert_control_point, insert_observation_tap};
+use sim::Simulator;
+
+use crate::effort::{CadEffort, EffortLedger, Phase};
+use crate::error::TilingError;
+use crate::flow::TiledDesign;
+use crate::flows::{ReimplFlow, TiledFlow};
+use crate::strategy::{LinearBatches, LocalizationStrategy, TapObservation};
+
+/// How the session generates stimulus vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PatternSpec {
+    /// Exhaustive for narrow designs (≤ 10 inputs), 512 LFSR vectors
+    /// otherwise — the paper-shaped default.
+    #[default]
+    Auto,
+    /// All `2^width` vectors (panics above 24 inputs).
+    Exhaustive,
+    /// `count` LFSR vectors.
+    Lfsr {
+        /// Number of vectors.
+        count: usize,
+    },
+    /// `count` uniform random vectors.
+    Random {
+        /// Number of vectors.
+        count: usize,
+    },
+}
+
+impl PatternSpec {
+    /// Instantiates the generator for a netlist's input width.
+    pub fn generate(self, nl: &Netlist, seed: u64) -> PatternGen {
+        let width = nl.primary_inputs().len();
+        match self {
+            PatternSpec::Auto => {
+                if width <= 10 {
+                    PatternGen::exhaustive(width)
+                } else {
+                    PatternGen::lfsr(width, 512, seed)
+                }
+            }
+            PatternSpec::Exhaustive => PatternGen::exhaustive(width),
+            PatternSpec::Lfsr { count } => PatternGen::lfsr(width, count, seed),
+            PatternSpec::Random { count } => PatternGen::random(width, count, seed),
+        }
+    }
+}
+
+/// Progress notifications emitted by [`DebugSession`].
+#[derive(Debug, Clone)]
+pub enum DebugEvent {
+    /// A campaign planted (or was handed) an error to hunt.
+    ErrorInjected {
+        /// Iteration index within the campaign.
+        iteration: usize,
+        /// The buggy cell.
+        cell: CellId,
+    },
+    /// Detection emulation found a primary-output divergence.
+    Detected {
+        /// Stimulus index that exposed the bug.
+        pattern_index: usize,
+        /// Name of the diverging output.
+        output_name: String,
+    },
+    /// Detection emulation found no divergence (clean design).
+    CleanDesign,
+    /// The structural suspect cone was computed.
+    SuspectsComputed {
+        /// Raw structural suspects.
+        structural: usize,
+        /// Suspects surviving the DUT-liveness/LUT filter.
+        candidates: usize,
+    },
+    /// One observation-tap ECO was performed.
+    TapEco {
+        /// Cells tapped by this ECO.
+        cells: Vec<CellId>,
+        /// Physical effort of the ECO.
+        effort: CadEffort,
+    },
+    /// Re-emulation verdicts for the last tap ECO.
+    Observed {
+        /// Tapped cells whose nets diverged.
+        diverging: Vec<CellId>,
+    },
+    /// Localization converged (or gave up).
+    Localized {
+        /// The identified error site.
+        cell: Option<CellId>,
+    },
+    /// The §4.1 control-point confirmation ran.
+    Confirmed {
+        /// The suspect that was force-overridden.
+        cell: CellId,
+        /// Whether forcing it to golden values fixed the outputs.
+        confirmed: bool,
+    },
+    /// The corrective ECO was applied and checked.
+    Corrected {
+        /// Whether the DUT now matches the golden model.
+        repaired: bool,
+    },
+}
+
+/// Result of one debugging iteration.
+#[derive(Debug, Clone)]
+pub struct DebugOutcome {
+    /// The detected divergence (None if the DUT already matched).
+    pub mismatch: Option<Mismatch>,
+    /// Size of the initial structural suspect set.
+    pub initial_suspects: usize,
+    /// The cell the localization loop identified.
+    pub localized: Option<CellId>,
+    /// Observation taps inserted during localization.
+    pub taps_inserted: usize,
+    /// Whether the corrective ECO made the DUT match the golden model.
+    pub repaired: bool,
+    /// Total CAD effort across all ECOs of the iteration.
+    pub effort: CadEffort,
+    /// Tiles cleared across all ECOs (with multiplicity).
+    pub tiles_cleared: usize,
+    /// Physical ECOs performed (tap batches + confirmation + the
+    /// correction). A non-tiled flow pays one full re-place-and-route
+    /// per ECO.
+    pub ecos: usize,
+    /// Whether the localized cell was confirmed via a control point
+    /// (forcing its output to golden values makes the DUT match).
+    pub confirmed_by_control: bool,
+    /// Per-phase effort breakdown (detect/localize/confirm/correct).
+    pub ledger: EffortLedger,
+    /// Name of the localization strategy that ran.
+    pub strategy: &'static str,
+    /// Name of the physical flow that ran.
+    pub flow: &'static str,
+}
+
+/// Aggregate result of a multi-error campaign.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOutcome {
+    /// Per-iteration outcomes, in order.
+    pub iterations: Vec<DebugOutcome>,
+    /// Merged per-phase ledger across all iterations.
+    pub ledger: EffortLedger,
+}
+
+impl CampaignOutcome {
+    /// Whether every iteration ended with a matching DUT.
+    pub fn all_repaired(&self) -> bool {
+        self.iterations.iter().all(|o| o.repaired)
+    }
+
+    /// Total CAD effort across the campaign.
+    pub fn total_effort(&self) -> CadEffort {
+        self.ledger.total()
+    }
+}
+
+/// Boxed progress callback (see [`DebugSession::on_event`]).
+type EventCallback<'a> = Box<dyn FnMut(&DebugEvent) + 'a>;
+
+/// A configured debugging session over one tiled design.
+///
+/// Built with [`DebugSession::new`] plus the builder methods, then run
+/// with [`run`](DebugSession::run) (one planted error) or
+/// [`run_campaign`](DebugSession::run_campaign) (a sequence of random
+/// errors).
+///
+/// ```no_run
+/// use sim::inject::random_error;
+/// use synth::PaperDesign;
+/// use tiling::flows::TiledFlow;
+/// use tiling::session::DebugSession;
+/// use tiling::strategy::BinarySearch;
+/// use tiling::{implement, TilingOptions};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let b = PaperDesign::NineSym.generate()?;
+/// let mut td = implement(b.netlist, b.hierarchy, TilingOptions::default())?;
+/// let golden = td.netlist.clone();
+/// let error = random_error(&mut td.netlist, 7)?;
+/// let outcome = DebugSession::new(&mut td, &golden)
+///     .strategy(BinarySearch::new())
+///     .flow(TiledFlow::default())
+///     .seed(42)
+///     .on_event(|e| eprintln!("{e:?}"))
+///     .run(&error)?;
+/// assert!(outcome.repaired);
+/// println!("{}", outcome.ledger);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DebugSession<'a> {
+    td: &'a mut TiledDesign,
+    golden: &'a Netlist,
+    strategy: Box<dyn LocalizationStrategy + 'a>,
+    flow: Box<dyn ReimplFlow + 'a>,
+    patterns: PatternSpec,
+    seed: u64,
+    confirm_with_control: bool,
+    on_event: Option<EventCallback<'a>>,
+}
+
+impl<'a> DebugSession<'a> {
+    /// A session with the paper-shaped defaults: [`LinearBatches`]
+    /// localization through the [`TiledFlow`], auto patterns, seed 0,
+    /// control-point confirmation on.
+    pub fn new(td: &'a mut TiledDesign, golden: &'a Netlist) -> Self {
+        Self {
+            td,
+            golden,
+            strategy: Box::new(LinearBatches::default()),
+            flow: Box::new(TiledFlow::default()),
+            patterns: PatternSpec::Auto,
+            seed: 0,
+            confirm_with_control: true,
+            on_event: None,
+        }
+    }
+
+    /// Swaps the localization strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: impl LocalizationStrategy + 'a) -> Self {
+        self.strategy = Box::new(strategy);
+        self
+    }
+
+    /// Swaps the physical re-implementation flow.
+    #[must_use]
+    pub fn flow(mut self, flow: impl ReimplFlow + 'a) -> Self {
+        self.flow = Box::new(flow);
+        self
+    }
+
+    /// Swaps the stimulus specification.
+    #[must_use]
+    pub fn patterns(mut self, patterns: PatternSpec) -> Self {
+        self.patterns = patterns;
+        self
+    }
+
+    /// Sets the stimulus seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables/disables the §4.1 control-point confirmation ECO.
+    #[must_use]
+    pub fn confirm_with_control(mut self, enabled: bool) -> Self {
+        self.confirm_with_control = enabled;
+        self
+    }
+
+    /// Registers a progress-event callback.
+    #[must_use]
+    pub fn on_event(mut self, callback: impl FnMut(&DebugEvent) + 'a) -> Self {
+        self.on_event = Some(Box::new(callback));
+        self
+    }
+
+    fn emit(&mut self, event: DebugEvent) {
+        if let Some(cb) = self.on_event.as_mut() {
+            cb(&event);
+        }
+    }
+
+    fn patterns_for(&self, nl: &Netlist) -> PatternGen {
+        self.patterns.generate(nl, self.seed)
+    }
+
+    /// Runs one full detect → localize → confirm → correct iteration
+    /// for a planted error already present in the DUT netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/placement/routing failures from the flow.
+    pub fn run(&mut self, error: &InjectedError) -> Result<DebugOutcome, TilingError> {
+        let mut outcome = DebugOutcome {
+            mismatch: None,
+            initial_suspects: 0,
+            localized: None,
+            taps_inserted: 0,
+            repaired: false,
+            effort: CadEffort::default(),
+            tiles_cleared: 0,
+            ecos: 0,
+            confirmed_by_control: false,
+            ledger: EffortLedger::default(),
+            strategy: self.strategy.name(),
+            flow: self.flow.name(),
+        };
+
+        // ---- Detection (steps 10, 21) --------------------------------
+        let mismatch = first_mismatch(
+            self.golden,
+            &self.td.netlist,
+            self.patterns_for(self.golden),
+        )?;
+        let Some(mismatch) = mismatch else {
+            self.emit(DebugEvent::CleanDesign);
+            outcome.repaired = true; // nothing to do
+            return Ok(outcome);
+        };
+        self.emit(DebugEvent::Detected {
+            pattern_index: mismatch.pattern_index,
+            output_name: mismatch.output_name.clone(),
+        });
+        outcome.mismatch = Some(mismatch.clone());
+
+        // ---- Localization (steps 16–21) -------------------------------
+        // Structural suspect cone from the failing/passing output
+        // split, filtered to LUTs still alive in the DUT and sorted
+        // topologically (rank via one HashMap build, not a per-key
+        // linear scan).
+        let mut candidates: Vec<CellId> = suspect_cells(self.golden, &mismatch);
+        outcome.initial_suspects = candidates.len();
+        let order = self.golden.topo_order()?;
+        let rank: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let rank_of = |c: CellId| rank.get(&c).copied().unwrap_or(usize::MAX);
+        candidates.retain(|&c| {
+            self.td
+                .netlist
+                .cell(c)
+                .map(|cell| cell.lut_function().is_some())
+                .unwrap_or(false)
+        });
+        candidates.sort_by_key(|&c| rank_of(c));
+        self.emit(DebugEvent::SuspectsComputed {
+            structural: outcome.initial_suspects,
+            candidates: candidates.len(),
+        });
+
+        self.strategy.begin(self.golden, &candidates);
+        let mut eco_no = 0usize;
+        loop {
+            let batch = self.strategy.next_taps();
+            if batch.is_empty() {
+                break;
+            }
+            // Insert observation taps for this batch (a real ECO).
+            let mut added = Vec::new();
+            let mut tapped: Vec<(CellId, NetId)> = Vec::new();
+            for &cell in &batch {
+                let net = self.td.netlist.cell_output(cell)?;
+                let name = format!("dbg{eco_no}_{}", cell.index());
+                let rep = insert_observation_tap(&mut self.td.netlist, net, &name, false)?;
+                added.extend(rep.added.iter().copied());
+                tapped.push((cell, net));
+                outcome.taps_inserted += 1;
+            }
+            let removals: Vec<netlist::EcoOp> = added
+                .iter()
+                .map(|&cell| netlist::EcoOp::RemoveCell { cell })
+                .collect();
+            let phys = match self.flow.reimplement(self.td, &batch, &added) {
+                Ok(phys) => phys,
+                Err(e) => {
+                    // The flow restored placement/routing; retire the
+                    // just-inserted taps too so the netlist matches
+                    // and the caller can retry on a consistent design.
+                    netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+                    return Err(e);
+                }
+            };
+            outcome
+                .ledger
+                .charge(Phase::Localize, phys.effort, phys.affected.tiles.len());
+            self.emit(DebugEvent::TapEco {
+                cells: batch.clone(),
+                effort: phys.effort,
+            });
+            eco_no += 1;
+
+            // Re-emulate up to the failing stimulus with golden-side
+            // full visibility; record which tapped nets diverge at the
+            // earliest diverging cycle.
+            let observations = self.observe_taps(&tapped, mismatch.pattern_index, &rank_of)?;
+            self.emit(DebugEvent::Observed {
+                diverging: observations
+                    .iter()
+                    .filter(|o| o.diverged)
+                    .map(|o| o.cell)
+                    .collect(),
+            });
+
+            // Retire this batch's observation taps: visibility
+            // instruments are temporary, and pads are scarce —
+            // accumulating one PO per tapped cell exhausts the
+            // device's IOB sites on small designs. The physical
+            // cleanup (stale pad placement, dangling route fragment)
+            // is folded into the next ECO's re-implementation.
+            netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+
+            self.strategy.observe(&observations);
+        }
+        outcome.localized = self.strategy.localized();
+        self.emit(DebugEvent::Localized {
+            cell: outcome.localized,
+        });
+
+        // ---- Controllability confirmation (§4.1) ----------------------
+        // Before committing to a fix, force the suspect's output to
+        // the golden value through an inserted control point: if the
+        // DUT then matches, the error is contained in that cell.
+        if self.confirm_with_control {
+            if let Some(suspect) = outcome.localized {
+                let confirmed = self.confirm_with_control_point(suspect, &mut outcome)?;
+                outcome.confirmed_by_control = confirmed;
+                self.emit(DebugEvent::Confirmed {
+                    cell: suspect,
+                    confirmed,
+                });
+            }
+        }
+
+        // ---- Correction (steps 11–15, 17–21) ---------------------------
+        let fix = sim::inject::repair_op(error);
+        let rep = netlist::eco::apply(&mut self.td.netlist, &fix)?;
+        let phys = self.flow.reimplement(self.td, &rep.touched(), &[])?;
+        outcome
+            .ledger
+            .charge(Phase::Correct, phys.effort, phys.affected.tiles.len());
+
+        // Confirmation emulation: observation taps were already
+        // retired per batch, but the DUT may still carry extra PIs
+        // (the §4.1 control point's force inputs and mux), so compare
+        // by pairing the golden primary outputs with their same-named
+        // DUT cells.
+        outcome.repaired = self.confirm_repair()?;
+        self.emit(DebugEvent::Corrected {
+            repaired: outcome.repaired,
+        });
+
+        outcome.effort = outcome.ledger.total();
+        outcome.tiles_cleared = outcome.ledger.total_tiles_cleared();
+        outcome.ecos = outcome.ledger.total_ecos();
+        Ok(outcome)
+    }
+
+    /// Runs a multi-error campaign: for each seed, plants one random
+    /// error, debugs it to repair, and moves on. Iterations whose
+    /// error escapes detection (possible under LFSR stimulus on deep
+    /// sequential state) are silently reverted at the netlist level so
+    /// later iterations start from a clean DUT.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection and flow failures.
+    pub fn run_campaign(&mut self, seeds: &[u64]) -> Result<CampaignOutcome, TilingError> {
+        let mut campaign = CampaignOutcome::default();
+        for (iteration, &seed) in seeds.iter().enumerate() {
+            let error = sim::inject::random_error(&mut self.td.netlist, seed)?;
+            self.emit(DebugEvent::ErrorInjected {
+                iteration,
+                cell: error.cell,
+            });
+            let outcome = self.run(&error)?;
+            if outcome.mismatch.is_none() {
+                // Undetected: revert the netlist edit (no physical ECO
+                // — a LUT-function change does not move cells or nets).
+                netlist::eco::apply(&mut self.td.netlist, &sim::inject::repair_op(&error))?;
+            }
+            campaign.ledger.merge(&outcome.ledger);
+            campaign.iterations.push(outcome);
+        }
+        Ok(campaign)
+    }
+
+    /// Emulates patterns up to (and including) the failing stimulus;
+    /// at the first cycle where any tapped net diverges, records each
+    /// tap's verdict and stops.
+    fn observe_taps(
+        &mut self,
+        tapped: &[(CellId, NetId)],
+        upto_pattern: usize,
+        rank_of: &dyn Fn(CellId) -> usize,
+    ) -> Result<Vec<TapObservation>, TilingError> {
+        let mut gsim = Simulator::new(self.golden)?;
+        let mut dsim = Simulator::new(&self.td.netlist)?;
+        let pats: Vec<Vec<bool>> = self
+            .patterns_for(self.golden)
+            .take(upto_pattern + 1)
+            .collect();
+        let sequential = self.golden.is_sequential();
+        let mut verdicts: Vec<TapObservation> = tapped
+            .iter()
+            .map(|&(cell, _)| TapObservation {
+                cell,
+                diverged: false,
+            })
+            .collect();
+        'cycles: for pat in &pats {
+            gsim.set_inputs(pat);
+            dsim.set_inputs(pat);
+            gsim.comb_eval();
+            dsim.comb_eval();
+            let mut any = false;
+            for (k, &(_, net)) in tapped.iter().enumerate() {
+                if gsim.net_value(net) != dsim.net_value(net) {
+                    verdicts[k].diverged = true;
+                    any = true;
+                }
+            }
+            if any {
+                break 'cycles;
+            }
+            if sequential {
+                gsim.step();
+                dsim.step();
+            }
+        }
+        // Strategies receive observations topologically sorted, like
+        // the suspect list itself.
+        verdicts.sort_by_key(|o| rank_of(o.cell));
+        Ok(verdicts)
+    }
+
+    /// Inserts a control point on the suspect's output net (an ECO
+    /// through the session flow), then re-emulates with the override
+    /// enabled and driven to the golden value every cycle. Returns
+    /// true if the DUT's original outputs then match the golden model.
+    ///
+    /// Like observation taps, the control point is *retired* at the
+    /// netlist level afterwards (the physical cleanup folds into the
+    /// correction ECO that follows), so successive campaign
+    /// iterations start from an uninstrumented DUT.
+    fn confirm_with_control_point(
+        &mut self,
+        suspect: CellId,
+        outcome: &mut DebugOutcome,
+    ) -> Result<bool, TilingError> {
+        let net = self.td.netlist.cell_output(suspect)?;
+        let cp = insert_control_point(&mut self.td.netlist, net, "cpconfirm")?;
+        let phys = match self.flow.reimplement(self.td, &[suspect], &cp.report.added) {
+            Ok(phys) => phys,
+            Err(e) => {
+                // The flow restored placement/routing; retire the
+                // control point too so the netlist matches and the
+                // caller can retry on a consistent design.
+                self.retire_control_point(&cp, net)?;
+                return Err(e);
+            }
+        };
+        outcome
+            .ledger
+            .charge(Phase::Confirm, phys.effort, phys.affected.tiles.len());
+
+        let confirmed = {
+            let mut gsim = Simulator::new(self.golden)?;
+            let mut dsim = Simulator::new(&self.td.netlist)?;
+            // DUT inputs: golden pattern, then [force_val, force_en]
+            // (the two new PIs append to the input order).
+            assert_eq!(
+                dsim.num_inputs(),
+                gsim.num_inputs() + 2,
+                "control point adds two PIs"
+            );
+            let pairs = po_pairs(self.golden, &self.td.netlist)?;
+            let sequential = self.golden.is_sequential();
+            let mut matched = true;
+            for pat in self.patterns_for(self.golden).take(256) {
+                gsim.set_inputs(&pat);
+                gsim.comb_eval();
+                let forced = gsim.net_value(net);
+                let mut dpat = pat.clone();
+                dpat.push(forced); // force_val
+                dpat.push(true); // force_en
+                dsim.set_inputs(&dpat);
+                dsim.comb_eval();
+                let g = gsim.outputs();
+                let d = dsim.outputs();
+                if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
+                    matched = false;
+                    break;
+                }
+                if sequential {
+                    gsim.step();
+                    dsim.step();
+                }
+            }
+            matched
+        };
+
+        self.retire_control_point(&cp, net)?;
+        Ok(confirmed)
+    }
+
+    /// Retires a control point: rewires the mux's sinks back to the
+    /// original net, then removes the mux and its two force PIs.
+    fn retire_control_point(
+        &mut self,
+        cp: &sim::testlogic::ControlPoint,
+        net: NetId,
+    ) -> Result<(), TilingError> {
+        let mux_net = self.td.netlist.cell_output(cp.mux)?;
+        let sinks = self.td.netlist.net(mux_net)?.sinks.clone();
+        for s in &sinks {
+            self.td.netlist.set_pin(s.cell, s.pin, net)?;
+        }
+        let removals: Vec<netlist::EcoOp> = [cp.mux, cp.force_value, cp.force_enable]
+            .iter()
+            .map(|&cell| netlist::EcoOp::RemoveCell { cell })
+            .collect();
+        netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+        Ok(())
+    }
+
+    /// Re-emulates and checks that every *original* primary output now
+    /// matches (the DUT has extra PIs/POs from debug instrumentation,
+    /// so a plain output-vector compare would be misaligned).
+    fn confirm_repair(&self) -> Result<bool, TilingError> {
+        let mut gsim = Simulator::new(self.golden)?;
+        let mut dsim = Simulator::new(&self.td.netlist)?;
+        let pairs = po_pairs(self.golden, &self.td.netlist)?;
+        let sequential = self.golden.is_sequential();
+        for pat in self.patterns_for(self.golden) {
+            gsim.set_inputs(&pat);
+            // The DUT may have grown extra PIs (control points); drive
+            // them inactive.
+            let mut dpat = pat.clone();
+            dpat.resize(dsim.num_inputs(), false);
+            dsim.set_inputs(&dpat);
+            gsim.comb_eval();
+            dsim.comb_eval();
+            let g = gsim.outputs();
+            let d = dsim.outputs();
+            if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
+                return Ok(false);
+            }
+            if sequential {
+                gsim.step();
+                dsim.step();
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Pairs golden primary outputs with the DUT cells of the same name
+/// (the DUT accumulates extra observation outputs during debug).
+fn po_pairs(golden: &Netlist, dut: &Netlist) -> Result<Vec<(usize, usize)>, TilingError> {
+    let gpos = golden.primary_outputs();
+    let dpos = dut.primary_outputs();
+    let mut pairs = Vec::with_capacity(gpos.len());
+    for (k, &gpo) in gpos.iter().enumerate() {
+        let name = &golden.cell(gpo)?.name;
+        if let Some(dpo) = dut.find_cell(name) {
+            if let Some(dk) = dpos.iter().position(|&c| c == dpo) {
+                pairs.push((k, dk));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{implement, TilingOptions};
+    use crate::strategy::BinarySearch;
+    use sim::inject::random_error;
+    use synth::PaperDesign;
+
+    #[test]
+    fn session_with_binary_search_repairs_9sym() {
+        let bundle = PaperDesign::NineSym.generate().unwrap();
+        let golden = bundle.netlist.clone();
+        let mut td = implement(bundle.netlist, bundle.hierarchy, TilingOptions::fast(9)).unwrap();
+        let err = random_error(&mut td.netlist, 4321).unwrap();
+        let mut events = Vec::new();
+        let out = DebugSession::new(&mut td, &golden)
+            .strategy(BinarySearch::new())
+            .seed(42)
+            .on_event(|e| events.push(format!("{e:?}")))
+            .run(&err)
+            .unwrap();
+        assert!(out.mismatch.is_some());
+        assert!(out.repaired);
+        assert_eq!(out.strategy, "binary_search");
+        assert_eq!(out.flow, "tiled");
+        assert!(td.routing.is_feasible());
+        // The event stream traces the whole iteration.
+        assert!(events.iter().any(|e| e.contains("Detected")));
+        assert!(events.iter().any(|e| e.contains("TapEco")));
+        assert!(events.iter().any(|e| e.contains("Corrected")));
+        // Ledger phases reconcile with the flat counters.
+        assert_eq!(out.effort, out.ledger.total());
+        assert_eq!(out.ecos, out.ledger.total_ecos());
+        assert!(out.ledger.phase(Phase::Localize).ecos >= 1);
+        assert_eq!(out.ledger.phase(Phase::Correct).ecos, 1);
+    }
+
+    #[test]
+    fn campaign_repairs_successive_errors() {
+        let bundle = PaperDesign::NineSym.generate().unwrap();
+        let golden = bundle.netlist.clone();
+        let mut td = implement(bundle.netlist, bundle.hierarchy, TilingOptions::fast(11)).unwrap();
+        let campaign = DebugSession::new(&mut td, &golden)
+            .seed(7)
+            .run_campaign(&[1001, 2002])
+            .unwrap();
+        assert_eq!(campaign.iterations.len(), 2);
+        assert!(campaign.all_repaired());
+        assert!(campaign.total_effort().total() > 0);
+        assert!(td.routing.is_feasible());
+        // The DUT really is clean at the end.
+        let m =
+            first_mismatch(&golden, &td.netlist, PatternSpec::Auto.generate(&golden, 7)).unwrap();
+        assert!(m.is_none(), "campaign left a live bug behind");
+    }
+}

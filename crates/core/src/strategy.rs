@@ -1,0 +1,482 @@
+//! Pluggable localization strategies for the debug loop.
+//!
+//! Localization (paper §3.1 steps 16–21) pins the error site down by
+//! inserting observation taps — each insertion is a real physical ECO
+//! — and re-emulating. *Which* cells to tap, and how the suspect set
+//! narrows after each observation, is the [`LocalizationStrategy`]'s
+//! decision:
+//!
+//! * [`LinearBatches`] walks the topologically-sorted suspect cone in
+//!   fixed-size batches (the paper's flow; 8 taps per ECO);
+//! * [`BinarySearch`] bisects the cone by fanin containment, cutting
+//!   tap ECOs from `O(n/8)` to `O(log n)`.
+//!
+//! The session owns emulation and the physical flow; strategies are
+//! pure decision logic, so they can also be exercised against a
+//! simulated oracle (see the seed-sweep tests).
+
+use std::collections::HashMap;
+
+use netlist::{CellId, Netlist};
+
+/// One tapped cell's verdict from an observation ECO: did its output
+/// net diverge from the golden model at the earliest diverging cycle?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapObservation {
+    /// The tapped cell.
+    pub cell: CellId,
+    /// Whether the tapped net diverged from golden.
+    pub diverged: bool,
+}
+
+/// Decides which suspects to tap next and narrows on observations.
+///
+/// Protocol: [`begin`](LocalizationStrategy::begin) once with the
+/// topologically-sorted suspect cone, then alternate
+/// [`next_taps`](LocalizationStrategy::next_taps) (empty = finished)
+/// and [`observe`](LocalizationStrategy::observe);
+/// [`localized`](LocalizationStrategy::localized) yields the answer.
+///
+/// ```
+/// use netlist::{Netlist, TruthTable};
+/// use tiling::strategy::{LinearBatches, LocalizationStrategy, TapObservation};
+///
+/// // A 3-LUT inverter chain; pretend the middle cell is the bug.
+/// let mut nl = Netlist::new("chain");
+/// let pi = nl.add_input("a").unwrap();
+/// let mut net = nl.cell_output(pi).unwrap();
+/// let mut cells = Vec::new();
+/// for k in 0..3 {
+///     let c = nl
+///         .add_lut(format!("inv{k}"), TruthTable::not(), &[net])
+///         .unwrap();
+///     net = nl.cell_output(c).unwrap();
+///     cells.push(c);
+/// }
+/// let mut strat = LinearBatches::new(2);
+/// strat.begin(&nl, &cells);
+/// let taps = strat.next_taps();
+/// assert_eq!(taps, vec![cells[0], cells[1]]);
+/// strat.observe(&[
+///     TapObservation { cell: cells[0], diverged: false },
+///     TapObservation { cell: cells[1], diverged: true },
+/// ]);
+/// assert!(strat.next_taps().is_empty());
+/// assert_eq!(strat.localized(), Some(cells[1]));
+/// ```
+pub trait LocalizationStrategy {
+    /// Short stable name for reports ("linear", "binary_search").
+    fn name(&self) -> &'static str;
+
+    /// Resets the strategy with a fresh suspect cone, topologically
+    /// sorted earliest-first. `golden` is the reference netlist
+    /// (cone-aware strategies query its structure).
+    fn begin(&mut self, golden: &Netlist, suspects: &[CellId]);
+
+    /// Cells to tap in the next observation ECO. Empty means the
+    /// strategy is finished — consult
+    /// [`localized`](LocalizationStrategy::localized).
+    fn next_taps(&mut self) -> Vec<CellId>;
+
+    /// Feeds back the verdicts for the cells returned by the last
+    /// [`next_taps`](LocalizationStrategy::next_taps) call.
+    fn observe(&mut self, observations: &[TapObservation]);
+
+    /// The identified error site, if the strategy has converged.
+    fn localized(&self) -> Option<CellId>;
+}
+
+impl<T: LocalizationStrategy + ?Sized> LocalizationStrategy for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn begin(&mut self, golden: &Netlist, suspects: &[CellId]) {
+        (**self).begin(golden, suspects);
+    }
+
+    fn next_taps(&mut self) -> Vec<CellId> {
+        (**self).next_taps()
+    }
+
+    fn observe(&mut self, observations: &[TapObservation]) {
+        (**self).observe(observations);
+    }
+
+    fn localized(&self) -> Option<CellId> {
+        (**self).localized()
+    }
+}
+
+/// Today's paper flow, extracted: tap the sorted suspect cone in
+/// fixed-size batches; the first batch containing a diverging cell
+/// ends the search, and the topologically-earliest diverging cell in
+/// it is the error site (all of its fanins agree — otherwise an
+/// earlier cell would diverge).
+#[derive(Debug, Clone)]
+pub struct LinearBatches {
+    batch: usize,
+    suspects: Vec<CellId>,
+    cursor: usize,
+    found: Option<CellId>,
+    done: bool,
+}
+
+impl LinearBatches {
+    /// Batch size used by the paper-shaped default flow.
+    pub const DEFAULT_BATCH: usize = 8;
+
+    /// A strategy tapping `batch` cells per observation ECO.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero batch size.
+    pub fn new(batch: usize) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        Self {
+            batch,
+            suspects: Vec::new(),
+            cursor: 0,
+            found: None,
+            done: false,
+        }
+    }
+}
+
+impl Default for LinearBatches {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_BATCH)
+    }
+}
+
+impl LocalizationStrategy for LinearBatches {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn begin(&mut self, _golden: &Netlist, suspects: &[CellId]) {
+        self.suspects = suspects.to_vec();
+        self.cursor = 0;
+        self.found = None;
+        self.done = false;
+    }
+
+    fn next_taps(&mut self) -> Vec<CellId> {
+        if self.done || self.cursor >= self.suspects.len() {
+            return Vec::new();
+        }
+        let end = (self.cursor + self.batch).min(self.suspects.len());
+        let batch = self.suspects[self.cursor..end].to_vec();
+        self.cursor = end;
+        batch
+    }
+
+    fn observe(&mut self, observations: &[TapObservation]) {
+        // Observations arrive in batch (= topological) order, so the
+        // first diverging cell is the earliest.
+        if let Some(hit) = observations.iter().find(|o| o.diverged) {
+            self.found = Some(hit.cell);
+            self.done = true;
+        }
+    }
+
+    fn localized(&self) -> Option<CellId> {
+        self.found
+    }
+}
+
+/// Bisects the suspect cone: tap one probe cell per ECO, chosen so
+/// its fanin cone splits the remaining window as evenly as possible.
+///
+/// A diverging probe proves the error lies in the probe's fanin cone
+/// (`window ∩ cone⁺(probe)`); a matching probe rules that cone out
+/// (`window ∖ cone⁺(probe)`). Either way the window shrinks
+/// geometrically, so tap ECOs drop from `O(n/8)` to `O(log n)` — at
+/// one tap per ECO, both taps *and* ECOs beat [`LinearBatches`] once
+/// the cone spans several batches.
+///
+/// The matching-probe deduction assumes the error's effect is *not*
+/// value-masked between the error site and the probe on every
+/// observed stimulus. That is a strictly stronger assumption than
+/// [`LinearBatches`] needs (linear taps every suspect, including the
+/// error cell itself, so intermediate masking cannot hide it): on
+/// reconvergent logic a masked probe can make bisection discard the
+/// true site and finish with `localized() == None`. The session
+/// treats an unlocalized iteration the same way in both strategies —
+/// confirmation is skipped and the corrective ECO proceeds — so the
+/// trade is ECO count versus masking robustness.
+#[derive(Debug, Clone, Default)]
+pub struct BinarySearch {
+    /// The suspect cone, topologically sorted (fixed at `begin`).
+    suspects: Vec<CellId>,
+    /// `cones[i]` = bitset over suspect indices of
+    /// `cone⁺(suspects[i]) ∩ suspects` (fanin cone plus the cell
+    /// itself). A bitset row is `⌈n/64⌉` words, so the full table is
+    /// `n²/64` bits — small even for thousand-cell cones.
+    cones: Vec<Vec<u64>>,
+    /// Remaining candidate indices into `suspects`, ascending.
+    window: Vec<usize>,
+    probe: Option<usize>,
+    found: Option<CellId>,
+    done: bool,
+}
+
+impl BinarySearch {
+    /// A fresh bisection strategy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn in_cone(&self, probe: usize, candidate: usize) -> bool {
+        self.cones[probe][candidate / 64] >> (candidate % 64) & 1 == 1
+    }
+}
+
+impl LocalizationStrategy for BinarySearch {
+    fn name(&self) -> &'static str {
+        "binary_search"
+    }
+
+    fn begin(&mut self, golden: &Netlist, suspects: &[CellId]) {
+        self.suspects = suspects.to_vec();
+        let index_of: HashMap<CellId, usize> =
+            suspects.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let words = suspects.len().div_ceil(64);
+        self.cones = suspects
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let mut row = vec![0u64; words];
+                for x in golden.fanin_cone(&[c]) {
+                    if let Some(&k) = index_of.get(&x) {
+                        row[k / 64] |= 1 << (k % 64);
+                    }
+                }
+                row[i / 64] |= 1 << (i % 64);
+                row
+            })
+            .collect();
+        self.window = (0..suspects.len()).collect();
+        self.probe = None;
+        self.found = None;
+        self.done = false;
+    }
+
+    fn next_taps(&mut self) -> Vec<CellId> {
+        if self.done || self.found.is_some() || self.window.is_empty() {
+            return Vec::new();
+        }
+        if self.window.len() == 1 {
+            // Confirmation probe on the last candidate.
+            self.probe = Some(self.window[0]);
+            return vec![self.suspects[self.window[0]]];
+        }
+        // Most balanced split: |cone⁺(m) ∩ window| closest to half.
+        // The topologically-earliest element always splits off exactly
+        // one cell, so a proper (shrinking) split always exists.
+        let half = self.window.len() as i64;
+        let m = self
+            .window
+            .iter()
+            .copied()
+            .min_by_key(|&c| {
+                let split = self.window.iter().filter(|&&w| self.in_cone(c, w)).count() as i64;
+                (2 * split - half).abs()
+            })
+            .expect("window is non-empty");
+        self.probe = Some(m);
+        vec![self.suspects[m]]
+    }
+
+    fn observe(&mut self, observations: &[TapObservation]) {
+        let Some(probe) = self.probe.take() else {
+            return;
+        };
+        let probe_cell = self.suspects[probe];
+        let diverged = observations
+            .iter()
+            .find(|o| o.cell == probe_cell)
+            .map(|o| o.diverged)
+            .unwrap_or(false);
+        if diverged {
+            if self.window.len() == 1 {
+                self.found = Some(probe_cell);
+                self.done = true;
+                return;
+            }
+            let before = self.window.len();
+            let cones = &self.cones;
+            self.window
+                .retain(|&c| cones[probe][c / 64] >> (c % 64) & 1 == 1);
+            debug_assert!(
+                self.window.len() < before || self.window.len() <= 1,
+                "balanced probe must shrink the window"
+            );
+            // The probe survives its own cone filter, so a window of
+            // one *is* the probe — and it was just observed diverging,
+            // which is exactly what the confirmation probe would
+            // re-establish. Skip that redundant physical ECO.
+            if self.window.len() == 1 {
+                self.found = Some(probe_cell);
+                self.done = true;
+            }
+        } else {
+            if self.window.len() == 1 {
+                // The last candidate does not even diverge: the error
+                // is masked beyond this strategy's visibility.
+                self.done = true;
+                return;
+            }
+            let cones = &self.cones;
+            self.window
+                .retain(|&c| cones[probe][c / 64] >> (c % 64) & 1 == 0);
+            if self.window.is_empty() {
+                self.done = true;
+            }
+        }
+    }
+
+    fn localized(&self) -> Option<CellId> {
+        self.found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::TruthTable;
+
+    /// `len`-cell inverter chain; returns (netlist, cells in topo
+    /// order).
+    pub(crate) fn chain(len: usize) -> (Netlist, Vec<CellId>) {
+        let mut nl = Netlist::new("chain");
+        let pi = nl.add_input("a").unwrap();
+        let mut net = nl.cell_output(pi).unwrap();
+        let mut cells = Vec::with_capacity(len);
+        for k in 0..len {
+            let c = nl
+                .add_lut(format!("inv{k}"), TruthTable::not(), &[net])
+                .unwrap();
+            net = nl.cell_output(c).unwrap();
+            cells.push(c);
+        }
+        nl.add_output("y", net).unwrap();
+        (nl, cells)
+    }
+
+    /// Drives a strategy against a perfect oracle: cell `c` diverges
+    /// iff the error site is in `c`'s fanin cone (true for a chain
+    /// whenever `rank(c) >= err`). Returns (localized, taps, ecos).
+    fn run_oracle(
+        strat: &mut dyn LocalizationStrategy,
+        nl: &Netlist,
+        cells: &[CellId],
+        err: usize,
+    ) -> (Option<CellId>, usize, usize) {
+        strat.begin(nl, cells);
+        let rank: HashMap<CellId, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let (mut taps, mut ecos) = (0usize, 0usize);
+        loop {
+            let batch = strat.next_taps();
+            if batch.is_empty() {
+                break;
+            }
+            taps += batch.len();
+            ecos += 1;
+            let obs: Vec<TapObservation> = batch
+                .iter()
+                .map(|&c| TapObservation {
+                    cell: c,
+                    diverged: rank[&c] >= err,
+                })
+                .collect();
+            strat.observe(&obs);
+            assert!(ecos <= cells.len() + 1, "strategy failed to converge");
+        }
+        (strat.localized(), taps, ecos)
+    }
+
+    #[test]
+    fn both_strategies_localize_the_same_cell_across_seed_sweep() {
+        // Seed sweep: chain lengths crossing several batch boundaries,
+        // error planted at every position class.
+        for len in [3usize, 8, 9, 16, 23, 40, 64] {
+            let (nl, cells) = chain(len);
+            for seed in 0..7u64 {
+                let err = (seed as usize * 13 + 5) % len;
+                let mut lin = LinearBatches::default();
+                let mut bin = BinarySearch::new();
+                let (l_cell, l_taps, _) = run_oracle(&mut lin, &nl, &cells, err);
+                let (b_cell, b_taps, _) = run_oracle(&mut bin, &nl, &cells, err);
+                assert_eq!(l_cell, Some(cells[err]), "linear, len {len} err {err}");
+                assert_eq!(b_cell, l_cell, "strategies disagree, len {len} err {err}");
+                if len > LinearBatches::DEFAULT_BATCH {
+                    assert!(
+                        b_taps < l_taps,
+                        "binary {b_taps} !< linear {l_taps} taps, len {len} err {err}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_tap_count_is_logarithmic() {
+        let (nl, cells) = chain(64);
+        let mut bin = BinarySearch::new();
+        let (found, taps, ecos) = run_oracle(&mut bin, &nl, &cells, 37);
+        assert_eq!(found, Some(cells[37]));
+        assert!(
+            taps <= 8,
+            "64-cell cone should need <= log2+confirm taps, got {taps}"
+        );
+        assert_eq!(taps, ecos, "binary search taps one cell per ECO");
+    }
+
+    #[test]
+    fn linear_exhausts_without_divergence() {
+        let (nl, cells) = chain(10);
+        let mut lin = LinearBatches::default();
+        lin.begin(&nl, &cells);
+        loop {
+            let batch = lin.next_taps();
+            if batch.is_empty() {
+                break;
+            }
+            let obs: Vec<TapObservation> = batch
+                .iter()
+                .map(|&c| TapObservation {
+                    cell: c,
+                    diverged: false,
+                })
+                .collect();
+            lin.observe(&obs);
+        }
+        assert_eq!(lin.localized(), None);
+    }
+
+    #[test]
+    fn binary_handles_fully_masked_error() {
+        let (nl, cells) = chain(12);
+        let mut bin = BinarySearch::new();
+        bin.begin(&nl, &cells);
+        let mut guard = 0;
+        loop {
+            let batch = bin.next_taps();
+            if batch.is_empty() {
+                break;
+            }
+            let obs: Vec<TapObservation> = batch
+                .iter()
+                .map(|&c| TapObservation {
+                    cell: c,
+                    diverged: false,
+                })
+                .collect();
+            bin.observe(&obs);
+            guard += 1;
+            assert!(guard <= 24, "no convergence");
+        }
+        assert_eq!(bin.localized(), None);
+    }
+}

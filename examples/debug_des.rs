@@ -1,7 +1,8 @@
 //! Debugging the paper's largest design: the 1050-CLB key-specific
 //! DES datapath. Demonstrates that tiled debugging stays cheap even
-//! when the design is ~20x larger than the MCNC circuits: the error is
-//! corrected by re-implementing a couple of tiles out of ten.
+//! when the design is ~20x larger than the MCNC circuits — and that
+//! on a cone this deep, binary-search localization needs only
+//! O(log n) observation-tap ECOs where linear batching pays O(n/8).
 //!
 //! Run with: `cargo run --release --example debug_des`
 //! (release strongly recommended — this places ~2000 LUTs).
@@ -63,20 +64,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         golden.cell(victim)?.name
     );
 
-    // Detect with LFSR stimulus on the 64-bit plaintext port.
-    let outcome = tiling::run_debug_iteration(&mut td, &golden, &error, 0xD0E5)?;
+    // Hunt it with a session: binary-search localization (the suspect
+    // cone of a DES round is hundreds of cells deep) through the
+    // tiled physical flow, LFSR stimulus on the 64-bit plaintext port.
+    let outcome = DebugSession::new(&mut td, &golden)
+        .strategy(BinarySearch::new())
+        .flow(TiledFlow::default())
+        .seed(0xD0E5)
+        .run(&error)?;
     match &outcome.mismatch {
         Some(m) => println!(
-            "detected at pattern #{} on `{}`; {} suspects, {} taps",
-            m.pattern_index, m.output_name, outcome.initial_suspects, outcome.taps_inserted
+            "detected at pattern #{} on `{}`; {} suspects, {} taps ({} localization ECOs)",
+            m.pattern_index,
+            m.output_name,
+            outcome.initial_suspects,
+            outcome.taps_inserted,
+            outcome.ledger.phase(Phase::Localize).ecos,
         ),
         None => println!("undetected by 512 LFSR patterns (rare single-minterm escape)"),
     }
     println!("repaired  : {}", outcome.repaired);
-    println!("tiled effort: {}", outcome.effort);
+    println!(
+        "\nper-phase ledger ({} / {}):",
+        outcome.strategy, outcome.flow
+    );
+    println!("{}", outcome.ledger);
 
     let full = tiling::full_replace_effort(&td)?;
-    println!("full re-P&R : {}", full);
+    println!("\nfull re-P&R : {}", full);
     println!("speedup     : {:.1}x", full.speedup_over(&outcome.effort));
     assert!(outcome.repaired);
     Ok(())

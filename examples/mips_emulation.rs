@@ -42,10 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(result, 5, "ALU immediate add must work");
 
     // --- Implement with tiling. -------------------------------------
+    // Register-file fanout needs a wide channel: at 18 tracks the
+    // initial route converges but leaves no slack for the MISR ECO
+    // (its seeds span half the tiles, so the re-placed region is
+    // large and its confined routing congests unrecoverably). 20
+    // tracks routes both comfortably.
     let options = TilingOptions {
-        tracks: 18, // register-file fanout needs a wide channel
+        tracks: 20,
         placer: place::PlacerConfig {
             max_temps: 60,
+            ..Default::default()
+        },
+        router: route::RouteOptions {
+            max_iterations: 90,
             ..Default::default()
         },
         ..Default::default()
@@ -79,12 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ninserting {}-tap MISR ({clbs} CLBs of test logic)...",
         taps.len()
     );
-    let outcome = tiling::replace_and_route(
-        &mut td,
-        &seeds,
-        &report.added,
-        tiling::affected::ExpansionPolicy::MostFree,
-    )?;
+    // The insertion is one ECO through the unified flow surface — the
+    // same `ReimplFlow` trait a debug session drives.
+    let outcome = TiledFlow::default().reimplement(&mut td, &seeds, &report.added)?;
     println!(
         "affected tiles: {}/{} ({:.0}%)",
         outcome.affected.tiles.len(),

@@ -1,7 +1,8 @@
 //! Quickstart: implement a benchmark with tiling, plant a design
-//! error, and run one complete debugging iteration — detection,
-//! localization via observation-tap ECOs, and correction — comparing
-//! the tiled CAD effort against the full re-place-and-route baseline.
+//! error, and run one complete debugging session — detection,
+//! localization via observation-tap ECOs, and correction — watching
+//! the typed event stream and comparing the tiled CAD effort against
+//! the full re-place-and-route baseline.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -35,35 +36,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let golden = td.netlist.clone();
     let error = sim::inject::random_error(&mut td.netlist, 0xBEEF)?;
     println!(
-        "planted error: cell {} ({:?})",
+        "planted error: cell {} ({:?})\n",
         td.netlist.cell(error.cell)?.name,
         error.kind
     );
 
-    // 3. One full debugging iteration.
-    let outcome = tiling::run_debug_iteration(&mut td, &golden, &error, 42)?;
+    // 3. One full debugging session iteration, narrated by its event
+    //    stream. Strategy and physical flow are pluggable; these are
+    //    the paper-shaped defaults (linear 8-tap batches through the
+    //    tiled flow).
+    let outcome = DebugSession::new(&mut td, &golden)
+        .strategy(LinearBatches::default())
+        .flow(TiledFlow::default())
+        .seed(42)
+        .on_event(|event| match event {
+            DebugEvent::Detected {
+                pattern_index,
+                output_name,
+            } => println!("[detect]   divergence at pattern #{pattern_index} on `{output_name}`"),
+            DebugEvent::SuspectsComputed {
+                structural,
+                candidates,
+            } => println!("[localize] {structural} structural suspects, {candidates} candidates"),
+            DebugEvent::TapEco { cells, effort } => {
+                println!(
+                    "[localize] tapped {} cell(s), ECO cost {effort}",
+                    cells.len()
+                );
+            }
+            DebugEvent::Observed { diverging } => {
+                println!("[localize] {} tapped net(s) diverged", diverging.len());
+            }
+            DebugEvent::Localized { cell } => println!("[localize] converged on {cell:?}"),
+            DebugEvent::Confirmed { confirmed, .. } => {
+                println!("[confirm]  control point agrees: {confirmed}");
+            }
+            DebugEvent::Corrected { repaired } => println!("[correct]  repaired: {repaired}"),
+            _ => {}
+        })
+        .run(&error)?;
+
     let mismatch = outcome.mismatch.as_ref().expect("error must be detectable");
-    println!("\n-- detection --");
+    println!("\n-- session summary --");
     println!(
-        "first divergence at pattern #{} on output `{}`",
+        "first divergence at pattern #{} on `{}`",
         mismatch.pattern_index, mismatch.output_name
     );
-    println!("-- localization --");
-    println!("structural suspects : {}", outcome.initial_suspects);
-    println!("observation taps    : {}", outcome.taps_inserted);
     match outcome.localized {
         Some(c) => println!("localized to cell   : {}", golden.cell(c)?.name),
         None => println!("localized to cell   : (tap batch containment)"),
     }
-    println!("-- correction --");
-    println!("repaired            : {}", outcome.repaired);
-    println!("tiles cleared (sum) : {}", outcome.tiles_cleared);
+    println!("\nper-phase ledger:");
+    println!("{}", outcome.ledger);
 
     // 4. Effort comparison: a flow without change tracking pays one
     //    full re-place-and-route per ECO (every tap batch and the fix
     //    each need a new bitstream).
     let full = tiling::full_replace_effort(&td)?;
-    let non_tiled_total = fpga_debug_tiling::prelude::CadEffort {
+    let non_tiled_total = CadEffort {
         place_moves: full.place_moves * outcome.ecos as u64,
         route_expansions: full.route_expansions * outcome.ecos as u64,
     };

@@ -10,7 +10,6 @@
 
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, tiling};
-use tiling::affected::ExpansionPolicy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== tile-size exploration on c880 ==\n");
@@ -42,8 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .unwrap()
             .complement();
         td.netlist.set_lut_function(victim, tt)?;
-        let eco = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)?;
-        let full = tiling::full_replace_effort(&td)?;
+        let full = tiling::flow_effort(&td, &mut FullReplaceFlow, &[victim])?;
+        let eco = TiledFlow::default().reimplement(&mut td, &[victim], &[])?;
 
         println!(
             "{:>6} {:>9} {:>10.1} {:>11.0}% {:>14} {:>9.1}x",

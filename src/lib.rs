@@ -27,12 +27,16 @@
 //! )?;
 //!
 //! // Plant a design error, then run one full debug iteration:
-//! // detect -> localize (observation-tap ECOs) -> correct.
+//! // detect -> localize (observation-tap ECOs) -> correct. The
+//! // session's strategy and physical flow are pluggable.
 //! let golden = td.netlist.clone();
 //! let error = sim::inject::random_error(&mut td.netlist, 7)?;
-//! let outcome = tiling::run_debug_iteration(&mut td, &golden, &error, 42)?;
+//! let outcome = DebugSession::new(&mut td, &golden)
+//!     .strategy(BinarySearch::new())
+//!     .seed(42)
+//!     .run(&error)?;
 //! assert!(outcome.repaired);
-//! println!("tiled debug effort: {}", outcome.effort);
+//! println!("per-phase effort:\n{}", outcome.ledger);
 //! # Ok(())
 //! # }
 //! ```
@@ -73,7 +77,10 @@ pub mod prelude {
     pub use sim::{PatternGen, Simulator};
     pub use synth::{DesignBundle, PaperDesign};
     pub use tiling::{
-        AffectedSet, CadEffort, TileId, TilePlan, TiledDesign, TilingError, TilingOptions,
+        AffectedSet, BinarySearch, CadEffort, CampaignOutcome, DebugEvent, DebugOutcome,
+        DebugReport, DebugSession, EffortLedger, FullReplaceFlow, IncrementalFlow, LinearBatches,
+        LocalizationStrategy, PatternSpec, Phase, QuickEcoFlow, ReimplFlow, TileId, TilePlan,
+        TiledDesign, TiledFlow, TilingError, TilingOptions,
     };
 }
 

@@ -2,7 +2,6 @@
 
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, sim, tiling};
-use tiling::affected::ExpansionPolicy;
 
 fn fast(seed: u64) -> TilingOptions {
     TilingOptions::fast(seed)
@@ -13,11 +12,33 @@ fn implement_inject_debug_repair_9sym() {
     let mut td = implement_paper_design(PaperDesign::NineSym, fast(101)).unwrap();
     let golden = td.netlist.clone();
     let error = sim::inject::random_error(&mut td.netlist, 7).unwrap();
-    let out = tiling::run_debug_iteration(&mut td, &golden, &error, 5).unwrap();
+    let mut events: Vec<DebugEvent> = Vec::new();
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(5)
+        .on_event(|e| events.push(e.clone()))
+        .run(&error)
+        .unwrap();
     assert!(out.mismatch.is_some());
     assert!(out.repaired);
     assert!(td.routing.is_feasible());
     assert!(out.ecos >= 2); // at least one tap batch plus the fix
+                            // The event stream narrates the iteration in phase order.
+    let detected = events
+        .iter()
+        .position(|e| matches!(e, DebugEvent::Detected { .. }))
+        .expect("Detected event");
+    let localized = events
+        .iter()
+        .position(|e| matches!(e, DebugEvent::Localized { .. }))
+        .expect("Localized event");
+    let corrected = events
+        .iter()
+        .position(|e| matches!(e, DebugEvent::Corrected { .. }))
+        .expect("Corrected event");
+    assert!(detected < localized && localized < corrected);
+    // Ledger phases reconcile with the flat counters.
+    assert_eq!(out.effort, out.ledger.total());
+    assert_eq!(out.ecos, out.ledger.total_ecos());
 }
 
 #[test]
@@ -26,7 +47,10 @@ fn implement_inject_debug_repair_sequential_styr() {
     assert!(td.netlist.is_sequential());
     let golden = td.netlist.clone();
     let error = sim::inject::random_error(&mut td.netlist, 77).unwrap();
-    let out = tiling::run_debug_iteration(&mut td, &golden, &error, 55).unwrap();
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(55)
+        .run(&error)
+        .unwrap();
     // Sequential detection uses an LFSR stream; a deep-state bug can
     // escape, in which case the loop reports repaired-without-detect.
     if out.mismatch.is_some() {
@@ -71,8 +95,9 @@ fn eco_locality_invariant_c499() {
         .unwrap()
         .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
-    let out =
-        tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+    let out = TiledFlow::default()
+        .reimplement(&mut td, &[victim], &[])
+        .unwrap();
     assert!(td.routing.is_feasible());
     // Placement outside untouched — holds on every path, including
     // the coarse fallback (which only re-routes).
@@ -135,7 +160,9 @@ fn functional_equivalence_preserved_by_physical_eco() {
         .unwrap();
     let tt = *td.netlist.cell(victim).unwrap().lut_function().unwrap();
     td.netlist.set_lut_function(victim, tt).unwrap();
-    tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+    TiledFlow::default()
+        .reimplement(&mut td, &[victim], &[])
+        .unwrap();
     let m = sim::emulate::first_mismatch(
         &golden,
         &td.netlist,
@@ -161,9 +188,9 @@ fn observation_logic_figures_in_affected_tiles() {
     let rep = sim::testlogic::insert_event_counter(&mut td.netlist, net, 8, "cnt").unwrap();
     let clbs = sim::testlogic::clb_cost(&td.netlist, &rep);
     assert!(clbs >= 4, "8-bit counter is a real block of logic");
-    let out =
-        tiling::replace_and_route(&mut td, &[seed_cell], &rep.added, ExpansionPolicy::MostFree)
-            .unwrap();
+    let out = TiledFlow::default()
+        .reimplement(&mut td, &[seed_cell], &rep.added)
+        .unwrap();
     assert!(td.routing.is_feasible());
     // Every added logic cell landed inside the affected region.
     for &c in &rep.added {
@@ -196,7 +223,9 @@ fn control_point_lets_emulation_force_state() {
     let cp = sim::testlogic::insert_control_point(&mut td.netlist, net, "cp").unwrap();
     let mut added = cp.report.added.clone();
     // New PIs occupy pads; the mux is logic.
-    tiling::replace_and_route(&mut td, &[seed_cell], &added, ExpansionPolicy::MostFree).unwrap();
+    TiledFlow::default()
+        .reimplement(&mut td, &[seed_cell], &added)
+        .unwrap();
     added.clear();
     assert!(td.routing.is_feasible());
     // The mux must be placed and routed.

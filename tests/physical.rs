@@ -3,7 +3,6 @@
 
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, sim, tiling};
-use tiling::affected::ExpansionPolicy;
 
 #[test]
 fn routed_timing_beats_worst_case_estimate() {
@@ -60,7 +59,9 @@ fn ten_consecutive_ecos_keep_the_design_consistent() {
                 .set_lut_function(victim, tt.complement())
                 .unwrap();
             td.netlist.set_lut_function(victim, tt).unwrap();
-            tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+            TiledFlow::default()
+                .reimplement(&mut td, &[victim], &[])
+                .unwrap();
         } else {
             // Insert an observation tap (PO only, no logic).
             let net = td.netlist.cell_output(victim).unwrap();
@@ -71,7 +72,8 @@ fn ten_consecutive_ecos_keep_the_design_consistent() {
                 false,
             )
             .unwrap();
-            tiling::replace_and_route(&mut td, &[victim], &rep.added, ExpansionPolicy::MostFree)
+            TiledFlow::default()
+                .reimplement(&mut td, &[victim], &rep.added)
                 .unwrap();
         }
         assert!(td.routing.is_feasible(), "infeasible after ECO {k}");
@@ -140,7 +142,9 @@ fn timing_after_eco_stays_reasonable() {
         .unwrap()
         .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
-    tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree).unwrap();
+    TiledFlow::default()
+        .reimplement(&mut td, &[victim], &[])
+        .unwrap();
     let after = td.timing().unwrap().critical_ns;
     // The paper observes tiled-ECO timing deltas within the noise of
     // small placement changes; a 3x blowup would indicate broken
@@ -182,8 +186,22 @@ fn quick_eco_hierarchy_granularity_orders_effort() {
         .find(|(_, c)| c.lut_function().is_some())
         .map(|(id, _)| id)
         .unwrap();
-    let whole = tiling::quick_eco_effort(&td, &[victim], true).unwrap();
-    let blocks = tiling::quick_eco_effort(&td, &[victim], false).unwrap();
+    let whole = tiling::flow_effort(
+        &td,
+        &mut QuickEcoFlow {
+            whole_design_as_block: true,
+        },
+        &[victim],
+    )
+    .unwrap();
+    let blocks = tiling::flow_effort(
+        &td,
+        &mut QuickEcoFlow {
+            whole_design_as_block: false,
+        },
+        &[victim],
+    )
+    .unwrap();
     let tt = td
         .netlist
         .cell(victim)
@@ -192,7 +210,8 @@ fn quick_eco_hierarchy_granularity_orders_effort() {
         .unwrap()
         .complement();
     td.netlist.set_lut_function(victim, tt).unwrap();
-    let tiled = tiling::replace_and_route(&mut td, &[victim], &[], ExpansionPolicy::MostFree)
+    let tiled = TiledFlow::default()
+        .reimplement(&mut td, &[victim], &[])
         .unwrap()
         .effort;
     // Placement effort is monotone in the movable-cell count (routing

@@ -1,0 +1,147 @@
+//! Session-level integration: the four physical flows driven through
+//! one `ReimplFlow` trait, and binary-search localization beating
+//! linear batching on a real implemented design.
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{implement_paper_design, sim, tiling};
+use netlist::TruthTable;
+
+/// A `len`-LUT inverter chain with one PI and one PO, plus an empty
+/// hierarchy — the cleanest possible deep suspect cone.
+fn chain_design(len: usize) -> (netlist::Netlist, netlist::Hierarchy) {
+    let mut nl = netlist::Netlist::new("chain");
+    let pi = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(pi).unwrap();
+    for k in 0..len {
+        let c = nl
+            .add_lut(format!("inv{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+    }
+    nl.add_output("y", net).unwrap();
+    let hier = netlist::Hierarchy::new("chain");
+    (nl, hier)
+}
+
+/// The session-level sibling of `tiling_beats_the_baselines_on_a_small_change`:
+/// the *same* planted error is debugged end-to-end (detect → localize
+/// → confirm → correct) through all four flows behind
+/// `&mut dyn ReimplFlow`, and the tiled flow spends the least effort.
+#[test]
+fn session_tiled_flow_beats_rival_flows_on_a_debug_iteration() {
+    let td0 = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(201)).unwrap();
+    let golden = td0.netlist.clone();
+
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    for flow in tiling::standard_flows() {
+        let mut td = td0.clone();
+        // Deterministic: the same error in every trial.
+        let victim = bench_harness_victim(&td);
+        let error = sim::inject::inject(
+            &mut td.netlist,
+            victim,
+            sim::inject::DesignErrorKind::Complement,
+        )
+        .unwrap();
+        let out = DebugSession::new(&mut td, &golden)
+            .seed(9)
+            .flow(flow)
+            .run(&error)
+            .unwrap();
+        assert!(out.mismatch.is_some(), "{}: undetected", out.flow);
+        assert!(out.repaired, "{}: not repaired", out.flow);
+        assert!(td.routing.is_feasible(), "{}: infeasible", out.flow);
+        totals.push((out.flow, out.effort.total()));
+    }
+
+    let total_of = |name: &str| {
+        totals
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, t)| t)
+            .unwrap()
+    };
+    let tiled = total_of("tiled");
+    assert!(
+        tiled < total_of("full"),
+        "tiled {tiled} vs full {}",
+        total_of("full")
+    );
+    assert!(
+        tiled < total_of("quick_eco"),
+        "tiled {tiled} vs quick_eco {}",
+        total_of("quick_eco")
+    );
+    assert!(
+        tiled <= total_of("incremental"),
+        "tiled {tiled} vs incremental {}",
+        total_of("incremental")
+    );
+}
+
+fn bench_harness_victim(td: &TiledDesign) -> netlist::CellId {
+    let luts: Vec<netlist::CellId> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    luts[luts.len() / 2]
+}
+
+/// The acceptance experiment for the `BinarySearch` strategy: on a
+/// design whose suspect cone spans many tap batches, bisection
+/// localizes the *identical* cell while inserting strictly fewer taps
+/// and performing strictly fewer ECOs than linear batching.
+#[test]
+fn binary_search_beats_linear_batches_on_a_deep_cone() {
+    let (nl, hier) = chain_design(96);
+    let td0 = tiling::implement(nl, hier, TilingOptions::fast(202)).unwrap();
+    let golden = td0.netlist.clone();
+    // Error deep in the chain: linear batching must walk ~11 batches.
+    let victim = golden.find_cell("inv85").unwrap();
+
+    let run = |strategy: Box<dyn LocalizationStrategy>| {
+        let mut td = td0.clone();
+        let error = sim::inject::inject(
+            &mut td.netlist,
+            victim,
+            sim::inject::DesignErrorKind::Complement,
+        )
+        .unwrap();
+        let out = DebugSession::new(&mut td, &golden)
+            .seed(3)
+            .strategy(strategy)
+            .run(&error)
+            .unwrap();
+        assert!(out.repaired, "{}: not repaired", out.strategy);
+        assert!(td.routing.is_feasible());
+        out
+    };
+
+    let linear = run(Box::<LinearBatches>::default());
+    let binary = run(Box::new(BinarySearch::new()));
+
+    assert_eq!(linear.localized, Some(victim), "linear missed the bug");
+    assert_eq!(
+        binary.localized, linear.localized,
+        "strategies disagree on the error site"
+    );
+    assert!(
+        linear.taps_inserted > LinearBatches::DEFAULT_BATCH,
+        "test needs a cone spanning >= 2 tap batches, got {} taps",
+        linear.taps_inserted
+    );
+    assert!(
+        binary.taps_inserted < linear.taps_inserted,
+        "binary {} taps !< linear {} taps",
+        binary.taps_inserted,
+        linear.taps_inserted
+    );
+    assert!(
+        binary.ecos < linear.ecos,
+        "binary {} ECOs !< linear {} ECOs",
+        binary.ecos,
+        linear.ecos
+    );
+}
