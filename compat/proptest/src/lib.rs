@@ -8,7 +8,9 @@
 //!   strategies) or `name: Type` (type-driven generation), plus the
 //!   `#![proptest_config(..)]` inner attribute;
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
-//! * [`test_runner::ProptestConfig::with_cases`].
+//! * [`test_runner::ProptestConfig::with_cases`];
+//! * [`strategy::collection::vec`] (as `prop::collection::vec` from
+//!   the prelude) for sized `Vec` generation.
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded from
 //! the test name and case index), so failures reproduce on rerun.
@@ -28,6 +30,12 @@ pub mod prelude {
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (the `prop::collection::…`
+    /// path tests conventionally use).
+    pub mod prop {
+        pub use crate::strategy::collection;
+    }
 }
 
 /// Declares deterministic property tests.

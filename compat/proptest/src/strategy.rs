@@ -46,3 +46,33 @@ impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
         T::arbitrary(rng)
     }
 }
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+
+    /// Strategy returned by [`vec`]: `len` values drawn from
+    /// `element`, with `len` drawn from `size`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A `Vec` whose length is sampled from `size` (any strategy
+    /// producing `usize`, e.g. a range) and whose elements are
+    /// sampled from `element` — the stub's equivalent of
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy, R: Strategy<Value = usize>>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: Strategy<Value = usize>> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Simultaneous multi-error diagnosis sweep (new capability — the
+//! paper's protocol is strictly one error at a time).
+//!
+//! For k = 1..4 simultaneous design errors on three designs, the same
+//! planted errors are debugged two ways through the tiled flow:
+//!
+//! * **concurrent** — one `DebugSession::run_concurrent` campaign:
+//!   failing outputs are clustered into per-error footprints, the
+//!   `tiling::diagnosis` scheduler merges every cluster's tap
+//!   requests into shared batches (screening the overlapping cone
+//!   core first), and one corrective ECO repairs everything;
+//! * **sequential** — k independent single-error campaigns on fresh
+//!   copies of the design (the paper's loop, k times over).
+//!
+//! The report shows observation taps and physical ECOs *per error*
+//! dropping as k grows: shared test logic amortizes, the sequential
+//! baseline cannot. (On deep sequential designs the sequential
+//! baseline is very cheap in absolute terms — stopping at the first
+//! mismatching cycle prunes its suspect cone with the passing-output
+//! split at that single cycle, while the concurrent sweep can only
+//! subtract outputs that stay clean across the *whole* window; see
+//! ROADMAP's windowed-pruning open item. The `found` column counts
+//! localized clusters / planted errors: a single-output design folds
+//! several errors into one cluster, and an FSM error fans out into
+//! several.)
+//!
+//! Run: `cargo run --release -p bench-harness --bin multi`
+//! (pass `--quick` for the smallest design and k ≤ 2 — the mode CI
+//! runs end-to-end).
+
+use bench_harness::implement_design;
+use sim::inject::inject;
+use synth::PaperDesign;
+use tiling::flows::TiledFlow;
+use tiling::session::DebugSession;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let designs: &[PaperDesign] = if quick {
+        &[PaperDesign::NineSym]
+    } else {
+        &[PaperDesign::NineSym, PaperDesign::Styr, PaperDesign::Sand]
+    };
+    let max_k = if quick { 2 } else { 4 };
+
+    println!("Multi-error diagnosis: concurrent vs k sequential campaigns (tiled flow)");
+    println!(
+        "{:<12} {:>2} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
+        "design",
+        "k",
+        "found",
+        "conc taps",
+        "conc ECOs",
+        "seq taps",
+        "seq ECOs",
+        "taps/err",
+        "ECOs/err"
+    );
+
+    for &design in designs {
+        let td0 = implement_design(design, 10, 41)?;
+        let golden = td0.netlist.clone();
+        for k in 1..=max_k {
+            // Plant k distinct random errors, all live at once.
+            let mut td = td0.clone();
+            let seeds: Vec<u64> = (0..k as u64).map(|i| 31 + i).collect();
+            let errors = sim::inject::random_distinct_errors(&mut td.netlist, &seeds)?;
+            let conc = DebugSession::new(&mut td, &golden)
+                .flow(TiledFlow::default())
+                .seed(7)
+                .run_concurrent(&errors)?;
+
+            // Sequential baseline: the same errors, one fresh
+            // single-error campaign each.
+            let (mut staps, mut secos) = (0usize, 0usize);
+            for error in &errors {
+                let mut td = td0.clone();
+                let replant = inject(&mut td.netlist, error.cell, error.kind)?;
+                let out = DebugSession::new(&mut td, &golden)
+                    .flow(TiledFlow::default())
+                    .seed(7)
+                    .run(&replant)?;
+                staps += out.taps_inserted;
+                secos += out.ecos;
+            }
+
+            let found = conc
+                .clusters
+                .iter()
+                .filter(|c| c.localized.is_some())
+                .count();
+            println!(
+                "{:<12} {:>2} {:>2}/{:<2} | {:>10} {:>10} | {:>10} {:>10} | {:>4}v{:<4} {:>4}v{:<4}",
+                design.name(),
+                k,
+                found,
+                k,
+                conc.taps_inserted,
+                conc.ecos,
+                staps,
+                secos,
+                ratio(conc.taps_inserted, k),
+                ratio(staps, k),
+                ratio(conc.ecos, k),
+                ratio(secos, k),
+            );
+        }
+    }
+    println!("\n(taps/err and ECOs/err: concurrent vs sequential, per planted error)");
+    Ok(())
+}
+
+/// Per-error average, one decimal.
+fn ratio(total: usize, k: usize) -> String {
+    format!("{:.1}", total as f64 / k as f64)
+}

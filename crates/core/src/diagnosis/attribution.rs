@@ -1,0 +1,437 @@
+//! Response signatures and per-error blame attribution.
+//!
+//! With several errors live at once, one golden-vs-DUT sweep mixes
+//! their symptoms. This module untangles them in two steps:
+//!
+//! 1. **Signatures** — [`collect_responses`] records, for every
+//!    primary output, *which stimulus patterns it fails on* (a
+//!    [`ResponseSignature`]). [`cluster_failures`] then groups failing
+//!    outputs that present the same signature through the same fanin
+//!    cone: each [`FailureCluster`] is one suspected error's observable
+//!    footprint. (Two clusters can still turn out to be the same
+//!    error seen through different cones — the scheduler's per-batch
+//!    tap deduplication makes chasing both nearly free, and exact-cell
+//!    agreement merges them at the end.)
+//! 2. **Fault attribution** — when suspect cones intersect, a
+//!    diverging observation in the shared core is ambiguous.
+//!    [`FaultAttribution`] fault-simulates candidate sites under a
+//!    generic complement error model and scores how well each
+//!    candidate's predicted failing-output set matches a cluster's
+//!    observed one (Jaccard), assigning blame to the best match.
+
+use std::collections::HashMap;
+
+use netlist::{CellId, Netlist, NetlistError};
+use sim::patterns::PatternGen;
+use sim::Simulator;
+
+use super::cone::SuspectCone;
+
+/// The set of stimulus patterns on which one output diverged,
+/// word-packed by pattern index.
+///
+/// Invariant: the last word, if any, is non-zero — [`record`]
+/// (Self::record) and [`union_with`](Self::union_with) only ever grow
+/// the vector to hold a set bit — so the derived `==`/`Hash` mean set
+/// equality, like [`super::cone::SuspectCone`]'s (which indexes cells
+/// rather than patterns).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ResponseSignature {
+    words: Vec<u64>,
+}
+
+impl ResponseSignature {
+    /// Marks pattern `index` as failing.
+    pub fn record(&mut self, index: usize) {
+        let (w, b) = (index / 64, index % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    /// Whether pattern `index` failed.
+    pub fn contains(&self, index: usize) -> bool {
+        let (w, b) = (index / 64, index % 64);
+        self.words.get(w).is_some_and(|&word| word >> b & 1 == 1)
+    }
+
+    /// Number of failing patterns.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when the output never diverged.
+    pub fn is_clean(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The earliest failing pattern index, if any.
+    pub fn first_failing(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize)
+    }
+
+    /// Marks every pattern failing in `other` as failing here too
+    /// (set union — how a cluster accumulates the signatures of its
+    /// member outputs).
+    pub fn union_with(&mut self, other: &ResponseSignature) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+}
+
+/// Per-output response signatures from one golden-vs-DUT sweep.
+#[derive(Debug, Clone)]
+pub struct ResponseMatrix {
+    /// Golden primary-output cells, in PO order.
+    pub outputs: Vec<CellId>,
+    /// One signature per entry of `outputs`.
+    pub signatures: Vec<ResponseSignature>,
+    /// How many patterns were swept.
+    pub patterns: usize,
+}
+
+impl ResponseMatrix {
+    /// Indices into `outputs` whose signature is not clean.
+    pub fn failing(&self) -> Vec<usize> {
+        (0..self.outputs.len())
+            .filter(|&k| !self.signatures[k].is_clean())
+            .collect()
+    }
+}
+
+/// Sweeps `patterns` through both netlists and records, per primary
+/// output, the set of patterns it fails on. Outputs are paired by
+/// cell name, so a DUT carrying leftover debug instrumentation (extra
+/// observation outputs) is compared only on the original outputs.
+///
+/// Sequential designs are clocked once per pattern without reset, as
+/// in [`sim::emulate::first_mismatch`]; unlike `first_mismatch` the
+/// sweep does **not** stop at the first divergence — multi-error
+/// diagnosis needs the whole footprint.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (combinational loops).
+pub fn collect_responses(
+    golden: &Netlist,
+    dut: &Netlist,
+    patterns: PatternGen,
+) -> Result<ResponseMatrix, NetlistError> {
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    let outputs = golden.primary_outputs();
+    let pairs = po_pairs(golden, dut)?;
+    let mut signatures = vec![ResponseSignature::default(); outputs.len()];
+    let sequential = golden.is_sequential() || dut.is_sequential();
+    let mut count = 0usize;
+    for (idx, pat) in patterns.enumerate() {
+        count = idx + 1;
+        gsim.set_inputs(&pat);
+        let mut dpat = pat.clone();
+        dpat.resize(dsim.num_inputs(), false);
+        dsim.set_inputs(&dpat);
+        gsim.comb_eval();
+        dsim.comb_eval();
+        let g = gsim.outputs();
+        let d = dsim.outputs();
+        for &(gk, dk) in &pairs {
+            if g[gk] != d[dk] {
+                signatures[gk].record(idx);
+            }
+        }
+        if sequential {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    Ok(ResponseMatrix {
+        outputs,
+        signatures,
+        patterns: count,
+    })
+}
+
+/// Pairs golden primary outputs with the DUT cells of the same name:
+/// `(golden PO index, DUT PO index)`, skipping outputs the DUT no
+/// longer carries. The DUT accumulates extra debug-instrumentation
+/// outputs during a campaign, so a plain positional compare would
+/// misalign — every golden-vs-DUT output comparison in the session
+/// and in [`collect_responses`] goes through this one pairing.
+///
+/// # Errors
+///
+/// Propagates cell-lookup failures.
+pub fn po_pairs(golden: &Netlist, dut: &Netlist) -> Result<Vec<(usize, usize)>, NetlistError> {
+    let gpos = golden.primary_outputs();
+    let dpos = dut.primary_outputs();
+    let mut pairs = Vec::with_capacity(gpos.len());
+    for (k, &gpo) in gpos.iter().enumerate() {
+        let name = &golden.cell(gpo)?.name;
+        if let Some(dpo) = dut.find_cell(name) {
+            if let Some(dk) = dpos.iter().position(|&c| c == dpo) {
+                pairs.push((k, dk));
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+/// One suspected error's observable footprint: the failing outputs
+/// that see the same structural suspect cone, with the union of
+/// their response signatures.
+#[derive(Debug, Clone)]
+pub struct FailureCluster {
+    /// Golden primary-output cells presenting this footprint.
+    pub outputs: Vec<CellId>,
+    /// The patterns on which at least one member output fails.
+    pub signature: ResponseSignature,
+    /// Fanin cone of the member outputs (identical across members by
+    /// construction), i.e. the raw structural suspect set.
+    pub cone: SuspectCone,
+}
+
+/// Groups the failing outputs of `matrix` into error clusters: two
+/// outputs land in the same cluster iff they see exactly the same
+/// fanin cone. Signature differences within one cone do *not* split a
+/// cluster — a single error behind shared logic routinely reaches
+/// different outputs on different patterns (ubiquitous on sequential
+/// designs, where every state-fed output sees the whole state cone),
+/// and splitting it would spawn redundant localizations of the same
+/// site. Distinct cones stay distinct clusters even with identical
+/// signatures. Clusters are ordered by their first member's PO
+/// position, so the result is deterministic.
+pub fn cluster_failures(golden: &Netlist, matrix: &ResponseMatrix) -> Vec<FailureCluster> {
+    let mut clusters: Vec<FailureCluster> = Vec::new();
+    for k in matrix.failing() {
+        let po = matrix.outputs[k];
+        let cone = SuspectCone::fanin(golden, &[po]);
+        let sig = &matrix.signatures[k];
+        if let Some(c) = clusters.iter_mut().find(|c| c.cone == cone) {
+            c.outputs.push(po);
+            c.signature.union_with(sig);
+        } else {
+            clusters.push(FailureCluster {
+                outputs: vec![po],
+                signature: sig.clone(),
+                cone,
+            });
+        }
+    }
+    clusters
+}
+
+/// Fault-simulation-based blame assignment.
+///
+/// For a candidate error site, the engine simulates the golden model
+/// with that cell's function complemented (the generic single-error
+/// model: any functional bug at a cell perturbs its output on *some*
+/// patterns; the complement perturbs it on all, giving the widest
+/// observable footprint the site can produce) and records which
+/// primary outputs ever diverge. A candidate *explains* a cluster to
+/// the degree its predicted failing-output set overlaps the cluster's
+/// observed one.
+pub struct FaultAttribution<'a> {
+    golden: &'a Netlist,
+    patterns: Vec<Vec<bool>>,
+    /// Golden PO traces, one `Vec<bool>` of outputs per pattern.
+    golden_trace: Vec<Vec<bool>>,
+    /// Cache: candidate cell → predicted failing-PO mask.
+    cache: HashMap<CellId, Vec<bool>>,
+}
+
+impl<'a> FaultAttribution<'a> {
+    /// Prepares the engine by tracing the golden model once over
+    /// `patterns`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator construction failures.
+    pub fn new(golden: &'a Netlist, patterns: &[Vec<bool>]) -> Result<Self, NetlistError> {
+        let mut gsim = Simulator::new(golden)?;
+        let sequential = golden.is_sequential();
+        let mut golden_trace = Vec::with_capacity(patterns.len());
+        for pat in patterns {
+            gsim.set_inputs(pat);
+            gsim.comb_eval();
+            golden_trace.push(gsim.outputs());
+            if sequential {
+                gsim.step();
+            }
+        }
+        Ok(Self {
+            golden,
+            patterns: patterns.to_vec(),
+            golden_trace,
+            cache: HashMap::new(),
+        })
+    }
+
+    /// Predicted failing-PO mask (PO order) for a complement-model
+    /// error at `cell`. Non-LUT cells predict nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist editing / simulation failures.
+    pub fn fault_outputs(&mut self, cell: CellId) -> Result<Vec<bool>, NetlistError> {
+        if let Some(mask) = self.cache.get(&cell) {
+            return Ok(mask.clone());
+        }
+        let num_pos = self.golden.primary_outputs().len();
+        let mut mask = vec![false; num_pos];
+        let is_lut = self
+            .golden
+            .cell(cell)
+            .ok()
+            .and_then(|c| c.lut_function().copied());
+        if let Some(tt) = is_lut {
+            let mut hypo = self.golden.clone();
+            hypo.set_lut_function(cell, tt.complement())?;
+            let mut sim = Simulator::new(&hypo)?;
+            let sequential = hypo.is_sequential();
+            for (idx, pat) in self.patterns.iter().enumerate() {
+                sim.set_inputs(pat);
+                sim.comb_eval();
+                let out = sim.outputs();
+                for (k, m) in mask.iter_mut().enumerate() {
+                    *m |= out[k] != self.golden_trace[idx][k];
+                }
+                if sequential {
+                    sim.step();
+                }
+            }
+        }
+        self.cache.insert(cell, mask.clone());
+        Ok(mask)
+    }
+
+    /// Jaccard similarity between the candidate's predicted
+    /// failing-PO set and an observed one (both in PO order).
+    /// 0.0 = disjoint, 1.0 = identical footprints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-simulation failures.
+    pub fn blame_score(&mut self, cell: CellId, observed: &[bool]) -> Result<f64, NetlistError> {
+        let predicted = self.fault_outputs(cell)?;
+        let mut inter = 0usize;
+        let mut uni = 0usize;
+        for (p, o) in predicted.iter().zip(observed) {
+            inter += usize::from(*p && *o);
+            uni += usize::from(*p || *o);
+        }
+        Ok(if uni == 0 {
+            0.0
+        } else {
+            inter as f64 / uni as f64
+        })
+    }
+
+    /// The candidate that best explains `observed`, with its score.
+    /// Ties resolve to the lowest cell index; an empty candidate list
+    /// yields `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-simulation failures.
+    pub fn best_explanation(
+        &mut self,
+        candidates: &[CellId],
+        observed: &[bool],
+    ) -> Result<Option<(CellId, f64)>, NetlistError> {
+        let mut best: Option<(CellId, f64)> = None;
+        for &c in candidates {
+            let s = self.blame_score(c, observed)?;
+            let better = match best {
+                None => true,
+                Some((bc, bs)) => s > bs || (s == bs && c.index() < bc.index()),
+            };
+            if better {
+                best = Some((c, s));
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::TruthTable;
+    use sim::inject::{inject, DesignErrorKind};
+
+    /// y0 = a AND b through u0; y1 = a XOR c through u1 (independent
+    /// cones except for the shared input a).
+    fn two_cone_design() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let (na, nb, nc) = (
+            nl.cell_output(a).unwrap(),
+            nl.cell_output(b).unwrap(),
+            nl.cell_output(c).unwrap(),
+        );
+        let u0 = nl.add_lut("u0", TruthTable::and(2), &[na, nb]).unwrap();
+        let u1 = nl.add_lut("u1", TruthTable::xor(2), &[na, nc]).unwrap();
+        nl.add_output("y0", nl.cell_output(u0).unwrap()).unwrap();
+        nl.add_output("y1", nl.cell_output(u1).unwrap()).unwrap();
+        nl
+    }
+
+    #[test]
+    fn signatures_separate_two_simultaneous_errors() {
+        let golden = two_cone_design();
+        let mut dut = golden.clone();
+        let u0 = dut.find_cell("u0").unwrap();
+        let u1 = dut.find_cell("u1").unwrap();
+        inject(&mut dut, u0, DesignErrorKind::FlipRow { row: 3 }).unwrap();
+        inject(&mut dut, u1, DesignErrorKind::Complement).unwrap();
+        let m = collect_responses(&golden, &dut, PatternGen::exhaustive(3)).unwrap();
+        assert_eq!(m.patterns, 8);
+        assert_eq!(m.failing().len(), 2, "both outputs must fail");
+        // y0 fails only on a=b=1 (2 of 8 patterns); y1 on all 8.
+        assert_eq!(m.signatures[0].count(), 2);
+        assert_eq!(m.signatures[1].count(), 8);
+        let clusters = cluster_failures(&golden, &m);
+        assert_eq!(clusters.len(), 2, "distinct footprints, distinct clusters");
+        assert!(clusters[0].cone.contains(golden.find_cell("u0").unwrap()));
+        assert!(!clusters[0].cone.contains(golden.find_cell("u1").unwrap()));
+    }
+
+    #[test]
+    fn clean_design_yields_no_clusters() {
+        let golden = two_cone_design();
+        let m = collect_responses(&golden, &golden.clone(), PatternGen::exhaustive(3)).unwrap();
+        assert!(m.failing().is_empty());
+        assert!(cluster_failures(&golden, &m).is_empty());
+    }
+
+    #[test]
+    fn fault_simulation_blames_the_right_cone() {
+        let golden = two_cone_design();
+        let pats: Vec<Vec<bool>> = PatternGen::exhaustive(3).collect();
+        let mut att = FaultAttribution::new(&golden, &pats).unwrap();
+        let u0 = golden.find_cell("u0").unwrap();
+        let u1 = golden.find_cell("u1").unwrap();
+        // Observed: only y1 failing (an error somewhere in u1's cone).
+        let observed = vec![false, true];
+        let s0 = att.blame_score(u0, &observed).unwrap();
+        let s1 = att.blame_score(u1, &observed).unwrap();
+        assert!(s1 > s0, "u1 {s1} must beat u0 {s0}");
+        let best = att.best_explanation(&[u0, u1], &observed).unwrap().unwrap();
+        assert_eq!(best.0, u1);
+        assert!(best.1 > 0.99, "exact footprint match expected");
+        // Non-LUT candidates predict nothing and score zero.
+        let a = golden.find_cell("a").unwrap();
+        assert_eq!(att.blame_score(a, &observed).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Bitset algebra over suspect cones in the netlist DAG.
+//!
+//! Multi-error diagnosis reasons about *sets of candidate error
+//! sites*: the fanin cone of a failing output, the overlap of two
+//! such cones, what remains of a cone after a probe rules a region
+//! out. [`SuspectCone`] packs those sets into `u64` words indexed by
+//! [`CellId`], so union / intersection / subtraction are word-wide
+//! operations and the `k`-cone overlap analysis in
+//! [`crate::diagnosis::partition`] stays cheap even on paper-scale
+//! designs.
+//!
+//! Cones are *normalized*: trailing zero words are trimmed after
+//! every operation, so structural equality (`==`, hashing) means set
+//! equality regardless of how a cone was built.
+
+use netlist::{CellId, Netlist};
+
+/// A set of suspect cells, packed 64 cells per word.
+///
+/// ```
+/// use netlist::CellId;
+/// use tiling::diagnosis::SuspectCone;
+///
+/// let a = SuspectCone::from_cells([CellId::new(1), CellId::new(70)]);
+/// let b = SuspectCone::from_cells([CellId::new(70), CellId::new(3)]);
+/// assert_eq!(a.intersect(&b).cells(), vec![CellId::new(70)]);
+/// assert_eq!(a.union(&b).len(), 3);
+/// assert_eq!(a.subtract(&b).cells(), vec![CellId::new(1)]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SuspectCone {
+    /// Bit `i % 64` of word `i / 64` is set iff cell `i` is a suspect.
+    /// Invariant: the last word (if any) is non-zero.
+    words: Vec<u64>,
+}
+
+impl SuspectCone {
+    /// The empty suspect set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cone containing exactly `cells`.
+    pub fn from_cells(cells: impl IntoIterator<Item = CellId>) -> Self {
+        let mut cone = Self::new();
+        for c in cells {
+            cone.insert(c);
+        }
+        cone
+    }
+
+    /// The transitive fanin cone of `seeds` (including the seeds) in
+    /// `nl` — the structural suspect set behind a failing output.
+    pub fn fanin(nl: &Netlist, seeds: &[CellId]) -> Self {
+        Self::from_cells(nl.fanin_cone(seeds))
+    }
+
+    /// Adds a cell.
+    pub fn insert(&mut self, cell: CellId) {
+        let (w, b) = (cell.index() / 64, cell.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    /// Whether `cell` is in the set.
+    pub fn contains(&self, cell: CellId) -> bool {
+        let (w, b) = (cell.index() / 64, cell.index() % 64);
+        self.words.get(w).is_some_and(|&word| word >> b & 1 == 1)
+    }
+
+    /// Number of suspects in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn word(&self, i: usize) -> u64 {
+        self.words.get(i).copied().unwrap_or(0)
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+
+    fn binary(&self, other: &Self, f: impl Fn(u64, u64) -> u64) -> Self {
+        let n = self.words.len().max(other.words.len());
+        let mut out = Self {
+            words: (0..n).map(|i| f(self.word(i), other.word(i))).collect(),
+        };
+        out.trim();
+        out
+    }
+
+    /// Set union: suspects implicated by either cone.
+    pub fn union(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a | b)
+    }
+
+    /// Set intersection: suspects implicated by both cones.
+    pub fn intersect(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a & b)
+    }
+
+    /// Set difference: suspects of `self` not ruled in by `other`.
+    pub fn subtract(&self, other: &Self) -> Self {
+        self.binary(other, |a, b| a & !b)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Self) {
+        *self = self.union(other);
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &Self) {
+        *self = self.intersect(other);
+    }
+
+    /// In-place difference.
+    pub fn subtract_with(&mut self, other: &Self) {
+        *self = self.subtract(other);
+    }
+
+    /// Whether the two cones share at least one suspect (cheaper than
+    /// materializing the intersection).
+    pub fn intersects(&self, other: &Self) -> bool {
+        let n = self.words.len().min(other.words.len());
+        (0..n).any(|i| self.words[i] & other.words[i] != 0)
+    }
+
+    /// Iterates the suspects in ascending cell-index order.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(CellId::new(w * 64 + b))
+            })
+        })
+    }
+
+    /// The suspects as a sorted vector.
+    pub fn cells(&self) -> Vec<CellId> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<CellId> for SuspectCone {
+    fn from_iter<T: IntoIterator<Item = CellId>>(iter: T) -> Self {
+        Self::from_cells(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::TruthTable;
+
+    fn ids(xs: &[usize]) -> SuspectCone {
+        xs.iter().map(|&i| CellId::new(i)).collect()
+    }
+
+    #[test]
+    fn algebra_basics() {
+        let a = ids(&[0, 5, 64, 130]);
+        let b = ids(&[5, 64, 200]);
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(CellId::new(130)));
+        assert!(!a.contains(CellId::new(131)));
+        assert_eq!(a.intersect(&b), ids(&[5, 64]));
+        assert_eq!(a.union(&b), ids(&[0, 5, 64, 130, 200]));
+        assert_eq!(a.subtract(&b), ids(&[0, 130]));
+        assert!(a.intersects(&b));
+        assert!(!ids(&[1]).intersects(&ids(&[2])));
+    }
+
+    #[test]
+    fn equality_is_set_equality_regardless_of_history() {
+        // Build the same set two ways, one passing through a larger
+        // universe; trimming must make them structurally equal.
+        let direct = ids(&[3, 7]);
+        let via_subtract = ids(&[3, 7, 500]).subtract(&ids(&[500]));
+        assert_eq!(direct, via_subtract);
+        assert!(ids(&[9]).subtract(&ids(&[9])).is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_complete() {
+        let cone = ids(&[190, 2, 63, 64]);
+        let cells: Vec<usize> = cone.iter().map(|c| c.index()).collect();
+        assert_eq!(cells, vec![2, 63, 64, 190]);
+        assert_eq!(cone.cells().len(), cone.len());
+    }
+
+    #[test]
+    fn fanin_matches_netlist_cone() {
+        let mut nl = Netlist::new("chain");
+        let pi = nl.add_input("a").unwrap();
+        let mut net = nl.cell_output(pi).unwrap();
+        let mut cells = Vec::new();
+        for k in 0..4 {
+            let c = nl
+                .add_lut(format!("u{k}"), TruthTable::not(), &[net])
+                .unwrap();
+            net = nl.cell_output(c).unwrap();
+            cells.push(c);
+        }
+        let cone = SuspectCone::fanin(&nl, &[cells[2]]);
+        assert!(cone.contains(pi));
+        assert!(cone.contains(cells[2]));
+        assert!(!cone.contains(cells[3]));
+        // Monotone in the seed set.
+        let bigger = SuspectCone::fanin(&nl, &[cells[2], cells[3]]);
+        assert_eq!(cone.union(&bigger), bigger);
+    }
+}

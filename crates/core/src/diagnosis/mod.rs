@@ -1,0 +1,64 @@
+//! Simultaneous multi-error diagnosis: suspect-cone algebra, shared
+//! test logic, and per-error attribution.
+//!
+//! The paper's debug loop (§3.1) — and [`crate::session::DebugSession`]'s
+//! single-error `run` — assumes one error at a time. Real emulation
+//! runs surface several interacting errors whose suspect cones
+//! overlap. This module adds the machinery to hunt them *together*,
+//! so the tiled flow's cheap ECOs are amortized across every live
+//! error instead of being spent one cone at a time:
+//!
+//! * [`cone`] — [`SuspectCone`], a normalized bitset algebra
+//!   (union / intersect / subtract, fanin-cone construction) over the
+//!   netlist DAG; the vocabulary everything else is written in;
+//! * [`partition`] — [`ConePartition`] splits `k` overlapping cones
+//!   into disjoint per-error *exclusive* regions plus a *shared
+//!   core*, classifying where observations are unambiguous;
+//! * [`attribution`] — [`ResponseSignature`]s (which patterns each
+//!   output fails on) cluster failing outputs into per-error
+//!   footprints ([`cluster_failures`]), and [`FaultAttribution`]
+//!   fault-simulates candidate sites under a complement error model
+//!   to assign blame when cones intersect;
+//! * [`scheduler`] — [`MultiErrorScheduler`] runs one
+//!   [`crate::strategy::LocalizationStrategy`] per error and merges
+//!   all tap requests into deduplicated physical batches, so one
+//!   observation ECO through any [`crate::flows::ReimplFlow`]
+//!   advances every live localization. A verdict cache guarantees no
+//!   net is ever tapped twice (detection's primary-output verdicts
+//!   are seeded into it for free), and the shared core is *screened*
+//!   first: one tap batch on only its frontier either exonerates the
+//!   entire core or confines suspicion to the diverging frontier's
+//!   in-core fanin.
+//!
+//! The session-level entry points are
+//! [`crate::session::DebugSession::run_concurrent`] (planted errors)
+//! and [`crate::session::DebugSession::run_concurrent_campaign`]
+//! (random distinct errors); `run_campaign` routes through the same
+//! scheduler whenever it is asked for more than one error.
+//!
+//! # Protocol assumptions
+//!
+//! Failing outputs are clustered by *(response signature, fanin
+//! cone)*: one cluster per distinguishable error footprint. Each
+//! cluster is localized under a single-error-per-cluster assumption —
+//! when two errors hide in one cluster's cone (e.g. a single-output
+//! design), localization converges on the topologically dominant one
+//! and the remainder is caught by the corrective re-emulation, as in
+//! the sequential protocol. Divergences in a shared core are credited
+//! conservatively to every requesting cluster; the
+//! [`FaultAttribution`] engine scores which cluster's candidates best
+//! explain them and the session reports the verdicts as
+//! [`crate::session::DebugEvent::Attribution`] events.
+
+pub mod attribution;
+pub mod cone;
+pub mod partition;
+pub mod scheduler;
+
+pub use attribution::{
+    cluster_failures, collect_responses, FailureCluster, FaultAttribution, ResponseMatrix,
+    ResponseSignature,
+};
+pub use cone::SuspectCone;
+pub use partition::{ConePartition, Ownership};
+pub use scheduler::{Ambiguity, MultiErrorScheduler, RoundPlan};

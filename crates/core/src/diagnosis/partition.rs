@@ -1,0 +1,140 @@
+//! Ownership partitioning of overlapping suspect cones.
+//!
+//! When `k` errors are diagnosed simultaneously, their suspect cones
+//! usually overlap (shared upstream logic feeds several failing
+//! outputs). [`ConePartition::split`] decomposes the cones into
+//! disjoint regions:
+//!
+//! * an **exclusive** region per error — cells only that error's cone
+//!   implicates, where a diverging observation is unambiguous
+//!   evidence;
+//! * one **shared core** — cells implicated by two or more cones,
+//!   where blame needs the attribution engine
+//!   ([`crate::diagnosis::attribution`]).
+//!
+//! The scheduler uses the partition to flag ambiguous observations;
+//! reports use it to quantify how entangled a multi-error scenario is.
+
+use netlist::CellId;
+
+use super::cone::SuspectCone;
+
+/// Who owns a suspect cell in a `k`-cone overlap analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ownership {
+    /// Only cone `0.0`'s error can explain evidence at this cell.
+    Exclusive(usize),
+    /// Two or more cones implicate the cell; blame is ambiguous.
+    Shared,
+}
+
+/// Disjoint decomposition of `k` (possibly overlapping) suspect cones.
+///
+/// ```
+/// use netlist::CellId;
+/// use tiling::diagnosis::{ConePartition, Ownership, SuspectCone};
+///
+/// let a: SuspectCone = [0, 1, 2].map(CellId::new).into_iter().collect();
+/// let b: SuspectCone = [2, 3].map(CellId::new).into_iter().collect();
+/// let p = ConePartition::split(&[a, b]);
+/// assert_eq!(p.exclusive[0].cells(), [0, 1].map(CellId::new).to_vec());
+/// assert_eq!(p.shared.cells(), vec![CellId::new(2)]);
+/// assert_eq!(p.owner(CellId::new(3)), Some(Ownership::Exclusive(1)));
+/// assert_eq!(p.owner(CellId::new(2)), Some(Ownership::Shared));
+/// assert_eq!(p.owner(CellId::new(9)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConePartition {
+    /// Per input cone: the cells no other cone implicates.
+    pub exclusive: Vec<SuspectCone>,
+    /// Cells implicated by at least two cones.
+    pub shared: SuspectCone,
+}
+
+impl ConePartition {
+    /// Splits `cones` into per-cone exclusive regions plus the shared
+    /// core. The regions are pairwise disjoint and their union is the
+    /// union of the input cones.
+    pub fn split(cones: &[SuspectCone]) -> Self {
+        let mut shared = SuspectCone::new();
+        for (i, a) in cones.iter().enumerate() {
+            for b in cones.iter().skip(i + 1) {
+                shared.union_with(&a.intersect(b));
+            }
+        }
+        let exclusive = cones.iter().map(|c| c.subtract(&shared)).collect();
+        Self { exclusive, shared }
+    }
+
+    /// Which region `cell` falls in, if any.
+    pub fn owner(&self, cell: CellId) -> Option<Ownership> {
+        if self.shared.contains(cell) {
+            return Some(Ownership::Shared);
+        }
+        self.exclusive
+            .iter()
+            .position(|c| c.contains(cell))
+            .map(Ownership::Exclusive)
+    }
+
+    /// Union of every region (= union of the input cones).
+    pub fn coverage(&self) -> SuspectCone {
+        let mut all = self.shared.clone();
+        for c in &self.exclusive {
+            all.union_with(c);
+        }
+        all
+    }
+
+    /// Sizes of the exclusive regions, in input-cone order.
+    pub fn exclusive_sizes(&self) -> Vec<usize> {
+        self.exclusive.iter().map(SuspectCone::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[usize]) -> SuspectCone {
+        xs.iter().map(|&i| CellId::new(i)).collect()
+    }
+
+    #[test]
+    fn split_is_a_disjoint_cover() {
+        let cones = [ids(&[0, 1, 2, 3]), ids(&[2, 3, 4]), ids(&[3, 5])];
+        let p = ConePartition::split(&cones);
+        assert_eq!(p.exclusive[0], ids(&[0, 1]));
+        assert_eq!(p.exclusive[1], ids(&[4]));
+        assert_eq!(p.exclusive[2], ids(&[5]));
+        assert_eq!(p.shared, ids(&[2, 3]));
+        // Disjoint…
+        for (i, a) in p.exclusive.iter().enumerate() {
+            assert!(!a.intersects(&p.shared));
+            for b in p.exclusive.iter().skip(i + 1) {
+                assert!(!a.intersects(b));
+            }
+        }
+        // …and covering.
+        let mut union = SuspectCone::new();
+        for c in &cones {
+            union.union_with(c);
+        }
+        assert_eq!(p.coverage(), union);
+        assert_eq!(p.exclusive_sizes(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn disjoint_cones_have_empty_shared_core() {
+        let p = ConePartition::split(&[ids(&[0, 1]), ids(&[2])]);
+        assert!(p.shared.is_empty());
+        assert_eq!(p.owner(CellId::new(1)), Some(Ownership::Exclusive(0)));
+    }
+
+    #[test]
+    fn identical_cones_are_entirely_shared() {
+        let p = ConePartition::split(&[ids(&[7, 8]), ids(&[7, 8])]);
+        assert!(p.exclusive.iter().all(SuspectCone::is_empty));
+        assert_eq!(p.shared.len(), 2);
+    }
+}

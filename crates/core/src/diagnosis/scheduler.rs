@@ -1,0 +1,649 @@
+//! Batched tap planning across several concurrent localizations.
+//!
+//! The paper's loop localizes one error at a time: every observation
+//! ECO serves exactly one suspect cone. With `k` live errors, that
+//! wastes the tiled flow's cheap ECOs — one batch of inserted test
+//! logic can serve *all* of them. [`MultiErrorScheduler`] runs one
+//! [`LocalizationStrategy`] instance per error and, each round,
+//! merges every strategy's tap requests into deduplicated physical
+//! batches: overlapping cones request the same upstream cells, which
+//! are tapped (and paid for) once, and a single re-implementation ECO
+//! advances every live error's search.
+//!
+//! Two further mechanisms cut the physical tap bill below the naive
+//! union:
+//!
+//! * a **verdict cache** — every observed (or
+//!   [`assume`](MultiErrorScheduler::assume)d) tap verdict is
+//!   remembered, so a cell never pays for a second tap no matter how
+//!   many strategies ask about it, in whatever round; rounds whose
+//!   requests are fully answered by the cache execute with *zero*
+//!   physical ECOs;
+//! * **shared-core screening** — before any strategy walks the
+//!   [`ConePartition`]'s shared core, the scheduler taps only the
+//!   core's *frontier* (the cells whose fanout escapes the core: on
+//!   the DAG, every path from a core error to any output runs through
+//!   them). A clean frontier exonerates the entire core at once —
+//!   cells upstream of a silent frontier cannot host an observable
+//!   error — and a diverging frontier cell keeps exactly its in-core
+//!   fanin cone alive, which is also the evidence the attribution
+//!   engine scores.
+//!
+//! The scheduler is pure decision logic — the session owns emulation
+//! and the physical flow — so it is testable against a simulated
+//! oracle exactly like the strategies themselves.
+
+use std::collections::{HashMap, HashSet};
+
+use netlist::{CellId, Netlist};
+
+use crate::strategy::{LocalizationStrategy, TapObservation};
+
+use super::cone::SuspectCone;
+use super::partition::ConePartition;
+
+/// One localization in flight.
+struct Track {
+    strategy: Box<dyn LocalizationStrategy>,
+    cone: SuspectCone,
+    /// Cells requested this round, in the strategy's (topological)
+    /// order. Cleared when the round's verdicts are fed back.
+    requested: Vec<CellId>,
+    taps_requested: usize,
+    rounds_joined: usize,
+    done: bool,
+}
+
+/// Shared-core screening progress.
+enum Screening {
+    /// Not yet planned (first `plan_round` will emit it, if any).
+    Planned,
+    /// The screening batch is out; the next `record_round` resolves it.
+    Pending,
+    /// Resolved (or there was nothing to screen).
+    Done,
+}
+
+/// One round's physical tap plan.
+#[derive(Debug, Clone, Default)]
+pub struct RoundPlan {
+    /// The deduplicated union of all live tracks' requests — minus
+    /// every cell whose verdict is already cached — split into batches
+    /// of at most `max_taps_per_eco` cells. Each batch is one
+    /// observation-tap ECO.
+    pub batches: Vec<Vec<CellId>>,
+    /// Whether this is the shared-core screening round (no track
+    /// requested these cells; the scheduler did, to rule the whole
+    /// core in or out at frontier cost).
+    pub screening: bool,
+}
+
+impl RoundPlan {
+    /// Total taps the round will insert.
+    pub fn taps(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+}
+
+/// A diverging observation that more than one suspect cone can
+/// explain; the attribution engine resolves the blame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ambiguity {
+    /// The diverging tapped cell.
+    pub cell: CellId,
+    /// Indices of every track whose cone contains the cell.
+    pub tracks: Vec<usize>,
+}
+
+/// Plans shared observation-tap batches for `k` concurrent error
+/// localizations.
+///
+/// Protocol: [`add_error`](Self::add_error) once per suspected error
+/// (and optionally [`assume`](Self::assume) verdicts detection
+/// already established), then alternate
+/// [`plan_round`](Self::plan_round) (`None` = all tracks finished)
+/// with the physical tap ECOs and
+/// [`record_round`](Self::record_round);
+/// [`localized`](Self::localized) yields the per-error answers.
+pub struct MultiErrorScheduler {
+    tracks: Vec<Track>,
+    partition: ConePartition,
+    max_taps_per_eco: usize,
+    /// Every verdict ever observed or assumed, keyed by tapped cell.
+    verdicts: HashMap<CellId, bool>,
+    /// Shared-core frontier: each frontier cell paired with its
+    /// in-core fanin cone (the cells it testifies for).
+    screen: Vec<(CellId, SuspectCone)>,
+    screening: Screening,
+}
+
+impl MultiErrorScheduler {
+    /// A scheduler that caps each physical ECO at `max_taps_per_eco`
+    /// inserted taps (observation pads are scarce).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero cap.
+    pub fn new(max_taps_per_eco: usize) -> Self {
+        assert!(max_taps_per_eco > 0, "tap cap must be positive");
+        Self {
+            tracks: Vec::new(),
+            partition: ConePartition::default(),
+            max_taps_per_eco,
+            verdicts: HashMap::new(),
+            screen: Vec::new(),
+            screening: Screening::Planned,
+        }
+    }
+
+    /// Registers one suspected error: its topologically-sorted suspect
+    /// list and a fresh strategy to drive. Returns the track index.
+    /// All errors must be registered before the first
+    /// [`plan_round`](Self::plan_round).
+    pub fn add_error(
+        &mut self,
+        golden: &Netlist,
+        suspects: &[CellId],
+        mut strategy: Box<dyn LocalizationStrategy>,
+    ) -> usize {
+        strategy.begin(golden, suspects);
+        self.tracks.push(Track {
+            strategy,
+            cone: suspects.iter().copied().collect(),
+            requested: Vec::new(),
+            taps_requested: 0,
+            rounds_joined: 0,
+            done: false,
+        });
+        let partition = ConePartition::split(
+            &self
+                .tracks
+                .iter()
+                .map(|t| t.cone.clone())
+                .collect::<Vec<_>>(),
+        );
+        // The frontier's fanin traversals are the expensive part of a
+        // registration; redo them only when this cone actually changed
+        // the shared core (never for the first cone, or disjoint ones).
+        let shared_changed = partition.shared != self.partition.shared;
+        self.partition = partition;
+        if shared_changed {
+            self.recompute_screen(golden);
+        }
+        self.tracks.len() - 1
+    }
+
+    /// Seeds the verdict cache with an observation that is already
+    /// known — e.g. the detection sweep measured every primary
+    /// output, so each PO driver's divergence verdict is free. Cached
+    /// cells are never physically tapped.
+    pub fn assume(&mut self, cell: CellId, diverged: bool) {
+        self.verdicts.insert(cell, diverged);
+    }
+
+    /// Number of registered tracks.
+    pub fn tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// The ownership partition of the registered suspect cones.
+    pub fn partition(&self) -> &ConePartition {
+        &self.partition
+    }
+
+    /// Cells track `k` asked to tap in the current round.
+    pub fn requested(&self, k: usize) -> &[CellId] {
+        &self.tracks[k].requested
+    }
+
+    /// Total taps track `k` has requested so far (before cross-track
+    /// deduplication and verdict-cache hits — the difference against
+    /// the physical tap count is the sharing win).
+    pub fn taps_requested(&self, k: usize) -> usize {
+        self.tracks[k].taps_requested
+    }
+
+    /// Rounds track `k` participated in (including rounds served
+    /// entirely from the verdict cache).
+    pub fn rounds_joined(&self, k: usize) -> usize {
+        self.tracks[k].rounds_joined
+    }
+
+    /// The shared-core frontier cells the screening round taps, in
+    /// ascending cell order (empty when cones do not overlap).
+    pub fn screen_cells(&self) -> Vec<CellId> {
+        self.screen.iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Collects every live track's next tap request and merges them
+    /// into deduplicated, capped batches of *cache-missing* cells.
+    /// The very first round screens the shared core's frontier
+    /// instead (when cones overlap). Rounds whose requests the cache
+    /// already answers are fed back internally and cost nothing;
+    /// `None` means every track has finished.
+    pub fn plan_round(&mut self) -> Option<RoundPlan> {
+        if matches!(self.screening, Screening::Planned) {
+            let cells: Vec<CellId> = self
+                .screen
+                .iter()
+                .map(|&(c, _)| c)
+                .filter(|c| !self.verdicts.contains_key(c))
+                .collect();
+            if cells.is_empty() {
+                // Nothing to tap — resolve from whatever is cached.
+                self.screening = Screening::Done;
+                self.resolve_screening();
+            } else {
+                self.screening = Screening::Pending;
+                return Some(RoundPlan {
+                    batches: self.chunk(cells),
+                    screening: true,
+                });
+            }
+        }
+        loop {
+            let mut merged: Vec<CellId> = Vec::new();
+            let mut seen: HashSet<CellId> = HashSet::new();
+            let mut any_request = false;
+            for t in &mut self.tracks {
+                if t.done {
+                    continue;
+                }
+                if t.requested.is_empty() {
+                    let req = t.strategy.next_taps();
+                    if req.is_empty() {
+                        t.done = true;
+                        continue;
+                    }
+                    t.taps_requested += req.len();
+                    t.rounds_joined += 1;
+                    t.requested = req;
+                }
+                any_request = true;
+                for &c in &t.requested {
+                    if !self.verdicts.contains_key(&c) && seen.insert(c) {
+                        merged.push(c);
+                    }
+                }
+            }
+            if !any_request {
+                return None;
+            }
+            if merged.is_empty() {
+                // Every requested cell is cached: answer the whole
+                // round for free and ask the strategies again.
+                self.feed_requested(&HashMap::new());
+                continue;
+            }
+            return Some(RoundPlan {
+                batches: self.chunk(merged),
+                screening: false,
+            });
+        }
+    }
+
+    /// Merges the round's fresh verdicts into the cache, then either
+    /// resolves a pending shared-core screening or feeds every
+    /// requesting track its observations (each sees its own requests,
+    /// in its own order, cached verdicts included). Returns the
+    /// diverging cells that more than one cone can explain.
+    ///
+    /// Divergence is credited *conservatively*: every requesting
+    /// track sees the global verdict, because a tap diverges whenever
+    /// any upstream error propagates to it. When two live errors
+    /// share a cone, a shared-core divergence can therefore mislead
+    /// the track whose error did not cause it — the returned
+    /// [`Ambiguity`] list names exactly those observations so the
+    /// caller can score them with
+    /// [`crate::diagnosis::FaultAttribution`].
+    pub fn record_round(&mut self, fresh: &HashMap<CellId, bool>) -> Vec<Ambiguity> {
+        for (&c, &v) in fresh {
+            self.verdicts.insert(c, v);
+        }
+        if matches!(self.screening, Screening::Pending) {
+            self.screening = Screening::Done;
+            self.resolve_screening();
+            // Frontier divergences are ambiguous by construction
+            // (frontier ⊆ shared core ⇒ ≥ 2 owning cones).
+            return self
+                .screen
+                .iter()
+                .filter(|(c, _)| self.verdicts.get(c).copied().unwrap_or(false))
+                .map(|&(cell, _)| Ambiguity {
+                    cell,
+                    tracks: self.owners(cell),
+                })
+                .collect();
+        }
+        self.feed_requested(fresh)
+    }
+
+    /// Per-track localization results, in registration order.
+    pub fn localized(&self) -> Vec<Option<CellId>> {
+        self.tracks.iter().map(|t| t.strategy.localized()).collect()
+    }
+
+    fn chunk(&self, cells: Vec<CellId>) -> Vec<Vec<CellId>> {
+        cells
+            .chunks(self.max_taps_per_eco)
+            .map(<[CellId]>::to_vec)
+            .collect()
+    }
+
+    fn owners(&self, cell: CellId) -> Vec<usize> {
+        self.tracks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.cone.contains(cell))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The shared core's frontier: core cells whose output net feeds
+    /// anything outside the core (another cell region or a primary
+    /// output). Every observable core error must diverge at some
+    /// frontier cell, because exclusive regions never feed *into* the
+    /// core (a cell upstream of a shared cell is itself shared).
+    fn recompute_screen(&mut self, golden: &Netlist) {
+        self.screen.clear();
+        let shared = &self.partition.shared;
+        for c in shared.iter() {
+            let Ok(net) = golden.cell_output(c) else {
+                continue;
+            };
+            let Ok(n) = golden.net(net) else {
+                continue;
+            };
+            if n.sinks.iter().any(|s| !shared.contains(s.cell)) {
+                self.screen
+                    .push((c, SuspectCone::fanin(golden, &[c]).intersect(shared)));
+            }
+        }
+    }
+
+    /// Applies the screening verdicts: every core cell that no
+    /// diverging frontier cell can observe is exonerated (a cached
+    /// `false` verdict), so strategies sweep the core from the cache
+    /// instead of the device.
+    fn resolve_screening(&mut self) {
+        let mut live = SuspectCone::new();
+        for (cell, in_core_fanin) in &self.screen {
+            if self.verdicts.get(cell).copied().unwrap_or(false) {
+                live.union_with(in_core_fanin);
+            }
+        }
+        for c in self.partition.shared.subtract(&live).iter() {
+            self.verdicts.entry(c).or_insert(false);
+        }
+    }
+
+    /// Feeds each requesting track its verdicts (fresh merged over
+    /// cache; a missing verdict reads as "did not diverge") and
+    /// flags the fresh divergences that more than one cone explains.
+    fn feed_requested(&mut self, fresh: &HashMap<CellId, bool>) -> Vec<Ambiguity> {
+        let mut ambiguities: Vec<Ambiguity> = Vec::new();
+        let mut flagged: HashSet<CellId> = HashSet::new();
+        for k in 0..self.tracks.len() {
+            if self.tracks[k].requested.is_empty() {
+                continue;
+            }
+            let requested = std::mem::take(&mut self.tracks[k].requested);
+            let obs: Vec<TapObservation> = requested
+                .iter()
+                .map(|&cell| TapObservation {
+                    cell,
+                    diverged: self.verdicts.get(&cell).copied().unwrap_or(false),
+                })
+                .collect();
+            for o in obs.iter().filter(|o| o.diverged) {
+                if !fresh.contains_key(&o.cell) || !flagged.insert(o.cell) {
+                    continue;
+                }
+                let owners = self.owners(o.cell);
+                if owners.len() > 1 {
+                    ambiguities.push(Ambiguity {
+                        cell: o.cell,
+                        tracks: owners,
+                    });
+                }
+            }
+            self.tracks[k].strategy.observe(&obs);
+        }
+        ambiguities
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{BinarySearch, LinearBatches};
+    use netlist::TruthTable;
+
+    /// A backbone chain of `bb` inverters fanning out into `branches`
+    /// chains of `blen` inverters, each ending in its own output.
+    /// Returns (netlist, backbone cells, per-branch cells).
+    fn backbone_design(
+        bb: usize,
+        branches: usize,
+        blen: usize,
+    ) -> (Netlist, Vec<CellId>, Vec<Vec<CellId>>) {
+        let mut nl = Netlist::new("backbone");
+        let pi = nl.add_input("a").unwrap();
+        let mut net = nl.cell_output(pi).unwrap();
+        let mut backbone = Vec::new();
+        for k in 0..bb {
+            let c = nl
+                .add_lut(format!("bb{k}"), TruthTable::not(), &[net])
+                .unwrap();
+            net = nl.cell_output(c).unwrap();
+            backbone.push(c);
+        }
+        let mut branch_cells = Vec::new();
+        for b in 0..branches {
+            let mut bnet = net;
+            let mut cells = Vec::new();
+            for k in 0..blen {
+                let c = nl
+                    .add_lut(format!("br{b}_{k}"), TruthTable::not(), &[bnet])
+                    .unwrap();
+                bnet = nl.cell_output(c).unwrap();
+                cells.push(c);
+            }
+            nl.add_output(format!("y{b}"), bnet).unwrap();
+            branch_cells.push(cells);
+        }
+        (nl, backbone, branch_cells)
+    }
+
+    /// Runs the scheduler against a perfect oracle (tap diverges iff
+    /// an error lies in its fanin cone). Returns (localized, taps,
+    /// ecos).
+    fn run_oracle(
+        sched: &mut MultiErrorScheduler,
+        nl: &Netlist,
+        errors: &[CellId],
+    ) -> (Vec<Option<CellId>>, usize, usize) {
+        let fanouts: Vec<SuspectCone> = errors
+            .iter()
+            .map(|&e| SuspectCone::from_cells(nl.fanout_cone(&[e])))
+            .collect();
+        let (mut taps, mut ecos) = (0usize, 0usize);
+        let mut guard = 0;
+        while let Some(plan) = sched.plan_round() {
+            let mut verdicts = HashMap::new();
+            for batch in &plan.batches {
+                taps += batch.len();
+                ecos += 1;
+                for &c in batch {
+                    verdicts.insert(c, fanouts.iter().any(|f| f.contains(c)));
+                }
+            }
+            sched.record_round(&verdicts);
+            guard += 1;
+            assert!(guard <= 256, "scheduler failed to converge");
+        }
+        (sched.localized(), taps, ecos)
+    }
+
+    /// Runs one strategy alone on one cone against the same oracle.
+    fn run_single(
+        nl: &Netlist,
+        suspects: &[CellId],
+        strategy: Box<dyn LocalizationStrategy>,
+        error: CellId,
+    ) -> (Option<CellId>, usize, usize) {
+        let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+        sched.add_error(nl, suspects, strategy);
+        let (found, taps, ecos) = run_oracle(&mut sched, nl, &[error]);
+        (found[0], taps, ecos)
+    }
+
+    fn cone_suspects(po_branch: &[CellId], backbone: &[CellId]) -> Vec<CellId> {
+        // Topological order: backbone first, then the branch.
+        let mut v = backbone.to_vec();
+        v.extend_from_slice(po_branch);
+        v
+    }
+
+    #[test]
+    fn shared_batches_beat_sequential_localization() {
+        let (nl, backbone, branches) = backbone_design(40, 3, 8);
+        let errors: Vec<CellId> = branches.iter().map(|b| b[5]).collect();
+        for fresh in [
+            (|| Box::new(LinearBatches::default()) as Box<dyn LocalizationStrategy>)
+                as fn() -> Box<dyn LocalizationStrategy>,
+            || Box::new(BinarySearch::new()),
+        ] {
+            let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+            for b in &branches {
+                sched.add_error(&nl, &cone_suspects(b, &backbone), fresh());
+            }
+            // Overlap analysis: the backbone is the shared core, each
+            // branch an exclusive region; only the last backbone cell
+            // is the core's frontier.
+            assert_eq!(sched.partition().shared.len(), backbone.len());
+            assert_eq!(sched.partition().exclusive_sizes(), vec![8, 8, 8]);
+            assert_eq!(sched.screen_cells(), vec![backbone[39]]);
+
+            let (found, taps, ecos) = run_oracle(&mut sched, &nl, &errors);
+            assert_eq!(found, errors.iter().map(|&e| Some(e)).collect::<Vec<_>>());
+
+            let (mut staps, mut secos) = (0, 0);
+            for (k, b) in branches.iter().enumerate() {
+                let (f, t, e) = run_single(&nl, &cone_suspects(b, &backbone), fresh(), errors[k]);
+                assert_eq!(f, Some(errors[k]));
+                staps += t;
+                secos += e;
+            }
+            assert!(taps < staps, "shared {taps} !< sequential {staps} taps");
+            assert!(ecos < secos, "shared {ecos} !< sequential {secos} ECOs");
+        }
+    }
+
+    #[test]
+    fn clean_frontier_exonerates_the_whole_core_for_one_tap() {
+        let (nl, backbone, branches) = backbone_design(40, 3, 8);
+        // Errors only in the branches: the screening tap on bb39 comes
+        // back clean, so all 40 core cells resolve from the cache and
+        // linear batching pays taps only inside the exclusive regions.
+        let errors: Vec<CellId> = branches.iter().map(|b| b[5]).collect();
+        let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+        for b in &branches {
+            sched.add_error(
+                &nl,
+                &cone_suspects(b, &backbone),
+                Box::new(LinearBatches::default()),
+            );
+        }
+        let plan = sched.plan_round().unwrap();
+        assert!(plan.screening);
+        assert_eq!(plan.batches, vec![vec![backbone[39]]]);
+        let amb = sched.record_round(&HashMap::from([(backbone[39], false)]));
+        assert!(amb.is_empty(), "clean frontier is unambiguous");
+        let (found, taps, _) = run_oracle(&mut sched, &nl, &errors);
+        assert_eq!(found, errors.iter().map(|&e| Some(e)).collect::<Vec<_>>());
+        // 1 screening tap + 3 × 8 branch taps; the 120 backbone
+        // requests all hit the cache.
+        assert_eq!(taps, 24);
+        assert_eq!(
+            sched.taps_requested(0) + sched.taps_requested(1) + sched.taps_requested(2),
+            144
+        );
+    }
+
+    #[test]
+    fn diverging_frontier_keeps_its_fanin_alive_and_is_ambiguous() {
+        let (nl, backbone, branches) = backbone_design(8, 2, 2);
+        let mut sched = MultiErrorScheduler::new(8);
+        for b in &branches {
+            sched.add_error(
+                &nl,
+                &cone_suspects(b, &backbone),
+                Box::new(LinearBatches::default()),
+            );
+        }
+        // Screening round: the core frontier, physically tapped once
+        // for both tracks.
+        let plan = sched.plan_round().unwrap();
+        assert!(plan.screening);
+        assert_eq!(plan.batches, vec![vec![backbone[7]]]);
+        // An error *in* the shared core: the frontier diverges, both
+        // cones explain it, and no core cell is exonerated.
+        let amb = sched.record_round(&HashMap::from([(backbone[7], true)]));
+        assert_eq!(
+            amb,
+            vec![Ambiguity {
+                cell: backbone[7],
+                tracks: vec![0, 1],
+            }]
+        );
+        // The next round is the strategies' first: the 8-cell batch
+        // covers the backbone, minus the already-tapped frontier.
+        let plan = sched.plan_round().unwrap();
+        assert!(!plan.screening);
+        assert_eq!(plan.batches, vec![backbone[..7].to_vec()]);
+        assert_eq!(sched.taps_requested(0) + sched.taps_requested(1), 16);
+    }
+
+    #[test]
+    fn assumed_verdicts_are_never_tapped() {
+        let (nl, backbone, branches) = backbone_design(4, 2, 2);
+        let errors = [branches[0][1], branches[1][1]];
+        let mut sched = MultiErrorScheduler::new(8);
+        for b in &branches {
+            sched.add_error(
+                &nl,
+                &cone_suspects(b, &backbone),
+                Box::new(LinearBatches::default()),
+            );
+        }
+        // Detection already knows the branch tips diverge (they drive
+        // the failing outputs).
+        sched.assume(branches[0][1], true);
+        sched.assume(branches[1][1], true);
+        let (found, taps, _) = run_oracle(&mut sched, &nl, &errors);
+        assert_eq!(found, vec![Some(errors[0]), Some(errors[1])]);
+        // 1 screening tap + br0_0 + br1_0; the assumed tips and the
+        // exonerated 4-cell core never hit the device.
+        assert_eq!(taps, 3);
+    }
+
+    #[test]
+    fn finished_tracks_stop_requesting() {
+        let (nl, backbone, branches) = backbone_design(4, 2, 2);
+        let mut sched = MultiErrorScheduler::new(8);
+        for b in &branches {
+            sched.add_error(
+                &nl,
+                &cone_suspects(b, &backbone),
+                Box::new(LinearBatches::default()),
+            );
+        }
+        // Error only in branch 0; branch 1's track exhausts its cone.
+        let errors = [branches[0][0]];
+        let (found, _, _) = run_oracle(&mut sched, &nl, &errors);
+        assert_eq!(found[0], Some(branches[0][0]));
+        assert_eq!(found[1], None, "clean cone must not localize anything");
+        assert!(sched.plan_round().is_none(), "all tracks are done");
+    }
+}

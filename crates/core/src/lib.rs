@@ -33,6 +33,7 @@
 pub mod affected;
 pub mod baselines;
 pub mod debug;
+pub mod diagnosis;
 pub mod eco_flow;
 pub mod effort;
 pub mod error;
@@ -49,6 +50,10 @@ pub mod tile;
 pub use affected::AffectedSet;
 pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_eco_effort};
 pub use debug::run_debug_iteration;
+pub use diagnosis::{
+    ConePartition, FailureCluster, FaultAttribution, MultiErrorScheduler, ResponseSignature,
+    SuspectCone,
+};
 pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
 pub use effort::{CadEffort, EffortLedger, Phase};
 pub use error::TilingError;
@@ -58,6 +63,9 @@ pub use flows::{
 };
 pub use partition::partition;
 pub use report::{DebugReport, TilingReport};
-pub use session::{CampaignOutcome, DebugEvent, DebugOutcome, DebugSession, PatternSpec};
+pub use session::{
+    CampaignOutcome, ClusterOutcome, ConcurrentOutcome, DebugEvent, DebugOutcome, DebugSession,
+    PatternSpec,
+};
 pub use strategy::{BinarySearch, LinearBatches, LocalizationStrategy, TapObservation};
 pub use tile::{Tile, TileId, TilePlan};

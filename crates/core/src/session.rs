@@ -24,6 +24,11 @@ use sim::patterns::PatternGen;
 use sim::testlogic::{insert_control_point, insert_observation_tap};
 use sim::Simulator;
 
+use crate::diagnosis::attribution::po_pairs;
+use crate::diagnosis::{
+    cluster_failures, collect_responses, FaultAttribution, MultiErrorScheduler, ResponseSignature,
+    SuspectCone,
+};
 use crate::effort::{CadEffort, EffortLedger, Phase};
 use crate::error::TilingError;
 use crate::flow::TiledDesign;
@@ -125,6 +130,27 @@ pub enum DebugEvent {
         /// Whether the DUT now matches the golden model.
         repaired: bool,
     },
+    /// Multi-error diagnosis partitioned the overlapping suspect
+    /// cones into ownership regions (see [`crate::diagnosis`]).
+    ConeSplit {
+        /// Number of concurrent error clusters.
+        clusters: usize,
+        /// Suspects owned exclusively by each cluster.
+        exclusive: Vec<usize>,
+        /// Suspects implicated by two or more clusters.
+        shared: usize,
+    },
+    /// Fault-simulation attribution scored an ambiguous shared-core
+    /// divergence against every implicated cluster's footprint.
+    Attribution {
+        /// The diverging tapped cell whose blame was ambiguous.
+        cell: CellId,
+        /// The cluster whose observed footprint best matches a fault
+        /// simulated at the cell.
+        cluster: usize,
+        /// Jaccard match score in `[0, 1]`.
+        score: f64,
+    },
 }
 
 /// Result of one debugging iteration.
@@ -177,6 +203,86 @@ impl CampaignOutcome {
     /// Total CAD effort across the campaign.
     pub fn total_effort(&self) -> CadEffort {
         self.ledger.total()
+    }
+}
+
+/// Result of one error cluster within a concurrent multi-error
+/// diagnosis (see [`DebugSession::run_concurrent`]).
+#[derive(Debug, Clone)]
+pub struct ClusterOutcome {
+    /// Golden primary-output cells presenting this failure footprint.
+    pub outputs: Vec<CellId>,
+    /// The stimulus patterns those outputs fail on.
+    pub signature: ResponseSignature,
+    /// Structural suspect-cone size (before the live-LUT filter).
+    pub cone_size: usize,
+    /// Candidate suspects surviving the live-LUT filter.
+    pub candidates: usize,
+    /// Suspects no other cluster's cone implicates (the cluster's
+    /// exclusive ownership region).
+    pub exclusive_size: usize,
+    /// The localized error site, if the cluster's strategy converged.
+    pub localized: Option<CellId>,
+    /// Whether the §4.1 control point confirmed the site. The check
+    /// compares only this cluster's outputs — other live errors keep
+    /// the rest of the design diverging.
+    pub confirmed_by_control: bool,
+    /// Index of the planted error this cluster was matched to (exact
+    /// localized-cell agreement first, then cone containment).
+    pub matched_error: Option<usize>,
+    /// Taps this cluster's strategy requested. Requests deduplicate
+    /// across clusters before insertion, so the sum over clusters
+    /// exceeds the campaign's physical tap count whenever cones
+    /// overlap — that difference is the sharing win.
+    pub taps_requested: usize,
+    /// This cluster's share of the campaign effort: tap ECOs split
+    /// proportionally to requested taps, the corrective ECO evenly.
+    pub ledger: EffortLedger,
+    /// Whether this cluster's outputs match golden after correction.
+    pub repaired: bool,
+}
+
+/// Aggregate result of a concurrent multi-error diagnosis.
+#[derive(Debug, Clone)]
+pub struct ConcurrentOutcome {
+    /// Per-cluster results, in failure-footprint discovery order.
+    /// Empty when the sweep detected no divergence at all.
+    pub clusters: Vec<ClusterOutcome>,
+    /// Scheduler rounds executed (each round advances every live
+    /// cluster through one shared set of tap batches).
+    pub rounds: usize,
+    /// Observation taps physically inserted (post-deduplication).
+    pub taps_inserted: usize,
+    /// Physical ECOs performed across all phases.
+    pub ecos: usize,
+    /// Suspects implicated by two or more clusters.
+    pub shared_core_cells: usize,
+    /// Global per-phase effort (phases sum to the campaign total; the
+    /// per-cluster ledgers apportion exactly this).
+    pub ledger: EffortLedger,
+    /// Whether the whole DUT matches the golden model at the end.
+    pub repaired: bool,
+    /// Name of the localization strategy driving every cluster.
+    pub strategy: &'static str,
+    /// Name of the physical flow that ran.
+    pub flow: &'static str,
+}
+
+impl ConcurrentOutcome {
+    /// The localized error sites, in cluster order, omitting clusters
+    /// that failed to converge.
+    pub fn localized_cells(&self) -> Vec<CellId> {
+        self.clusters.iter().filter_map(|c| c.localized).collect()
+    }
+
+    /// Total CAD effort across the campaign.
+    pub fn total_effort(&self) -> CadEffort {
+        self.ledger.total()
+    }
+
+    /// Taps requested across all clusters before deduplication.
+    pub fn taps_requested(&self) -> usize {
+        self.clusters.iter().map(|c| c.taps_requested).sum()
     }
 }
 
@@ -430,7 +536,8 @@ impl<'a> DebugSession<'a> {
         // DUT then matches, the error is contained in that cell.
         if self.confirm_with_control {
             if let Some(suspect) = outcome.localized {
-                let confirmed = self.confirm_with_control_point(suspect, &mut outcome)?;
+                let (confirmed, effort, tiles) = self.control_point_confirm(suspect, None)?;
+                outcome.ledger.charge(Phase::Confirm, effort, tiles);
                 outcome.confirmed_by_control = confirmed;
                 self.emit(DebugEvent::Confirmed {
                     cell: suspect,
@@ -452,7 +559,7 @@ impl<'a> DebugSession<'a> {
         // (the §4.1 control point's force inputs and mux), so compare
         // by pairing the golden primary outputs with their same-named
         // DUT cells.
-        outcome.repaired = self.confirm_repair()?;
+        outcome.repaired = self.outputs_match(None)?;
         self.emit(DebugEvent::Corrected {
             repaired: outcome.repaired,
         });
@@ -463,16 +570,117 @@ impl<'a> DebugSession<'a> {
         Ok(outcome)
     }
 
-    /// Runs a multi-error campaign: for each seed, plants one random
-    /// error, debugs it to repair, and moves on. Iterations whose
-    /// error escapes detection (possible under LFSR stimulus on deep
-    /// sequential state) are silently reverted at the netlist level so
-    /// later iterations start from a clean DUT.
+    /// Runs a multi-error campaign, one [`DebugOutcome`] row per seed.
+    ///
+    /// With a single seed this is the paper's protocol: plant, debug
+    /// to repair, done ([`run_campaign_serial`](Self::run_campaign_serial)).
+    /// With more than one seed, all errors are planted *simultaneously*
+    /// and diagnosed through the [`crate::diagnosis`] scheduler
+    /// ([`run_concurrent`](Self::run_concurrent)), so one batch of
+    /// observation taps — and one corrective ECO — serves every live
+    /// error; the result is then adapted back into per-error rows.
+    /// Errors no cluster was matched to report `mismatch: None`, like
+    /// serially-undetected errors, and unmatched clusters' effort is
+    /// folded into the rows of errors their cones contain, so the
+    /// per-iteration ledgers sum to [`CampaignOutcome::ledger`] on
+    /// both paths.
     ///
     /// # Errors
     ///
     /// Propagates injection and flow failures.
     pub fn run_campaign(&mut self, seeds: &[u64]) -> Result<CampaignOutcome, TilingError> {
+        if seeds.len() <= 1 {
+            return self.run_campaign_serial(seeds);
+        }
+        let errors = sim::inject::random_distinct_errors(&mut self.td.netlist, seeds)?;
+        for (iteration, error) in errors.iter().enumerate() {
+            self.emit(DebugEvent::ErrorInjected {
+                iteration,
+                cell: error.cell,
+            });
+        }
+        let conc = self.run_concurrent(&errors)?;
+        let mut campaign = CampaignOutcome {
+            iterations: Vec::new(),
+            ledger: conc.ledger,
+        };
+        let pos = self.golden.primary_outputs();
+        let sequential = self.golden.is_sequential();
+        for i in 0..errors.len() {
+            let row = match conc.clusters.iter().find(|c| c.matched_error == Some(i)) {
+                Some(c) => DebugOutcome {
+                    mismatch: Some(synthesized_mismatch(
+                        self.golden,
+                        &pos,
+                        &conc.clusters,
+                        c,
+                        sequential,
+                    )?),
+                    initial_suspects: c.cone_size,
+                    localized: c.localized,
+                    taps_inserted: c.taps_requested,
+                    repaired: c.repaired,
+                    effort: c.ledger.total(),
+                    tiles_cleared: c.ledger.total_tiles_cleared(),
+                    ecos: c.ledger.total_ecos(),
+                    confirmed_by_control: c.confirmed_by_control,
+                    ledger: c.ledger,
+                    strategy: conc.strategy,
+                    flow: conc.flow,
+                },
+                None => DebugOutcome {
+                    mismatch: None,
+                    initial_suspects: 0,
+                    localized: None,
+                    taps_inserted: 0,
+                    // Unmatched errors were still repaired by the
+                    // shared corrective ECO (or reverted, if nothing
+                    // was detected at all).
+                    repaired: conc.repaired,
+                    effort: CadEffort::default(),
+                    tiles_cleared: 0,
+                    ecos: 0,
+                    confirmed_by_control: false,
+                    ledger: EffortLedger::default(),
+                    strategy: conc.strategy,
+                    flow: conc.flow,
+                },
+            };
+            campaign.iterations.push(row);
+        }
+        // Unmatched clusters (a footprint no planted error claimed —
+        // e.g. one FSM error fanning out into several cones) still
+        // spent real effort. Fold each into the row of an error its
+        // cone contains, so per-iteration ledgers keep summing to the
+        // campaign ledger exactly as on the serial path.
+        for cl in conc.clusters.iter().filter(|c| c.matched_error.is_none()) {
+            let cone = SuspectCone::fanin(self.golden, &cl.outputs);
+            let i = (0..errors.len())
+                .find(|&i| cone.contains(errors[i].cell))
+                .unwrap_or(0);
+            let row = &mut campaign.iterations[i];
+            row.ledger.merge(&cl.ledger);
+            row.effort = row.ledger.total();
+            row.tiles_cleared = row.ledger.total_tiles_cleared();
+            row.ecos = row.ledger.total_ecos();
+            row.taps_inserted += cl.taps_requested;
+        }
+        Ok(campaign)
+    }
+
+    /// The paper's one-at-a-time protocol: for each seed, plants one
+    /// random error, debugs it to repair, and moves on. Iterations
+    /// whose error escapes detection (possible under LFSR stimulus on
+    /// deep sequential state) are silently reverted at the netlist
+    /// level so later iterations start from a clean DUT.
+    ///
+    /// Kept public as the baseline the concurrent path is measured
+    /// against (the `multi` bench bin compares the two directly).
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection and flow failures.
+    pub fn run_campaign_serial(&mut self, seeds: &[u64]) -> Result<CampaignOutcome, TilingError> {
         let mut campaign = CampaignOutcome::default();
         for (iteration, &seed) in seeds.iter().enumerate() {
             let error = sim::inject::random_error(&mut self.td.netlist, seed)?;
@@ -490,6 +698,385 @@ impl<'a> DebugSession<'a> {
             campaign.iterations.push(outcome);
         }
         Ok(campaign)
+    }
+
+    /// Plants one random error per seed — all at once, in distinct
+    /// cells — and diagnoses them concurrently. Convenience wrapper
+    /// over [`run_concurrent`](Self::run_concurrent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates injection and flow failures.
+    pub fn run_concurrent_campaign(
+        &mut self,
+        seeds: &[u64],
+    ) -> Result<ConcurrentOutcome, TilingError> {
+        let errors = sim::inject::random_distinct_errors(&mut self.td.netlist, seeds)?;
+        for (iteration, error) in errors.iter().enumerate() {
+            self.emit(DebugEvent::ErrorInjected {
+                iteration,
+                cell: error.cell,
+            });
+        }
+        self.run_concurrent(&errors)
+    }
+
+    /// Diagnoses several already-planted errors *simultaneously*:
+    /// detect once (a full response sweep), cluster the failing
+    /// outputs into per-error footprints, localize every cluster
+    /// concurrently through shared observation-tap batches, confirm
+    /// each site against its own outputs, and repair everything with
+    /// one corrective ECO.
+    ///
+    /// This is the multi-error counterpart of [`run`](Self::run) —
+    /// the capability the single-error paper protocol lacks. The
+    /// machinery lives in [`crate::diagnosis`]; progress is reported
+    /// through the usual [`DebugEvent`] stream plus the multi-error
+    /// [`DebugEvent::ConeSplit`] and [`DebugEvent::Attribution`]
+    /// variants, and effort is attributed per error in
+    /// [`ClusterOutcome::ledger`] rows that apportion the global
+    /// ledger exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist/placement/routing failures from the flow.
+    pub fn run_concurrent(
+        &mut self,
+        errors: &[InjectedError],
+    ) -> Result<ConcurrentOutcome, TilingError> {
+        let mut outcome = ConcurrentOutcome {
+            clusters: Vec::new(),
+            rounds: 0,
+            taps_inserted: 0,
+            ecos: 0,
+            shared_core_cells: 0,
+            ledger: EffortLedger::default(),
+            repaired: false,
+            strategy: self.strategy.name(),
+            flow: self.flow.name(),
+        };
+
+        // ---- Detection: one full response sweep -----------------------
+        let matrix = collect_responses(
+            self.golden,
+            &self.td.netlist,
+            self.patterns_for(self.golden),
+        )?;
+        let clusters = cluster_failures(self.golden, &matrix);
+        if clusters.is_empty() {
+            self.emit(DebugEvent::CleanDesign);
+            // Undetectable errors are still repaired — at the netlist
+            // level only, since a LUT-function restore moves nothing —
+            // mirroring the detected path, whose corrective ECO also
+            // repairs every planted error. The caller never keeps a
+            // latent bug in a DUT reported repaired.
+            for error in errors {
+                netlist::eco::apply(&mut self.td.netlist, &sim::inject::repair_op(error))?;
+            }
+            outcome.repaired = true;
+            return Ok(outcome);
+        }
+
+        // ---- Per-cluster suspect cones --------------------------------
+        let order = self.golden.topo_order()?;
+        let rank: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let rank_of = |c: CellId| rank.get(&c).copied().unwrap_or(usize::MAX);
+        let n = clusters.len();
+        let mut scheduler = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+        let mut candidate_counts = Vec::with_capacity(n);
+        // The concurrent analog of `suspect_cells`' passing-cone
+        // subtraction: a cell reaching an output the *whole sweep*
+        // left clean cannot host an (unmasked) error, whichever
+        // cluster suspects it. Outputs failing in other clusters
+        // give no such alibi — they fail for their own reasons.
+        let clean_pos: Vec<CellId> = matrix
+            .outputs
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| matrix.signatures[k].is_clean())
+            .map(|(_, &po)| po)
+            .collect();
+        let clean_cone = SuspectCone::fanin(self.golden, &clean_pos);
+        for cl in &clusters {
+            self.emit(DebugEvent::Detected {
+                pattern_index: cl.signature.first_failing().unwrap_or(0),
+                output_name: self.golden.cell(cl.outputs[0])?.name.clone(),
+            });
+            let mut suspects: Vec<CellId> = cl
+                .cone
+                .subtract(&clean_cone)
+                .iter()
+                .filter(|&c| {
+                    self.td
+                        .netlist
+                        .cell(c)
+                        .map(|cell| cell.lut_function().is_some())
+                        .unwrap_or(false)
+                })
+                .collect();
+            suspects.sort_by_key(|&c| rank_of(c));
+            self.emit(DebugEvent::SuspectsComputed {
+                structural: cl.cone.len(),
+                candidates: suspects.len(),
+            });
+            candidate_counts.push(suspects.len());
+            scheduler.add_error(self.golden, &suspects, self.strategy.fresh());
+        }
+        let exclusive_sizes = scheduler.partition().exclusive_sizes();
+        outcome.shared_core_cells = scheduler.partition().shared.len();
+        self.emit(DebugEvent::ConeSplit {
+            clusters: n,
+            exclusive: exclusive_sizes.clone(),
+            shared: outcome.shared_core_cells,
+        });
+
+        // The detection sweep already measured every primary output,
+        // and a tap verdict is exactly "does this net ever diverge
+        // over the stimulus window" — so each PO driver's verdict is
+        // free. Seeding the scheduler's cache means no strategy ever
+        // pays a physical tap to re-learn what detection showed.
+        for (k, &po) in matrix.outputs.iter().enumerate() {
+            let Some(&net) = self.golden.cell(po)?.inputs.first() else {
+                continue;
+            };
+            if let Some(driver) = self.golden.net(net)?.driver {
+                scheduler.assume(driver, !matrix.signatures[k].is_clean());
+            }
+        }
+
+        // ---- Concurrent localization rounds ---------------------------
+        let pats: Vec<Vec<bool>> = self.patterns_for(self.golden).collect();
+        let mut attribution = FaultAttribution::new(self.golden, &pats)?;
+        let pos = self.golden.primary_outputs();
+        let failing_masks: Vec<Vec<bool>> = clusters
+            .iter()
+            .map(|cl| pos.iter().map(|p| cl.outputs.contains(p)).collect())
+            .collect();
+        let mut cluster_ledgers = vec![EffortLedger::default(); n];
+        let mut eco_no = 0usize;
+        while let Some(plan) = scheduler.plan_round() {
+            outcome.rounds += 1;
+            let mut verdicts: HashMap<CellId, bool> = HashMap::new();
+            for batch in &plan.batches {
+                // A screening batch serves every cluster equally (no
+                // track requested it; it rules the shared core in or
+                // out for all of them at frontier cost).
+                let weights: Vec<usize> = if plan.screening {
+                    vec![1; n]
+                } else {
+                    (0..n)
+                        .map(|k| {
+                            scheduler
+                                .requested(k)
+                                .iter()
+                                .filter(|c| batch.contains(c))
+                                .count()
+                        })
+                        .collect()
+                };
+                let mut added = Vec::new();
+                let mut tapped: Vec<(CellId, NetId)> = Vec::new();
+                for &cell in batch {
+                    let net = self.td.netlist.cell_output(cell)?;
+                    let name = format!("mdbg{eco_no}_{}", cell.index());
+                    let rep = insert_observation_tap(&mut self.td.netlist, net, &name, false)?;
+                    added.extend(rep.added.iter().copied());
+                    tapped.push((cell, net));
+                    outcome.taps_inserted += 1;
+                }
+                let removals: Vec<netlist::EcoOp> = added
+                    .iter()
+                    .map(|&cell| netlist::EcoOp::RemoveCell { cell })
+                    .collect();
+                let phys = match self.flow.reimplement(self.td, batch, &added) {
+                    Ok(phys) => phys,
+                    Err(e) => {
+                        netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+                        return Err(e);
+                    }
+                };
+                let tiles = phys.affected.tiles.len();
+                outcome.ledger.charge(Phase::Localize, phys.effort, tiles);
+                split_charge(
+                    &mut cluster_ledgers,
+                    Phase::Localize,
+                    phys.effort,
+                    tiles,
+                    &weights,
+                );
+                self.emit(DebugEvent::TapEco {
+                    cells: batch.clone(),
+                    effort: phys.effort,
+                });
+                eco_no += 1;
+
+                // Windowed observation: a tap's verdict is whether it
+                // *ever* diverges across the whole stimulus window,
+                // which is sound per-cluster (a tap diverges iff some
+                // upstream error propagates to it on some pattern).
+                let obs = self.observe_taps_ever(&tapped, &pats)?;
+                self.emit(DebugEvent::Observed {
+                    diverging: obs.iter().filter(|o| o.diverged).map(|o| o.cell).collect(),
+                });
+                for o in &obs {
+                    let v = verdicts.entry(o.cell).or_insert(false);
+                    *v |= o.diverged;
+                }
+                netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+            }
+            for amb in scheduler.record_round(&verdicts) {
+                // Score the ambiguous site against every implicated
+                // cluster's observed footprint; report the best match.
+                let mut best: Option<(usize, f64)> = None;
+                for &t in &amb.tracks {
+                    let score = attribution.blame_score(amb.cell, &failing_masks[t])?;
+                    if best.is_none_or(|(_, bs)| score > bs) {
+                        best = Some((t, score));
+                    }
+                }
+                if let Some((cluster, score)) = best {
+                    self.emit(DebugEvent::Attribution {
+                        cell: amb.cell,
+                        cluster,
+                        score,
+                    });
+                }
+            }
+        }
+        let localized = scheduler.localized();
+        for &cell in &localized {
+            self.emit(DebugEvent::Localized { cell });
+        }
+
+        // ---- Per-cluster confirmation (§4.1) --------------------------
+        let mut confirmed = vec![false; n];
+        if self.confirm_with_control {
+            for k in 0..n {
+                if let Some(suspect) = localized[k] {
+                    let (ok, effort, tiles) =
+                        self.control_point_confirm(suspect, Some(&clusters[k].outputs))?;
+                    outcome.ledger.charge(Phase::Confirm, effort, tiles);
+                    cluster_ledgers[k].charge(Phase::Confirm, effort, tiles);
+                    confirmed[k] = ok;
+                    self.emit(DebugEvent::Confirmed {
+                        cell: suspect,
+                        confirmed: ok,
+                    });
+                }
+            }
+        }
+
+        // ---- One corrective ECO for every error -----------------------
+        let mut seeds: Vec<CellId> = Vec::with_capacity(errors.len());
+        for error in errors {
+            netlist::eco::apply(&mut self.td.netlist, &sim::inject::repair_op(error))?;
+            seeds.push(error.cell);
+        }
+        seeds.sort_unstable();
+        seeds.dedup();
+        let phys = self.flow.reimplement(self.td, &seeds, &[])?;
+        let tiles = phys.affected.tiles.len();
+        outcome.ledger.charge(Phase::Correct, phys.effort, tiles);
+        let even = vec![1usize; n];
+        split_charge(
+            &mut cluster_ledgers,
+            Phase::Correct,
+            phys.effort,
+            tiles,
+            &even,
+        );
+        outcome.repaired = self.outputs_match(None)?;
+        self.emit(DebugEvent::Corrected {
+            repaired: outcome.repaired,
+        });
+
+        // ---- Attribution: match clusters to planted errors ------------
+        let mut matched: Vec<Option<usize>> = vec![None; n];
+        let mut claimed = vec![false; errors.len()];
+        for k in 0..n {
+            if let Some(cell) = localized[k] {
+                if let Some(i) = (0..errors.len()).find(|&i| !claimed[i] && errors[i].cell == cell)
+                {
+                    matched[k] = Some(i);
+                    claimed[i] = true;
+                }
+            }
+        }
+        for k in 0..n {
+            if matched[k].is_some() {
+                continue;
+            }
+            if let Some(i) = (0..errors.len())
+                .find(|&i| !claimed[i] && clusters[k].cone.contains(errors[i].cell))
+            {
+                matched[k] = Some(i);
+                claimed[i] = true;
+            }
+        }
+
+        for (k, cl) in clusters.into_iter().enumerate() {
+            let repaired = self.outputs_match(Some(&cl.outputs))?;
+            outcome.clusters.push(ClusterOutcome {
+                outputs: cl.outputs,
+                signature: cl.signature,
+                cone_size: cl.cone.len(),
+                candidates: candidate_counts[k],
+                exclusive_size: exclusive_sizes[k],
+                localized: localized[k],
+                confirmed_by_control: confirmed[k],
+                matched_error: matched[k],
+                taps_requested: scheduler.taps_requested(k),
+                ledger: cluster_ledgers[k],
+                repaired,
+            });
+        }
+        outcome.ecos = outcome.ledger.total_ecos();
+        Ok(outcome)
+    }
+
+    /// Emulates the whole stimulus window and records, per tapped
+    /// net, whether it *ever* diverges from golden — the multi-error
+    /// observation semantics (different errors expose themselves on
+    /// different patterns, so stopping at the first divergence would
+    /// starve the other clusters of evidence).
+    fn observe_taps_ever(
+        &mut self,
+        tapped: &[(CellId, NetId)],
+        pats: &[Vec<bool>],
+    ) -> Result<Vec<TapObservation>, TilingError> {
+        let mut gsim = Simulator::new(self.golden)?;
+        let mut dsim = Simulator::new(&self.td.netlist)?;
+        let sequential = self.golden.is_sequential();
+        let mut verdicts: Vec<TapObservation> = tapped
+            .iter()
+            .map(|&(cell, _)| TapObservation {
+                cell,
+                diverged: false,
+            })
+            .collect();
+        for pat in pats {
+            gsim.set_inputs(pat);
+            let mut dpat = pat.clone();
+            dpat.resize(dsim.num_inputs(), false);
+            dsim.set_inputs(&dpat);
+            gsim.comb_eval();
+            dsim.comb_eval();
+            let mut all = true;
+            for (k, &(_, net)) in tapped.iter().enumerate() {
+                if gsim.net_value(net) != dsim.net_value(net) {
+                    verdicts[k].diverged = true;
+                }
+                all &= verdicts[k].diverged;
+            }
+            if all {
+                break;
+            }
+            if sequential {
+                gsim.step();
+                dsim.step();
+            }
+        }
+        Ok(verdicts)
     }
 
     /// Emulates patterns up to (and including) the failing stimulus;
@@ -544,19 +1131,27 @@ impl<'a> DebugSession<'a> {
     /// Inserts a control point on the suspect's output net (an ECO
     /// through the session flow), then re-emulates with the override
     /// enabled and driven to the golden value every cycle. Returns
-    /// true if the DUT's original outputs then match the golden model.
+    /// (confirmed, effort, tiles cleared); *confirmed* means the
+    /// compared outputs — all of them, or just the `outputs` subset a
+    /// multi-error session passes — then match the golden model.
     ///
     /// Like observation taps, the control point is *retired* at the
     /// netlist level afterwards (the physical cleanup folds into the
     /// correction ECO that follows), so successive campaign
     /// iterations start from an uninstrumented DUT.
-    fn confirm_with_control_point(
+    fn control_point_confirm(
         &mut self,
         suspect: CellId,
-        outcome: &mut DebugOutcome,
-    ) -> Result<bool, TilingError> {
+        outputs: Option<&[CellId]>,
+    ) -> Result<(bool, CadEffort, usize), TilingError> {
         let net = self.td.netlist.cell_output(suspect)?;
-        let cp = insert_control_point(&mut self.td.netlist, net, "cpconfirm")?;
+        // Control points add primary-input *nets* whose names outlive
+        // retirement (removing a cell frees its name; a dead net keeps
+        // its), so every insertion needs a fresh namespace — confirm
+        // runs once per error in a concurrent session and once per
+        // iteration in a campaign.
+        let base = unique_cp_name(&self.td.netlist, suspect);
+        let cp = insert_control_point(&mut self.td.netlist, net, &base)?;
         let phys = match self.flow.reimplement(self.td, &[suspect], &cp.report.added) {
             Ok(phys) => phys,
             Err(e) => {
@@ -567,9 +1162,6 @@ impl<'a> DebugSession<'a> {
                 return Err(e);
             }
         };
-        outcome
-            .ledger
-            .charge(Phase::Confirm, phys.effort, phys.affected.tiles.len());
 
         let confirmed = {
             let mut gsim = Simulator::new(self.golden)?;
@@ -581,7 +1173,7 @@ impl<'a> DebugSession<'a> {
                 gsim.num_inputs() + 2,
                 "control point adds two PIs"
             );
-            let pairs = po_pairs(self.golden, &self.td.netlist)?;
+            let pairs = self.po_pairs_for(outputs)?;
             let sequential = self.golden.is_sequential();
             let mut matched = true;
             for pat in self.patterns_for(self.golden).take(256) {
@@ -608,7 +1200,18 @@ impl<'a> DebugSession<'a> {
         };
 
         self.retire_control_point(&cp, net)?;
-        Ok(confirmed)
+        Ok((confirmed, phys.effort, phys.affected.tiles.len()))
+    }
+
+    /// Golden↔DUT primary-output index pairs, optionally restricted
+    /// to a subset of golden PO cells (a cluster's outputs).
+    fn po_pairs_for(&self, outputs: Option<&[CellId]>) -> Result<Vec<(usize, usize)>, TilingError> {
+        let mut pairs = po_pairs(self.golden, &self.td.netlist)?;
+        if let Some(subset) = outputs {
+            let gpos = self.golden.primary_outputs();
+            pairs.retain(|&(gk, _)| subset.contains(&gpos[gk]));
+        }
+        Ok(pairs)
     }
 
     /// Retires a control point: rewires the mux's sinks back to the
@@ -631,13 +1234,15 @@ impl<'a> DebugSession<'a> {
         Ok(())
     }
 
-    /// Re-emulates and checks that every *original* primary output now
-    /// matches (the DUT has extra PIs/POs from debug instrumentation,
-    /// so a plain output-vector compare would be misaligned).
-    fn confirm_repair(&self) -> Result<bool, TilingError> {
+    /// Re-emulates and checks that the *original* primary outputs now
+    /// match (the DUT has extra PIs/POs from debug instrumentation,
+    /// so a plain output-vector compare would be misaligned). With
+    /// `Some(subset)` only those golden PO cells are compared — how a
+    /// multi-error session judges one cluster while others stay live.
+    fn outputs_match(&self, outputs: Option<&[CellId]>) -> Result<bool, TilingError> {
         let mut gsim = Simulator::new(self.golden)?;
         let mut dsim = Simulator::new(&self.td.netlist)?;
-        let pairs = po_pairs(self.golden, &self.td.netlist)?;
+        let pairs = self.po_pairs_for(outputs)?;
         let sequential = self.golden.is_sequential();
         for pat in self.patterns_for(self.golden) {
             gsim.set_inputs(&pat);
@@ -662,21 +1267,102 @@ impl<'a> DebugSession<'a> {
     }
 }
 
-/// Pairs golden primary outputs with the DUT cells of the same name
-/// (the DUT accumulates extra observation outputs during debug).
-fn po_pairs(golden: &Netlist, dut: &Netlist) -> Result<Vec<(usize, usize)>, TilingError> {
-    let gpos = golden.primary_outputs();
-    let dpos = dut.primary_outputs();
-    let mut pairs = Vec::with_capacity(gpos.len());
-    for (k, &gpo) in gpos.iter().enumerate() {
-        let name = &golden.cell(gpo)?.name;
-        if let Some(dpo) = dut.find_cell(name) {
-            if let Some(dk) = dpos.iter().position(|&c| c == dpo) {
-                pairs.push((k, dk));
-            }
+/// First `cp{suspect}_{k}` namespace whose control-point pieces are
+/// all unclaimed in `nl` (see the comment at the insertion site).
+fn unique_cp_name(nl: &Netlist, suspect: CellId) -> String {
+    let mut k = 0usize;
+    loop {
+        let name = format!("cp{}_{k}", suspect.index());
+        if nl.find_net(&format!("{name}_force_val")).is_none()
+            && nl.find_net(&format!("{name}_force_en")).is_none()
+            && nl.find_cell(&format!("{name}_ctl_mux")).is_none()
+        {
+            return name;
         }
+        k += 1;
     }
-    Ok(pairs)
+}
+
+/// Reconstructs a [`Mismatch`] for one cluster of a concurrent
+/// diagnosis (the compat shape `run_campaign` rows report): the
+/// cluster's earliest failing pattern, with `output_ok` rebuilt from
+/// every cluster's signature at that pattern.
+fn synthesized_mismatch(
+    golden: &Netlist,
+    pos: &[CellId],
+    clusters: &[ClusterOutcome],
+    cluster: &ClusterOutcome,
+    sequential: bool,
+) -> Result<Mismatch, TilingError> {
+    let pattern_index = cluster.signature.first_failing().unwrap_or(0);
+    let output_ok: Vec<bool> = pos
+        .iter()
+        .map(|po| {
+            !clusters
+                .iter()
+                .any(|cl| cl.outputs.contains(po) && cl.signature.contains(pattern_index))
+        })
+        .collect();
+    let output_index = output_ok.iter().position(|&ok| !ok).unwrap_or(0);
+    Ok(Mismatch {
+        pattern_index,
+        cycle: if sequential { pattern_index as u64 } else { 0 },
+        output_index,
+        output_name: golden.cell(pos[output_index])?.name.clone(),
+        output_ok,
+    })
+}
+
+/// Splits `total` proportionally to `weights`, exactly: shares sum to
+/// `total`, with the remainder dealt one unit at a time to the
+/// lowest-index participating entries.
+fn apportion(total: u64, weights: &[usize]) -> Vec<u64> {
+    let w: u64 = weights.iter().map(|&x| x as u64).sum();
+    if w == 0 {
+        return vec![0; weights.len()];
+    }
+    let mut shares: Vec<u64> = weights.iter().map(|&x| total * x as u64 / w).collect();
+    let mut rem = total - shares.iter().sum::<u64>();
+    let mut k = 0usize;
+    while rem > 0 {
+        let i = k % weights.len();
+        if weights[i] > 0 {
+            shares[i] += 1;
+            rem -= 1;
+        }
+        k += 1;
+    }
+    shares
+}
+
+/// Charges one shared physical ECO against the per-cluster ledgers:
+/// effort and tiles apportioned by `weights` (taps each cluster had
+/// in the batch), the ECO itself counted for every participant —
+/// which is exactly why the per-cluster ECO counts sum to *more* than
+/// the physical count when batches are shared.
+fn split_charge(
+    ledgers: &mut [EffortLedger],
+    phase: Phase,
+    effort: CadEffort,
+    tiles: usize,
+    weights: &[usize],
+) {
+    let moves = apportion(effort.place_moves, weights);
+    let exps = apportion(effort.route_expansions, weights);
+    let tls = apportion(tiles as u64, weights);
+    for (k, ledger) in ledgers.iter_mut().enumerate() {
+        if weights[k] == 0 {
+            continue;
+        }
+        ledger.charge(
+            phase,
+            CadEffort {
+                place_moves: moves[k],
+                route_expansions: exps[k],
+            },
+            tls[k] as usize,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -714,6 +1400,91 @@ mod tests {
         assert_eq!(out.ecos, out.ledger.total_ecos());
         assert!(out.ledger.phase(Phase::Localize).ecos >= 1);
         assert_eq!(out.ledger.phase(Phase::Correct).ecos, 1);
+    }
+
+    /// An 8-LUT backbone fanning into two 4-LUT branches, each ending
+    /// in its own output — two overlapping suspect cones.
+    fn backbone_bundle() -> (Netlist, netlist::Hierarchy, Vec<CellId>, Vec<CellId>) {
+        let mut nl = Netlist::new("bb");
+        let pi = nl.add_input("a").unwrap();
+        let mut net = nl.cell_output(pi).unwrap();
+        for k in 0..8 {
+            let c = nl
+                .add_lut(format!("bb{k}"), netlist::TruthTable::not(), &[net])
+                .unwrap();
+            net = nl.cell_output(c).unwrap();
+        }
+        let mut branches = Vec::new();
+        for b in 0..2 {
+            let mut bnet = net;
+            let mut cells = Vec::new();
+            for k in 0..4 {
+                let c = nl
+                    .add_lut(format!("br{b}_{k}"), netlist::TruthTable::not(), &[bnet])
+                    .unwrap();
+                bnet = nl.cell_output(c).unwrap();
+                cells.push(c);
+            }
+            nl.add_output(format!("y{b}"), bnet).unwrap();
+            branches.push(cells);
+        }
+        let hier = netlist::Hierarchy::new("bb");
+        let (b0, b1) = (branches.remove(0), branches.remove(0));
+        (nl, hier, b0, b1)
+    }
+
+    #[test]
+    fn concurrent_diagnosis_repairs_two_overlapping_errors() {
+        let (nl, hier, b0, b1) = backbone_bundle();
+        let mut td = implement(nl, hier, TilingOptions::fast(21)).unwrap();
+        let golden = td.netlist.clone();
+        let e0 = sim::inject::inject(
+            &mut td.netlist,
+            b0[2],
+            sim::inject::DesignErrorKind::Complement,
+        )
+        .unwrap();
+        let e1 = sim::inject::inject(
+            &mut td.netlist,
+            b1[2],
+            sim::inject::DesignErrorKind::Complement,
+        )
+        .unwrap();
+        let mut events = Vec::new();
+        let out = DebugSession::new(&mut td, &golden)
+            .seed(5)
+            .on_event(|e| events.push(format!("{e:?}")))
+            .run_concurrent(&[e0, e1])
+            .unwrap();
+        assert!(out.repaired);
+        assert!(td.routing.is_feasible());
+        assert_eq!(out.clusters.len(), 2, "one cluster per failing output");
+        // Both errors localized to the exact planted cells and matched.
+        let mut found = out.localized_cells();
+        found.sort_unstable();
+        let mut planted = vec![b0[2], b1[2]];
+        planted.sort_unstable();
+        assert_eq!(found, planted);
+        for (k, c) in out.clusters.iter().enumerate() {
+            assert!(c.matched_error.is_some(), "cluster {k} unmatched");
+            assert!(c.repaired, "cluster {k} outputs still diverge");
+            assert!(c.confirmed_by_control, "cluster {k} unconfirmed");
+            assert_eq!(c.exclusive_size, 4, "branch is the exclusive region");
+        }
+        // The 8 backbone LUTs are the shared core.
+        assert_eq!(out.shared_core_cells, 8);
+        // Per-cluster ledgers apportion the global ledger exactly.
+        let split: u64 = out.clusters.iter().map(|c| c.ledger.total().total()).sum();
+        assert_eq!(split, out.ledger.total().total());
+        // Sharing: requested taps exceed physically inserted taps.
+        assert!(out.taps_requested() > out.taps_inserted);
+        assert_eq!(out.ecos, out.ledger.total_ecos());
+        assert!(events.iter().any(|e| e.contains("ConeSplit")));
+        assert!(events.iter().any(|e| e.contains("Corrected")));
+        // The DUT really is clean.
+        let m =
+            first_mismatch(&golden, &td.netlist, PatternSpec::Auto.generate(&golden, 5)).unwrap();
+        assert!(m.is_none());
     }
 
     #[test]

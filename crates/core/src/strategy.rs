@@ -68,6 +68,11 @@ pub trait LocalizationStrategy {
     /// Short stable name for reports ("linear", "binary_search").
     fn name(&self) -> &'static str;
 
+    /// A new instance with the same configuration and no state.
+    /// Multi-error diagnosis ([`crate::diagnosis`]) runs one strategy
+    /// instance per suspected error, all cloned from the session's.
+    fn fresh(&self) -> Box<dyn LocalizationStrategy>;
+
     /// Resets the strategy with a fresh suspect cone, topologically
     /// sorted earliest-first. `golden` is the reference netlist
     /// (cone-aware strategies query its structure).
@@ -89,6 +94,10 @@ pub trait LocalizationStrategy {
 impl<T: LocalizationStrategy + ?Sized> LocalizationStrategy for Box<T> {
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+
+    fn fresh(&self) -> Box<dyn LocalizationStrategy> {
+        (**self).fresh()
     }
 
     fn begin(&mut self, golden: &Netlist, suspects: &[CellId]) {
@@ -152,6 +161,10 @@ impl Default for LinearBatches {
 impl LocalizationStrategy for LinearBatches {
     fn name(&self) -> &'static str {
         "linear"
+    }
+
+    fn fresh(&self) -> Box<dyn LocalizationStrategy> {
+        Box::new(Self::new(self.batch))
     }
 
     fn begin(&mut self, _golden: &Netlist, suspects: &[CellId]) {
@@ -235,6 +248,10 @@ impl BinarySearch {
 impl LocalizationStrategy for BinarySearch {
     fn name(&self) -> &'static str {
         "binary_search"
+    }
+
+    fn fresh(&self) -> Box<dyn LocalizationStrategy> {
+        Box::new(Self::new())
     }
 
     fn begin(&mut self, golden: &Netlist, suspects: &[CellId]) {

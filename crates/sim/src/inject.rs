@@ -96,10 +96,41 @@ pub fn inject(
 ///
 /// Returns [`NetlistError::UnknownCell`] if the design has no LUTs.
 pub fn random_error(nl: &mut Netlist, seed: u64) -> Result<InjectedError, NetlistError> {
+    random_error_excluding(nl, seed, &[])
+}
+
+/// Plants one random error per seed, each in a *distinct* cell —
+/// the simultaneous-multi-error counterpart of [`random_error`],
+/// consumed by concurrent debugging campaigns. Seeds are applied in
+/// order, so each prefix of the seed slice plants the same errors.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownCell`] when the design has fewer
+/// eligible LUTs than seeds.
+pub fn random_distinct_errors(
+    nl: &mut Netlist,
+    seeds: &[u64],
+) -> Result<Vec<InjectedError>, NetlistError> {
+    let mut errors: Vec<InjectedError> = Vec::with_capacity(seeds.len());
+    let mut used: Vec<CellId> = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let e = random_error_excluding(nl, seed, &used)?;
+        used.push(e.cell);
+        errors.push(e);
+    }
+    Ok(errors)
+}
+
+fn random_error_excluding(
+    nl: &mut Netlist,
+    seed: u64,
+    exclude: &[CellId],
+) -> Result<InjectedError, NetlistError> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let luts: Vec<CellId> = nl
         .cells()
-        .filter(|(_, c)| c.lut_function().is_some_and(|t| t.arity() >= 1))
+        .filter(|(id, c)| !exclude.contains(id) && c.lut_function().is_some_and(|t| t.arity() >= 1))
         .map(|(id, _)| id)
         .collect();
     if luts.is_empty() {
@@ -186,6 +217,33 @@ mod tests {
         let (mut nl2, _) = fixture();
         let e2 = random_error(&mut nl2, 7).unwrap();
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn distinct_errors_hit_distinct_cells() {
+        // Two eligible LUTs; two seeds must spread across both even
+        // if the RNG favors one, and a third seed must fail.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let na = nl.cell_output(a).unwrap();
+        let u = nl.add_lut("u", TruthTable::not(), &[na]).unwrap();
+        let v = nl
+            .add_lut("v", TruthTable::not(), &[nl.cell_output(u).unwrap()])
+            .unwrap();
+        nl.add_output("y", nl.cell_output(v).unwrap()).unwrap();
+        let errors = random_distinct_errors(&mut nl, &[5, 5]).unwrap();
+        assert_eq!(errors.len(), 2);
+        assert_ne!(errors[0].cell, errors[1].cell);
+        assert!(random_distinct_errors(&mut nl, &[1, 2, 3]).is_err());
+        // A one-seed call plants exactly what random_error plants.
+        let mut nl2 = Netlist::new("t2");
+        let a2 = nl2.add_input("a").unwrap();
+        let na2 = nl2.cell_output(a2).unwrap();
+        nl2.add_lut("u", TruthTable::not(), &[na2]).unwrap();
+        let mut nl3 = nl2.clone();
+        let one = random_distinct_errors(&mut nl2, &[9]).unwrap();
+        let lone = random_error(&mut nl3, 9).unwrap();
+        assert_eq!(one[0], lone);
     }
 
     #[test]

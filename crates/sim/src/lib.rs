@@ -28,6 +28,8 @@ pub mod simulator;
 pub mod testlogic;
 
 pub use emulate::{first_mismatch, Mismatch};
-pub use inject::{inject, repair_op, DesignErrorKind, InjectedError};
+pub use inject::{
+    inject, random_distinct_errors, random_error, repair_op, DesignErrorKind, InjectedError,
+};
 pub use patterns::PatternGen;
 pub use simulator::Simulator;

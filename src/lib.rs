@@ -77,10 +77,11 @@ pub mod prelude {
     pub use sim::{PatternGen, Simulator};
     pub use synth::{DesignBundle, PaperDesign};
     pub use tiling::{
-        AffectedSet, BinarySearch, CadEffort, CampaignOutcome, DebugEvent, DebugOutcome,
-        DebugReport, DebugSession, EffortLedger, FullReplaceFlow, IncrementalFlow, LinearBatches,
-        LocalizationStrategy, PatternSpec, Phase, QuickEcoFlow, ReimplFlow, TileId, TilePlan,
-        TiledDesign, TiledFlow, TilingError, TilingOptions,
+        AffectedSet, BinarySearch, CadEffort, CampaignOutcome, ClusterOutcome, ConcurrentOutcome,
+        ConePartition, DebugEvent, DebugOutcome, DebugReport, DebugSession, EffortLedger,
+        FaultAttribution, FullReplaceFlow, IncrementalFlow, LinearBatches, LocalizationStrategy,
+        MultiErrorScheduler, PatternSpec, Phase, QuickEcoFlow, ReimplFlow, ResponseSignature,
+        SuspectCone, TileId, TilePlan, TiledDesign, TiledFlow, TilingError, TilingOptions,
     };
 }
 

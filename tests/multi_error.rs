@@ -1,0 +1,134 @@
+//! Acceptance test for simultaneous multi-error diagnosis
+//! (`tiling::diagnosis`): three errors with overlapping suspect cones
+//! on a 64-LUT design, localized concurrently through the tiled flow
+//! for fewer total taps and ECOs than three sequential single-error
+//! campaigns — under both localization strategies.
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{sim, tiling};
+use netlist::TruthTable;
+
+const BACKBONE: usize = 40;
+const BRANCHES: usize = 3;
+const BRANCH_LEN: usize = 8;
+const ERR_DEPTH: usize = 5;
+
+/// A 40-LUT backbone chain fanning out into three 8-LUT branch
+/// chains (64 LUTs total), each branch ending in its own primary
+/// output. Every branch's suspect cone contains the whole backbone,
+/// so the three cones overlap in a 40-cell shared core.
+fn overlapping_cone_design() -> (netlist::Netlist, netlist::Hierarchy, Vec<netlist::CellId>) {
+    let mut nl = netlist::Netlist::new("triplet");
+    let pi = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(pi).unwrap();
+    for k in 0..BACKBONE {
+        let c = nl
+            .add_lut(format!("bb{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+    }
+    let mut victims = Vec::new();
+    for b in 0..BRANCHES {
+        let mut bnet = net;
+        for k in 0..BRANCH_LEN {
+            let c = nl
+                .add_lut(format!("br{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+            if k == ERR_DEPTH {
+                victims.push(c);
+            }
+        }
+        nl.add_output(format!("y{b}"), bnet).unwrap();
+    }
+    (nl, netlist::Hierarchy::new("triplet"), victims)
+}
+
+fn plant(td: &mut TiledDesign, cell: netlist::CellId) -> sim::inject::InjectedError {
+    sim::inject::inject(
+        &mut td.netlist,
+        cell,
+        sim::inject::DesignErrorKind::Complement,
+    )
+    .unwrap()
+}
+
+/// Runs the experiment for one strategy: concurrent diagnosis of all
+/// three errors versus three sequential single-error campaigns, both
+/// through `TiledFlow`. Asserts correctness of every localization and
+/// returns ((concurrent taps, ECOs), (sequential taps, ECOs)).
+fn compare(
+    td0: &TiledDesign,
+    golden: &netlist::Netlist,
+    victims: &[netlist::CellId],
+    fresh: &dyn Fn() -> Box<dyn LocalizationStrategy>,
+) -> ((usize, usize), (usize, usize)) {
+    // Concurrent: all three errors live at once.
+    let mut td = td0.clone();
+    let errors: Vec<_> = victims.iter().map(|&v| plant(&mut td, v)).collect();
+    let conc = DebugSession::new(&mut td, golden)
+        .strategy(fresh())
+        .flow(TiledFlow::default())
+        .seed(11)
+        .run_concurrent(&errors)
+        .unwrap();
+    assert!(conc.repaired, "concurrent campaign left the DUT buggy");
+    assert!(td.routing.is_feasible());
+    assert_eq!(conc.clusters.len(), BRANCHES, "one cluster per output");
+    assert_eq!(
+        conc.shared_core_cells, BACKBONE,
+        "backbone must be the shared core"
+    );
+    let mut found = conc.localized_cells();
+    found.sort_unstable();
+    let mut planted = victims.to_vec();
+    planted.sort_unstable();
+    assert_eq!(found, planted, "every error localized to its exact cell");
+    for c in &conc.clusters {
+        assert!(c.matched_error.is_some());
+        assert!(c.repaired);
+    }
+
+    // Sequential baseline: three independent single-error campaigns.
+    let (mut staps, mut secos) = (0usize, 0usize);
+    for &victim in victims {
+        let mut td = td0.clone();
+        let error = plant(&mut td, victim);
+        let out = DebugSession::new(&mut td, golden)
+            .strategy(fresh())
+            .flow(TiledFlow::default())
+            .seed(11)
+            .run(&error)
+            .unwrap();
+        assert!(out.repaired);
+        assert_eq!(out.localized, Some(victim), "sequential missed the bug");
+        staps += out.taps_inserted;
+        secos += out.ecos;
+    }
+    ((conc.taps_inserted, conc.ecos), (staps, secos))
+}
+
+#[test]
+fn three_overlapping_errors_cost_less_concurrently_than_sequentially() {
+    let (nl, hier, victims) = overlapping_cone_design();
+    assert!(nl.num_luts() >= 64, "design must be at least 64 LUTs");
+    let td0 = tiling::implement(nl, hier, TilingOptions::fast(303)).unwrap();
+    let golden = td0.netlist.clone();
+
+    type StrategyFactory = Box<dyn Fn() -> Box<dyn LocalizationStrategy>>;
+    let strategies: [(&str, StrategyFactory); 2] = [
+        ("linear", Box::new(|| Box::new(LinearBatches::default()))),
+        ("binary_search", Box::new(|| Box::new(BinarySearch::new()))),
+    ];
+    for (name, fresh) in &strategies {
+        let ((ctaps, cecos), (staps, secos)) = compare(&td0, &golden, &victims, fresh);
+        assert!(
+            ctaps < staps,
+            "{name}: concurrent {ctaps} taps !< sequential {staps}"
+        );
+        assert!(
+            cecos < secos,
+            "{name}: concurrent {cecos} ECOs !< sequential {secos}"
+        );
+    }
+}

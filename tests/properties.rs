@@ -233,6 +233,149 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Suspect-cone algebra (multi-error diagnosis)
+// ---------------------------------------------------------------------
+
+fn cone_of(cells: &[usize]) -> SuspectCone {
+    cells.iter().map(|&i| netlist::CellId::new(i)).collect()
+}
+
+/// A `bb`-cell backbone chain fanning into `branches` chains of
+/// `blen` cells, each with its own output — the canonical
+/// overlapping-cone shape.
+fn backbone_netlist(bb: usize, branches: usize, blen: usize) -> Netlist {
+    let mut nl = Netlist::new("bb");
+    let a = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(a).unwrap();
+    for k in 0..bb {
+        let c = nl
+            .add_lut(format!("bb{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+    }
+    for b in 0..branches {
+        let mut bnet = net;
+        for k in 0..blen {
+            let c = nl
+                .add_lut(format!("br{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+        }
+        nl.add_output(format!("y{b}"), bnet).unwrap();
+    }
+    nl
+}
+
+proptest! {
+    #[test]
+    fn cone_union_intersect_are_lattice_ops(
+        a in prop::collection::vec(0usize..320, 0usize..40),
+        b in prop::collection::vec(0usize..320, 0usize..40),
+        c in prop::collection::vec(0usize..320, 0usize..40),
+    ) {
+        let (a, b, c) = (cone_of(&a), cone_of(&b), cone_of(&c));
+        // Commutative, associative, idempotent.
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        prop_assert_eq!(a.union(&b).union(&c), a.union(&b.union(&c)));
+        prop_assert_eq!(a.intersect(&b).intersect(&c), a.intersect(&b.intersect(&c)));
+        prop_assert_eq!(a.union(&a), a.clone());
+        prop_assert_eq!(a.intersect(&a), a.clone());
+        // Intersection distributes over union.
+        prop_assert_eq!(
+            a.intersect(&b.union(&c)),
+            a.intersect(&b).union(&a.intersect(&c))
+        );
+        // Inclusion–exclusion holds for the popcounts.
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersect(&b).len(),
+            a.len() + b.len()
+        );
+        // `intersects` agrees with the materialized intersection.
+        prop_assert_eq!(a.intersects(&b), !a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn cone_subtract_complements_intersect(
+        a in prop::collection::vec(0usize..320, 0usize..40),
+        b in prop::collection::vec(0usize..320, 0usize..40),
+    ) {
+        let (a, b) = (cone_of(&a), cone_of(&b));
+        let diff = a.subtract(&b);
+        // a splits into (a ∖ b) ⊎ (a ∩ b).
+        prop_assert_eq!(diff.union(&a.intersect(&b)), a.clone());
+        prop_assert!(diff.intersect(&b).is_empty());
+        prop_assert!(a.subtract(&a).is_empty());
+        // Per-cell membership matches the set definition (and the
+        // normalization invariant keeps == meaning set equality).
+        for cell in a.iter() {
+            prop_assert_eq!(diff.contains(cell), !b.contains(cell));
+        }
+    }
+
+    #[test]
+    fn cone_partition_is_a_disjoint_cover(
+        a in prop::collection::vec(0usize..128, 0usize..24),
+        b in prop::collection::vec(0usize..128, 0usize..24),
+        c in prop::collection::vec(0usize..128, 0usize..24),
+    ) {
+        let cones = [cone_of(&a), cone_of(&b), cone_of(&c)];
+        let p = ConePartition::split(&cones);
+        // Regions are pairwise disjoint…
+        for (i, x) in p.exclusive.iter().enumerate() {
+            prop_assert!(x.intersect(&p.shared).is_empty());
+            for y in p.exclusive.iter().skip(i + 1) {
+                prop_assert!(x.intersect(y).is_empty());
+            }
+        }
+        // …cover exactly the input union…
+        let mut union = SuspectCone::new();
+        for cone in &cones {
+            union.union_with(cone);
+        }
+        prop_assert_eq!(p.coverage(), union.clone());
+        // …and classify each cell by how many cones implicate it.
+        for cell in union.iter() {
+            let owners = cones.iter().filter(|k| k.contains(cell)).count();
+            prop_assert_eq!(p.shared.contains(cell), owners >= 2);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn fanin_cones_are_monotone_and_closed(
+        bb in 1usize..8,
+        branches in 1usize..4,
+        blen in 1usize..5,
+        s1_raw: usize,
+        s2_raw: usize,
+    ) {
+        let nl = backbone_netlist(bb, branches, blen);
+        let luts: Vec<netlist::CellId> = nl
+            .cells()
+            .filter(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .collect();
+        let s1 = luts[s1_raw % luts.len()];
+        let s2 = luts[s2_raw % luts.len()];
+        let c1 = SuspectCone::fanin(&nl, &[s1]);
+        let c2 = SuspectCone::fanin(&nl, &[s2]);
+        let c12 = SuspectCone::fanin(&nl, &[s1, s2]);
+        // Monotone in the seed set: cone(S) ⊆ cone(S ∪ T)…
+        prop_assert_eq!(c1.union(&c12), c12.clone());
+        // …and in fact distributes over seed union.
+        prop_assert_eq!(c1.union(&c2), c12);
+        // Closed under fanin: every member's own cone stays inside.
+        for cell in c1.iter().filter(|&c| nl.cell(c).unwrap().lut_function().is_some()) {
+            let inner = SuspectCone::fanin(&nl, &[cell]);
+            prop_assert_eq!(inner.union(&c1), c1.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Simulation vs direct interpretation
 // ---------------------------------------------------------------------
 

@@ -1,6 +1,8 @@
 //! Session-level integration: the four physical flows driven through
-//! one `ReimplFlow` trait, and binary-search localization beating
-//! linear batching on a real implemented design.
+//! one `ReimplFlow` trait, binary-search localization beating linear
+//! batching on a real implemented design, and the `DebugEvent`
+//! stream's ordering invariants (detect ≺ localize ≺ confirm ≺
+//! correct, per error) with a ledger that reconciles exactly.
 
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, sim, tiling};
@@ -144,4 +146,158 @@ fn binary_search_beats_linear_batches_on_a_deep_cone() {
         binary.ecos,
         linear.ecos
     );
+}
+
+/// Indices of the events matching `pred`, in emission order.
+fn indices_of(events: &[DebugEvent], pred: impl Fn(&DebugEvent) -> bool) -> Vec<usize> {
+    events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| pred(e))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// The single-error protocol must narrate its phases in order —
+/// detect ≺ suspects ≺ tap/observe pairs ≺ localized ≺ confirmed ≺
+/// corrected — and the per-phase `EffortLedger` must reconcile
+/// exactly with the outcome's flat counters.
+#[test]
+fn event_stream_respects_phase_order_and_ledger_reconciles() {
+    let (nl, hier) = chain_design(24);
+    let mut td = tiling::implement(nl, hier, TilingOptions::fast(204)).unwrap();
+    let golden = td.netlist.clone();
+    let victim = golden.find_cell("inv15").unwrap();
+    let error = sim::inject::inject(
+        &mut td.netlist,
+        victim,
+        sim::inject::DesignErrorKind::Complement,
+    )
+    .unwrap();
+    let mut events: Vec<DebugEvent> = Vec::new();
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(6)
+        .on_event(|e| events.push(e.clone()))
+        .run(&error)
+        .unwrap();
+    assert!(out.repaired);
+
+    let detected = indices_of(&events, |e| matches!(e, DebugEvent::Detected { .. }));
+    let suspects = indices_of(&events, |e| {
+        matches!(e, DebugEvent::SuspectsComputed { .. })
+    });
+    let taps = indices_of(&events, |e| matches!(e, DebugEvent::TapEco { .. }));
+    let observed = indices_of(&events, |e| matches!(e, DebugEvent::Observed { .. }));
+    let localized = indices_of(&events, |e| matches!(e, DebugEvent::Localized { .. }));
+    let confirmed = indices_of(&events, |e| matches!(e, DebugEvent::Confirmed { .. }));
+    let corrected = indices_of(&events, |e| matches!(e, DebugEvent::Corrected { .. }));
+    assert_eq!(detected.len(), 1);
+    assert_eq!(suspects.len(), 1);
+    assert_eq!(localized.len(), 1);
+    assert_eq!(confirmed.len(), 1);
+    assert_eq!(corrected.len(), 1);
+    assert!(!taps.is_empty(), "localization must tap at least once");
+    assert!(detected[0] < suspects[0], "detection precedes the cone");
+    assert!(suspects[0] < taps[0], "the cone precedes localization");
+    assert_eq!(taps.len(), observed.len(), "every tap ECO gets observed");
+    for (t, o) in taps.iter().zip(&observed) {
+        assert!(t < o, "tap ECO {t} must precede its observation {o}");
+    }
+    assert!(*observed.last().unwrap() < localized[0]);
+    assert!(localized[0] < confirmed[0], "localize precedes confirm");
+    assert!(confirmed[0] < corrected[0], "confirm precedes correct");
+    assert_eq!(corrected[0], events.len() - 1, "correction concludes");
+
+    // Ledger reconciliation: phases sum to the flat totals, and
+    // detection (pure emulation) charges no physical effort.
+    let phase_effort: u64 = Phase::ALL
+        .iter()
+        .map(|&p| out.ledger.phase(p).effort.total())
+        .sum();
+    assert_eq!(phase_effort, out.effort.total());
+    let phase_ecos: usize = Phase::ALL.iter().map(|&p| out.ledger.phase(p).ecos).sum();
+    assert_eq!(phase_ecos, out.ecos);
+    assert_eq!(out.ledger.phase(Phase::Detect).effort, CadEffort::default());
+    assert_eq!(taps.len(), out.ledger.phase(Phase::Localize).ecos);
+}
+
+/// The concurrent protocol keeps the same order per error: all
+/// detections (one per cluster), then the cone split, then the shared
+/// tap rounds, then one localization + confirmation per cluster, and
+/// a single correction last; the per-cluster ledgers apportion every
+/// phase of the global ledger exactly.
+#[test]
+fn concurrent_event_stream_orders_clusters_and_apportions_ledger() {
+    // An 8-LUT backbone fanning into two 4-LUT branches.
+    let mut nl = netlist::Netlist::new("bb");
+    let pi = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(pi).unwrap();
+    for k in 0..8 {
+        let c = nl
+            .add_lut(format!("bb{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+    }
+    let mut victims = Vec::new();
+    for b in 0..2 {
+        let mut bnet = net;
+        for k in 0..4 {
+            let c = nl
+                .add_lut(format!("br{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+            if k == 1 {
+                victims.push(c);
+            }
+        }
+        nl.add_output(format!("y{b}"), bnet).unwrap();
+    }
+    let hier = netlist::Hierarchy::new("bb");
+    let mut td = tiling::implement(nl, hier, TilingOptions::fast(205)).unwrap();
+    let golden = td.netlist.clone();
+    let errors: Vec<_> = victims
+        .iter()
+        .map(|&v| {
+            sim::inject::inject(&mut td.netlist, v, sim::inject::DesignErrorKind::Complement)
+                .unwrap()
+        })
+        .collect();
+    let mut events: Vec<DebugEvent> = Vec::new();
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(8)
+        .on_event(|e| events.push(e.clone()))
+        .run_concurrent(&errors)
+        .unwrap();
+    assert!(out.repaired);
+    assert_eq!(out.clusters.len(), 2);
+
+    let detected = indices_of(&events, |e| matches!(e, DebugEvent::Detected { .. }));
+    let split = indices_of(&events, |e| matches!(e, DebugEvent::ConeSplit { .. }));
+    let taps = indices_of(&events, |e| matches!(e, DebugEvent::TapEco { .. }));
+    let localized = indices_of(&events, |e| matches!(e, DebugEvent::Localized { .. }));
+    let confirmed = indices_of(&events, |e| matches!(e, DebugEvent::Confirmed { .. }));
+    let corrected = indices_of(&events, |e| matches!(e, DebugEvent::Corrected { .. }));
+    assert_eq!(detected.len(), 2, "one detection per cluster");
+    assert_eq!(split.len(), 1, "one cone split for the campaign");
+    assert_eq!(localized.len(), 2, "one localization per cluster");
+    assert_eq!(confirmed.len(), 2, "one confirmation per cluster");
+    assert_eq!(corrected.len(), 1, "one shared corrective ECO");
+    assert!(detected.iter().all(|&d| d < split[0]));
+    assert!(taps.iter().all(|&t| split[0] < t && t < localized[0]));
+    assert!(localized.iter().all(|&l| l < confirmed[0]));
+    assert!(confirmed.iter().all(|&c| c < corrected[0]));
+    assert_eq!(corrected[0], events.len() - 1);
+
+    // Per-phase apportioning: for every phase, the cluster ledgers
+    // sum exactly to the campaign ledger (no effort lost or minted).
+    for p in Phase::ALL {
+        let split_effort: u64 = out
+            .clusters
+            .iter()
+            .map(|c| c.ledger.phase(p).effort.total())
+            .sum();
+        assert_eq!(split_effort, out.ledger.phase(p).effort.total(), "{p}");
+    }
+    let phase_ecos: usize = Phase::ALL.iter().map(|&p| out.ledger.phase(p).ecos).sum();
+    assert_eq!(phase_ecos, out.ecos);
 }
