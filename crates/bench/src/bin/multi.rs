@@ -5,34 +5,53 @@
 //! planted errors are debugged two ways through the tiled flow:
 //!
 //! * **concurrent** — one `DebugSession::run_concurrent` campaign:
-//!   failing outputs are clustered into per-error footprints, the
-//!   `tiling::diagnosis` scheduler merges every cluster's tap
-//!   requests into shared batches (screening the overlapping cone
-//!   core first), and one corrective ECO repairs everything;
+//!   failing outputs are clustered into per-error footprints (FSM
+//!   fan-out clusters merged behind their dominating state
+//!   registers), each cluster is pruned within its own `[0,
+//!   first_fail]` observation window, and the `tiling::diagnosis`
+//!   scheduler merges every cluster's tap requests into shared
+//!   batches through the windowed verdict cache;
 //! * **sequential** — k independent single-error campaigns on fresh
 //!   copies of the design (the paper's loop, k times over).
 //!
 //! The report shows observation taps and physical ECOs *per error*
 //! dropping as k grows: shared test logic amortizes, the sequential
-//! baseline cannot. (On deep sequential designs the sequential
-//! baseline is very cheap in absolute terms — stopping at the first
-//! mismatching cycle prunes its suspect cone with the passing-output
-//! split at that single cycle, while the concurrent sweep can only
-//! subtract outputs that stay clean across the *whole* window; see
-//! ROADMAP's windowed-pruning open item. The `found` column counts
-//! localized clusters / planted errors: a single-output design folds
-//! several errors into one cluster, and an FSM error fans out into
-//! several.)
+//! baseline cannot. (The `found` column counts localized clusters /
+//! planted errors: a single-output design folds several errors into
+//! one cluster, and a sequential baseline that fails to localize —
+//! common on the FSM designs, where one early mismatch leaves an
+//! almost-empty suspect split — still repairs through the known
+//! corrective ECO at nearly zero cost, which is why its absolute
+//! numbers can undercut a diagnosis that actually pinpoints cells.)
+//!
+//! Besides the human-readable table, the sweep emits
+//! **`BENCH_multi.json`** — taps/ECOs per (design, k), concurrent vs
+//! serial, plus cluster/localization counts — so the performance
+//! trajectory is tracked across PRs instead of living only in stdout.
 //!
 //! Run: `cargo run --release -p bench-harness --bin multi`
 //! (pass `--quick` for the smallest design and k ≤ 2 — the mode CI
 //! runs end-to-end).
+
+use std::fmt::Write as _;
 
 use bench_harness::implement_design;
 use sim::inject::inject;
 use synth::PaperDesign;
 use tiling::flows::TiledFlow;
 use tiling::session::DebugSession;
+
+/// One (design, k) comparison row.
+struct Row {
+    design: &'static str,
+    k: usize,
+    clusters: usize,
+    localized: usize,
+    conc_taps: usize,
+    conc_ecos: usize,
+    seq_taps: usize,
+    seq_ecos: usize,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -57,6 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ECOs/err"
     );
 
+    let mut rows: Vec<Row> = Vec::new();
     for &design in designs {
         let td0 = implement_design(design, 10, 41)?;
         let golden = td0.netlist.clone();
@@ -104,13 +124,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ratio(conc.ecos, k),
                 ratio(secos, k),
             );
+            rows.push(Row {
+                design: design.name(),
+                k,
+                clusters: conc.clusters.len(),
+                localized: found,
+                conc_taps: conc.taps_inserted,
+                conc_ecos: conc.ecos,
+                seq_taps: staps,
+                seq_ecos: secos,
+            });
         }
     }
     println!("\n(taps/err and ECOs/err: concurrent vs sequential, per planted error)");
+
+    // The full sweep writes the committed snapshot; --quick runs
+    // (CI, local smoke) write a sibling file so they never clobber
+    // the tracked cross-PR trajectory.
+    let path = if quick {
+        "BENCH_multi.quick.json"
+    } else {
+        "BENCH_multi.json"
+    };
+    std::fs::write(path, render_json(quick, &rows))?;
+    println!("machine-readable results written to {path}");
     Ok(())
 }
 
 /// Per-error average, one decimal.
 fn ratio(total: usize, k: usize) -> String {
     format!("{:.1}", total as f64 / k as f64)
+}
+
+/// Renders the sweep as JSON (hand-rolled: every value is a number,
+/// a bool, or a design name — no escaping needed, and the offline
+/// workspace carries no serde stand-in).
+fn render_json(quick: bool, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"multi\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"design\": \"{}\", \"k\": {}, \"clusters\": {}, \"localized\": {}, \
+             \"concurrent\": {{\"taps\": {}, \"ecos\": {}}}, \
+             \"serial\": {{\"taps\": {}, \"ecos\": {}}}}}",
+            r.design,
+            r.k,
+            r.clusters,
+            r.localized,
+            r.conc_taps,
+            r.conc_ecos,
+            r.seq_taps,
+            r.seq_ecos
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

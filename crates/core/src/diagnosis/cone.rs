@@ -114,19 +114,36 @@ impl SuspectCone {
         self.binary(other, |a, b| a & !b)
     }
 
-    /// In-place union.
+    /// In-place union. Word-wise `|=` after growing to `other`'s
+    /// length; no trim needed (both operands are normalized and union
+    /// only sets bits, so the last word stays non-zero).
     pub fn union_with(&mut self, other: &Self) {
-        *self = self.union(other);
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
     }
 
-    /// In-place intersection.
+    /// In-place intersection: truncate to the common length, word-wise
+    /// `&=`, re-trim.
     pub fn intersect_with(&mut self, other: &Self) {
-        *self = self.intersect(other);
+        self.words.truncate(other.words.len());
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+        self.trim();
     }
 
-    /// In-place difference.
+    /// In-place difference: word-wise and-not over the common prefix
+    /// (words past `other`'s length are untouched — nothing to
+    /// subtract there), then re-trim.
     pub fn subtract_with(&mut self, other: &Self) {
-        *self = self.subtract(other);
+        for (w, &o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+        self.trim();
     }
 
     /// Whether the two cones share at least one suspect (cheaper than

@@ -16,19 +16,29 @@
 //!   core*, classifying where observations are unambiguous;
 //! * [`attribution`] — [`ResponseSignature`]s (which patterns each
 //!   output fails on) cluster failing outputs into per-error
-//!   footprints ([`cluster_failures`]), and [`FaultAttribution`]
-//!   fault-simulates candidate sites under a complement error model
-//!   to assign blame when cones intersect;
+//!   footprints ([`cluster_failures`]), each carrying a
+//!   `[0, first_fail]` observation window; an [`AlibiIndex`] prunes
+//!   each cluster's cone causally (suspects too many flip-flops away
+//!   to reach the outputs in time, or whose wavefront would already
+//!   have crossed a still-clean output — [`windowed_clean_cone`] is
+//!   the flat depth-0 form); [`FaultAttribution`] fault-simulates
+//!   candidate sites under a complement error model to assign blame
+//!   when cones intersect;
 //! * [`scheduler`] — [`MultiErrorScheduler`] runs one
 //!   [`crate::strategy::LocalizationStrategy`] per error and merges
 //!   all tap requests into deduplicated physical batches, so one
 //!   observation ECO through any [`crate::flows::ReimplFlow`]
-//!   advances every live localization. A verdict cache guarantees no
-//!   net is ever tapped twice (detection's primary-output verdicts
-//!   are seeded into it for free), and the shared core is *screened*
-//!   first: one tap batch on only its frontier either exonerates the
-//!   entire core or confines suspicion to the diverging frontier's
-//!   in-core fanin.
+//!   advances every live localization. The verdict cache is keyed by
+//!   *(net, window)*: each tap is measured once as its exact
+//!   divergence onset and re-read under every cluster's own causal
+//!   [`ObservationWindow`], so no net is ever tapped twice
+//!   (detection's primary-output onsets are seeded into it for
+//!   free), and the shared core is *screened* first: one tap batch
+//!   on only its frontier exonerates the core per window or confines
+//!   suspicion to the diverging frontier's in-core fanin.
+//!   [`merge_fsm_clusters`] folds the several clusters one FSM error
+//!   fans out into (same onset, dominating shared state register)
+//!   back into a single track before registration.
 //!
 //! The session-level entry points are
 //! [`crate::session::DebugSession::run_concurrent`] (planted errors)
@@ -56,9 +66,11 @@ pub mod partition;
 pub mod scheduler;
 
 pub use attribution::{
-    cluster_failures, collect_responses, FailureCluster, FaultAttribution, ResponseMatrix,
-    ResponseSignature,
+    cluster_failures, collect_responses, windowed_clean_cone, AlibiIndex, FailureCluster,
+    FaultAttribution, ResponseMatrix, ResponseSignature,
 };
 pub use cone::SuspectCone;
 pub use partition::{ConePartition, Ownership};
-pub use scheduler::{Ambiguity, MultiErrorScheduler, RoundPlan};
+pub use scheduler::{
+    merge_fsm_clusters, Ambiguity, MultiErrorScheduler, ObservationWindow, RoundPlan,
+};

@@ -13,25 +13,42 @@
 //! Two further mechanisms cut the physical tap bill below the naive
 //! union:
 //!
-//! * a **verdict cache** — every observed (or
-//!   [`assume`](MultiErrorScheduler::assume)d) tap verdict is
-//!   remembered, so a cell never pays for a second tap no matter how
-//!   many strategies ask about it, in whatever round; rounds whose
-//!   requests are fully answered by the cache execute with *zero*
-//!   physical ECOs;
+//! * a **windowed verdict cache** — every tap is observed once,
+//!   physically, as its exact *divergence onset* (the first pattern
+//!   its net diverges on), and every query against the cache is keyed
+//!   by `(net, window)`: a track watching the observation window
+//!   `[0, w]` reads the cached onset as `diverged iff onset <= w`. One
+//!   physical tap therefore serves every cluster, each under its own
+//!   window, instead of silently conflating "diverged somewhere in
+//!   the sweep" across clusters whose errors surface at different
+//!   times. Partial knowledge composes the same way:
+//!   [`assume`](MultiErrorScheduler::assume)d whole-sweep verdicts
+//!   and screening exonerations are stored as onset *bounds*
+//!   (diverged-by / clean-through) and answer exactly the windows
+//!   they soundly can — a cell never pays for a second tap, and a
+//!   verdict observed under one window is reused (or narrowed) by
+//!   another cluster only when the bounds actually cover its window.
+//!   Rounds whose requests are fully answered by the cache execute
+//!   with *zero* physical ECOs;
 //! * **shared-core screening** — before any strategy walks the
 //!   [`ConePartition`]'s shared core, the scheduler taps only the
 //!   core's *frontier* (the cells whose fanout escapes the core: on
 //!   the DAG, every path from a core error to any output runs through
-//!   them). A clean frontier exonerates the entire core at once —
-//!   cells upstream of a silent frontier cannot host an observable
-//!   error — and a diverging frontier cell keeps exactly its in-core
-//!   fanin cone alive, which is also the evidence the attribution
-//!   engine scores.
+//!   them). Screening is windowed and latency-aware: each core cell
+//!   is exonerated through the earliest, over the frontier cells its
+//!   divergence could escape through, of the frontier's clean-through
+//!   bound minus the cell's FF distance to it — a frontier clean
+//!   across the whole sweep exonerates its fanin for every window
+//!   (the original all-or-nothing behaviour), while a frontier that
+//!   first diverges at pattern `p` still vouches for an in-core cell
+//!   `d` flip-flops upstream on every window ending before `p − d`.
 //!
 //! The scheduler is pure decision logic — the session owns emulation
 //! and the physical flow — so it is testable against a simulated
-//! oracle exactly like the strategies themselves.
+//! oracle exactly like the strategies themselves. It also hosts
+//! [`merge_fsm_clusters`], the pre-registration pass that folds the
+//! several failure clusters one FSM error fans out into back into a
+//! single track.
 
 use std::collections::{HashMap, HashSet};
 
@@ -39,19 +56,166 @@ use netlist::{CellId, Netlist};
 
 use crate::strategy::{LocalizationStrategy, TapObservation};
 
+use super::attribution::{causal_depths, FailureCluster};
 use super::cone::SuspectCone;
 use super::partition::ConePartition;
+
+/// What the scheduler knows about one net's divergence onset: a pair
+/// of bounds that together answer windowed verdict queries.
+///
+/// A physical tap measures the exact onset (both bounds collapse onto
+/// it); assumptions and screening exonerations contribute one-sided
+/// bounds. Queries outside the bounds return `None` — the cell still
+/// needs a tap *for that window*.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellKnowledge {
+    /// `Some(p)`: the net is known to diverge on pattern `p`, hence
+    /// within every window `>= p`.
+    diverged_by: Option<usize>,
+    /// `Some(w)`: the net is known clean on every pattern `<= w`.
+    clean_through: Option<usize>,
+}
+
+impl CellKnowledge {
+    /// Window value standing for "the whole stimulus sweep" (the
+    /// window of a track registered without one, and the horizon of
+    /// whole-sweep assumptions).
+    const WHOLE_SWEEP: usize = usize::MAX;
+
+    /// The verdict for the observation window `[0, window]`, if the
+    /// bounds determine it.
+    fn verdict(&self, window: usize) -> Option<bool> {
+        if self.diverged_by.is_some_and(|p| p <= window) {
+            return Some(true);
+        }
+        if self.clean_through.is_some_and(|c| c >= window) {
+            return Some(false);
+        }
+        None
+    }
+
+    /// Folds in an exact measurement: the first diverging pattern
+    /// over the whole sweep (`None` = clean throughout).
+    fn record_measured(&mut self, onset: Option<usize>) {
+        match onset {
+            Some(p) => {
+                self.note_diverged_by(p);
+                if p > 0 {
+                    self.note_clean_through(p - 1);
+                }
+            }
+            None => self.note_clean_through(Self::WHOLE_SWEEP),
+        }
+    }
+
+    fn note_diverged_by(&mut self, p: usize) {
+        self.diverged_by = Some(self.diverged_by.map_or(p, |q| q.min(p)));
+    }
+
+    fn note_clean_through(&mut self, w: usize) {
+        self.clean_through = Some(self.clean_through.map_or(w, |q| q.max(w)));
+    }
+
+    /// Whether the bounds pin the onset down exactly — a physical tap
+    /// can teach nothing more.
+    fn exact(&self) -> bool {
+        self.clean_through == Some(Self::WHOLE_SWEEP)
+            || self
+                .diverged_by
+                .is_some_and(|p| p == 0 || self.clean_through.is_some_and(|c| c + 1 >= p))
+    }
+}
+
+/// One cluster's observation window, with optional causal
+/// sharpening.
+///
+/// The window ends at the cluster's earliest failing pattern: by
+/// then, the divergence that exposed the cluster had already
+/// happened, so later evidence belongs to other errors. The *causal*
+/// variant additionally accounts for propagation latency — a
+/// suspect's divergence can only explain a failure at pattern `end`
+/// if it occurred at least `depth` patterns earlier, where `depth` is
+/// the suspect's minimum flip-flop distance to the cluster's
+/// outputs. Without it, a slower upstream error's wavefront passing
+/// *through* the suspect region inside the window would be blamed
+/// for a failure it cannot have caused yet.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationWindow {
+    end: usize,
+    /// Minimum FF distance from each fanin cell to the cluster's
+    /// outputs (empty for a flat window: every cell judged at `end`).
+    depths: HashMap<CellId, usize>,
+}
+
+impl ObservationWindow {
+    /// A flat window: every suspect judged over `[0, end]`.
+    pub fn flat(end: usize) -> Self {
+        Self {
+            end,
+            depths: HashMap::new(),
+        }
+    }
+
+    /// A causal window ending at `end`: each suspect judged over
+    /// `[0, end - ffdepth(suspect -> outputs)]`.
+    pub fn causal(golden: &Netlist, outputs: &[CellId], end: usize) -> Self {
+        Self::from_depths(end, causal_depths(golden, outputs))
+    }
+
+    /// A causal window over a precomputed depth table (e.g. derived
+    /// from [`super::attribution::AlibiIndex::cluster_depths`],
+    /// avoiding a second graph traversal per cluster).
+    pub fn from_depths(end: usize, depths: HashMap<CellId, usize>) -> Self {
+        Self { end, depths }
+    }
+
+    /// End of the window (the cluster's earliest failing pattern).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Minimum FF distance from `cell` to the cluster's outputs (0
+    /// for a flat window or a cell outside the fanin).
+    ///
+    /// Beyond shrinking the cell's verdict window, this orders
+    /// suspects *temporally*: `topo_order` treats flip-flops as
+    /// sources, so on sequential cones plain topological rank can
+    /// place a downstream-of-FF cell before its temporal ancestors —
+    /// sorting by descending depth (ties broken by rank) restores
+    /// "the first diverging suspect is the error site" for
+    /// [`crate::strategy::LinearBatches`].
+    pub fn depth_of(&self, cell: CellId) -> usize {
+        self.depths.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// The effective window for one cell.
+    fn for_cell(&self, cell: CellId) -> usize {
+        self.end
+            .saturating_sub(self.depths.get(&cell).copied().unwrap_or(0))
+    }
+}
 
 /// One localization in flight.
 struct Track {
     strategy: Box<dyn LocalizationStrategy>,
     cone: SuspectCone,
+    /// The track's observation window; `None` = the whole sweep.
+    window: Option<ObservationWindow>,
     /// Cells requested this round, in the strategy's (topological)
     /// order. Cleared when the round's verdicts are fed back.
     requested: Vec<CellId>,
     taps_requested: usize,
     rounds_joined: usize,
     done: bool,
+}
+
+impl Track {
+    /// The window a verdict for `cell` is evaluated at.
+    fn window_for(&self, cell: CellId) -> usize {
+        self.window
+            .as_ref()
+            .map_or(CellKnowledge::WHOLE_SWEEP, |w| w.for_cell(cell))
+    }
 }
 
 /// Shared-core screening progress.
@@ -109,11 +273,15 @@ pub struct MultiErrorScheduler {
     tracks: Vec<Track>,
     partition: ConePartition,
     max_taps_per_eco: usize,
-    /// Every verdict ever observed or assumed, keyed by tapped cell.
-    verdicts: HashMap<CellId, bool>,
+    /// Everything ever observed or assumed about each net's
+    /// divergence onset; queries are keyed by `(net, window)` through
+    /// [`CellKnowledge::verdict`].
+    verdicts: HashMap<CellId, CellKnowledge>,
     /// Shared-core frontier: each frontier cell paired with its
-    /// in-core fanin cone (the cells it testifies for).
-    screen: Vec<(CellId, SuspectCone)>,
+    /// in-core fanin cone (the cells it testifies for) and the min
+    /// FF distance from each of those cells to the frontier (the
+    /// latency a divergence needs to escape through it).
+    screen: Vec<(CellId, SuspectCone, HashMap<CellId, usize>)>,
     screening: Screening,
 }
 
@@ -137,19 +305,22 @@ impl MultiErrorScheduler {
     }
 
     /// Registers one suspected error: its topologically-sorted suspect
-    /// list and a fresh strategy to drive. Returns the track index.
-    /// All errors must be registered before the first
+    /// list, its [`ObservationWindow`] (`None` = the whole sweep) and
+    /// a fresh strategy to drive. Returns the track index. All errors
+    /// must be registered before the first
     /// [`plan_round`](Self::plan_round).
     pub fn add_error(
         &mut self,
         golden: &Netlist,
         suspects: &[CellId],
+        window: Option<ObservationWindow>,
         mut strategy: Box<dyn LocalizationStrategy>,
     ) -> usize {
         strategy.begin(golden, suspects);
         self.tracks.push(Track {
             strategy,
             cone: suspects.iter().copied().collect(),
+            window,
             requested: Vec::new(),
             taps_requested: 0,
             rounds_joined: 0,
@@ -173,12 +344,30 @@ impl MultiErrorScheduler {
         self.tracks.len() - 1
     }
 
-    /// Seeds the verdict cache with an observation that is already
-    /// known — e.g. the detection sweep measured every primary
-    /// output, so each PO driver's divergence verdict is free. Cached
-    /// cells are never physically tapped.
+    /// Seeds the verdict cache with a whole-sweep observation that is
+    /// already known. A `true` records "diverged somewhere in the
+    /// sweep" (answers only unbounded windows — prefer
+    /// [`assume_onset`](Self::assume_onset) when the onset is known);
+    /// a `false` records "clean across the sweep", which answers
+    /// every window.
     pub fn assume(&mut self, cell: CellId, diverged: bool) {
-        self.verdicts.insert(cell, diverged);
+        let k = self.verdicts.entry(cell).or_default();
+        if diverged {
+            k.note_diverged_by(CellKnowledge::WHOLE_SWEEP);
+        } else {
+            k.note_clean_through(CellKnowledge::WHOLE_SWEEP);
+        }
+    }
+
+    /// Seeds the verdict cache with an exact divergence onset — e.g.
+    /// the detection sweep measured every primary output per pattern,
+    /// so each PO driver's first failing pattern is free and answers
+    /// *any* cluster's window without a physical tap.
+    pub fn assume_onset(&mut self, cell: CellId, onset: Option<usize>) {
+        self.verdicts
+            .entry(cell)
+            .or_default()
+            .record_measured(onset);
     }
 
     /// Number of registered tracks.
@@ -212,22 +401,23 @@ impl MultiErrorScheduler {
     /// The shared-core frontier cells the screening round taps, in
     /// ascending cell order (empty when cones do not overlap).
     pub fn screen_cells(&self) -> Vec<CellId> {
-        self.screen.iter().map(|&(c, _)| c).collect()
+        self.screen.iter().map(|&(c, _, _)| c).collect()
     }
 
     /// Collects every live track's next tap request and merges them
-    /// into deduplicated, capped batches of *cache-missing* cells.
-    /// The very first round screens the shared core's frontier
-    /// instead (when cones overlap). Rounds whose requests the cache
-    /// already answers are fed back internally and cost nothing;
-    /// `None` means every track has finished.
+    /// into deduplicated, capped batches of cells whose verdict the
+    /// cache cannot answer *at the requesting track's window*. The
+    /// very first round screens the shared core's frontier instead
+    /// (when cones overlap). Rounds whose requests the cache already
+    /// answers are fed back internally and cost nothing; `None` means
+    /// every track has finished.
     pub fn plan_round(&mut self) -> Option<RoundPlan> {
         if matches!(self.screening, Screening::Planned) {
             let cells: Vec<CellId> = self
                 .screen
                 .iter()
-                .map(|&(c, _)| c)
-                .filter(|c| !self.verdicts.contains_key(c))
+                .map(|&(c, _, _)| c)
+                .filter(|c| !self.verdicts.get(c).is_some_and(|k| k.exact()))
                 .collect();
             if cells.is_empty() {
                 // Nothing to tap — resolve from whatever is cached.
@@ -261,7 +451,14 @@ impl MultiErrorScheduler {
                 }
                 any_request = true;
                 for &c in &t.requested {
-                    if !self.verdicts.contains_key(&c) && seen.insert(c) {
+                    // A cell cached for one window can still need a
+                    // physical tap for another: only a verdict at
+                    // *this* track's window counts as answered.
+                    let answered = self
+                        .verdicts
+                        .get(&c)
+                        .is_some_and(|k| k.verdict(t.window_for(c)).is_some());
+                    if !answered && seen.insert(c) {
                         merged.push(c);
                     }
                 }
@@ -282,36 +479,39 @@ impl MultiErrorScheduler {
         }
     }
 
-    /// Merges the round's fresh verdicts into the cache, then either
-    /// resolves a pending shared-core screening or feeds every
-    /// requesting track its observations (each sees its own requests,
-    /// in its own order, cached verdicts included). Returns the
-    /// diverging cells that more than one cone can explain.
+    /// Merges the round's fresh measurements — each tapped cell's
+    /// exact divergence onset over the sweep (`None` = clean
+    /// throughout) — into the cache, then either resolves a pending
+    /// shared-core screening or feeds every requesting track its
+    /// observations (each sees its own requests, in its own order and
+    /// *under its own window*, cached verdicts included). Returns the
+    /// diverging cells that more than one cone-and-window can explain.
     ///
-    /// Divergence is credited *conservatively*: every requesting
-    /// track sees the global verdict, because a tap diverges whenever
-    /// any upstream error propagates to it. When two live errors
-    /// share a cone, a shared-core divergence can therefore mislead
-    /// the track whose error did not cause it — the returned
+    /// Divergence is credited per window: a track sees a tap as
+    /// diverging only when the onset falls inside its observation
+    /// window, so a late divergence caused by a slow error no longer
+    /// misleads the cluster that failed early. When two live errors'
+    /// windows both see a shared-core divergence, the returned
     /// [`Ambiguity`] list names exactly those observations so the
     /// caller can score them with
     /// [`crate::diagnosis::FaultAttribution`].
-    pub fn record_round(&mut self, fresh: &HashMap<CellId, bool>) -> Vec<Ambiguity> {
-        for (&c, &v) in fresh {
-            self.verdicts.insert(c, v);
+    pub fn record_round(&mut self, fresh: &HashMap<CellId, Option<usize>>) -> Vec<Ambiguity> {
+        for (&c, &onset) in fresh {
+            self.verdicts.entry(c).or_default().record_measured(onset);
         }
         if matches!(self.screening, Screening::Pending) {
             self.screening = Screening::Done;
             self.resolve_screening();
-            // Frontier divergences are ambiguous by construction
-            // (frontier ⊆ shared core ⇒ ≥ 2 owning cones).
+            // Frontier ⊆ shared core ⇒ ≥ 2 owning cones, but only
+            // owners whose window reaches the onset actually see the
+            // divergence — one of them alone is not ambiguous.
             return self
                 .screen
                 .iter()
-                .filter(|(c, _)| self.verdicts.get(c).copied().unwrap_or(false))
-                .map(|&(cell, _)| Ambiguity {
-                    cell,
-                    tracks: self.owners(cell),
+                .filter_map(|&(cell, _, _)| {
+                    let onset = self.verdicts.get(&cell)?.diverged_by?;
+                    let tracks = self.visible_owners(cell, onset);
+                    (tracks.len() > 1).then_some(Ambiguity { cell, tracks })
                 })
                 .collect();
         }
@@ -330,11 +530,14 @@ impl MultiErrorScheduler {
             .collect()
     }
 
-    fn owners(&self, cell: CellId) -> Vec<usize> {
+    /// Tracks whose cone contains `cell` *and* whose observation
+    /// window reaches a divergence at `onset` — the only tracks the
+    /// observation can actually implicate.
+    fn visible_owners(&self, cell: CellId, onset: usize) -> Vec<usize> {
         self.tracks
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.cone.contains(cell))
+            .filter(|(_, t)| t.cone.contains(cell) && t.window_for(cell) >= onset)
             .map(|(i, _)| i)
             .collect()
     }
@@ -355,32 +558,59 @@ impl MultiErrorScheduler {
                 continue;
             };
             if n.sinks.iter().any(|s| !shared.contains(s.cell)) {
-                self.screen
-                    .push((c, SuspectCone::fanin(golden, &[c]).intersect(shared)));
+                self.screen.push((
+                    c,
+                    SuspectCone::fanin(golden, &[c]).intersect(shared),
+                    causal_depths(golden, &[c]),
+                ));
             }
         }
     }
 
-    /// Applies the screening verdicts: every core cell that no
-    /// diverging frontier cell can observe is exonerated (a cached
-    /// `false` verdict), so strategies sweep the core from the cache
-    /// instead of the device.
+    /// Applies the screening verdicts, windowed and latency-aware:
+    /// each core cell is exonerated through the *minimum*, over the
+    /// frontier cells its divergence could escape through, of
+    /// `frontier_clean_through - ffdepth(cell -> frontier)` (every
+    /// escape path from a core error runs through its covering
+    /// frontier cells, but the wavefront needs `ffdepth` patterns to
+    /// get there — a frontier still clean at `p` only vouches for the
+    /// cell up to `p - ffdepth`). A frontier clean across the whole
+    /// sweep exonerates its in-core fanin for every window.
+    /// Strategies whose window falls inside a cell's exonerated range
+    /// sweep it from the cache instead of the device.
     fn resolve_screening(&mut self) {
-        let mut live = SuspectCone::new();
-        for (cell, in_core_fanin) in &self.screen {
-            if self.verdicts.get(cell).copied().unwrap_or(false) {
-                live.union_with(in_core_fanin);
+        let mut bound: HashMap<CellId, Option<usize>> = HashMap::new();
+        for (cell, in_core_fanin, depths) in &self.screen {
+            let ct = self.verdicts.get(cell).and_then(|k| k.clean_through);
+            for c in in_core_fanin.iter() {
+                let b = match ct {
+                    Some(CellKnowledge::WHOLE_SWEEP) => Some(CellKnowledge::WHOLE_SWEEP),
+                    Some(p) => p.checked_sub(depths.get(&c).copied().unwrap_or(0)),
+                    None => None,
+                };
+                bound
+                    .entry(c)
+                    .and_modify(|e| {
+                        *e = match (*e, b) {
+                            (Some(x), Some(y)) => Some(x.min(y)),
+                            _ => None,
+                        }
+                    })
+                    .or_insert(b);
             }
         }
-        for c in self.partition.shared.subtract(&live).iter() {
-            self.verdicts.entry(c).or_insert(false);
+        for (c, b) in bound {
+            if let Some(w) = b {
+                self.verdicts.entry(c).or_default().note_clean_through(w);
+            }
         }
     }
 
-    /// Feeds each requesting track its verdicts (fresh merged over
-    /// cache; a missing verdict reads as "did not diverge") and
-    /// flags the fresh divergences that more than one cone explains.
-    fn feed_requested(&mut self, fresh: &HashMap<CellId, bool>) -> Vec<Ambiguity> {
+    /// Feeds each requesting track its verdicts — fresh merged over
+    /// cache, each evaluated at the track's own window (a missing
+    /// verdict reads as "did not diverge") — and flags the fresh
+    /// divergences that more than one cone-and-window explains.
+    fn feed_requested(&mut self, fresh: &HashMap<CellId, Option<usize>>) -> Vec<Ambiguity> {
         let mut ambiguities: Vec<Ambiguity> = Vec::new();
         let mut flagged: HashSet<CellId> = HashSet::new();
         for k in 0..self.tracks.len() {
@@ -392,14 +622,21 @@ impl MultiErrorScheduler {
                 .iter()
                 .map(|&cell| TapObservation {
                     cell,
-                    diverged: self.verdicts.get(&cell).copied().unwrap_or(false),
+                    diverged: self
+                        .verdicts
+                        .get(&cell)
+                        .and_then(|kn| kn.verdict(self.tracks[k].window_for(cell)))
+                        .unwrap_or(false),
                 })
                 .collect();
             for o in obs.iter().filter(|o| o.diverged) {
-                if !fresh.contains_key(&o.cell) || !flagged.insert(o.cell) {
+                let Some(&Some(onset)) = fresh.get(&o.cell) else {
+                    continue;
+                };
+                if !flagged.insert(o.cell) {
                     continue;
                 }
-                let owners = self.owners(o.cell);
+                let owners = self.visible_owners(o.cell, onset);
                 if owners.len() > 1 {
                     ambiguities.push(Ambiguity {
                         cell: o.cell,
@@ -411,6 +648,89 @@ impl MultiErrorScheduler {
         }
         ambiguities
     }
+}
+
+/// Folds the several failure clusters one FSM error fans out into
+/// back into a single cluster, so the error is localized once instead
+/// of `k` times.
+///
+/// A single error in next-state logic corrupts the state registers,
+/// and the corruption surfaces simultaneously on every output the
+/// registers reach — as several clusters with *different* fanin cones
+/// but the same failure onset. Two clusters merge when
+///
+/// 1. they first fail on the same pattern (the corruption reached
+///    them on the same cycle), and
+/// 2. their cones share a **dominating sequential core**: a state
+///    register implicated by both whose fanout cone covers every
+///    member output of both clusters (the register can explain the
+///    entire joint footprint).
+///
+/// The merged cluster carries the union footprint (outputs and
+/// response signature) over the *intersection* of the member cones —
+/// under the one-shared-error hypothesis the site lies in every
+/// member's fanin, so the intersection keeps it while shedding the
+/// per-output exclusive logic that a genuine FSM error cannot
+/// explain. Combinational designs have no state registers and are
+/// never merged; clusters with different onsets (independent errors
+/// that happen to overlap structurally) are left apart.
+///
+/// # Limitation
+///
+/// Two *independent* errors in different exclusive regions behind a
+/// shared sequential trunk can fail on the same pattern, and with
+/// primary-output observability alone that case is indistinguishable
+/// from one FSM error at clustering time (even the signatures can
+/// coincide). Such a wrongly merged cluster intersects both sites
+/// away and its localization comes back `None` — the campaign still
+/// repairs through the corrective ECO, and the cost is one track's
+/// worth of probes over the shared core. The evidence that *would*
+/// discriminate (a clean shared-core frontier) only arrives during
+/// the scheduler's screening round; deferring the merge decision
+/// until after screening is recorded as an open item in ROADMAP.md.
+pub fn merge_fsm_clusters(golden: &Netlist, clusters: Vec<FailureCluster>) -> Vec<FailureCluster> {
+    let mut merged: Vec<FailureCluster> = Vec::new();
+    let mut fanouts: HashMap<CellId, SuspectCone> = HashMap::new();
+    for cl in clusters {
+        let host = merged.iter().position(|m| {
+            m.window == cl.window && dominating_register(golden, m, &cl, &mut fanouts).is_some()
+        });
+        match host {
+            Some(i) => {
+                let m = &mut merged[i];
+                m.outputs.extend_from_slice(&cl.outputs);
+                m.signature.union_with(&cl.signature);
+                m.cone.intersect_with(&cl.cone);
+            }
+            None => merged.push(cl),
+        }
+    }
+    merged
+}
+
+/// A state register in both clusters' cones whose fanout covers every
+/// member output of both — the witness that one sequential error can
+/// explain the joint footprint.
+fn dominating_register(
+    golden: &Netlist,
+    a: &FailureCluster,
+    b: &FailureCluster,
+    fanouts: &mut HashMap<CellId, SuspectCone>,
+) -> Option<CellId> {
+    let shared = a.cone.intersect(&b.cone);
+    let witness = shared
+        .iter()
+        .filter(|&c| golden.cell(c).is_ok_and(netlist::Cell::is_sequential))
+        .find(|&ff| {
+            let fanout = fanouts
+                .entry(ff)
+                .or_insert_with(|| SuspectCone::from_cells(golden.fanout_cone(&[ff])));
+            a.outputs
+                .iter()
+                .chain(&b.outputs)
+                .all(|&o| fanout.contains(o))
+        });
+    witness
 }
 
 #[cfg(test)]
@@ -455,9 +775,9 @@ mod tests {
         (nl, backbone, branch_cells)
     }
 
-    /// Runs the scheduler against a perfect oracle (tap diverges iff
-    /// an error lies in its fanin cone). Returns (localized, taps,
-    /// ecos).
+    /// Runs the scheduler against a perfect oracle (tap diverges from
+    /// pattern 0 iff an error lies in its fanin cone). Returns
+    /// (localized, taps, ecos).
     fn run_oracle(
         sched: &mut MultiErrorScheduler,
         nl: &Netlist,
@@ -475,7 +795,8 @@ mod tests {
                 taps += batch.len();
                 ecos += 1;
                 for &c in batch {
-                    verdicts.insert(c, fanouts.iter().any(|f| f.contains(c)));
+                    let onset = fanouts.iter().any(|f| f.contains(c)).then_some(0);
+                    verdicts.insert(c, onset);
                 }
             }
             sched.record_round(&verdicts);
@@ -493,7 +814,7 @@ mod tests {
         error: CellId,
     ) -> (Option<CellId>, usize, usize) {
         let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
-        sched.add_error(nl, suspects, strategy);
+        sched.add_error(nl, suspects, None, strategy);
         let (found, taps, ecos) = run_oracle(&mut sched, nl, &[error]);
         (found[0], taps, ecos)
     }
@@ -516,7 +837,7 @@ mod tests {
         ] {
             let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
             for b in &branches {
-                sched.add_error(&nl, &cone_suspects(b, &backbone), fresh());
+                sched.add_error(&nl, &cone_suspects(b, &backbone), None, fresh());
             }
             // Overlap analysis: the backbone is the shared core, each
             // branch an exclusive region; only the last backbone cell
@@ -552,13 +873,14 @@ mod tests {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
+                None,
                 Box::new(LinearBatches::default()),
             );
         }
         let plan = sched.plan_round().unwrap();
         assert!(plan.screening);
         assert_eq!(plan.batches, vec![vec![backbone[39]]]);
-        let amb = sched.record_round(&HashMap::from([(backbone[39], false)]));
+        let amb = sched.record_round(&HashMap::from([(backbone[39], None)]));
         assert!(amb.is_empty(), "clean frontier is unambiguous");
         let (found, taps, _) = run_oracle(&mut sched, &nl, &errors);
         assert_eq!(found, errors.iter().map(|&e| Some(e)).collect::<Vec<_>>());
@@ -579,6 +901,7 @@ mod tests {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
+                None,
                 Box::new(LinearBatches::default()),
             );
         }
@@ -589,7 +912,7 @@ mod tests {
         assert_eq!(plan.batches, vec![vec![backbone[7]]]);
         // An error *in* the shared core: the frontier diverges, both
         // cones explain it, and no core cell is exonerated.
-        let amb = sched.record_round(&HashMap::from([(backbone[7], true)]));
+        let amb = sched.record_round(&HashMap::from([(backbone[7], Some(0))]));
         assert_eq!(
             amb,
             vec![Ambiguity {
@@ -606,6 +929,147 @@ mod tests {
     }
 
     #[test]
+    fn one_tap_serves_two_windows_with_different_verdicts() {
+        // Two clusters suspect the same cell under different windows:
+        // one physical tap measures the onset once, and each track
+        // reads it under its own window — the (net, window) cache.
+        let (nl, _, branches) = backbone_design(1, 1, 1);
+        let cell = branches[0][0];
+        let mut sched = MultiErrorScheduler::new(8);
+        sched.add_error(
+            &nl,
+            &[cell],
+            Some(ObservationWindow::flat(2)),
+            Box::new(LinearBatches::default()),
+        );
+        sched.add_error(
+            &nl,
+            &[cell],
+            Some(ObservationWindow::flat(10)),
+            Box::new(LinearBatches::default()),
+        );
+        let plan = sched.plan_round().unwrap();
+        assert_eq!(
+            plan.batches,
+            vec![vec![cell]],
+            "both windows miss: one physical tap"
+        );
+        // The net first diverges on pattern 5: inside the second
+        // track's window, outside the first's.
+        let amb = sched.record_round(&HashMap::from([(cell, Some(5))]));
+        assert!(amb.is_empty(), "only one window sees the divergence");
+        assert!(
+            sched.plan_round().is_none(),
+            "everything is answerable from the cache"
+        );
+        assert_eq!(sched.localized(), vec![None, Some(cell)]);
+    }
+
+    #[test]
+    fn screening_exonerates_per_window_when_the_frontier_diverges_late() {
+        let (nl, backbone, branches) = backbone_design(4, 2, 2);
+        let mut sched = MultiErrorScheduler::new(8);
+        for (b, w) in branches.iter().zip([2usize, 20]) {
+            sched.add_error(
+                &nl,
+                &cone_suspects(b, &backbone),
+                Some(ObservationWindow::flat(w)),
+                Box::new(LinearBatches::default()),
+            );
+        }
+        let plan = sched.plan_round().unwrap();
+        assert!(plan.screening);
+        assert_eq!(plan.batches, vec![vec![backbone[3]]]);
+        // The frontier first diverges on pattern 10: the whole core
+        // is exonerated for the window-2 track (clean through 9) but
+        // stays live for the window-20 track, which alone sees the
+        // divergence — no ambiguity.
+        let amb = sched.record_round(&HashMap::from([(backbone[3], Some(10))]));
+        assert!(amb.is_empty());
+        let plan = sched.plan_round().unwrap();
+        assert!(!plan.screening);
+        // Track 0's backbone requests resolve from the cache; only
+        // its branch plus track 1's still-live cells need taps.
+        let tapped: Vec<CellId> = plan.batches.concat();
+        assert!(backbone[..3].iter().all(|c| tapped.contains(c)));
+        assert!(branches[0].iter().all(|c| tapped.contains(c)));
+    }
+
+    /// One state register fanning out into two outputs through
+    /// different combinational cones — the FSM fan-out shape.
+    fn fsm_fanout_design() -> (Netlist, CellId, Vec<CellId>) {
+        let mut nl = Netlist::new("fsm");
+        let a = nl.add_input("a").unwrap();
+        let pre = nl
+            .add_lut("pre", TruthTable::not(), &[nl.cell_output(a).unwrap()])
+            .unwrap();
+        let ff = nl
+            .add_ff("state", false, nl.cell_output(pre).unwrap())
+            .unwrap();
+        let q = nl.cell_output(ff).unwrap();
+        let a0 = nl.add_lut("a0", TruthTable::not(), &[q]).unwrap();
+        nl.add_output("yA", nl.cell_output(a0).unwrap()).unwrap();
+        let b0 = nl.add_lut("b0", TruthTable::not(), &[q]).unwrap();
+        let b1 = nl
+            .add_lut("b1", TruthTable::not(), &[nl.cell_output(b0).unwrap()])
+            .unwrap();
+        nl.add_output("yB", nl.cell_output(b1).unwrap()).unwrap();
+        let pos = nl.primary_outputs();
+        (nl, ff, pos)
+    }
+
+    fn cluster_for(nl: &Netlist, po: CellId, window: usize) -> FailureCluster {
+        let mut signature = crate::diagnosis::ResponseSignature::default();
+        signature.record(window);
+        FailureCluster {
+            outputs: vec![po],
+            signature,
+            cone: SuspectCone::fanin(nl, &[po]),
+            window,
+        }
+    }
+
+    #[test]
+    fn fsm_fanout_clusters_merge_on_shared_state_register() {
+        let (nl, ff, pos) = fsm_fanout_design();
+        // Same onset behind the same register: one merged cluster
+        // over the cone intersection (the state cone, shedding the
+        // per-output combinational logic).
+        let merged = merge_fsm_clusters(
+            &nl,
+            vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 3)],
+        );
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].outputs, pos);
+        assert_eq!(merged[0].window, 3);
+        assert!(merged[0].cone.contains(ff));
+        assert!(!merged[0].cone.contains(nl.find_cell("a0").unwrap()));
+        assert!(!merged[0].cone.contains(nl.find_cell("b1").unwrap()));
+        assert_eq!(merged[0].signature.count(), 1, "signatures union");
+
+        // Different onsets = independent errors: left apart.
+        let apart = merge_fsm_clusters(
+            &nl,
+            vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 7)],
+        );
+        assert_eq!(apart.len(), 2);
+    }
+
+    #[test]
+    fn combinational_clusters_never_merge() {
+        // Shared combinational backbone, no state register: the
+        // dominating-core witness requires a flip-flop, so clusters
+        // stay apart even with identical windows.
+        let (nl, _, _) = backbone_design(4, 2, 2);
+        let pos = nl.primary_outputs();
+        let merged = merge_fsm_clusters(
+            &nl,
+            vec![cluster_for(&nl, pos[0], 0), cluster_for(&nl, pos[1], 0)],
+        );
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
     fn assumed_verdicts_are_never_tapped() {
         let (nl, backbone, branches) = backbone_design(4, 2, 2);
         let errors = [branches[0][1], branches[1][1]];
@@ -614,6 +1078,7 @@ mod tests {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
+                None,
                 Box::new(LinearBatches::default()),
             );
         }
@@ -636,6 +1101,7 @@ mod tests {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
+                None,
                 Box::new(LinearBatches::default()),
             );
         }

@@ -51,8 +51,9 @@ pub use affected::AffectedSet;
 pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_eco_effort};
 pub use debug::run_debug_iteration;
 pub use diagnosis::{
-    ConePartition, FailureCluster, FaultAttribution, MultiErrorScheduler, ResponseSignature,
-    SuspectCone,
+    cluster_failures, collect_responses, merge_fsm_clusters, windowed_clean_cone, AlibiIndex,
+    ConePartition, FailureCluster, FaultAttribution, MultiErrorScheduler, ObservationWindow,
+    ResponseSignature, SuspectCone,
 };
 pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
 pub use effort::{CadEffort, EffortLedger, Phase};

@@ -26,8 +26,8 @@ use sim::Simulator;
 
 use crate::diagnosis::attribution::po_pairs;
 use crate::diagnosis::{
-    cluster_failures, collect_responses, FaultAttribution, MultiErrorScheduler, ResponseSignature,
-    SuspectCone,
+    cluster_failures, collect_responses, merge_fsm_clusters, AlibiIndex, FaultAttribution,
+    MultiErrorScheduler, ObservationWindow, ResponseSignature, SuspectCone,
 };
 use crate::effort::{CadEffort, EffortLedger, Phase};
 use crate::error::TilingError;
@@ -214,6 +214,10 @@ pub struct ClusterOutcome {
     pub outputs: Vec<CellId>,
     /// The stimulus patterns those outputs fail on.
     pub signature: ResponseSignature,
+    /// The cluster's observation window: every suspect prune and tap
+    /// verdict for this cluster was evaluated over patterns
+    /// `[0, window]`, its earliest observed failure.
+    pub window: usize,
     /// Structural suspect-cone size (before the live-LUT filter).
     pub cone_size: usize,
     /// Candidate suspects surviving the live-LUT filter.
@@ -762,7 +766,11 @@ impl<'a> DebugSession<'a> {
             &self.td.netlist,
             self.patterns_for(self.golden),
         )?;
-        let clusters = cluster_failures(self.golden, &matrix);
+        // One FSM error fans out into several clusters (same failure
+        // onset, different output cones, a dominating state register
+        // behind all of them); merge those before registering tracks
+        // so the error is hunted once, not once per output cone.
+        let clusters = merge_fsm_clusters(self.golden, cluster_failures(self.golden, &matrix));
         if clusters.is_empty() {
             self.emit(DebugEvent::CleanDesign);
             // Undetectable errors are still repaired — at the netlist
@@ -785,26 +793,26 @@ impl<'a> DebugSession<'a> {
         let mut scheduler = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
         let mut candidate_counts = Vec::with_capacity(n);
         // The concurrent analog of `suspect_cells`' passing-cone
-        // subtraction: a cell reaching an output the *whole sweep*
-        // left clean cannot host an (unmasked) error, whichever
-        // cluster suspects it. Outputs failing in other clusters
-        // give no such alibi — they fail for their own reasons.
-        let clean_pos: Vec<CellId> = matrix
-            .outputs
-            .iter()
-            .enumerate()
-            .filter(|&(k, _)| matrix.signatures[k].is_clean())
-            .map(|(_, &po)| po)
-            .collect();
-        let clean_cone = SuspectCone::fanin(self.golden, &clean_pos);
+        // subtraction, *windowed per cluster*: everything a cluster's
+        // error can teach us already happened by the cluster's first
+        // failing pattern, so a cell is pruned when it could not have
+        // reached the cluster's outputs in time, or when another
+        // output was still clean at the pattern the cell's wavefront
+        // would earliest have reached it — even if a slower error
+        // diverges that output later in the sweep. This mirrors the
+        // serial path's passing/failing split at the first
+        // mismatching cycle, which whole-sweep clean subtraction
+        // could not match on deep sequential designs. The index's
+        // per-output onset/depth tables are built once and shared by
+        // every cluster.
+        let alibi = AlibiIndex::new(self.golden, &matrix);
         for cl in &clusters {
             self.emit(DebugEvent::Detected {
-                pattern_index: cl.signature.first_failing().unwrap_or(0),
+                pattern_index: cl.window,
                 output_name: self.golden.cell(cl.outputs[0])?.name.clone(),
             });
-            let mut suspects: Vec<CellId> = cl
-                .cone
-                .subtract(&clean_cone)
+            let mut suspects: Vec<CellId> = alibi
+                .windowed_suspects(cl)
                 .iter()
                 .filter(|&c| {
                     self.td
@@ -814,13 +822,24 @@ impl<'a> DebugSession<'a> {
                         .unwrap_or(false)
                 })
                 .collect();
-            suspects.sort_by_key(|&c| rank_of(c));
+            // Causal window: each suspect is judged at the cluster's
+            // window minus its FF distance to the cluster's outputs,
+            // so a slower upstream error's wavefront crossing the
+            // suspect region inside the window is not blamed for a
+            // failure it could not have reached yet. The same depths
+            // order suspects temporally (FF-deepest first): on
+            // sequential cones plain topological rank would visit
+            // cells just past a flip-flop before their temporal
+            // ancestors, and linear batching would blame the wrong
+            // wavefront cell.
+            let window = ObservationWindow::from_depths(cl.window, alibi.cluster_depths(cl));
+            suspects.sort_by_key(|&c| (std::cmp::Reverse(window.depth_of(c)), rank_of(c)));
             self.emit(DebugEvent::SuspectsComputed {
                 structural: cl.cone.len(),
                 candidates: suspects.len(),
             });
             candidate_counts.push(suspects.len());
-            scheduler.add_error(self.golden, &suspects, self.strategy.fresh());
+            scheduler.add_error(self.golden, &suspects, Some(window), self.strategy.fresh());
         }
         let exclusive_sizes = scheduler.partition().exclusive_sizes();
         outcome.shared_core_cells = scheduler.partition().shared.len();
@@ -830,17 +849,17 @@ impl<'a> DebugSession<'a> {
             shared: outcome.shared_core_cells,
         });
 
-        // The detection sweep already measured every primary output,
-        // and a tap verdict is exactly "does this net ever diverge
-        // over the stimulus window" — so each PO driver's verdict is
-        // free. Seeding the scheduler's cache means no strategy ever
-        // pays a physical tap to re-learn what detection showed.
+        // The detection sweep already measured every primary output on
+        // every pattern, so each PO driver's exact divergence *onset*
+        // is free — seeding it lets the windowed cache answer any
+        // cluster's window without a physical tap, no matter which
+        // cluster asks.
         for (k, &po) in matrix.outputs.iter().enumerate() {
             let Some(&net) = self.golden.cell(po)?.inputs.first() else {
                 continue;
             };
             if let Some(driver) = self.golden.net(net)?.driver {
-                scheduler.assume(driver, !matrix.signatures[k].is_clean());
+                scheduler.assume_onset(driver, matrix.signatures[k].first_failing());
             }
         }
 
@@ -856,7 +875,7 @@ impl<'a> DebugSession<'a> {
         let mut eco_no = 0usize;
         while let Some(plan) = scheduler.plan_round() {
             outcome.rounds += 1;
-            let mut verdicts: HashMap<CellId, bool> = HashMap::new();
+            let mut verdicts: HashMap<CellId, Option<usize>> = HashMap::new();
             for batch in &plan.batches {
                 // A screening batch serves every cluster equally (no
                 // track requested it; it rules the shared core in or
@@ -910,17 +929,27 @@ impl<'a> DebugSession<'a> {
                 });
                 eco_no += 1;
 
-                // Windowed observation: a tap's verdict is whether it
-                // *ever* diverges across the whole stimulus window,
-                // which is sound per-cluster (a tap diverges iff some
-                // upstream error propagates to it on some pattern).
-                let obs = self.observe_taps_ever(&tapped, &pats)?;
+                // Windowed observation: one emulation sweep records
+                // each tapped net's exact divergence onset, and the
+                // scheduler re-reads that single physical measurement
+                // under every requesting cluster's own window.
+                let nets: Vec<NetId> = tapped.iter().map(|&(_, net)| net).collect();
+                let onsets = sim::emulate::net_first_divergences(
+                    self.golden,
+                    &self.td.netlist,
+                    &nets,
+                    &pats,
+                )?;
                 self.emit(DebugEvent::Observed {
-                    diverging: obs.iter().filter(|o| o.diverged).map(|o| o.cell).collect(),
+                    diverging: tapped
+                        .iter()
+                        .zip(&onsets)
+                        .filter(|(_, onset)| onset.is_some())
+                        .map(|(&(cell, _), _)| cell)
+                        .collect(),
                 });
-                for o in &obs {
-                    let v = verdicts.entry(o.cell).or_insert(false);
-                    *v |= o.diverged;
+                for (&(cell, _), &onset) in tapped.iter().zip(&onsets) {
+                    verdicts.insert(cell, onset);
                 }
                 netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
             }
@@ -1019,6 +1048,7 @@ impl<'a> DebugSession<'a> {
             outcome.clusters.push(ClusterOutcome {
                 outputs: cl.outputs,
                 signature: cl.signature,
+                window: cl.window,
                 cone_size: cl.cone.len(),
                 candidates: candidate_counts[k],
                 exclusive_size: exclusive_sizes[k],
@@ -1032,51 +1062,6 @@ impl<'a> DebugSession<'a> {
         }
         outcome.ecos = outcome.ledger.total_ecos();
         Ok(outcome)
-    }
-
-    /// Emulates the whole stimulus window and records, per tapped
-    /// net, whether it *ever* diverges from golden — the multi-error
-    /// observation semantics (different errors expose themselves on
-    /// different patterns, so stopping at the first divergence would
-    /// starve the other clusters of evidence).
-    fn observe_taps_ever(
-        &mut self,
-        tapped: &[(CellId, NetId)],
-        pats: &[Vec<bool>],
-    ) -> Result<Vec<TapObservation>, TilingError> {
-        let mut gsim = Simulator::new(self.golden)?;
-        let mut dsim = Simulator::new(&self.td.netlist)?;
-        let sequential = self.golden.is_sequential();
-        let mut verdicts: Vec<TapObservation> = tapped
-            .iter()
-            .map(|&(cell, _)| TapObservation {
-                cell,
-                diverged: false,
-            })
-            .collect();
-        for pat in pats {
-            gsim.set_inputs(pat);
-            let mut dpat = pat.clone();
-            dpat.resize(dsim.num_inputs(), false);
-            dsim.set_inputs(&dpat);
-            gsim.comb_eval();
-            dsim.comb_eval();
-            let mut all = true;
-            for (k, &(_, net)) in tapped.iter().enumerate() {
-                if gsim.net_value(net) != dsim.net_value(net) {
-                    verdicts[k].diverged = true;
-                }
-                all &= verdicts[k].diverged;
-            }
-            if all {
-                break;
-            }
-            if sequential {
-                gsim.step();
-                dsim.step();
-            }
-        }
-        Ok(verdicts)
     }
 
     /// Emulates patterns up to (and including) the failing stimulus;

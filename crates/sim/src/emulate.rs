@@ -1,6 +1,6 @@
 //! Golden-vs-DUT emulation with primary-output-only observability.
 
-use netlist::{CellId, Netlist, NetlistError};
+use netlist::{CellId, NetId, Netlist, NetlistError};
 
 use crate::patterns::PatternGen;
 use crate::simulator::Simulator;
@@ -85,6 +85,63 @@ pub fn first_mismatch(
         }
     }
     Ok(None)
+}
+
+/// Windowed response capture: sweeps `patterns` through both netlists
+/// and records, per watched net, the index of the **first** pattern
+/// on which its value diverges from golden (`None` = clean across the
+/// whole sweep).
+///
+/// This is the observation primitive behind windowed multi-error
+/// diagnosis: a tap verdict is no longer a single "ever diverged"
+/// bit but the exact onset pattern, so one physical tap can be
+/// re-read under any cluster's `[0, first_fail]` observation window
+/// (diverged within the window iff the onset is `<= window`).
+///
+/// Sequential designs are clocked once per pattern without reset,
+/// exactly like [`first_mismatch`] and the full-sweep detection in
+/// `tiling::diagnosis` — pattern indices are therefore directly
+/// comparable across detection and observation. The DUT may carry
+/// extra primary inputs (debug instrumentation); they are driven
+/// inactive. The sweep stops early once every watched net has
+/// diverged.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures (combinational loops).
+pub fn net_first_divergences(
+    golden: &Netlist,
+    dut: &Netlist,
+    nets: &[NetId],
+    patterns: &[Vec<bool>],
+) -> Result<Vec<Option<usize>>, NetlistError> {
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    let sequential = golden.is_sequential() || dut.is_sequential();
+    let mut onsets: Vec<Option<usize>> = vec![None; nets.len()];
+    let mut undecided = nets.len();
+    for (idx, pat) in patterns.iter().enumerate() {
+        gsim.set_inputs(pat);
+        let mut dpat = pat.clone();
+        dpat.resize(dsim.num_inputs(), false);
+        dsim.set_inputs(&dpat);
+        gsim.comb_eval();
+        dsim.comb_eval();
+        for (k, &net) in nets.iter().enumerate() {
+            if onsets[k].is_none() && gsim.net_value(net) != dsim.net_value(net) {
+                onsets[k] = Some(idx);
+                undecided -= 1;
+            }
+        }
+        if undecided == 0 {
+            break;
+        }
+        if sequential {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    Ok(onsets)
 }
 
 /// Structural candidate set for the error site, from one observed
@@ -213,6 +270,21 @@ mod tests {
         let dut = build(false); // q stays q
         let m = first_mismatch(&golden, &dut, PatternGen::random(1, 20, 3)).unwrap();
         assert!(m.is_some());
+    }
+
+    #[test]
+    fn first_divergences_report_exact_onsets() {
+        let golden = two_cone_design();
+        let mut dut = golden.clone();
+        let u0 = dut.find_cell("u0").unwrap();
+        // Flip only the row a=1,b=1: u0's net diverges first on the
+        // exhaustive pattern with a=b=1 (index 3); u1 never diverges.
+        inject(&mut dut, u0, DesignErrorKind::FlipRow { row: 3 }).unwrap();
+        let n0 = golden.cell_output(golden.find_cell("u0").unwrap()).unwrap();
+        let n1 = golden.cell_output(golden.find_cell("u1").unwrap()).unwrap();
+        let pats: Vec<Vec<bool>> = PatternGen::exhaustive(3).collect();
+        let onsets = net_first_divergences(&golden, &dut, &[n0, n1], &pats).unwrap();
+        assert_eq!(onsets, vec![Some(3), None]);
     }
 
     #[test]

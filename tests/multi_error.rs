@@ -108,6 +108,252 @@ fn compare(
     ((conc.taps_inserted, conc.ecos), (staps, secos))
 }
 
+// ---------------------------------------------------------------------
+// Deep sequential design: the rows where whole-sweep pruning used to
+// lose to serial (see ROADMAP's windowed-pruning item, now closed).
+// ---------------------------------------------------------------------
+
+const TRUNK: usize = 16;
+const SEQ_BRANCHES: usize = 4;
+const TRUNK_ERR: usize = 8;
+
+/// A deep sequential pipeline: a 16-stage trunk (NOT-LUT + FF per
+/// stage) fanning out into four branches of four LUTs with two
+/// interior FFs each, every branch ending in its own primary output.
+///
+/// Three errors with *staggered failure onsets*:
+/// * `e0` in branch 0 between its FFs' fanin (first fails at pattern 2),
+/// * `e1` in branch 1 past its FFs (first fails at pattern 0),
+/// * `eT` mid-trunk (reaches all four outputs simultaneously at
+///   pattern 10 — equal FF counts per branch keep the serial
+///   passing-split sound for the trunk campaign).
+///
+/// Outputs y2/y3 fail only through `eT`, on the same pattern, with
+/// the trunk state registers dominating both — the FSM fan-out shape
+/// the cluster merge folds back together. Every output eventually
+/// fails, so whole-sweep clean-cone subtraction prunes *nothing*
+/// here; only the per-cluster windows recover the serial path's
+/// sharpness.
+///
+/// Returns (netlist, hierarchy, victims = [e0, e1, eT]).
+fn deep_sequential_design() -> (netlist::Netlist, netlist::Hierarchy, Vec<netlist::CellId>) {
+    let mut nl = netlist::Netlist::new("pipeline");
+    let pi = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(pi).unwrap();
+    let mut victims = vec![netlist::CellId::new(0); 3];
+    for k in 0..TRUNK {
+        let c = nl
+            .add_lut(format!("tr{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+        if k == TRUNK_ERR {
+            victims[2] = c;
+        }
+        let ff = nl.add_ff(format!("trff{k}"), false, net).unwrap();
+        net = nl.cell_output(ff).unwrap();
+    }
+    for b in 0..SEQ_BRANCHES {
+        let mut bnet = net;
+        for k in 0..2 {
+            let c = nl
+                .add_lut(format!("sb{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+            if b == 0 && k == 1 {
+                victims[0] = c;
+            }
+        }
+        for k in 0..2 {
+            let ff = nl.add_ff(format!("sbff{b}_{k}"), false, bnet).unwrap();
+            bnet = nl.cell_output(ff).unwrap();
+        }
+        for k in 2..4 {
+            let c = nl
+                .add_lut(format!("sb{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+            if b == 1 && k == 2 {
+                victims[1] = c;
+            }
+        }
+        nl.add_output(format!("y{b}"), bnet).unwrap();
+    }
+    (nl, netlist::Hierarchy::new("pipeline"), victims)
+}
+
+/// The deep-sequential analog of [`compare`]: concurrent diagnosis of
+/// the three staggered errors versus three sequential campaigns.
+fn compare_sequential(
+    td0: &TiledDesign,
+    golden: &netlist::Netlist,
+    victims: &[netlist::CellId],
+    fresh: &dyn Fn() -> Box<dyn LocalizationStrategy>,
+) -> ((usize, usize), (usize, usize)) {
+    let patterns = PatternSpec::Random { count: 48 };
+    let mut td = td0.clone();
+    let errors: Vec<_> = victims.iter().map(|&v| plant(&mut td, v)).collect();
+    let conc = DebugSession::new(&mut td, golden)
+        .strategy(fresh())
+        .flow(TiledFlow::default())
+        .patterns(patterns)
+        .seed(23)
+        .run_concurrent(&errors)
+        .unwrap();
+    assert!(conc.repaired, "concurrent campaign left the DUT buggy");
+    assert!(td.routing.is_feasible());
+    // y2/y3 fail only through the trunk error, on the same pattern,
+    // behind the same state registers: merged into one cluster.
+    assert_eq!(
+        conc.clusters.len(),
+        SEQ_BRANCHES - 1,
+        "FSM fan-out clusters must merge"
+    );
+    let mut found = conc.localized_cells();
+    found.sort_unstable();
+    let mut planted = victims.to_vec();
+    planted.sort_unstable();
+    assert_eq!(found, planted, "every error localized to its exact cell");
+    for c in &conc.clusters {
+        assert!(c.matched_error.is_some());
+        assert!(c.repaired);
+    }
+    // The merged trunk cluster's window is the trunk error's arrival
+    // (8 trunk FFs + 2 branch FFs); the branch clusters fail earlier.
+    let windows: Vec<usize> = conc.clusters.iter().map(|c| c.window).collect();
+    assert!(windows.contains(&10), "trunk cluster window: {windows:?}");
+
+    let (mut staps, mut secos) = (0usize, 0usize);
+    for &victim in victims {
+        let mut td = td0.clone();
+        let error = plant(&mut td, victim);
+        let out = DebugSession::new(&mut td, golden)
+            .strategy(fresh())
+            .flow(TiledFlow::default())
+            .patterns(patterns)
+            .seed(23)
+            .run(&error)
+            .unwrap();
+        assert!(out.repaired);
+        assert_eq!(out.localized, Some(victim), "sequential missed the bug");
+        staps += out.taps_inserted;
+        secos += out.ecos;
+    }
+    ((conc.taps_inserted, conc.ecos), (staps, secos))
+}
+
+#[test]
+fn deep_sequential_errors_cost_less_concurrently_than_sequentially() {
+    let (nl, hier, victims) = deep_sequential_design();
+    assert!(nl.is_sequential(), "design must be sequential");
+    let td0 = tiling::implement(nl, hier, TilingOptions::fast(404)).unwrap();
+    let golden = td0.netlist.clone();
+
+    type StrategyFactory = Box<dyn Fn() -> Box<dyn LocalizationStrategy>>;
+    let strategies: [(&str, StrategyFactory); 2] = [
+        ("linear", Box::new(|| Box::new(LinearBatches::default()))),
+        ("binary_search", Box::new(|| Box::new(BinarySearch::new()))),
+    ];
+    for (name, fresh) in &strategies {
+        let ((ctaps, cecos), (staps, secos)) = compare_sequential(&td0, &golden, &victims, fresh);
+        assert!(
+            ctaps < staps,
+            "{name}: concurrent {ctaps} taps !< sequential {staps}"
+        );
+        assert!(
+            cecos < secos,
+            "{name}: concurrent {cecos} ECOs !< sequential {secos}"
+        );
+    }
+}
+
+/// Nested-cone pipeline: an 18-stage trunk (NOT-LUT + FF per stage)
+/// with outputs tapped after stages 5, 11 and 17, each through two
+/// branch LUTs and a compensating FF chain (13/7/1 FFs) so that the
+/// latency from any trunk stage to *every* output downstream of it is
+/// identical (19 − stage). Three trunk errors at stages 2, 8 and 14
+/// then surface at patterns 17, 11 and 5 respectively.
+///
+/// This is the shape that demands *causal* windows: within the
+/// stage-8 cluster's `[0, 11]` window, the stage-2 error's wavefront
+/// has already crossed trunk stages 6..=9 — suspects of the stage-8
+/// cluster — so a flat window would blame the first wavefront cell it
+/// meets instead of the real site, which a divergence-onset check
+/// against each suspect's FF distance rejects.
+fn nested_pipeline_design() -> (netlist::Netlist, netlist::Hierarchy, Vec<netlist::CellId>) {
+    let mut nl = netlist::Netlist::new("nested");
+    let pi = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(pi).unwrap();
+    let mut victims = Vec::new();
+    let mut taps = Vec::new();
+    for k in 0..18 {
+        let c = nl
+            .add_lut(format!("tr{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+        if [2, 8, 14].contains(&k) {
+            victims.push(c);
+        }
+        let ff = nl.add_ff(format!("trff{k}"), false, net).unwrap();
+        net = nl.cell_output(ff).unwrap();
+        if [5, 11, 17].contains(&k) {
+            taps.push(net);
+        }
+    }
+    for (i, &tnet) in taps.iter().enumerate() {
+        let mut bnet = tnet;
+        for k in 0..2 {
+            let c = nl
+                .add_lut(format!("nb{i}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+        }
+        for k in 0..(13 - 6 * i) {
+            let ff = nl.add_ff(format!("nbff{i}_{k}"), false, bnet).unwrap();
+            bnet = nl.cell_output(ff).unwrap();
+        }
+        nl.add_output(format!("y{i}"), bnet).unwrap();
+    }
+    (nl, netlist::Hierarchy::new("nested"), victims)
+}
+
+#[test]
+fn staggered_trunk_errors_localize_exactly_under_causal_windows() {
+    let (nl, hier, victims) = nested_pipeline_design();
+    let td0 = tiling::implement(nl, hier, TilingOptions::fast(505)).unwrap();
+    let golden = td0.netlist.clone();
+    type StrategyFactory = Box<dyn Fn() -> Box<dyn LocalizationStrategy>>;
+    let strategies: [(&str, StrategyFactory); 2] = [
+        ("linear", Box::new(|| Box::new(LinearBatches::default()))),
+        ("binary_search", Box::new(|| Box::new(BinarySearch::new()))),
+    ];
+    for (name, fresh) in &strategies {
+        let mut td = td0.clone();
+        let errors: Vec<_> = victims.iter().map(|&v| plant(&mut td, v)).collect();
+        let conc = DebugSession::new(&mut td, &golden)
+            .strategy(fresh())
+            .flow(TiledFlow::default())
+            .patterns(PatternSpec::Random { count: 48 })
+            .seed(31)
+            .run_concurrent(&errors)
+            .unwrap();
+        assert!(conc.repaired, "{name}: campaign left the DUT buggy");
+        assert_eq!(conc.clusters.len(), 3, "{name}: one cluster per output");
+        // Staggered onsets: the deepest tap sees the downstream error
+        // first, the shallowest only the upstream one, much later.
+        let mut windows: Vec<usize> = conc.clusters.iter().map(|c| c.window).collect();
+        windows.sort_unstable();
+        assert_eq!(windows, vec![5, 11, 17], "{name}: staggered windows");
+        let mut found = conc.localized_cells();
+        found.sort_unstable();
+        let mut planted = victims.to_vec();
+        planted.sort_unstable();
+        assert_eq!(
+            found, planted,
+            "{name}: every staggered trunk error must localize to its exact cell"
+        );
+    }
+}
+
 #[test]
 fn three_overlapping_errors_cost_less_concurrently_than_sequentially() {
     let (nl, hier, victims) = overlapping_cone_design();

@@ -296,6 +296,30 @@ proptest! {
     }
 
     #[test]
+    fn cone_in_place_ops_agree_with_functional(
+        a in prop::collection::vec(0usize..320, 0usize..40),
+        b in prop::collection::vec(0usize..320, 0usize..40),
+    ) {
+        let (a, b) = (cone_of(&a), cone_of(&b));
+        let mut s = a.clone();
+        s.subtract_with(&b);
+        prop_assert_eq!(&s, &a.subtract(&b));
+        let mut u = a.clone();
+        u.union_with(&b);
+        prop_assert_eq!(&u, &a.union(&b));
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(&i, &a.intersect(&b));
+        // Normalization survives in-place editing: growing through a
+        // larger universe and shrinking back keeps `==` meaning set
+        // equality.
+        let mut via = a.clone();
+        via.union_with(&b);
+        via.subtract_with(&b);
+        prop_assert_eq!(via, a.subtract(&b));
+    }
+
+    #[test]
     fn cone_subtract_complements_intersect(
         a in prop::collection::vec(0usize..320, 0usize..40),
         b in prop::collection::vec(0usize..320, 0usize..40),
@@ -371,6 +395,80 @@ proptest! {
         for cell in c1.iter().filter(|&c| nl.cell(c).unwrap().lut_function().is_some()) {
             let inner = SuspectCone::fanin(&nl, &[cell]);
             prop_assert_eq!(inner.union(&c1), c1.clone());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Windowed per-cluster pruning soundness (multi-error diagnosis)
+// ---------------------------------------------------------------------
+
+/// Sequential variant of [`backbone_netlist`]: every backbone and
+/// branch LUT is followed by a flip-flop, and all branches share the
+/// same layout. Identical branch structure means a divergence at any
+/// cell reaches *every* output in its fanout after the same number of
+/// cycles — the regime in which the windowed alibi (like the serial
+/// passing-split it mirrors) is exact rather than heuristic.
+fn seq_backbone_netlist(bb: usize, branches: usize, blen: usize) -> Netlist {
+    let mut nl = Netlist::new("seqbb");
+    let a = nl.add_input("a").unwrap();
+    let mut net = nl.cell_output(a).unwrap();
+    for k in 0..bb {
+        let c = nl
+            .add_lut(format!("bb{k}"), TruthTable::not(), &[net])
+            .unwrap();
+        net = nl.cell_output(c).unwrap();
+        let ff = nl.add_ff(format!("bbff{k}"), false, net).unwrap();
+        net = nl.cell_output(ff).unwrap();
+    }
+    for b in 0..branches {
+        let mut bnet = net;
+        for k in 0..blen {
+            let c = nl
+                .add_lut(format!("br{b}_{k}"), TruthTable::not(), &[bnet])
+                .unwrap();
+            bnet = nl.cell_output(c).unwrap();
+            let ff = nl.add_ff(format!("brff{b}_{k}"), false, bnet).unwrap();
+            bnet = nl.cell_output(ff).unwrap();
+        }
+        nl.add_output(format!("y{b}"), bnet).unwrap();
+    }
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn windowed_cluster_pruning_keeps_a_guilty_cell(
+        bb in 3usize..6,
+        branches in 1usize..4,
+        blen in 1usize..4,
+        k in 1usize..4,
+        seed: u64,
+    ) {
+        use fpga_debug_tiling::tiling::{cluster_failures, collect_responses};
+
+        let golden = seq_backbone_netlist(bb, branches, blen);
+        let mut dut = golden.clone();
+        // bb >= 3 guarantees at least k eligible LUTs.
+        let seeds: Vec<u64> = (0..k as u64).map(|i| seed.wrapping_add(i)).collect();
+        let errors =
+            fpga_debug_tiling::sim::inject::random_distinct_errors(&mut dut, &seeds).unwrap();
+        let matrix =
+            collect_responses(&golden, &dut, PatternGen::random(1, 48, seed)).unwrap();
+        for cl in cluster_failures(&golden, &matrix) {
+            // The window is the earliest failure of the union signature.
+            prop_assert_eq!(Some(cl.window), cl.signature.first_failing());
+            let pruned = cl.windowed_suspects(&golden, &matrix);
+            // Pruning only ever shrinks the cluster's cone…
+            prop_assert_eq!(&pruned.union(&cl.cone), &cl.cone);
+            // …and never exonerates every culprit: whatever mix of
+            // errors is live, the cell whose divergence caused this
+            // cluster's first failure survives the windowed alibi.
+            prop_assert!(
+                errors.iter().any(|e| pruned.contains(e.cell)),
+                "cluster pruned away every injected error"
+            );
         }
     }
 }
