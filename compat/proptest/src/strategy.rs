@@ -52,7 +52,7 @@ pub mod collection {
     use super::Strategy;
     use rand::rngs::SmallRng;
 
-    /// Strategy returned by [`vec`]: `len` values drawn from
+    /// Strategy returned by [`vec()`]: `len` values drawn from
     /// `element`, with `len` drawn from `size`.
     #[derive(Debug, Clone, Copy)]
     pub struct VecStrategy<S, R> {

@@ -16,13 +16,13 @@
 //!
 //! The report shows observation taps and physical ECOs *per error*
 //! dropping as k grows: shared test logic amortizes, the sequential
-//! baseline cannot. (The `found` column counts localized clusters /
-//! planted errors: a single-output design folds several errors into
-//! one cluster, and a sequential baseline that fails to localize —
-//! common on the FSM designs, where one early mismatch leaves an
-//! almost-empty suspect split — still repairs through the known
-//! corrective ECO at nearly zero cost, which is why its absolute
-//! numbers can undercut a diagnosis that actually pinpoints cells.)
+//! baseline cannot. (`cfnd` counts localized clusters / clusters;
+//! `sfnd` counts serial campaigns that localized / planted errors.
+//! A single-output design folds several errors into one cluster.
+//! Both paths localize through the shared `diagnosis::evidence`
+//! layer — causal windows, alibi pruning, free PO-onset seeding — so
+//! the serial rows on the FSM designs, which the old whole-sweep
+//! passing-split failed to localize at all, now pinpoint cells too.)
 //!
 //! Besides the human-readable table, the sweep emits
 //! **`BENCH_multi.json`** — taps/ECOs per (design, k), concurrent vs
@@ -49,6 +49,7 @@ struct Row {
     localized: usize,
     conc_taps: usize,
     conc_ecos: usize,
+    seq_localized: usize,
     seq_taps: usize,
     seq_ecos: usize,
 }
@@ -64,10 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Multi-error diagnosis: concurrent vs k sequential campaigns (tiled flow)");
     println!(
-        "{:<12} {:>2} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
+        "{:<12} {:>2} {:>5} {:>5} | {:>10} {:>10} | {:>10} {:>10} | {:>9} {:>9}",
         "design",
         "k",
-        "found",
+        "cfnd",
+        "sfnd",
         "conc taps",
         "conc ECOs",
         "seq taps",
@@ -91,8 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .run_concurrent(&errors)?;
 
             // Sequential baseline: the same errors, one fresh
-            // single-error campaign each.
-            let (mut staps, mut secos) = (0usize, 0usize);
+            // single-error campaign each. Serial localization now
+            // runs through the same diagnosis::evidence layer, so
+            // its localized count is tracked per row too (the old
+            // whole-sweep passing-split failed to localize at all on
+            // the FSM designs).
+            let (mut slocalized, mut staps, mut secos) = (0usize, 0usize, 0usize);
             for error in &errors {
                 let mut td = td0.clone();
                 let replant = inject(&mut td.netlist, error.cell, error.kind)?;
@@ -100,6 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .flow(TiledFlow::default())
                     .seed(7)
                     .run(&replant)?;
+                slocalized += usize::from(out.localized.is_some());
                 staps += out.taps_inserted;
                 secos += out.ecos;
             }
@@ -110,10 +117,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .filter(|c| c.localized.is_some())
                 .count();
             println!(
-                "{:<12} {:>2} {:>2}/{:<2} | {:>10} {:>10} | {:>10} {:>10} | {:>4}v{:<4} {:>4}v{:<4}",
+                "{:<12} {:>2} {:>2}/{:<2} {:>2}/{:<2} | {:>10} {:>10} | {:>10} {:>10} | {:>4}v{:<4} {:>4}v{:<4}",
                 design.name(),
                 k,
                 found,
+                conc.clusters.len(),
+                slocalized,
                 k,
                 conc.taps_inserted,
                 conc.ecos,
@@ -131,6 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 localized: found,
                 conc_taps: conc.taps_inserted,
                 conc_ecos: conc.ecos,
+                seq_localized: slocalized,
                 seq_taps: staps,
                 seq_ecos: secos,
             });
@@ -169,7 +179,7 @@ fn render_json(quick: bool, rows: &[Row]) -> String {
             out,
             "    {{\"design\": \"{}\", \"k\": {}, \"clusters\": {}, \"localized\": {}, \
              \"concurrent\": {{\"taps\": {}, \"ecos\": {}}}, \
-             \"serial\": {{\"taps\": {}, \"ecos\": {}}}}}",
+             \"serial\": {{\"taps\": {}, \"ecos\": {}, \"localized\": {}}}}}",
             r.design,
             r.k,
             r.clusters,
@@ -177,7 +187,8 @@ fn render_json(quick: bool, rows: &[Row]) -> String {
             r.conc_taps,
             r.conc_ecos,
             r.seq_taps,
-            r.seq_ecos
+            r.seq_ecos,
+            r.seq_localized
         );
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

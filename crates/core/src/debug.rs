@@ -4,9 +4,13 @@
 //! lives in [`crate::session`]: [`DebugSession`] runs detect →
 //! localize → confirm → correct through a pluggable
 //! [`crate::flows::ReimplFlow`] and
-//! [`crate::strategy::LocalizationStrategy`]. [`run_debug_iteration`]
-//! keeps the old signature on top of the paper-shaped defaults
-//! (linear 8-tap batches through the tiled flow).
+//! [`crate::strategy::LocalizationStrategy`], with all causal
+//! knowledge accumulated in the shared
+//! [`crate::diagnosis::EvidenceBase`] layer — the wrapper therefore
+//! inherits causal windows, alibi pruning and free PO-onset seeding
+//! like every other entry point. [`run_debug_iteration`] keeps the
+//! old signature on top of the paper-shaped defaults (linear 8-tap
+//! batches through the tiled flow).
 
 use netlist::Netlist;
 use sim::inject::InjectedError;

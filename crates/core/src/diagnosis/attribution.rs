@@ -18,6 +18,10 @@
 //!    generic complement error model and scores how well each
 //!    candidate's predicted failing-output set matches a cluster's
 //!    observed one (Jaccard), assigning blame to the best match.
+//!
+//! Everything causal — onset bounds, alibi tables, windowed pruning —
+//! lives in [`crate::diagnosis::evidence`]; this module only builds
+//! the observable footprints that feed it.
 
 use std::collections::HashMap;
 
@@ -30,8 +34,8 @@ use super::cone::SuspectCone;
 /// The set of stimulus patterns on which one output diverged,
 /// word-packed by pattern index.
 ///
-/// Invariant: the last word, if any, is non-zero — [`record`]
-/// (Self::record) and [`union_with`](Self::union_with) only ever grow
+/// Invariant: the last word, if any, is non-zero —
+/// [`record`](Self::record) and [`union_with`](Self::union_with) only ever grow
 /// the vector to hold a set bit — so the derived `==`/`Hash` mean set
 /// equality, like [`super::cone::SuspectCone`]'s (which indexes cells
 /// rather than patterns).
@@ -214,179 +218,6 @@ pub struct FailureCluster {
     /// verdicts for this cluster are evaluated within the window,
     /// mirroring the serial path's first-mismatching-cycle split.
     pub window: usize,
-}
-
-impl FailureCluster {
-    /// This cluster's windowed suspect set: the member-cone cells
-    /// that (a) could causally have reached the cluster's outputs by
-    /// its window and (b) no other output alibis (see [`AlibiIndex`]).
-    ///
-    /// Convenience wrapper building a one-shot [`AlibiIndex`]; when
-    /// pruning several clusters of the same matrix, build the index
-    /// once and call [`AlibiIndex::windowed_suspects`] directly.
-    pub fn windowed_suspects(&self, golden: &Netlist, matrix: &ResponseMatrix) -> SuspectCone {
-        AlibiIndex::new(golden, matrix).windowed_suspects(self)
-    }
-}
-
-/// The union of the fanin cones of every output that stayed clean on
-/// all patterns in `[0, window]` — the windowed generalization of the
-/// serial path's passing-cone subtraction ([`sim::emulate::suspect_cells`]
-/// subtracts passing cones at the single first-mismatching cycle).
-///
-/// This flat form ignores propagation latency (an output can still be
-/// clean merely because the wavefront has not reached it yet);
-/// [`AlibiIndex`] is the latency-aware refinement the session uses.
-pub fn windowed_clean_cone(
-    golden: &Netlist,
-    matrix: &ResponseMatrix,
-    window: usize,
-) -> SuspectCone {
-    let clean_pos: Vec<CellId> = matrix
-        .outputs
-        .iter()
-        .enumerate()
-        .filter(|&(k, _)| matrix.signatures[k].clean_within(window))
-        .map(|(_, &po)| po)
-        .collect();
-    SuspectCone::fanin(golden, &clean_pos)
-}
-
-/// Minimum flip-flop distance from every fanin cell to any of
-/// `outputs`: a 0-1 BFS backward over driver edges, where stepping
-/// *into* a flip-flop costs one cycle (its input is latched one
-/// pattern before its output is seen) and combinational edges are
-/// free. Feedback loops are handled naturally — a cycle always
-/// crosses a flip-flop, so relaxation terminates.
-pub(crate) fn causal_depths(golden: &Netlist, outputs: &[CellId]) -> HashMap<CellId, usize> {
-    use std::collections::VecDeque;
-    let mut depth: HashMap<CellId, usize> = HashMap::new();
-    let mut dq: VecDeque<(CellId, usize)> = VecDeque::new();
-    for &o in outputs {
-        depth.insert(o, 0);
-        dq.push_back((o, 0));
-    }
-    while let Some((c, d)) = dq.pop_front() {
-        if depth.get(&c).is_some_and(|&x| x < d) {
-            continue;
-        }
-        let Ok(cell) = golden.cell(c) else { continue };
-        let step = usize::from(cell.is_sequential());
-        for &net in &cell.inputs {
-            let Some(u) = golden.net(net).ok().and_then(|n| n.driver) else {
-                continue;
-            };
-            let nd = d + step;
-            if depth.get(&u).is_none_or(|&x| nd < x) {
-                depth.insert(u, nd);
-                if step == 0 {
-                    dq.push_front((u, nd));
-                } else {
-                    dq.push_back((u, nd));
-                }
-            }
-        }
-    }
-    depth
-}
-
-/// Latency-aware windowed pruning, computed once per response matrix
-/// and shared across every cluster of the diagnosis.
-///
-/// For each primary output it records the output's divergence onset
-/// (`None` = clean across the sweep) and the minimum FF distance from
-/// every fanin cell to that output. A cluster with window `w` then
-/// prunes suspect `c` when either
-///
-/// * **causal infeasibility** — `c`'s FF distance to every member
-///   output exceeds `w`: any divergence at `c` needs at least that
-///   many patterns to reach an output, so it cannot have caused the
-///   failure at `w`. This direction is exact (each FF crossing costs
-///   one full pattern);
-/// * **causal alibi** — some output `o` with `c` in its fanin was
-///   still clean at pattern `w + ffdepth(c -> o)`: had `c` diverged
-///   by `w`, its wavefront would already have reached `o` inside
-///   `o`'s clean prefix. (Heuristic in the same sense as the serial
-///   passing-split: the wavefront could be value-masked, or travel
-///   only a slower path — the min-depth arrival is the earliest
-///   possible one.)
-///
-/// The flat [`windowed_clean_cone`] is the `depth = 0` special case
-/// of the alibi; the latency terms are what keep both directions
-/// honest on pipelines where the same error reaches different
-/// outputs after different numbers of cycles.
-pub struct AlibiIndex {
-    /// Per PO: the PO cell, its divergence onset (`None` = clean
-    /// across the sweep), and min FF depth from every fanin cell.
-    entries: Vec<(CellId, Option<usize>, HashMap<CellId, usize>)>,
-}
-
-impl AlibiIndex {
-    /// Builds the per-output onset + depth tables (one backward 0-1
-    /// BFS per primary output).
-    pub fn new(golden: &Netlist, matrix: &ResponseMatrix) -> Self {
-        let entries = matrix
-            .outputs
-            .iter()
-            .enumerate()
-            .map(|(k, &po)| {
-                (
-                    po,
-                    matrix.signatures[k].first_failing(),
-                    causal_depths(golden, &[po]),
-                )
-            })
-            .collect();
-        Self { entries }
-    }
-
-    /// Min FF depth from every fanin cell to the cluster's member
-    /// outputs (min across members) — the depth table for the
-    /// cluster's causal observation window, derived from the
-    /// per-output tables without another graph traversal.
-    pub fn cluster_depths(&self, cluster: &FailureCluster) -> HashMap<CellId, usize> {
-        let mut depths: HashMap<CellId, usize> = HashMap::new();
-        for (po, _, map) in &self.entries {
-            if !cluster.outputs.contains(po) {
-                continue;
-            }
-            for (&c, &d) in map {
-                depths
-                    .entry(c)
-                    .and_modify(|e| *e = (*e).min(d))
-                    .or_insert(d);
-            }
-        }
-        depths
-    }
-
-    /// The cluster's windowed suspect set (see the type docs).
-    pub fn windowed_suspects(&self, cluster: &FailureCluster) -> SuspectCone {
-        let w = cluster.window;
-        cluster
-            .cone
-            .iter()
-            .filter(|&c| {
-                // Feasible: c's divergence can reach some member
-                // output within the window (each FF crossing costs a
-                // full pattern, so depth > w is a hard impossibility).
-                let feasible = self
-                    .entries
-                    .iter()
-                    .filter(|(po, _, _)| cluster.outputs.contains(po))
-                    .any(|(_, _, depths)| depths.get(&c).is_some_and(|&d| d <= w));
-                // Alibied: some output was still clean at the pattern
-                // c's wavefront (diverging by w, as the cluster's
-                // cause must) would earliest have reached it.
-                let alibied = self.entries.iter().any(|(_, onset, depths)| {
-                    depths
-                        .get(&c)
-                        .is_some_and(|&d| onset.is_none_or(|f| f > w.saturating_add(d)))
-                });
-                feasible && !alibied
-            })
-            .collect()
-    }
 }
 
 /// Groups the failing outputs of `matrix` into error clusters: two
@@ -605,11 +436,12 @@ mod tests {
     }
 
     #[test]
-    fn windowed_pruning_on_combinational_designs_matches_the_flat_form() {
-        // No flip-flops: every causal depth is zero, so AlibiIndex
-        // pruning degenerates to subtracting the flat windowed clean
-        // cone — and it keeps the guilty cell while shedding the
-        // clean sibling cone.
+    fn windowed_pruning_on_combinational_designs_matches_the_passing_split() {
+        // No flip-flops: every causal depth is zero, so evidence
+        // pruning degenerates to the classic passing-cone subtraction
+        // — it keeps the guilty cell while shedding the clean sibling
+        // cone.
+        use crate::diagnosis::evidence::EvidenceBase;
         let golden = two_cone_design();
         let mut dut = golden.clone();
         let u1 = dut.find_cell("u1").unwrap();
@@ -618,14 +450,17 @@ mod tests {
         let clusters = cluster_failures(&golden, &m);
         assert_eq!(clusters.len(), 1);
         let cl = &clusters[0];
-        let pruned = cl.windowed_suspects(&golden, &m);
-        let mut flat = cl.cone.clone();
-        flat.subtract_with(&windowed_clean_cone(&golden, &m, cl.window));
-        assert_eq!(pruned, flat, "depth-0 pruning must equal the flat form");
+        let evidence = EvidenceBase::from_sweep(&golden, &m);
+        let pruned = evidence.prune_cone(&cl.cone, &evidence.causal_window(cl));
         let u1g = golden.find_cell("u1").unwrap();
         let u0g = golden.find_cell("u0").unwrap();
         assert!(pruned.contains(u1g));
         assert!(!pruned.contains(u0g), "clean y0's cone is an alibi");
+        assert_eq!(
+            pruned.union(&cl.cone),
+            cl.cone,
+            "pruning only ever shrinks the cone"
+        );
     }
 
     #[test]

@@ -1,13 +1,21 @@
-//! Simultaneous multi-error diagnosis: suspect-cone algebra, shared
-//! test logic, and per-error attribution.
+//! Diagnosis: causal evidence, suspect-cone algebra, shared test
+//! logic, and per-error attribution.
 //!
-//! The paper's debug loop (§3.1) — and [`crate::session::DebugSession`]'s
-//! single-error `run` — assumes one error at a time. Real emulation
-//! runs surface several interacting errors whose suspect cones
-//! overlap. This module adds the machinery to hunt them *together*,
-//! so the tiled flow's cheap ECOs are amortized across every live
-//! error instead of being spent one cone at a time:
+//! The paper's debug loop (§3.1) is one evidence-accumulation process
+//! — detect, localize, confirm, correct — regardless of how many
+//! errors are live. This module is structured around that fact:
 //!
+//! * [`evidence`] — **the shared causal-evidence layer**.
+//!   [`EvidenceBase`] owns the (net, window)-keyed verdict cache
+//!   (divergence-onset bounds per net), the per-output alibi tables
+//!   of the detection sweep, causal-[`ObservationWindow`] computation,
+//!   and screening exonerations, behind a narrow query API
+//!   (`clean_through` / `diverged_by` / `verdict` / `prune_cone` /
+//!   `order_suspects`). Both the serial single-error path
+//!   ([`crate::session::DebugSession::run`]) and the concurrent
+//!   scheduler read and write the same layer, so serial localization
+//!   gets causal windows, alibi pruning and free PO-onset seeding —
+//!   no pruning or window logic exists anywhere else;
 //! * [`cone`] — [`SuspectCone`], a normalized bitset algebra
 //!   (union / intersect / subtract, fanin-cone construction) over the
 //!   netlist DAG; the vocabulary everything else is written in;
@@ -17,32 +25,27 @@
 //! * [`attribution`] — [`ResponseSignature`]s (which patterns each
 //!   output fails on) cluster failing outputs into per-error
 //!   footprints ([`cluster_failures`]), each carrying a
-//!   `[0, first_fail]` observation window; an [`AlibiIndex`] prunes
-//!   each cluster's cone causally (suspects too many flip-flops away
-//!   to reach the outputs in time, or whose wavefront would already
-//!   have crossed a still-clean output — [`windowed_clean_cone`] is
-//!   the flat depth-0 form); [`FaultAttribution`] fault-simulates
-//!   candidate sites under a complement error model to assign blame
-//!   when cones intersect;
-//! * [`scheduler`] — [`MultiErrorScheduler`] runs one
-//!   [`crate::strategy::LocalizationStrategy`] per error and merges
-//!   all tap requests into deduplicated physical batches, so one
-//!   observation ECO through any [`crate::flows::ReimplFlow`]
-//!   advances every live localization. The verdict cache is keyed by
-//!   *(net, window)*: each tap is measured once as its exact
-//!   divergence onset and re-read under every cluster's own causal
-//!   [`ObservationWindow`], so no net is ever tapped twice
-//!   (detection's primary-output onsets are seeded into it for
-//!   free), and the shared core is *screened* first: one tap batch
-//!   on only its frontier exonerates the core per window or confines
-//!   suspicion to the diverging frontier's in-core fanin.
+//!   `[0, first_fail]` observation window; [`FaultAttribution`]
+//!   fault-simulates candidate sites under a complement error model
+//!   to assign blame when cones intersect;
+//! * [`scheduler`] — [`MultiErrorScheduler`], a thin orchestrator
+//!   over the evidence base: one
+//!   [`crate::strategy::LocalizationStrategy`] per error, all tap
+//!   requests merged into deduplicated physical batches, every
+//!   request first checked against the evidence (cache-served rounds
+//!   cost zero physical ECOs), and the shared core *screened* first —
+//!   one tap batch on only its frontier records windowed,
+//!   latency-aware exonerations for the whole core.
 //!   [`merge_fsm_clusters`] folds the several clusters one FSM error
-//!   fans out into (same onset, dominating shared state register)
-//!   back into a single track before registration.
+//!   fans out into back into a single track, a decision *deferred*
+//!   until the discriminating screening evidence (the dominating
+//!   state register's own onset, see [`fsm_merge_witnesses`]) is in
+//!   the evidence base.
 //!
 //! The session-level entry points are
-//! [`crate::session::DebugSession::run_concurrent`] (planted errors)
-//! and [`crate::session::DebugSession::run_concurrent_campaign`]
+//! [`crate::session::DebugSession::run`] (one error, same evidence
+//! layer), [`crate::session::DebugSession::run_concurrent`] (planted
+//! errors) and [`crate::session::DebugSession::run_concurrent_campaign`]
 //! (random distinct errors); `run_campaign` routes through the same
 //! scheduler whenever it is asked for more than one error.
 //!
@@ -52,7 +55,7 @@
 //! cone)*: one cluster per distinguishable error footprint. Each
 //! cluster is localized under a single-error-per-cluster assumption —
 //! when two errors hide in one cluster's cone (e.g. a single-output
-//! design), localization converges on the topologically dominant one
+//! design), localization converges on the temporally dominant one
 //! and the remainder is caught by the corrective re-emulation, as in
 //! the sequential protocol. Divergences in a shared core are credited
 //! conservatively to every requesting cluster; the
@@ -62,15 +65,17 @@
 
 pub mod attribution;
 pub mod cone;
+pub mod evidence;
 pub mod partition;
 pub mod scheduler;
 
 pub use attribution::{
-    cluster_failures, collect_responses, windowed_clean_cone, AlibiIndex, FailureCluster,
-    FaultAttribution, ResponseMatrix, ResponseSignature,
+    cluster_failures, collect_responses, FailureCluster, FaultAttribution, ResponseMatrix,
+    ResponseSignature,
 };
 pub use cone::SuspectCone;
+pub use evidence::{EvidenceBase, ObservationWindow};
 pub use partition::{ConePartition, Ownership};
 pub use scheduler::{
-    merge_fsm_clusters, Ambiguity, MultiErrorScheduler, ObservationWindow, RoundPlan,
+    fsm_merge_witnesses, merge_fsm_clusters, Ambiguity, MultiErrorScheduler, RoundPlan,
 };

@@ -10,212 +10,54 @@
 //! are tapped (and paid for) once, and a single re-implementation ECO
 //! advances every live error's search.
 //!
-//! Two further mechanisms cut the physical tap bill below the naive
-//! union:
+//! The scheduler is deliberately thin: all knowledge lives in the
+//! shared [`EvidenceBase`] — the (net, window)-keyed verdict cache
+//! that the serial path reads through too. The scheduler's own job is
+//! pure orchestration:
 //!
-//! * a **windowed verdict cache** — every tap is observed once,
-//!   physically, as its exact *divergence onset* (the first pattern
-//!   its net diverges on), and every query against the cache is keyed
-//!   by `(net, window)`: a track watching the observation window
-//!   `[0, w]` reads the cached onset as `diverged iff onset <= w`. One
-//!   physical tap therefore serves every cluster, each under its own
-//!   window, instead of silently conflating "diverged somewhere in
-//!   the sweep" across clusters whose errors surface at different
-//!   times. Partial knowledge composes the same way:
-//!   [`assume`](MultiErrorScheduler::assume)d whole-sweep verdicts
-//!   and screening exonerations are stored as onset *bounds*
-//!   (diverged-by / clean-through) and answer exactly the windows
-//!   they soundly can — a cell never pays for a second tap, and a
-//!   verdict observed under one window is reused (or narrowed) by
-//!   another cluster only when the bounds actually cover its window.
-//!   Rounds whose requests are fully answered by the cache execute
-//!   with *zero* physical ECOs;
+//! * **cache-first planning** — a round's merged request drops every
+//!   cell whose verdict the evidence base already determines *at the
+//!   requesting track's window*; rounds answered entirely from
+//!   evidence execute with zero physical ECOs;
 //! * **shared-core screening** — before any strategy walks the
 //!   [`ConePartition`]'s shared core, the scheduler taps only the
 //!   core's *frontier* (the cells whose fanout escapes the core: on
 //!   the DAG, every path from a core error to any output runs through
-//!   them). Screening is windowed and latency-aware: each core cell
-//!   is exonerated through the earliest, over the frontier cells its
-//!   divergence could escape through, of the frontier's clean-through
-//!   bound minus the cell's FF distance to it — a frontier clean
-//!   across the whole sweep exonerates its fanin for every window
-//!   (the original all-or-nothing behaviour), while a frontier that
-//!   first diverges at pattern `p` still vouches for an in-core cell
-//!   `d` flip-flops upstream on every window ending before `p − d`.
+//!   them) and records the windowed, latency-aware exonerations into
+//!   the evidence base
+//!   ([`EvidenceBase::exonerate_fanin`]).
 //!
-//! The scheduler is pure decision logic — the session owns emulation
-//! and the physical flow — so it is testable against a simulated
-//! oracle exactly like the strategies themselves. It also hosts
-//! [`merge_fsm_clusters`], the pre-registration pass that folds the
-//! several failure clusters one FSM error fans out into back into a
-//! single track.
+//! It also hosts [`merge_fsm_clusters`], which folds the several
+//! failure clusters one FSM error fans out into back into a single
+//! track — a decision that is *deferred* until the discriminating
+//! screening evidence (did the dominating state register actually
+//! diverge?) is recorded in the evidence base.
 
 use std::collections::{HashMap, HashSet};
 
 use netlist::{CellId, Netlist};
 
-use crate::strategy::{LocalizationStrategy, TapObservation};
+use crate::strategy::LocalizationStrategy;
 
-use super::attribution::{causal_depths, FailureCluster};
+use super::attribution::FailureCluster;
 use super::cone::SuspectCone;
+use super::evidence::{causal_depths, EvidenceBase, ObservationWindow};
 use super::partition::ConePartition;
-
-/// What the scheduler knows about one net's divergence onset: a pair
-/// of bounds that together answer windowed verdict queries.
-///
-/// A physical tap measures the exact onset (both bounds collapse onto
-/// it); assumptions and screening exonerations contribute one-sided
-/// bounds. Queries outside the bounds return `None` — the cell still
-/// needs a tap *for that window*.
-#[derive(Debug, Clone, Copy, Default)]
-struct CellKnowledge {
-    /// `Some(p)`: the net is known to diverge on pattern `p`, hence
-    /// within every window `>= p`.
-    diverged_by: Option<usize>,
-    /// `Some(w)`: the net is known clean on every pattern `<= w`.
-    clean_through: Option<usize>,
-}
-
-impl CellKnowledge {
-    /// Window value standing for "the whole stimulus sweep" (the
-    /// window of a track registered without one, and the horizon of
-    /// whole-sweep assumptions).
-    const WHOLE_SWEEP: usize = usize::MAX;
-
-    /// The verdict for the observation window `[0, window]`, if the
-    /// bounds determine it.
-    fn verdict(&self, window: usize) -> Option<bool> {
-        if self.diverged_by.is_some_and(|p| p <= window) {
-            return Some(true);
-        }
-        if self.clean_through.is_some_and(|c| c >= window) {
-            return Some(false);
-        }
-        None
-    }
-
-    /// Folds in an exact measurement: the first diverging pattern
-    /// over the whole sweep (`None` = clean throughout).
-    fn record_measured(&mut self, onset: Option<usize>) {
-        match onset {
-            Some(p) => {
-                self.note_diverged_by(p);
-                if p > 0 {
-                    self.note_clean_through(p - 1);
-                }
-            }
-            None => self.note_clean_through(Self::WHOLE_SWEEP),
-        }
-    }
-
-    fn note_diverged_by(&mut self, p: usize) {
-        self.diverged_by = Some(self.diverged_by.map_or(p, |q| q.min(p)));
-    }
-
-    fn note_clean_through(&mut self, w: usize) {
-        self.clean_through = Some(self.clean_through.map_or(w, |q| q.max(w)));
-    }
-
-    /// Whether the bounds pin the onset down exactly — a physical tap
-    /// can teach nothing more.
-    fn exact(&self) -> bool {
-        self.clean_through == Some(Self::WHOLE_SWEEP)
-            || self
-                .diverged_by
-                .is_some_and(|p| p == 0 || self.clean_through.is_some_and(|c| c + 1 >= p))
-    }
-}
-
-/// One cluster's observation window, with optional causal
-/// sharpening.
-///
-/// The window ends at the cluster's earliest failing pattern: by
-/// then, the divergence that exposed the cluster had already
-/// happened, so later evidence belongs to other errors. The *causal*
-/// variant additionally accounts for propagation latency — a
-/// suspect's divergence can only explain a failure at pattern `end`
-/// if it occurred at least `depth` patterns earlier, where `depth` is
-/// the suspect's minimum flip-flop distance to the cluster's
-/// outputs. Without it, a slower upstream error's wavefront passing
-/// *through* the suspect region inside the window would be blamed
-/// for a failure it cannot have caused yet.
-#[derive(Debug, Clone, Default)]
-pub struct ObservationWindow {
-    end: usize,
-    /// Minimum FF distance from each fanin cell to the cluster's
-    /// outputs (empty for a flat window: every cell judged at `end`).
-    depths: HashMap<CellId, usize>,
-}
-
-impl ObservationWindow {
-    /// A flat window: every suspect judged over `[0, end]`.
-    pub fn flat(end: usize) -> Self {
-        Self {
-            end,
-            depths: HashMap::new(),
-        }
-    }
-
-    /// A causal window ending at `end`: each suspect judged over
-    /// `[0, end - ffdepth(suspect -> outputs)]`.
-    pub fn causal(golden: &Netlist, outputs: &[CellId], end: usize) -> Self {
-        Self::from_depths(end, causal_depths(golden, outputs))
-    }
-
-    /// A causal window over a precomputed depth table (e.g. derived
-    /// from [`super::attribution::AlibiIndex::cluster_depths`],
-    /// avoiding a second graph traversal per cluster).
-    pub fn from_depths(end: usize, depths: HashMap<CellId, usize>) -> Self {
-        Self { end, depths }
-    }
-
-    /// End of the window (the cluster's earliest failing pattern).
-    pub fn end(&self) -> usize {
-        self.end
-    }
-
-    /// Minimum FF distance from `cell` to the cluster's outputs (0
-    /// for a flat window or a cell outside the fanin).
-    ///
-    /// Beyond shrinking the cell's verdict window, this orders
-    /// suspects *temporally*: `topo_order` treats flip-flops as
-    /// sources, so on sequential cones plain topological rank can
-    /// place a downstream-of-FF cell before its temporal ancestors —
-    /// sorting by descending depth (ties broken by rank) restores
-    /// "the first diverging suspect is the error site" for
-    /// [`crate::strategy::LinearBatches`].
-    pub fn depth_of(&self, cell: CellId) -> usize {
-        self.depths.get(&cell).copied().unwrap_or(0)
-    }
-
-    /// The effective window for one cell.
-    fn for_cell(&self, cell: CellId) -> usize {
-        self.end
-            .saturating_sub(self.depths.get(&cell).copied().unwrap_or(0))
-    }
-}
 
 /// One localization in flight.
 struct Track {
     strategy: Box<dyn LocalizationStrategy>,
     cone: SuspectCone,
-    /// The track's observation window; `None` = the whole sweep.
-    window: Option<ObservationWindow>,
-    /// Cells requested this round, in the strategy's (topological)
-    /// order. Cleared when the round's verdicts are fed back.
+    /// The track's observation window
+    /// ([`ObservationWindow::whole_sweep`] when the track has no
+    /// failure-onset information).
+    window: ObservationWindow,
+    /// Cells requested this round, in the strategy's order. Cleared
+    /// when the round's verdicts are fed back.
     requested: Vec<CellId>,
     taps_requested: usize,
     rounds_joined: usize,
     done: bool,
-}
-
-impl Track {
-    /// The window a verdict for `cell` is evaluated at.
-    fn window_for(&self, cell: CellId) -> usize {
-        self.window
-            .as_ref()
-            .map_or(CellKnowledge::WHOLE_SWEEP, |w| w.for_cell(cell))
-    }
 }
 
 /// Shared-core screening progress.
@@ -232,8 +74,8 @@ enum Screening {
 #[derive(Debug, Clone, Default)]
 pub struct RoundPlan {
     /// The deduplicated union of all live tracks' requests — minus
-    /// every cell whose verdict is already cached — split into batches
-    /// of at most `max_taps_per_eco` cells. Each batch is one
+    /// every cell whose verdict is already in evidence — split into
+    /// batches of at most `max_taps_per_eco` cells. Each batch is one
     /// observation-tap ECO.
     pub batches: Vec<Vec<CellId>>,
     /// Whether this is the shared-core screening round (no track
@@ -260,23 +102,19 @@ pub struct Ambiguity {
 }
 
 /// Plans shared observation-tap batches for `k` concurrent error
-/// localizations.
+/// localizations over one [`EvidenceBase`].
 ///
-/// Protocol: [`add_error`](Self::add_error) once per suspected error
-/// (and optionally [`assume`](Self::assume) verdicts detection
-/// already established), then alternate
-/// [`plan_round`](Self::plan_round) (`None` = all tracks finished)
-/// with the physical tap ECOs and
+/// Protocol: [`add_error`](Self::add_error) once per suspected error,
+/// then alternate [`plan_round`](Self::plan_round) (`None` = all
+/// tracks finished) with the physical tap ECOs and
 /// [`record_round`](Self::record_round);
-/// [`localized`](Self::localized) yields the per-error answers.
+/// [`localized`](Self::localized) yields the per-error answers. All
+/// verdict seeding (detection onsets, assumptions) goes directly into
+/// the evidence base.
 pub struct MultiErrorScheduler {
     tracks: Vec<Track>,
     partition: ConePartition,
     max_taps_per_eco: usize,
-    /// Everything ever observed or assumed about each net's
-    /// divergence onset; queries are keyed by `(net, window)` through
-    /// [`CellKnowledge::verdict`].
-    verdicts: HashMap<CellId, CellKnowledge>,
     /// Shared-core frontier: each frontier cell paired with its
     /// in-core fanin cone (the cells it testifies for) and the min
     /// FF distance from each of those cells to the frontier (the
@@ -298,22 +136,20 @@ impl MultiErrorScheduler {
             tracks: Vec::new(),
             partition: ConePartition::default(),
             max_taps_per_eco,
-            verdicts: HashMap::new(),
             screen: Vec::new(),
             screening: Screening::Planned,
         }
     }
 
-    /// Registers one suspected error: its topologically-sorted suspect
-    /// list, its [`ObservationWindow`] (`None` = the whole sweep) and
-    /// a fresh strategy to drive. Returns the track index. All errors
-    /// must be registered before the first
-    /// [`plan_round`](Self::plan_round).
+    /// Registers one suspected error: its sorted suspect list, its
+    /// [`ObservationWindow`] and a fresh strategy to drive. Returns
+    /// the track index. All errors must be registered before the
+    /// first [`plan_round`](Self::plan_round).
     pub fn add_error(
         &mut self,
         golden: &Netlist,
         suspects: &[CellId],
-        window: Option<ObservationWindow>,
+        window: ObservationWindow,
         mut strategy: Box<dyn LocalizationStrategy>,
     ) -> usize {
         strategy.begin(golden, suspects);
@@ -344,32 +180,6 @@ impl MultiErrorScheduler {
         self.tracks.len() - 1
     }
 
-    /// Seeds the verdict cache with a whole-sweep observation that is
-    /// already known. A `true` records "diverged somewhere in the
-    /// sweep" (answers only unbounded windows — prefer
-    /// [`assume_onset`](Self::assume_onset) when the onset is known);
-    /// a `false` records "clean across the sweep", which answers
-    /// every window.
-    pub fn assume(&mut self, cell: CellId, diverged: bool) {
-        let k = self.verdicts.entry(cell).or_default();
-        if diverged {
-            k.note_diverged_by(CellKnowledge::WHOLE_SWEEP);
-        } else {
-            k.note_clean_through(CellKnowledge::WHOLE_SWEEP);
-        }
-    }
-
-    /// Seeds the verdict cache with an exact divergence onset — e.g.
-    /// the detection sweep measured every primary output per pattern,
-    /// so each PO driver's first failing pattern is free and answers
-    /// *any* cluster's window without a physical tap.
-    pub fn assume_onset(&mut self, cell: CellId, onset: Option<usize>) {
-        self.verdicts
-            .entry(cell)
-            .or_default()
-            .record_measured(onset);
-    }
-
     /// Number of registered tracks.
     pub fn tracks(&self) -> usize {
         self.tracks.len()
@@ -386,14 +196,14 @@ impl MultiErrorScheduler {
     }
 
     /// Total taps track `k` has requested so far (before cross-track
-    /// deduplication and verdict-cache hits — the difference against
-    /// the physical tap count is the sharing win).
+    /// deduplication and evidence hits — the difference against the
+    /// physical tap count is the sharing win).
     pub fn taps_requested(&self, k: usize) -> usize {
         self.tracks[k].taps_requested
     }
 
     /// Rounds track `k` participated in (including rounds served
-    /// entirely from the verdict cache).
+    /// entirely from evidence).
     pub fn rounds_joined(&self, k: usize) -> usize {
         self.tracks[k].rounds_joined
     }
@@ -406,23 +216,23 @@ impl MultiErrorScheduler {
 
     /// Collects every live track's next tap request and merges them
     /// into deduplicated, capped batches of cells whose verdict the
-    /// cache cannot answer *at the requesting track's window*. The
-    /// very first round screens the shared core's frontier instead
-    /// (when cones overlap). Rounds whose requests the cache already
-    /// answers are fed back internally and cost nothing; `None` means
-    /// every track has finished.
-    pub fn plan_round(&mut self) -> Option<RoundPlan> {
+    /// evidence base cannot answer *at the requesting track's
+    /// window*. The very first round screens the shared core's
+    /// frontier instead (when cones overlap). Rounds whose requests
+    /// the evidence already answers are fed back internally and cost
+    /// nothing; `None` means every track has finished.
+    pub fn plan_round(&mut self, evidence: &mut EvidenceBase) -> Option<RoundPlan> {
         if matches!(self.screening, Screening::Planned) {
             let cells: Vec<CellId> = self
                 .screen
                 .iter()
                 .map(|&(c, _, _)| c)
-                .filter(|c| !self.verdicts.get(c).is_some_and(|k| k.exact()))
+                .filter(|&c| !evidence.exact(c))
                 .collect();
             if cells.is_empty() {
-                // Nothing to tap — resolve from whatever is cached.
+                // Nothing to tap — resolve from whatever is known.
                 self.screening = Screening::Done;
-                self.resolve_screening();
+                evidence.exonerate_fanin(&self.screen);
             } else {
                 self.screening = Screening::Pending;
                 return Some(RoundPlan {
@@ -451,13 +261,10 @@ impl MultiErrorScheduler {
                 }
                 any_request = true;
                 for &c in &t.requested {
-                    // A cell cached for one window can still need a
+                    // A cell known for one window can still need a
                     // physical tap for another: only a verdict at
                     // *this* track's window counts as answered.
-                    let answered = self
-                        .verdicts
-                        .get(&c)
-                        .is_some_and(|k| k.verdict(t.window_for(c)).is_some());
+                    let answered = evidence.verdict(c, t.window.for_cell(c)).is_some();
                     if !answered && seen.insert(c) {
                         merged.push(c);
                     }
@@ -467,9 +274,10 @@ impl MultiErrorScheduler {
                 return None;
             }
             if merged.is_empty() {
-                // Every requested cell is cached: answer the whole
-                // round for free and ask the strategies again.
-                self.feed_requested(&HashMap::new());
+                // Every requested cell is already in evidence: answer
+                // the whole round for free and ask the strategies
+                // again.
+                self.feed_requested(evidence, &HashMap::new());
                 continue;
             }
             return Some(RoundPlan {
@@ -481,11 +289,12 @@ impl MultiErrorScheduler {
 
     /// Merges the round's fresh measurements — each tapped cell's
     /// exact divergence onset over the sweep (`None` = clean
-    /// throughout) — into the cache, then either resolves a pending
-    /// shared-core screening or feeds every requesting track its
-    /// observations (each sees its own requests, in its own order and
-    /// *under its own window*, cached verdicts included). Returns the
-    /// diverging cells that more than one cone-and-window can explain.
+    /// throughout) — into the evidence base, then either resolves a
+    /// pending shared-core screening (recording the windowed
+    /// exonerations) or feeds every requesting track its verdicts
+    /// (each strategy reads its own requests from evidence *under its
+    /// own window*). Returns the diverging cells that more than one
+    /// cone-and-window can explain.
     ///
     /// Divergence is credited per window: a track sees a tap as
     /// diverging only when the onset falls inside its observation
@@ -495,13 +304,17 @@ impl MultiErrorScheduler {
     /// [`Ambiguity`] list names exactly those observations so the
     /// caller can score them with
     /// [`crate::diagnosis::FaultAttribution`].
-    pub fn record_round(&mut self, fresh: &HashMap<CellId, Option<usize>>) -> Vec<Ambiguity> {
+    pub fn record_round(
+        &mut self,
+        evidence: &mut EvidenceBase,
+        fresh: &HashMap<CellId, Option<usize>>,
+    ) -> Vec<Ambiguity> {
         for (&c, &onset) in fresh {
-            self.verdicts.entry(c).or_default().record_measured(onset);
+            evidence.record(c, onset);
         }
         if matches!(self.screening, Screening::Pending) {
             self.screening = Screening::Done;
-            self.resolve_screening();
+            evidence.exonerate_fanin(&self.screen);
             // Frontier ⊆ shared core ⇒ ≥ 2 owning cones, but only
             // owners whose window reaches the onset actually see the
             // divergence — one of them alone is not ambiguous.
@@ -509,13 +322,13 @@ impl MultiErrorScheduler {
                 .screen
                 .iter()
                 .filter_map(|&(cell, _, _)| {
-                    let onset = self.verdicts.get(&cell)?.diverged_by?;
+                    let onset = evidence.diverged_by(cell)?;
                     let tracks = self.visible_owners(cell, onset);
                     (tracks.len() > 1).then_some(Ambiguity { cell, tracks })
                 })
                 .collect();
         }
-        self.feed_requested(fresh)
+        self.feed_requested(evidence, fresh)
     }
 
     /// Per-track localization results, in registration order.
@@ -537,7 +350,7 @@ impl MultiErrorScheduler {
         self.tracks
             .iter()
             .enumerate()
-            .filter(|(_, t)| t.cone.contains(cell) && t.window_for(cell) >= onset)
+            .filter(|(_, t)| t.cone.contains(cell) && t.window.for_cell(cell) >= onset)
             .map(|(i, _)| i)
             .collect()
     }
@@ -567,50 +380,15 @@ impl MultiErrorScheduler {
         }
     }
 
-    /// Applies the screening verdicts, windowed and latency-aware:
-    /// each core cell is exonerated through the *minimum*, over the
-    /// frontier cells its divergence could escape through, of
-    /// `frontier_clean_through - ffdepth(cell -> frontier)` (every
-    /// escape path from a core error runs through its covering
-    /// frontier cells, but the wavefront needs `ffdepth` patterns to
-    /// get there — a frontier still clean at `p` only vouches for the
-    /// cell up to `p - ffdepth`). A frontier clean across the whole
-    /// sweep exonerates its in-core fanin for every window.
-    /// Strategies whose window falls inside a cell's exonerated range
-    /// sweep it from the cache instead of the device.
-    fn resolve_screening(&mut self) {
-        let mut bound: HashMap<CellId, Option<usize>> = HashMap::new();
-        for (cell, in_core_fanin, depths) in &self.screen {
-            let ct = self.verdicts.get(cell).and_then(|k| k.clean_through);
-            for c in in_core_fanin.iter() {
-                let b = match ct {
-                    Some(CellKnowledge::WHOLE_SWEEP) => Some(CellKnowledge::WHOLE_SWEEP),
-                    Some(p) => p.checked_sub(depths.get(&c).copied().unwrap_or(0)),
-                    None => None,
-                };
-                bound
-                    .entry(c)
-                    .and_modify(|e| {
-                        *e = match (*e, b) {
-                            (Some(x), Some(y)) => Some(x.min(y)),
-                            _ => None,
-                        }
-                    })
-                    .or_insert(b);
-            }
-        }
-        for (c, b) in bound {
-            if let Some(w) = b {
-                self.verdicts.entry(c).or_default().note_clean_through(w);
-            }
-        }
-    }
-
-    /// Feeds each requesting track its verdicts — fresh merged over
-    /// cache, each evaluated at the track's own window (a missing
-    /// verdict reads as "did not diverge") — and flags the fresh
-    /// divergences that more than one cone-and-window explains.
-    fn feed_requested(&mut self, fresh: &HashMap<CellId, Option<usize>>) -> Vec<Ambiguity> {
+    /// Feeds each requesting track its verdicts — every strategy
+    /// reads its requested cells from the evidence base under its own
+    /// window — and flags the fresh divergences that more than one
+    /// cone-and-window explains.
+    fn feed_requested(
+        &mut self,
+        evidence: &EvidenceBase,
+        fresh: &HashMap<CellId, Option<usize>>,
+    ) -> Vec<Ambiguity> {
         let mut ambiguities: Vec<Ambiguity> = Vec::new();
         let mut flagged: HashSet<CellId> = HashSet::new();
         for k in 0..self.tracks.len() {
@@ -618,41 +396,89 @@ impl MultiErrorScheduler {
                 continue;
             }
             let requested = std::mem::take(&mut self.tracks[k].requested);
-            let obs: Vec<TapObservation> = requested
-                .iter()
-                .map(|&cell| TapObservation {
-                    cell,
-                    diverged: self
-                        .verdicts
-                        .get(&cell)
-                        .and_then(|kn| kn.verdict(self.tracks[k].window_for(cell)))
-                        .unwrap_or(false),
-                })
-                .collect();
-            for o in obs.iter().filter(|o| o.diverged) {
-                let Some(&Some(onset)) = fresh.get(&o.cell) else {
+            for &cell in &requested {
+                let Some(&Some(onset)) = fresh.get(&cell) else {
                     continue;
                 };
-                if !flagged.insert(o.cell) {
+                if evidence.verdict(cell, self.tracks[k].window.for_cell(cell)) != Some(true) {
                     continue;
                 }
-                let owners = self.visible_owners(o.cell, onset);
+                if !flagged.insert(cell) {
+                    continue;
+                }
+                let owners = self.visible_owners(cell, onset);
                 if owners.len() > 1 {
                     ambiguities.push(Ambiguity {
-                        cell: o.cell,
+                        cell,
                         tracks: owners,
                     });
                 }
             }
-            self.tracks[k].strategy.observe(&obs);
+            let (strategy, window) = {
+                let t = &mut self.tracks[k];
+                (&mut t.strategy, &t.window)
+            };
+            strategy.observe(evidence, window);
         }
         ambiguities
     }
 }
 
+/// The dominating state registers that would witness folding
+/// same-onset failure clusters into one FSM track — the cells whose
+/// divergence onsets discriminate one fanned-out FSM error from
+/// several independent same-onset errors behind a shared trunk.
+///
+/// Runs the *same* fold as [`merge_fsm_clusters`], but optimistically
+/// (every dominating register is presumed diverging), and collects
+/// each fold step's preferred witness — the most *downstream*
+/// dominating register, the one any trunk-borne corruption must pass
+/// through last. Mirroring the fold matters: a third fan-out cluster
+/// is judged against the *accumulated union* of the first two, whose
+/// dominating register can differ from any pairwise one. The caller
+/// taps the witnesses the [`EvidenceBase`] cannot already judge,
+/// records the measured onsets, and only then calls
+/// [`merge_fsm_clusters`]: the merge decision is *deferred* until
+/// that evidence exists. (If a real merge is later rejected — the
+/// witness came back clean — deeper fold steps may consult registers
+/// this pass did not name; those merges are conservatively skipped,
+/// which is sound: a clean trunk carried no corruption.)
+pub fn fsm_merge_witnesses(golden: &Netlist, clusters: &[FailureCluster]) -> Vec<CellId> {
+    let mut fanouts: HashMap<CellId, SuspectCone> = HashMap::new();
+    let mut witnesses: Vec<CellId> = Vec::new();
+    let mut merged: Vec<FailureCluster> = Vec::new();
+    for cl in clusters.iter().cloned() {
+        let mut host = None;
+        for (i, m) in merged.iter().enumerate() {
+            if m.window != cl.window {
+                continue;
+            }
+            if let Some(ff) = dominating_register(golden, m, &cl, &mut fanouts) {
+                if !witnesses.contains(&ff) {
+                    witnesses.push(ff);
+                }
+                host = Some(i);
+                break;
+            }
+        }
+        match host {
+            Some(i) => {
+                let m = &mut merged[i];
+                m.outputs.extend_from_slice(&cl.outputs);
+                m.signature.union_with(&cl.signature);
+                m.cone.intersect_with(&cl.cone);
+            }
+            None => merged.push(cl),
+        }
+    }
+    witnesses.sort_unstable();
+    witnesses
+}
+
 /// Folds the several failure clusters one FSM error fans out into
 /// back into a single cluster, so the error is localized once instead
-/// of `k` times.
+/// of `k` times — *deferred* until the discriminating screening
+/// evidence is in the [`EvidenceBase`].
 ///
 /// A single error in next-state logic corrupts the state registers,
 /// and the corruption surfaces simultaneously on every output the
@@ -660,11 +486,27 @@ impl MultiErrorScheduler {
 /// but the same failure onset. Two clusters merge when
 ///
 /// 1. they first fail on the same pattern (the corruption reached
-///    them on the same cycle), and
+///    them on the same cycle),
 /// 2. their cones share a **dominating sequential core**: a state
 ///    register implicated by both whose fanout cone covers every
 ///    member output of both clusters (the register can explain the
-///    entire joint footprint).
+///    entire joint footprint), and
+/// 3. the evidence base shows that register **actually diverged**
+///    within the clusters' window — the corruption really flowed
+///    through the shared trunk.
+///
+/// Criterion 3 is what the old pre-registration merge lacked: two
+/// *independent* errors in different exclusive regions behind a
+/// shared sequential trunk can fail on the same pattern, and with
+/// primary-output observability alone that case is indistinguishable
+/// from one FSM error — the old merge then intersected both sites
+/// away and localized nothing. One screening tap on the witness
+/// register settles it: a register still clean through the window
+/// cannot have carried the corruption, so the clusters stay apart
+/// (and both sites localize); a register diverged within the window
+/// proves the trunk carried it, so the clusters fold. Registers the
+/// evidence cannot judge (no verdict at the window) conservatively
+/// stay apart — correctness is unaffected, only tap cost.
 ///
 /// The merged cluster carries the union footprint (outputs and
 /// response signature) over the *intersection* of the member cones —
@@ -674,26 +516,18 @@ impl MultiErrorScheduler {
 /// explain. Combinational designs have no state registers and are
 /// never merged; clusters with different onsets (independent errors
 /// that happen to overlap structurally) are left apart.
-///
-/// # Limitation
-///
-/// Two *independent* errors in different exclusive regions behind a
-/// shared sequential trunk can fail on the same pattern, and with
-/// primary-output observability alone that case is indistinguishable
-/// from one FSM error at clustering time (even the signatures can
-/// coincide). Such a wrongly merged cluster intersects both sites
-/// away and its localization comes back `None` — the campaign still
-/// repairs through the corrective ECO, and the cost is one track's
-/// worth of probes over the shared core. The evidence that *would*
-/// discriminate (a clean shared-core frontier) only arrives during
-/// the scheduler's screening round; deferring the merge decision
-/// until after screening is recorded as an open item in ROADMAP.md.
-pub fn merge_fsm_clusters(golden: &Netlist, clusters: Vec<FailureCluster>) -> Vec<FailureCluster> {
+pub fn merge_fsm_clusters(
+    golden: &Netlist,
+    clusters: Vec<FailureCluster>,
+    evidence: &EvidenceBase,
+) -> Vec<FailureCluster> {
     let mut merged: Vec<FailureCluster> = Vec::new();
     let mut fanouts: HashMap<CellId, SuspectCone> = HashMap::new();
     for cl in clusters {
         let host = merged.iter().position(|m| {
-            m.window == cl.window && dominating_register(golden, m, &cl, &mut fanouts).is_some()
+            m.window == cl.window
+                && dominating_register(golden, m, &cl, &mut fanouts)
+                    .is_some_and(|ff| evidence.verdict(ff, cl.window) == Some(true))
         });
         match host {
             Some(i) => {
@@ -710,7 +544,11 @@ pub fn merge_fsm_clusters(golden: &Netlist, clusters: Vec<FailureCluster>) -> Ve
 
 /// A state register in both clusters' cones whose fanout covers every
 /// member output of both — the witness that one sequential error can
-/// explain the joint footprint.
+/// explain the joint footprint. Among qualifying registers the most
+/// downstream one (smallest fanout cone; ties to the lowest cell
+/// index) is preferred: any corruption the trunk carries to the
+/// outputs must pass through it last, so its divergence onset is the
+/// sharpest discriminator.
 fn dominating_register(
     golden: &Netlist,
     a: &FailureCluster,
@@ -718,19 +556,27 @@ fn dominating_register(
     fanouts: &mut HashMap<CellId, SuspectCone>,
 ) -> Option<CellId> {
     let shared = a.cone.intersect(&b.cone);
-    let witness = shared
+    let mut witness: Option<(usize, CellId)> = None;
+    for ff in shared
         .iter()
         .filter(|&c| golden.cell(c).is_ok_and(netlist::Cell::is_sequential))
-        .find(|&ff| {
-            let fanout = fanouts
-                .entry(ff)
-                .or_insert_with(|| SuspectCone::from_cells(golden.fanout_cone(&[ff])));
-            a.outputs
-                .iter()
-                .chain(&b.outputs)
-                .all(|&o| fanout.contains(o))
-        });
-    witness
+    {
+        let fanout = fanouts
+            .entry(ff)
+            .or_insert_with(|| SuspectCone::from_cells(golden.fanout_cone(&[ff])));
+        let dominates = a
+            .outputs
+            .iter()
+            .chain(&b.outputs)
+            .all(|&o| fanout.contains(o));
+        if dominates {
+            let key = (fanout.len(), ff);
+            if witness.is_none_or(|w| key < w) {
+                witness = Some(key);
+            }
+        }
+    }
+    witness.map(|(_, ff)| ff)
 }
 
 #[cfg(test)]
@@ -780,6 +626,7 @@ mod tests {
     /// (localized, taps, ecos).
     fn run_oracle(
         sched: &mut MultiErrorScheduler,
+        evidence: &mut EvidenceBase,
         nl: &Netlist,
         errors: &[CellId],
     ) -> (Vec<Option<CellId>>, usize, usize) {
@@ -789,7 +636,7 @@ mod tests {
             .collect();
         let (mut taps, mut ecos) = (0usize, 0usize);
         let mut guard = 0;
-        while let Some(plan) = sched.plan_round() {
+        while let Some(plan) = sched.plan_round(evidence) {
             let mut verdicts = HashMap::new();
             for batch in &plan.batches {
                 taps += batch.len();
@@ -799,7 +646,7 @@ mod tests {
                     verdicts.insert(c, onset);
                 }
             }
-            sched.record_round(&verdicts);
+            sched.record_round(evidence, &verdicts);
             guard += 1;
             assert!(guard <= 256, "scheduler failed to converge");
         }
@@ -814,8 +661,9 @@ mod tests {
         error: CellId,
     ) -> (Option<CellId>, usize, usize) {
         let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
-        sched.add_error(nl, suspects, None, strategy);
-        let (found, taps, ecos) = run_oracle(&mut sched, nl, &[error]);
+        let mut evidence = EvidenceBase::new();
+        sched.add_error(nl, suspects, ObservationWindow::whole_sweep(), strategy);
+        let (found, taps, ecos) = run_oracle(&mut sched, &mut evidence, nl, &[error]);
         (found[0], taps, ecos)
     }
 
@@ -836,8 +684,14 @@ mod tests {
             || Box::new(BinarySearch::new()),
         ] {
             let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+            let mut evidence = EvidenceBase::new();
             for b in &branches {
-                sched.add_error(&nl, &cone_suspects(b, &backbone), None, fresh());
+                sched.add_error(
+                    &nl,
+                    &cone_suspects(b, &backbone),
+                    ObservationWindow::whole_sweep(),
+                    fresh(),
+                );
             }
             // Overlap analysis: the backbone is the shared core, each
             // branch an exclusive region; only the last backbone cell
@@ -846,7 +700,7 @@ mod tests {
             assert_eq!(sched.partition().exclusive_sizes(), vec![8, 8, 8]);
             assert_eq!(sched.screen_cells(), vec![backbone[39]]);
 
-            let (found, taps, ecos) = run_oracle(&mut sched, &nl, &errors);
+            let (found, taps, ecos) = run_oracle(&mut sched, &mut evidence, &nl, &errors);
             assert_eq!(found, errors.iter().map(|&e| Some(e)).collect::<Vec<_>>());
 
             let (mut staps, mut secos) = (0, 0);
@@ -865,27 +719,28 @@ mod tests {
     fn clean_frontier_exonerates_the_whole_core_for_one_tap() {
         let (nl, backbone, branches) = backbone_design(40, 3, 8);
         // Errors only in the branches: the screening tap on bb39 comes
-        // back clean, so all 40 core cells resolve from the cache and
+        // back clean, so all 40 core cells resolve from evidence and
         // linear batching pays taps only inside the exclusive regions.
         let errors: Vec<CellId> = branches.iter().map(|b| b[5]).collect();
         let mut sched = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+        let mut evidence = EvidenceBase::new();
         for b in &branches {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
-                None,
+                ObservationWindow::whole_sweep(),
                 Box::new(LinearBatches::default()),
             );
         }
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(plan.screening);
         assert_eq!(plan.batches, vec![vec![backbone[39]]]);
-        let amb = sched.record_round(&HashMap::from([(backbone[39], None)]));
+        let amb = sched.record_round(&mut evidence, &HashMap::from([(backbone[39], None)]));
         assert!(amb.is_empty(), "clean frontier is unambiguous");
-        let (found, taps, _) = run_oracle(&mut sched, &nl, &errors);
+        let (found, taps, _) = run_oracle(&mut sched, &mut evidence, &nl, &errors);
         assert_eq!(found, errors.iter().map(|&e| Some(e)).collect::<Vec<_>>());
         // 1 screening tap + 3 × 8 branch taps; the 120 backbone
-        // requests all hit the cache.
+        // requests all resolve from evidence.
         assert_eq!(taps, 24);
         assert_eq!(
             sched.taps_requested(0) + sched.taps_requested(1) + sched.taps_requested(2),
@@ -897,22 +752,23 @@ mod tests {
     fn diverging_frontier_keeps_its_fanin_alive_and_is_ambiguous() {
         let (nl, backbone, branches) = backbone_design(8, 2, 2);
         let mut sched = MultiErrorScheduler::new(8);
+        let mut evidence = EvidenceBase::new();
         for b in &branches {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
-                None,
+                ObservationWindow::whole_sweep(),
                 Box::new(LinearBatches::default()),
             );
         }
         // Screening round: the core frontier, physically tapped once
         // for both tracks.
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(plan.screening);
         assert_eq!(plan.batches, vec![vec![backbone[7]]]);
         // An error *in* the shared core: the frontier diverges, both
         // cones explain it, and no core cell is exonerated.
-        let amb = sched.record_round(&HashMap::from([(backbone[7], Some(0))]));
+        let amb = sched.record_round(&mut evidence, &HashMap::from([(backbone[7], Some(0))]));
         assert_eq!(
             amb,
             vec![Ambiguity {
@@ -922,7 +778,7 @@ mod tests {
         );
         // The next round is the strategies' first: the 8-cell batch
         // covers the backbone, minus the already-tapped frontier.
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(!plan.screening);
         assert_eq!(plan.batches, vec![backbone[..7].to_vec()]);
         assert_eq!(sched.taps_requested(0) + sched.taps_requested(1), 16);
@@ -936,19 +792,20 @@ mod tests {
         let (nl, _, branches) = backbone_design(1, 1, 1);
         let cell = branches[0][0];
         let mut sched = MultiErrorScheduler::new(8);
+        let mut evidence = EvidenceBase::new();
         sched.add_error(
             &nl,
             &[cell],
-            Some(ObservationWindow::flat(2)),
+            ObservationWindow::flat(2),
             Box::new(LinearBatches::default()),
         );
         sched.add_error(
             &nl,
             &[cell],
-            Some(ObservationWindow::flat(10)),
+            ObservationWindow::flat(10),
             Box::new(LinearBatches::default()),
         );
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert_eq!(
             plan.batches,
             vec![vec![cell]],
@@ -956,11 +813,11 @@ mod tests {
         );
         // The net first diverges on pattern 5: inside the second
         // track's window, outside the first's.
-        let amb = sched.record_round(&HashMap::from([(cell, Some(5))]));
+        let amb = sched.record_round(&mut evidence, &HashMap::from([(cell, Some(5))]));
         assert!(amb.is_empty(), "only one window sees the divergence");
         assert!(
-            sched.plan_round().is_none(),
-            "everything is answerable from the cache"
+            sched.plan_round(&mut evidence).is_none(),
+            "everything is answerable from evidence"
         );
         assert_eq!(sched.localized(), vec![None, Some(cell)]);
     }
@@ -969,26 +826,27 @@ mod tests {
     fn screening_exonerates_per_window_when_the_frontier_diverges_late() {
         let (nl, backbone, branches) = backbone_design(4, 2, 2);
         let mut sched = MultiErrorScheduler::new(8);
+        let mut evidence = EvidenceBase::new();
         for (b, w) in branches.iter().zip([2usize, 20]) {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
-                Some(ObservationWindow::flat(w)),
+                ObservationWindow::flat(w),
                 Box::new(LinearBatches::default()),
             );
         }
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(plan.screening);
         assert_eq!(plan.batches, vec![vec![backbone[3]]]);
         // The frontier first diverges on pattern 10: the whole core
         // is exonerated for the window-2 track (clean through 9) but
         // stays live for the window-20 track, which alone sees the
         // divergence — no ambiguity.
-        let amb = sched.record_round(&HashMap::from([(backbone[3], Some(10))]));
+        let amb = sched.record_round(&mut evidence, &HashMap::from([(backbone[3], Some(10))]));
         assert!(amb.is_empty());
-        let plan = sched.plan_round().unwrap();
+        let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(!plan.screening);
-        // Track 0's backbone requests resolve from the cache; only
+        // Track 0's backbone requests resolve from evidence; only
         // its branch plus track 1's still-live cells need taps.
         let tapped: Vec<CellId> = plan.batches.concat();
         assert!(backbone[..3].iter().all(|c| tapped.contains(c)));
@@ -1030,15 +888,20 @@ mod tests {
     }
 
     #[test]
-    fn fsm_fanout_clusters_merge_on_shared_state_register() {
+    fn fsm_fanout_clusters_merge_once_the_register_is_seen_diverging() {
         let (nl, ff, pos) = fsm_fanout_design();
-        // Same onset behind the same register: one merged cluster
-        // over the cone intersection (the state cone, shedding the
-        // per-output combinational logic).
-        let merged = merge_fsm_clusters(
-            &nl,
-            vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 3)],
-        );
+        let clusters = vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 3)];
+        // The deferred-merge protocol names the register as the
+        // discriminating witness to tap.
+        assert_eq!(fsm_merge_witnesses(&nl, &clusters), vec![ff]);
+        // Screening evidence: the register diverged at pattern 1 —
+        // inside the shared window. Same onset behind the same
+        // register: one merged cluster over the cone intersection
+        // (the state cone, shedding the per-output combinational
+        // logic).
+        let mut evidence = EvidenceBase::new();
+        evidence.record(ff, Some(1));
+        let merged = merge_fsm_clusters(&nl, clusters.clone(), &evidence);
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].outputs, pos);
         assert_eq!(merged[0].window, 3);
@@ -1051,21 +914,52 @@ mod tests {
         let apart = merge_fsm_clusters(
             &nl,
             vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 7)],
+            &evidence,
         );
         assert_eq!(apart.len(), 2);
+    }
+
+    #[test]
+    fn clean_register_keeps_same_onset_clusters_apart() {
+        // The documented PR 4 limitation, closed: two independent
+        // same-onset errors behind a shared sequential trunk present
+        // exactly like one FSM error at clustering time, but the
+        // screening tap on the dominating register comes back clean —
+        // the trunk never carried any corruption — so the deferred
+        // merge keeps the clusters apart and both sites stay in play.
+        let (nl, ff, pos) = fsm_fanout_design();
+        let clusters = vec![cluster_for(&nl, pos[0], 3), cluster_for(&nl, pos[1], 3)];
+        let mut evidence = EvidenceBase::new();
+        evidence.record(ff, None); // clean across the sweep
+        let apart = merge_fsm_clusters(&nl, clusters.clone(), &evidence);
+        assert_eq!(apart.len(), 2, "clean trunk forbids the merge");
+        // A register diverging only *after* the window is just as
+        // exculpatory for these clusters.
+        let mut late = EvidenceBase::new();
+        late.record(ff, Some(9));
+        assert_eq!(merge_fsm_clusters(&nl, clusters.clone(), &late).len(), 2);
+        // And with no evidence at all the merge is conservatively
+        // skipped rather than guessed.
+        assert_eq!(
+            merge_fsm_clusters(&nl, clusters, &EvidenceBase::new()).len(),
+            2
+        );
     }
 
     #[test]
     fn combinational_clusters_never_merge() {
         // Shared combinational backbone, no state register: the
         // dominating-core witness requires a flip-flop, so clusters
-        // stay apart even with identical windows.
-        let (nl, _, _) = backbone_design(4, 2, 2);
+        // stay apart even with identical windows and rich evidence.
+        let (nl, backbone, _) = backbone_design(4, 2, 2);
         let pos = nl.primary_outputs();
-        let merged = merge_fsm_clusters(
-            &nl,
-            vec![cluster_for(&nl, pos[0], 0), cluster_for(&nl, pos[1], 0)],
-        );
+        let clusters = vec![cluster_for(&nl, pos[0], 0), cluster_for(&nl, pos[1], 0)];
+        assert!(fsm_merge_witnesses(&nl, &clusters).is_empty());
+        let mut evidence = EvidenceBase::new();
+        for &c in &backbone {
+            evidence.record(c, Some(0));
+        }
+        let merged = merge_fsm_clusters(&nl, clusters, &evidence);
         assert_eq!(merged.len(), 2);
     }
 
@@ -1074,19 +968,20 @@ mod tests {
         let (nl, backbone, branches) = backbone_design(4, 2, 2);
         let errors = [branches[0][1], branches[1][1]];
         let mut sched = MultiErrorScheduler::new(8);
+        let mut evidence = EvidenceBase::new();
         for b in &branches {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
-                None,
+                ObservationWindow::whole_sweep(),
                 Box::new(LinearBatches::default()),
             );
         }
         // Detection already knows the branch tips diverge (they drive
         // the failing outputs).
-        sched.assume(branches[0][1], true);
-        sched.assume(branches[1][1], true);
-        let (found, taps, _) = run_oracle(&mut sched, &nl, &errors);
+        evidence.assume(branches[0][1], true);
+        evidence.assume(branches[1][1], true);
+        let (found, taps, _) = run_oracle(&mut sched, &mut evidence, &nl, &errors);
         assert_eq!(found, vec![Some(errors[0]), Some(errors[1])]);
         // 1 screening tap + br0_0 + br1_0; the assumed tips and the
         // exonerated 4-cell core never hit the device.
@@ -1097,19 +992,23 @@ mod tests {
     fn finished_tracks_stop_requesting() {
         let (nl, backbone, branches) = backbone_design(4, 2, 2);
         let mut sched = MultiErrorScheduler::new(8);
+        let mut evidence = EvidenceBase::new();
         for b in &branches {
             sched.add_error(
                 &nl,
                 &cone_suspects(b, &backbone),
-                None,
+                ObservationWindow::whole_sweep(),
                 Box::new(LinearBatches::default()),
             );
         }
         // Error only in branch 0; branch 1's track exhausts its cone.
         let errors = [branches[0][0]];
-        let (found, _, _) = run_oracle(&mut sched, &nl, &errors);
+        let (found, _, _) = run_oracle(&mut sched, &mut evidence, &nl, &errors);
         assert_eq!(found[0], Some(branches[0][0]));
         assert_eq!(found[1], None, "clean cone must not localize anything");
-        assert!(sched.plan_round().is_none(), "all tracks are done");
+        assert!(
+            sched.plan_round(&mut evidence).is_none(),
+            "all tracks are done"
+        );
     }
 }

@@ -11,7 +11,7 @@
 //! The flow mirrors the paper's pseudo-code (§3.1):
 //!
 //! 1. [`flow::implement`] — synthesize → place with slack → route →
-//!    [`partition`] into tiles → lock interfaces ([`interface`]);
+//!    [`partition`](mod@partition) into tiles → lock interfaces ([`interface`]);
 //! 2. debugging iterations through a [`session::DebugSession`]:
 //!    detect and localize with inserted test logic (strategy chosen
 //!    via [`strategy`]), correct with an ECO, trace the change to
@@ -51,8 +51,8 @@ pub use affected::AffectedSet;
 pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_eco_effort};
 pub use debug::run_debug_iteration;
 pub use diagnosis::{
-    cluster_failures, collect_responses, merge_fsm_clusters, windowed_clean_cone, AlibiIndex,
-    ConePartition, FailureCluster, FaultAttribution, MultiErrorScheduler, ObservationWindow,
+    cluster_failures, collect_responses, fsm_merge_witnesses, merge_fsm_clusters, ConePartition,
+    EvidenceBase, FailureCluster, FaultAttribution, MultiErrorScheduler, ObservationWindow,
     ResponseSignature, SuspectCone,
 };
 pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
@@ -68,5 +68,5 @@ pub use session::{
     CampaignOutcome, ClusterOutcome, ConcurrentOutcome, DebugEvent, DebugOutcome, DebugSession,
     PatternSpec,
 };
-pub use strategy::{BinarySearch, LinearBatches, LocalizationStrategy, TapObservation};
+pub use strategy::{BinarySearch, LinearBatches, LocalizationStrategy};
 pub use tile::{Tile, TileId, TilePlan};

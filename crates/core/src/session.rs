@@ -11,6 +11,11 @@
 //!   tiled flow or any Figure 5 baseline;
 //! * localization is a [`LocalizationStrategy`], so linear batching
 //!   and binary-search bisection are interchangeable;
+//! * all causal knowledge — tap onsets, windows, alibi pruning,
+//!   screening exonerations — lives in one
+//!   [`crate::diagnosis::evidence::EvidenceBase`] shared by the
+//!   serial and concurrent paths, fed by a single observation entry
+//!   point ([`sim::emulate::net_first_divergences`]);
 //! * progress is emitted as a typed [`DebugEvent`] stream;
 //! * effort is recorded per phase in an [`EffortLedger`] that
 //!   [`crate::report::DebugReport`] and the bench bins consume.
@@ -18,22 +23,24 @@
 use std::collections::HashMap;
 
 use netlist::{CellId, NetId, Netlist};
-use sim::emulate::{first_mismatch, suspect_cells, Mismatch};
+use sim::emulate::Mismatch;
 use sim::inject::InjectedError;
 use sim::patterns::PatternGen;
 use sim::testlogic::{insert_control_point, insert_observation_tap};
 use sim::Simulator;
 
 use crate::diagnosis::attribution::po_pairs;
+use crate::diagnosis::scheduler::Ambiguity;
 use crate::diagnosis::{
-    cluster_failures, collect_responses, merge_fsm_clusters, AlibiIndex, FaultAttribution,
-    MultiErrorScheduler, ObservationWindow, ResponseSignature, SuspectCone,
+    cluster_failures, collect_responses, fsm_merge_witnesses, merge_fsm_clusters, EvidenceBase,
+    FailureCluster, FaultAttribution, MultiErrorScheduler, ResponseMatrix, ResponseSignature,
+    SuspectCone,
 };
 use crate::effort::{CadEffort, EffortLedger, Phase};
 use crate::error::TilingError;
 use crate::flow::TiledDesign;
 use crate::flows::{ReimplFlow, TiledFlow};
-use crate::strategy::{LinearBatches, LocalizationStrategy, TapObservation};
+use crate::strategy::{LinearBatches, LocalizationStrategy};
 
 /// How the session generates stimulus vectors.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -407,6 +414,18 @@ impl<'a> DebugSession<'a> {
     /// Runs one full detect → localize → confirm → correct iteration
     /// for a planted error already present in the DUT netlist.
     ///
+    /// Serial localization runs through the same
+    /// [`crate::diagnosis::evidence`] layer as the concurrent path:
+    /// detection is one full response sweep whose per-output onsets
+    /// seed the [`EvidenceBase`] for free, the suspect cone (the
+    /// intersection of the failing outputs' fanin cones) is pruned
+    /// causally — alibi by latency-aware clean prefixes instead of
+    /// the old whole-cone passing-split, which collapsed to nearly
+    /// nothing on FSM designs where every output shares the state
+    /// cone — and every tap is measured once as its exact divergence
+    /// onset and read back under the cluster's causal
+    /// [`crate::diagnosis::ObservationWindow`].
+    ///
     /// # Errors
     ///
     /// Propagates netlist/placement/routing failures from the flow.
@@ -426,128 +445,134 @@ impl<'a> DebugSession<'a> {
             flow: self.flow.name(),
         };
 
-        // ---- Detection (steps 10, 21) --------------------------------
-        let mismatch = first_mismatch(
+        // ---- Detection (steps 10, 21): one full response sweep --------
+        let matrix = collect_responses(
             self.golden,
             &self.td.netlist,
             self.patterns_for(self.golden),
         )?;
-        let Some(mismatch) = mismatch else {
+        let Some(mismatch) = matrix_mismatch(self.golden, &matrix)? else {
             self.emit(DebugEvent::CleanDesign);
             outcome.repaired = true; // nothing to do
             return Ok(outcome);
         };
-        self.emit(DebugEvent::Detected {
-            pattern_index: mismatch.pattern_index,
-            output_name: mismatch.output_name.clone(),
-        });
-        outcome.mismatch = Some(mismatch.clone());
+        // (The per-cluster `Detected` events are emitted by the
+        // shared diagnosis pipeline below.)
+        outcome.mismatch = Some(mismatch);
 
         // ---- Localization (steps 16–21) -------------------------------
-        // Structural suspect cone from the failing/passing output
-        // split, filtered to LUTs still alive in the DUT and sorted
-        // topologically (rank via one HashMap build, not a per-key
-        // linear scan).
-        let mut candidates: Vec<CellId> = suspect_cells(self.golden, &mismatch);
-        outcome.initial_suspects = candidates.len();
+        // The same cluster → defer-merge → prune pipeline as the
+        // concurrent path, over the same evidence layer: every
+        // failing-output cluster is pruned within its own causal
+        // window, the strategies read tap verdicts from the shared
+        // evidence base, and detection's PO onsets answer their first
+        // questions for free. Under the single-error hypothesis every
+        // cluster is observing the *same* error, so the clusters are
+        // *alternative views* of it rather than concurrent work:
+        // attempt them one at a time, cheapest pruned cone first, and
+        // stop at the first site the §4.1 control point confirms —
+        // evidence accumulated by one attempt (every measured onset)
+        // carries over to the next for free.
+        let pats: Vec<Vec<bool>> = self.patterns_for(self.golden).collect();
+        let (mut evidence, clusters, witness_taps, _) =
+            self.screened_clusters(&matrix, &pats, &mut outcome.ledger)?;
+        outcome.taps_inserted = witness_taps;
         let order = self.golden.topo_order()?;
         let rank: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
         let rank_of = |c: CellId| rank.get(&c).copied().unwrap_or(usize::MAX);
-        candidates.retain(|&c| {
-            self.td
-                .netlist
-                .cell(c)
-                .map(|cell| cell.lut_function().is_some())
-                .unwrap_or(false)
-        });
-        candidates.sort_by_key(|&c| rank_of(c));
-        self.emit(DebugEvent::SuspectsComputed {
-            structural: outcome.initial_suspects,
-            candidates: candidates.len(),
-        });
+        // The sharpest single-error view comes first: the
+        // *intersection* of every failing output's cone (the site
+        // must lie in all of them), judged at the global earliest
+        // failure. On wide combinational designs this is a small,
+        // deep set that one strategy pass settles. When causal alibis
+        // prune it to nothing (the FSM regime: one early mismatch
+        // alibis everything through value masking), the per-cluster
+        // views below recover — each cluster's own window keeps its
+        // cone honest.
+        let mut tracks = Vec::with_capacity(clusters.len() + 1);
+        if clusters.len() > 1 {
+            let joint = serial_cluster(self.golden, &matrix);
+            let (window, suspects) = self.cluster_track(&evidence, &joint, &rank_of)?;
+            tracks.push((window, suspects));
+        }
+        let mut cluster_tracks = Vec::with_capacity(clusters.len());
+        for cl in &clusters {
+            let (window, suspects) = self.cluster_track(&evidence, cl, &rank_of)?;
+            cluster_tracks.push((window, suspects));
+        }
+        cluster_tracks.sort_by_key(|(_, suspects)| suspects.len());
+        tracks.extend(cluster_tracks);
+        // Distinct suspects across the views (the views overlap — the
+        // joint cone is a subset of every cluster cone).
+        outcome.initial_suspects = tracks
+            .iter()
+            .flat_map(|(_, s)| s.iter().copied())
+            .collect::<SuspectCone>()
+            .len();
 
-        self.strategy.begin(self.golden, &candidates);
-        let mut eco_no = 0usize;
-        loop {
-            let batch = self.strategy.next_taps();
-            if batch.is_empty() {
+        // Bounded arbitration: a single error that several
+        // independent views localize to *different, unconfirmable*
+        // cells is masked beyond PO-evidence localization — burning a
+        // strategy pass per remaining cluster cannot fix that, so the
+        // hunt stops after a few views and reports the best
+        // unconfirmed site (correction still repairs, exactly as when
+        // a strategy itself comes back empty).
+        const MAX_SERIAL_VIEWS: usize = 4;
+        let mut tried: Vec<CellId> = Vec::new();
+        let mut attempts = 0usize;
+        for (window, suspects) in tracks {
+            if suspects.is_empty() {
+                continue;
+            }
+            if attempts >= MAX_SERIAL_VIEWS {
                 break;
             }
-            // Insert observation taps for this batch (a real ECO).
-            let mut added = Vec::new();
-            let mut tapped: Vec<(CellId, NetId)> = Vec::new();
-            for &cell in &batch {
-                let net = self.td.netlist.cell_output(cell)?;
-                let name = format!("dbg{eco_no}_{}", cell.index());
-                let rep = insert_observation_tap(&mut self.td.netlist, net, &name, false)?;
-                added.extend(rep.added.iter().copied());
-                tapped.push((cell, net));
-                outcome.taps_inserted += 1;
-            }
-            let removals: Vec<netlist::EcoOp> = added
-                .iter()
-                .map(|&cell| netlist::EcoOp::RemoveCell { cell })
-                .collect();
-            let phys = match self.flow.reimplement(self.td, &batch, &added) {
-                Ok(phys) => phys,
-                Err(e) => {
-                    // The flow restored placement/routing; retire the
-                    // just-inserted taps too so the netlist matches
-                    // and the caller can retry on a consistent design.
-                    netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
-                    return Err(e);
-                }
+            attempts += 1;
+            let mut scheduler = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+            scheduler.add_error(self.golden, &suspects, window, self.strategy.fresh());
+            let stats = self.run_tap_rounds(
+                &mut scheduler,
+                &mut evidence,
+                &pats,
+                &mut outcome.ledger,
+                &mut [],
+            )?;
+            outcome.taps_inserted += stats.taps_inserted;
+            let Some(site) = scheduler.localized()[0] else {
+                continue;
             };
-            outcome
-                .ledger
-                .charge(Phase::Localize, phys.effort, phys.affected.tiles.len());
-            self.emit(DebugEvent::TapEco {
-                cells: batch.clone(),
-                effort: phys.effort,
-            });
-            eco_no += 1;
-
-            // Re-emulate up to the failing stimulus with golden-side
-            // full visibility; record which tapped nets diverge at the
-            // earliest diverging cycle.
-            let observations = self.observe_taps(&tapped, mismatch.pattern_index, &rank_of)?;
-            self.emit(DebugEvent::Observed {
-                diverging: observations
-                    .iter()
-                    .filter(|o| o.diverged)
-                    .map(|o| o.cell)
-                    .collect(),
-            });
-
-            // Retire this batch's observation taps: visibility
-            // instruments are temporary, and pads are scarce —
-            // accumulating one PO per tapped cell exhausts the
-            // device's IOB sites on small designs. The physical
-            // cleanup (stale pad placement, dangling route fragment)
-            // is folded into the next ECO's re-implementation.
-            netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
-
-            self.strategy.observe(&observations);
-        }
-        outcome.localized = self.strategy.localized();
-        self.emit(DebugEvent::Localized {
-            cell: outcome.localized,
-        });
-
-        // ---- Controllability confirmation (§4.1) ----------------------
-        // Before committing to a fix, force the suspect's output to
-        // the golden value through an inserted control point: if the
-        // DUT then matches, the error is contained in that cell.
-        if self.confirm_with_control {
-            if let Some(suspect) = outcome.localized {
-                let (confirmed, effort, tiles) = self.control_point_confirm(suspect, None)?;
-                outcome.ledger.charge(Phase::Confirm, effort, tiles);
-                outcome.confirmed_by_control = confirmed;
-                self.emit(DebugEvent::Confirmed {
-                    cell: suspect,
-                    confirmed,
-                });
+            self.emit(DebugEvent::Localized { cell: Some(site) });
+            if outcome.localized.is_none() {
+                outcome.localized = Some(site);
             }
+            if !self.confirm_with_control {
+                outcome.localized = Some(site);
+                break;
+            }
+            if tried.contains(&site) {
+                continue;
+            }
+            tried.push(site);
+            // ---- Controllability confirmation (§4.1) ------------------
+            // Force the suspect's output to the golden value through
+            // an inserted control point: if the DUT then matches on
+            // *every* output, the error is contained in that cell —
+            // and the hunt is over. An unconfirmed site sends the
+            // search on to the next cluster's view of the failure.
+            let (confirmed, effort, tiles) = self.control_point_confirm(site, None)?;
+            outcome.ledger.charge(Phase::Confirm, effort, tiles);
+            self.emit(DebugEvent::Confirmed {
+                cell: site,
+                confirmed,
+            });
+            if confirmed {
+                outcome.localized = Some(site);
+                outcome.confirmed_by_control = true;
+                break;
+            }
+        }
+        if outcome.localized.is_none() {
+            self.emit(DebugEvent::Localized { cell: None });
         }
 
         // ---- Correction (steps 11–15, 17–21) ---------------------------
@@ -766,12 +791,8 @@ impl<'a> DebugSession<'a> {
             &self.td.netlist,
             self.patterns_for(self.golden),
         )?;
-        // One FSM error fans out into several clusters (same failure
-        // onset, different output cones, a dominating state register
-        // behind all of them); merge those before registering tracks
-        // so the error is hunted once, not once per output cone.
-        let clusters = merge_fsm_clusters(self.golden, cluster_failures(self.golden, &matrix));
-        if clusters.is_empty() {
+        let raw_clusters = cluster_failures(self.golden, &matrix);
+        if raw_clusters.is_empty() {
             self.emit(DebugEvent::CleanDesign);
             // Undetectable errors are still repaired — at the netlist
             // level only, since a LUT-function restore moves nothing —
@@ -785,177 +806,32 @@ impl<'a> DebugSession<'a> {
             return Ok(outcome);
         }
 
-        // ---- Per-cluster suspect cones --------------------------------
-        let order = self.golden.topo_order()?;
-        let rank: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
-        let rank_of = |c: CellId| rank.get(&c).copied().unwrap_or(usize::MAX);
-        let n = clusters.len();
-        let mut scheduler = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
-        let mut candidate_counts = Vec::with_capacity(n);
-        // The concurrent analog of `suspect_cells`' passing-cone
-        // subtraction, *windowed per cluster*: everything a cluster's
-        // error can teach us already happened by the cluster's first
-        // failing pattern, so a cell is pruned when it could not have
-        // reached the cluster's outputs in time, or when another
-        // output was still clean at the pattern the cell's wavefront
-        // would earliest have reached it — even if a slower error
-        // diverges that output later in the sweep. This mirrors the
-        // serial path's passing/failing split at the first
-        // mismatching cycle, which whole-sweep clean subtraction
-        // could not match on deep sequential designs. The index's
-        // per-output onset/depth tables are built once and shared by
-        // every cluster.
-        let alibi = AlibiIndex::new(self.golden, &matrix);
-        for cl in &clusters {
-            self.emit(DebugEvent::Detected {
-                pattern_index: cl.window,
-                output_name: self.golden.cell(cl.outputs[0])?.name.clone(),
-            });
-            let mut suspects: Vec<CellId> = alibi
-                .windowed_suspects(cl)
-                .iter()
-                .filter(|&c| {
-                    self.td
-                        .netlist
-                        .cell(c)
-                        .map(|cell| cell.lut_function().is_some())
-                        .unwrap_or(false)
-                })
-                .collect();
-            // Causal window: each suspect is judged at the cluster's
-            // window minus its FF distance to the cluster's outputs,
-            // so a slower upstream error's wavefront crossing the
-            // suspect region inside the window is not blamed for a
-            // failure it could not have reached yet. The same depths
-            // order suspects temporally (FF-deepest first): on
-            // sequential cones plain topological rank would visit
-            // cells just past a flip-flop before their temporal
-            // ancestors, and linear batching would blame the wrong
-            // wavefront cell.
-            let window = ObservationWindow::from_depths(cl.window, alibi.cluster_depths(cl));
-            suspects.sort_by_key(|&c| (std::cmp::Reverse(window.depth_of(c)), rank_of(c)));
-            self.emit(DebugEvent::SuspectsComputed {
-                structural: cl.cone.len(),
-                candidates: suspects.len(),
-            });
-            candidate_counts.push(suspects.len());
-            scheduler.add_error(self.golden, &suspects, Some(window), self.strategy.fresh());
-        }
-        let exclusive_sizes = scheduler.partition().exclusive_sizes();
-        outcome.shared_core_cells = scheduler.partition().shared.len();
-        self.emit(DebugEvent::ConeSplit {
-            clusters: n,
-            exclusive: exclusive_sizes.clone(),
-            shared: outcome.shared_core_cells,
-        });
-
-        // The detection sweep already measured every primary output on
-        // every pattern, so each PO driver's exact divergence *onset*
-        // is free — seeding it lets the windowed cache answer any
-        // cluster's window without a physical tap, no matter which
-        // cluster asks.
-        for (k, &po) in matrix.outputs.iter().enumerate() {
-            let Some(&net) = self.golden.cell(po)?.inputs.first() else {
-                continue;
-            };
-            if let Some(driver) = self.golden.net(net)?.driver {
-                scheduler.assume_onset(driver, matrix.signatures[k].first_failing());
-            }
-        }
-
-        // ---- Concurrent localization rounds ---------------------------
+        // ---- Shared diagnosis pipeline --------------------------------
         let pats: Vec<Vec<bool>> = self.patterns_for(self.golden).collect();
-        let mut attribution = FaultAttribution::new(self.golden, &pats)?;
-        let pos = self.golden.primary_outputs();
-        let failing_masks: Vec<Vec<bool>> = clusters
-            .iter()
-            .map(|cl| pos.iter().map(|p| cl.outputs.contains(p)).collect())
-            .collect();
-        let mut cluster_ledgers = vec![EffortLedger::default(); n];
-        let mut eco_no = 0usize;
-        while let Some(plan) = scheduler.plan_round() {
-            outcome.rounds += 1;
-            let mut verdicts: HashMap<CellId, Option<usize>> = HashMap::new();
-            for batch in &plan.batches {
-                // A screening batch serves every cluster equally (no
-                // track requested it; it rules the shared core in or
-                // out for all of them at frontier cost).
-                let weights: Vec<usize> = if plan.screening {
-                    vec![1; n]
-                } else {
-                    (0..n)
-                        .map(|k| {
-                            scheduler
-                                .requested(k)
-                                .iter()
-                                .filter(|c| batch.contains(c))
-                                .count()
-                        })
-                        .collect()
-                };
-                let mut added = Vec::new();
-                let mut tapped: Vec<(CellId, NetId)> = Vec::new();
-                for &cell in batch {
-                    let net = self.td.netlist.cell_output(cell)?;
-                    let name = format!("mdbg{eco_no}_{}", cell.index());
-                    let rep = insert_observation_tap(&mut self.td.netlist, net, &name, false)?;
-                    added.extend(rep.added.iter().copied());
-                    tapped.push((cell, net));
-                    outcome.taps_inserted += 1;
-                }
-                let removals: Vec<netlist::EcoOp> = added
-                    .iter()
-                    .map(|&cell| netlist::EcoOp::RemoveCell { cell })
-                    .collect();
-                let phys = match self.flow.reimplement(self.td, batch, &added) {
-                    Ok(phys) => phys,
-                    Err(e) => {
-                        netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
-                        return Err(e);
-                    }
-                };
-                let tiles = phys.affected.tiles.len();
-                outcome.ledger.charge(Phase::Localize, phys.effort, tiles);
-                split_charge(
-                    &mut cluster_ledgers,
-                    Phase::Localize,
-                    phys.effort,
-                    tiles,
-                    &weights,
-                );
-                self.emit(DebugEvent::TapEco {
-                    cells: batch.clone(),
-                    effort: phys.effort,
-                });
-                eco_no += 1;
+        let mut ledger = std::mem::take(&mut outcome.ledger);
+        let mut diagnosis = self.diagnose(&matrix, &pats, &mut ledger)?;
+        outcome.ledger = ledger;
+        outcome.rounds = diagnosis.rounds;
+        outcome.taps_inserted = diagnosis.taps_inserted;
+        outcome.shared_core_cells = diagnosis.shared_core_cells;
+        let clusters = std::mem::take(&mut diagnosis.clusters);
+        let candidate_counts = diagnosis.candidate_counts;
+        let exclusive_sizes = diagnosis.exclusive_sizes;
+        let localized = diagnosis.localized;
+        let mut cluster_ledgers = diagnosis.cluster_ledgers;
+        let n = clusters.len();
 
-                // Windowed observation: one emulation sweep records
-                // each tapped net's exact divergence onset, and the
-                // scheduler re-reads that single physical measurement
-                // under every requesting cluster's own window.
-                let nets: Vec<NetId> = tapped.iter().map(|&(_, net)| net).collect();
-                let onsets = sim::emulate::net_first_divergences(
-                    self.golden,
-                    &self.td.netlist,
-                    &nets,
-                    &pats,
-                )?;
-                self.emit(DebugEvent::Observed {
-                    diverging: tapped
-                        .iter()
-                        .zip(&onsets)
-                        .filter(|(_, onset)| onset.is_some())
-                        .map(|(&(cell, _), _)| cell)
-                        .collect(),
-                });
-                for (&(cell, _), &onset) in tapped.iter().zip(&onsets) {
-                    verdicts.insert(cell, onset);
-                }
-                netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
-            }
-            for amb in scheduler.record_round(&verdicts) {
-                // Score the ambiguous site against every implicated
-                // cluster's observed footprint; report the best match.
+        // Score each ambiguous shared-core divergence against every
+        // implicated cluster's observed footprint; report the best
+        // match.
+        if !diagnosis.ambiguities.is_empty() {
+            let mut attribution = FaultAttribution::new(self.golden, &pats)?;
+            let pos = self.golden.primary_outputs();
+            let failing_masks: Vec<Vec<bool>> = clusters
+                .iter()
+                .map(|cl| pos.iter().map(|p| cl.outputs.contains(p)).collect())
+                .collect();
+            for amb in &diagnosis.ambiguities {
                 let mut best: Option<(usize, f64)> = None;
                 for &t in &amb.tracks {
                     let score = attribution.blame_score(amb.cell, &failing_masks[t])?;
@@ -972,7 +848,6 @@ impl<'a> DebugSession<'a> {
                 }
             }
         }
-        let localized = scheduler.localized();
         for &cell in &localized {
             self.emit(DebugEvent::Localized { cell });
         }
@@ -1055,7 +930,7 @@ impl<'a> DebugSession<'a> {
                 localized: localized[k],
                 confirmed_by_control: confirmed[k],
                 matched_error: matched[k],
-                taps_requested: scheduler.taps_requested(k),
+                taps_requested: diagnosis.taps_requested[k],
                 ledger: cluster_ledgers[k],
                 repaired,
             });
@@ -1064,53 +939,294 @@ impl<'a> DebugSession<'a> {
         Ok(outcome)
     }
 
-    /// Emulates patterns up to (and including) the failing stimulus;
-    /// at the first cycle where any tapped net diverges, records each
-    /// tap's verdict and stops.
-    fn observe_taps(
+    /// The shared diagnosis pipeline both entry points run after a
+    /// failing detection sweep: build the [`EvidenceBase`], tap the
+    /// deferred-merge witness registers, fold FSM fan-out clusters,
+    /// prune every cluster's cone within its causal window, register
+    /// one strategy track per cluster, and drive the physical tap
+    /// rounds to completion. Emits the per-cluster
+    /// [`DebugEvent::Detected`] / [`DebugEvent::SuspectsComputed`]
+    /// events and the campaign-level [`DebugEvent::ConeSplit`].
+    ///
+    /// The serial path ([`run`](Self::run)) consumes the per-cluster
+    /// localizations as alternative candidate sites for its one
+    /// error; the concurrent path ([`run_concurrent`](Self::run_concurrent))
+    /// adapts them into [`ClusterOutcome`] rows.
+    fn diagnose(
         &mut self,
-        tapped: &[(CellId, NetId)],
-        upto_pattern: usize,
-        rank_of: &dyn Fn(CellId) -> usize,
-    ) -> Result<Vec<TapObservation>, TilingError> {
-        let mut gsim = Simulator::new(self.golden)?;
-        let mut dsim = Simulator::new(&self.td.netlist)?;
-        let pats: Vec<Vec<bool>> = self
-            .patterns_for(self.golden)
-            .take(upto_pattern + 1)
+        matrix: &ResponseMatrix,
+        pats: &[Vec<bool>],
+        ledger: &mut EffortLedger,
+    ) -> Result<Diagnosis, TilingError> {
+        let (mut evidence, clusters, taps_inserted, merge_screen) =
+            self.screened_clusters(matrix, pats, ledger)?;
+
+        let order = self.golden.topo_order()?;
+        let rank: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let rank_of = |c: CellId| rank.get(&c).copied().unwrap_or(usize::MAX);
+        let n = clusters.len();
+        let mut scheduler = MultiErrorScheduler::new(LinearBatches::DEFAULT_BATCH);
+        let mut candidate_counts = Vec::with_capacity(n);
+        for cl in &clusters {
+            let (window, suspects) = self.cluster_track(&evidence, cl, &rank_of)?;
+            candidate_counts.push(suspects.len());
+            scheduler.add_error(self.golden, &suspects, window, self.strategy.fresh());
+        }
+        let exclusive_sizes = scheduler.partition().exclusive_sizes();
+        let shared_core_cells = scheduler.partition().shared.len();
+        self.emit(DebugEvent::ConeSplit {
+            clusters: n,
+            exclusive: exclusive_sizes.clone(),
+            shared: shared_core_cells,
+        });
+
+        // The merge-screening taps served every (final) cluster
+        // equally; apportion them now that the cluster count is known.
+        let mut cluster_ledgers = vec![EffortLedger::default(); n];
+        for &(effort, tiles) in &merge_screen {
+            split_charge(
+                &mut cluster_ledgers,
+                Phase::Localize,
+                effort,
+                tiles,
+                &vec![1usize; n],
+            );
+        }
+        let stats = self.run_tap_rounds(
+            &mut scheduler,
+            &mut evidence,
+            pats,
+            ledger,
+            &mut cluster_ledgers,
+        )?;
+        Ok(Diagnosis {
+            clusters,
+            candidate_counts,
+            exclusive_sizes,
+            shared_core_cells,
+            taps_requested: (0..n).map(|k| scheduler.taps_requested(k)).collect(),
+            localized: scheduler.localized(),
+            rounds: stats.rounds,
+            taps_inserted: taps_inserted + stats.taps_inserted,
+            ambiguities: stats.ambiguities,
+            cluster_ledgers,
+        })
+    }
+
+    /// Builds the [`EvidenceBase`] from a failing detection sweep,
+    /// taps the deferred-merge witness registers, and folds the FSM
+    /// fan-out clusters. Returns `(evidence, merged clusters, witness
+    /// taps inserted, per-ECO witness charges)`.
+    ///
+    /// One FSM error fans out into several clusters (same failure
+    /// onset, different output cones, a dominating state register
+    /// behind all of them) — but so do several independent same-onset
+    /// errors behind a shared sequential trunk, a case the old
+    /// pre-registration merge conflated (it intersected both sites
+    /// away and localized nothing). The merge decision is therefore
+    /// *deferred* until screening evidence exists: one tap batch on
+    /// the witness registers measures whether the trunk actually
+    /// carried the corruption, and only then are clusters folded. The
+    /// measurements stay in the evidence base, so later rounds reuse
+    /// them free.
+    #[allow(clippy::type_complexity)]
+    fn screened_clusters(
+        &mut self,
+        matrix: &ResponseMatrix,
+        pats: &[Vec<bool>],
+        ledger: &mut EffortLedger,
+    ) -> Result<
+        (
+            EvidenceBase,
+            Vec<FailureCluster>,
+            usize,
+            Vec<(CadEffort, usize)>,
+        ),
+        TilingError,
+    > {
+        let raw_clusters = cluster_failures(self.golden, matrix);
+        // The detection sweep seeds every PO driver's exact divergence
+        // onset into the evidence base for free, and its per-output
+        // onset/depth tables are built once and shared by every
+        // cluster.
+        let mut evidence = EvidenceBase::from_sweep(self.golden, matrix);
+        let witnesses: Vec<CellId> = fsm_merge_witnesses(self.golden, &raw_clusters)
+            .into_iter()
+            .filter(|&c| !evidence.exact(c))
             .collect();
-        let sequential = self.golden.is_sequential();
-        let mut verdicts: Vec<TapObservation> = tapped
-            .iter()
-            .map(|&(cell, _)| TapObservation {
-                cell,
-                diverged: false,
-            })
-            .collect();
-        'cycles: for pat in &pats {
-            gsim.set_inputs(pat);
-            dsim.set_inputs(pat);
-            gsim.comb_eval();
-            dsim.comb_eval();
-            let mut any = false;
-            for (k, &(_, net)) in tapped.iter().enumerate() {
-                if gsim.net_value(net) != dsim.net_value(net) {
-                    verdicts[k].diverged = true;
-                    any = true;
-                }
-            }
-            if any {
-                break 'cycles;
-            }
-            if sequential {
-                gsim.step();
-                dsim.step();
+        let mut merge_screen: Vec<(CadEffort, usize)> = Vec::new();
+        let mut taps_inserted = 0usize;
+        for (eco_no, batch) in witnesses.chunks(LinearBatches::DEFAULT_BATCH).enumerate() {
+            let (onsets, effort, tiles) = self.measure_batch(batch, pats, eco_no)?;
+            taps_inserted += batch.len();
+            ledger.charge(Phase::Localize, effort, tiles);
+            merge_screen.push((effort, tiles));
+            for (&cell, &onset) in batch.iter().zip(&onsets) {
+                evidence.record(cell, onset);
             }
         }
-        // Strategies receive observations topologically sorted, like
-        // the suspect list itself.
-        verdicts.sort_by_key(|o| rank_of(o.cell));
-        Ok(verdicts)
+        let clusters = merge_fsm_clusters(self.golden, raw_clusters, &evidence);
+        Ok((evidence, clusters, taps_inserted, merge_screen))
+    }
+
+    /// One cluster's localization inputs: its causal
+    /// [`crate::diagnosis::ObservationWindow`] and its pruned,
+    /// live-LUT-filtered, temporally-ordered suspect list. Emits the
+    /// cluster's [`DebugEvent::Detected`] /
+    /// [`DebugEvent::SuspectsComputed`] pair.
+    ///
+    /// Pruning is windowed per cluster: everything a cluster's error
+    /// can teach us already happened by the cluster's first failing
+    /// pattern, so a cell is pruned when it could not have reached
+    /// the cluster's outputs in time, or when another output was
+    /// still clean at the pattern the cell's wavefront would earliest
+    /// have reached it — even if a slower error diverges that output
+    /// later in the sweep (see [`EvidenceBase::prune_cone`]). The
+    /// causal window judges each suspect at the cluster's window
+    /// minus its FF distance to the cluster's outputs, and the same
+    /// depths order suspects temporally (FF-deepest first).
+    fn cluster_track(
+        &mut self,
+        evidence: &EvidenceBase,
+        cl: &FailureCluster,
+        rank_of: &dyn Fn(CellId) -> usize,
+    ) -> Result<(crate::diagnosis::ObservationWindow, Vec<CellId>), TilingError> {
+        self.emit(DebugEvent::Detected {
+            pattern_index: cl.window,
+            output_name: self.golden.cell(cl.outputs[0])?.name.clone(),
+        });
+        let window = evidence.causal_window(cl);
+        let mut suspects: Vec<CellId> = evidence
+            .prune_cone(&cl.cone, &window)
+            .iter()
+            .filter(|&c| {
+                self.td
+                    .netlist
+                    .cell(c)
+                    .map(|cell| cell.lut_function().is_some())
+                    .unwrap_or(false)
+            })
+            .collect();
+        evidence.order_suspects(&window, &mut suspects, rank_of);
+        self.emit(DebugEvent::SuspectsComputed {
+            structural: cl.cone.len(),
+            candidates: suspects.len(),
+        });
+        Ok((window, suspects))
+    }
+
+    /// Inserts observation taps on every cell of `batch` (one real
+    /// ECO through the session flow), measures each tapped net's
+    /// exact divergence onset over the whole sweep —
+    /// [`sim::emulate::net_first_divergences`], the single
+    /// observation entry point for serial and concurrent localization
+    /// alike — then retires the taps again (visibility instruments
+    /// are temporary, and pads are scarce; the physical cleanup folds
+    /// into the next ECO's re-implementation). Emits the
+    /// [`DebugEvent::TapEco`] / [`DebugEvent::Observed`] pair and
+    /// returns `(onsets, effort, tiles cleared)`.
+    fn measure_batch(
+        &mut self,
+        batch: &[CellId],
+        pats: &[Vec<bool>],
+        eco_no: usize,
+    ) -> Result<(Vec<Option<usize>>, CadEffort, usize), TilingError> {
+        let mut added = Vec::new();
+        let mut nets: Vec<NetId> = Vec::with_capacity(batch.len());
+        for &cell in batch {
+            let net = self.td.netlist.cell_output(cell)?;
+            let name = format!("dbg{eco_no}_{}", cell.index());
+            let rep = insert_observation_tap(&mut self.td.netlist, net, &name, false)?;
+            added.extend(rep.added.iter().copied());
+            nets.push(net);
+        }
+        let removals: Vec<netlist::EcoOp> = added
+            .iter()
+            .map(|&cell| netlist::EcoOp::RemoveCell { cell })
+            .collect();
+        let phys = match self.flow.reimplement(self.td, batch, &added) {
+            Ok(phys) => phys,
+            Err(e) => {
+                // The flow restored placement/routing; retire the
+                // just-inserted taps too so the netlist matches and
+                // the caller can retry on a consistent design.
+                netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+                return Err(e);
+            }
+        };
+        self.emit(DebugEvent::TapEco {
+            cells: batch.to_vec(),
+            effort: phys.effort,
+        });
+        let onsets =
+            sim::emulate::net_first_divergences(self.golden, &self.td.netlist, &nets, pats)?;
+        self.emit(DebugEvent::Observed {
+            diverging: batch
+                .iter()
+                .zip(&onsets)
+                .filter(|(_, onset)| onset.is_some())
+                .map(|(&cell, _)| cell)
+                .collect(),
+        });
+        netlist::eco::apply_all(&mut self.td.netlist, &removals)?;
+        Ok((onsets, phys.effort, phys.affected.tiles.len()))
+    }
+
+    /// The shared physical localization loop: alternates the
+    /// scheduler's evidence-aware round planning with real tap ECOs
+    /// ([`measure_batch`](Self::measure_batch)) until every track is
+    /// done. Used verbatim by the serial path (one track) and the
+    /// concurrent path (one track per cluster, `per_track` ledgers
+    /// apportioning each shared ECO).
+    fn run_tap_rounds(
+        &mut self,
+        scheduler: &mut MultiErrorScheduler,
+        evidence: &mut EvidenceBase,
+        pats: &[Vec<bool>],
+        ledger: &mut EffortLedger,
+        per_track: &mut [EffortLedger],
+    ) -> Result<RoundStats, TilingError> {
+        let n = scheduler.tracks();
+        let mut stats = RoundStats::default();
+        let mut eco_no = 1000; // distinct namespace from merge screening
+        while let Some(plan) = scheduler.plan_round(evidence) {
+            stats.rounds += 1;
+            let mut verdicts: HashMap<CellId, Option<usize>> = HashMap::new();
+            for batch in &plan.batches {
+                // A screening batch serves every track equally (no
+                // track requested it; it rules the shared core in or
+                // out for all of them at frontier cost).
+                let weights: Vec<usize> = if per_track.is_empty() {
+                    Vec::new()
+                } else if plan.screening {
+                    vec![1; n]
+                } else {
+                    (0..n)
+                        .map(|k| {
+                            scheduler
+                                .requested(k)
+                                .iter()
+                                .filter(|c| batch.contains(c))
+                                .count()
+                        })
+                        .collect()
+                };
+                let (onsets, effort, tiles) = self.measure_batch(batch, pats, eco_no)?;
+                eco_no += 1;
+                stats.taps_inserted += batch.len();
+                ledger.charge(Phase::Localize, effort, tiles);
+                if !per_track.is_empty() {
+                    split_charge(per_track, Phase::Localize, effort, tiles, &weights);
+                }
+                for (&cell, &onset) in batch.iter().zip(&onsets) {
+                    verdicts.insert(cell, onset);
+                }
+            }
+            stats
+                .ambiguities
+                .extend(scheduler.record_round(evidence, &verdicts));
+        }
+        Ok(stats)
     }
 
     /// Inserts a control point on the suspect's output net (an ECO
@@ -1252,6 +1368,111 @@ impl<'a> DebugSession<'a> {
     }
 }
 
+/// Everything the shared diagnosis pipeline
+/// ([`DebugSession::diagnose`]) produced.
+struct Diagnosis {
+    /// The (deferred-merge folded) failure clusters, in discovery
+    /// order.
+    clusters: Vec<FailureCluster>,
+    /// Pruned, live-LUT-filtered suspect count per cluster.
+    candidate_counts: Vec<usize>,
+    /// Exclusive-region sizes of the registered cones.
+    exclusive_sizes: Vec<usize>,
+    /// Cells implicated by two or more clusters.
+    shared_core_cells: usize,
+    /// Taps each track requested (pre-dedup / pre-evidence).
+    taps_requested: Vec<usize>,
+    /// Per-cluster localization results.
+    localized: Vec<Option<CellId>>,
+    /// Scheduler rounds executed.
+    rounds: usize,
+    /// Physical taps inserted (witness screening + rounds).
+    taps_inserted: usize,
+    /// Shared-core divergences needing attribution.
+    ambiguities: Vec<Ambiguity>,
+    /// Per-cluster effort rows apportioning the localization phase.
+    cluster_ledgers: Vec<EffortLedger>,
+}
+
+/// What the shared tap-round loop accumulated.
+#[derive(Debug, Default)]
+struct RoundStats {
+    /// Scheduler rounds executed.
+    rounds: usize,
+    /// Observation taps physically inserted (post-deduplication).
+    taps_inserted: usize,
+    /// Shared-core divergences more than one cone-and-window explains.
+    ambiguities: Vec<Ambiguity>,
+}
+
+/// Reconstructs the classic first-mismatch record from a full
+/// response sweep: the earliest failing pattern across all outputs,
+/// with `output_ok` read off the signatures at that pattern. `None`
+/// when nothing failed. Pattern indices are directly comparable with
+/// every other consumer of the same sweep.
+fn matrix_mismatch(
+    golden: &Netlist,
+    matrix: &ResponseMatrix,
+) -> Result<Option<Mismatch>, TilingError> {
+    let first = matrix
+        .signatures
+        .iter()
+        .filter_map(ResponseSignature::first_failing)
+        .min();
+    let Some(pattern_index) = first else {
+        return Ok(None);
+    };
+    let output_ok: Vec<bool> = matrix
+        .signatures
+        .iter()
+        .map(|s| !s.contains(pattern_index))
+        .collect();
+    let output_index = output_ok.iter().position(|&ok| !ok).unwrap_or(0);
+    Ok(Some(Mismatch {
+        pattern_index,
+        cycle: if golden.is_sequential() {
+            pattern_index as u64
+        } else {
+            0
+        },
+        output_index,
+        output_name: golden.cell(matrix.outputs[output_index])?.name.clone(),
+        output_ok,
+    }))
+}
+
+/// The serial path's sharpest one-cluster view of a failing sweep:
+/// all failing outputs, the union of their signatures, the
+/// *intersection* of their fanin cones (under the single-error
+/// hypothesis the site lies in every failing output's fanin),
+/// windowed at the earliest observed failure.
+fn serial_cluster(golden: &Netlist, matrix: &ResponseMatrix) -> FailureCluster {
+    let failing = matrix.failing();
+    let mut outputs = Vec::with_capacity(failing.len());
+    let mut signature = ResponseSignature::default();
+    let mut cone: Option<SuspectCone> = None;
+    for &k in &failing {
+        let po = matrix.outputs[k];
+        outputs.push(po);
+        signature.union_with(&matrix.signatures[k]);
+        let po_cone = SuspectCone::fanin(golden, &[po]);
+        cone = Some(match cone {
+            Some(mut c) => {
+                c.intersect_with(&po_cone);
+                c
+            }
+            None => po_cone,
+        });
+    }
+    let window = signature.first_failing().unwrap_or(0);
+    FailureCluster {
+        outputs,
+        signature,
+        cone: cone.unwrap_or_default(),
+        window,
+    }
+}
+
 /// First `cp{suspect}_{k}` namespace whose control-point pieces are
 /// all unclaimed in `nl` (see the comment at the insertion site).
 fn unique_cp_name(nl: &Netlist, suspect: CellId) -> String {
@@ -1355,6 +1576,7 @@ mod tests {
     use super::*;
     use crate::flow::{implement, TilingOptions};
     use crate::strategy::BinarySearch;
+    use sim::emulate::first_mismatch;
     use sim::inject::random_error;
     use synth::PaperDesign;
 

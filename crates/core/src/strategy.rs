@@ -11,35 +11,35 @@
 //! * [`BinarySearch`] bisects the cone by fanin containment, cutting
 //!   tap ECOs from `O(n/8)` to `O(log n)`.
 //!
-//! The session owns emulation and the physical flow; strategies are
-//! pure decision logic, so they can also be exercised against a
-//! simulated oracle (see the seed-sweep tests).
+//! Strategies never see raw tap wires: every observation lands in the
+//! shared [`EvidenceBase`] as a divergence onset, and a strategy reads
+//! the verdicts for the cells it requested under its own
+//! [`ObservationWindow`] — so one physical measurement serves every
+//! consumer, serial or concurrent, each at its own window. The session
+//! owns emulation and the physical flow; strategies are pure decision
+//! logic, so they can also be exercised against a simulated oracle
+//! (see the seed-sweep tests).
 
 use std::collections::HashMap;
 
 use netlist::{CellId, Netlist};
 
-/// One tapped cell's verdict from an observation ECO: did its output
-/// net diverge from the golden model at the earliest diverging cycle?
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TapObservation {
-    /// The tapped cell.
-    pub cell: CellId,
-    /// Whether the tapped net diverged from golden.
-    pub diverged: bool,
-}
+use crate::diagnosis::evidence::{EvidenceBase, ObservationWindow};
 
-/// Decides which suspects to tap next and narrows on observations.
+/// Decides which suspects to tap next and narrows on evidence.
 ///
 /// Protocol: [`begin`](LocalizationStrategy::begin) once with the
 /// topologically-sorted suspect cone, then alternate
 /// [`next_taps`](LocalizationStrategy::next_taps) (empty = finished)
-/// and [`observe`](LocalizationStrategy::observe);
+/// and [`observe`](LocalizationStrategy::observe) — the caller
+/// records the physical measurements into the [`EvidenceBase`] and
+/// the strategy reads its requested cells' verdicts from it;
 /// [`localized`](LocalizationStrategy::localized) yields the answer.
 ///
 /// ```
 /// use netlist::{Netlist, TruthTable};
-/// use tiling::strategy::{LinearBatches, LocalizationStrategy, TapObservation};
+/// use tiling::diagnosis::evidence::{EvidenceBase, ObservationWindow};
+/// use tiling::strategy::{LinearBatches, LocalizationStrategy};
 ///
 /// // A 3-LUT inverter chain; pretend the middle cell is the bug.
 /// let mut nl = Netlist::new("chain");
@@ -57,10 +57,10 @@ pub struct TapObservation {
 /// strat.begin(&nl, &cells);
 /// let taps = strat.next_taps();
 /// assert_eq!(taps, vec![cells[0], cells[1]]);
-/// strat.observe(&[
-///     TapObservation { cell: cells[0], diverged: false },
-///     TapObservation { cell: cells[1], diverged: true },
-/// ]);
+/// let mut evidence = EvidenceBase::new();
+/// evidence.record(cells[0], None);    // clean across the sweep
+/// evidence.record(cells[1], Some(0)); // diverges from pattern 0
+/// strat.observe(&evidence, &ObservationWindow::whole_sweep());
 /// assert!(strat.next_taps().is_empty());
 /// assert_eq!(strat.localized(), Some(cells[1]));
 /// ```
@@ -83,9 +83,11 @@ pub trait LocalizationStrategy {
     /// [`localized`](LocalizationStrategy::localized).
     fn next_taps(&mut self) -> Vec<CellId>;
 
-    /// Feeds back the verdicts for the cells returned by the last
-    /// [`next_taps`](LocalizationStrategy::next_taps) call.
-    fn observe(&mut self, observations: &[TapObservation]);
+    /// Reads the verdicts for the cells returned by the last
+    /// [`next_taps`](LocalizationStrategy::next_taps) call from the
+    /// evidence base, each evaluated under `window` (a missing
+    /// verdict reads as "did not diverge").
+    fn observe(&mut self, evidence: &EvidenceBase, window: &ObservationWindow);
 
     /// The identified error site, if the strategy has converged.
     fn localized(&self) -> Option<CellId>;
@@ -108,8 +110,8 @@ impl<T: LocalizationStrategy + ?Sized> LocalizationStrategy for Box<T> {
         (**self).next_taps()
     }
 
-    fn observe(&mut self, observations: &[TapObservation]) {
-        (**self).observe(observations);
+    fn observe(&mut self, evidence: &EvidenceBase, window: &ObservationWindow) {
+        (**self).observe(evidence, window);
     }
 
     fn localized(&self) -> Option<CellId> {
@@ -117,16 +119,26 @@ impl<T: LocalizationStrategy + ?Sized> LocalizationStrategy for Box<T> {
     }
 }
 
+/// One cell's windowed verdict, read back the way every strategy does.
+fn diverged(evidence: &EvidenceBase, window: &ObservationWindow, cell: CellId) -> bool {
+    evidence
+        .verdict(cell, window.for_cell(cell))
+        .unwrap_or(false)
+}
+
 /// Today's paper flow, extracted: tap the sorted suspect cone in
 /// fixed-size batches; the first batch containing a diverging cell
-/// ends the search, and the topologically-earliest diverging cell in
-/// it is the error site (all of its fanins agree — otherwise an
-/// earlier cell would diverge).
+/// ends the search, and the order-earliest diverging cell in it is
+/// the error site (all of its fanins agree — otherwise an earlier
+/// cell would diverge).
 #[derive(Debug, Clone)]
 pub struct LinearBatches {
     batch: usize,
     suspects: Vec<CellId>,
     cursor: usize,
+    /// Cells handed out by the last `next_taps` (the ones `observe`
+    /// reads back), in request order.
+    pending: Vec<CellId>,
     found: Option<CellId>,
     done: bool,
 }
@@ -146,6 +158,7 @@ impl LinearBatches {
             batch,
             suspects: Vec::new(),
             cursor: 0,
+            pending: Vec::new(),
             found: None,
             done: false,
         }
@@ -170,6 +183,7 @@ impl LocalizationStrategy for LinearBatches {
     fn begin(&mut self, _golden: &Netlist, suspects: &[CellId]) {
         self.suspects = suspects.to_vec();
         self.cursor = 0;
+        self.pending = Vec::new();
         self.found = None;
         self.done = false;
     }
@@ -181,14 +195,16 @@ impl LocalizationStrategy for LinearBatches {
         let end = (self.cursor + self.batch).min(self.suspects.len());
         let batch = self.suspects[self.cursor..end].to_vec();
         self.cursor = end;
+        self.pending = batch.clone();
         batch
     }
 
-    fn observe(&mut self, observations: &[TapObservation]) {
-        // Observations arrive in batch (= topological) order, so the
-        // first diverging cell is the earliest.
-        if let Some(hit) = observations.iter().find(|o| o.diverged) {
-            self.found = Some(hit.cell);
+    fn observe(&mut self, evidence: &EvidenceBase, window: &ObservationWindow) {
+        // The batch preserves the suspect order, so the first
+        // diverging cell is the (temporally/topologically) earliest.
+        let pending = std::mem::take(&mut self.pending);
+        if let Some(&hit) = pending.iter().find(|&&c| diverged(evidence, window, c)) {
+            self.found = Some(hit);
             self.done = true;
         }
     }
@@ -305,17 +321,12 @@ impl LocalizationStrategy for BinarySearch {
         vec![self.suspects[m]]
     }
 
-    fn observe(&mut self, observations: &[TapObservation]) {
+    fn observe(&mut self, evidence: &EvidenceBase, obs_window: &ObservationWindow) {
         let Some(probe) = self.probe.take() else {
             return;
         };
         let probe_cell = self.suspects[probe];
-        let diverged = observations
-            .iter()
-            .find(|o| o.cell == probe_cell)
-            .map(|o| o.diverged)
-            .unwrap_or(false);
-        if diverged {
+        if diverged(evidence, obs_window, probe_cell) {
             if self.window.len() == 1 {
                 self.found = Some(probe_cell);
                 self.done = true;
@@ -382,8 +393,10 @@ mod tests {
     }
 
     /// Drives a strategy against a perfect oracle: cell `c` diverges
-    /// iff the error site is in `c`'s fanin cone (true for a chain
-    /// whenever `rank(c) >= err`). Returns (localized, taps, ecos).
+    /// from pattern 0 iff the error site is in `c`'s fanin cone (true
+    /// for a chain whenever `rank(c) >= err`), with every measurement
+    /// recorded into a shared [`EvidenceBase`] exactly like the
+    /// session does. Returns (localized, taps, ecos).
     fn run_oracle(
         strat: &mut dyn LocalizationStrategy,
         nl: &Netlist,
@@ -392,6 +405,8 @@ mod tests {
     ) -> (Option<CellId>, usize, usize) {
         strat.begin(nl, cells);
         let rank: HashMap<CellId, usize> = cells.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        let window = ObservationWindow::whole_sweep();
+        let mut evidence = EvidenceBase::new();
         let (mut taps, mut ecos) = (0usize, 0usize);
         loop {
             let batch = strat.next_taps();
@@ -400,14 +415,10 @@ mod tests {
             }
             taps += batch.len();
             ecos += 1;
-            let obs: Vec<TapObservation> = batch
-                .iter()
-                .map(|&c| TapObservation {
-                    cell: c,
-                    diverged: rank[&c] >= err,
-                })
-                .collect();
-            strat.observe(&obs);
+            for &c in &batch {
+                evidence.record(c, (rank[&c] >= err).then_some(0));
+            }
+            strat.observe(&evidence, &window);
             assert!(ecos <= cells.len() + 1, "strategy failed to converge");
         }
         (strat.localized(), taps, ecos)
@@ -451,23 +462,40 @@ mod tests {
     }
 
     #[test]
+    fn windowed_verdicts_hide_out_of_window_divergence() {
+        // The same evidence answers differently under different
+        // windows: a divergence at pattern 6 is invisible to a
+        // window-4 track, so its linear search keeps walking.
+        let (nl, cells) = chain(4);
+        let mut evidence = EvidenceBase::new();
+        for &c in &cells {
+            evidence.record(c, Some(6));
+        }
+        let mut early = LinearBatches::default();
+        early.begin(&nl, &cells);
+        let req = early.next_taps();
+        assert_eq!(req.len(), 4);
+        early.observe(&evidence, &ObservationWindow::flat(4));
+        assert_eq!(early.localized(), None, "onsets after the window");
+        let mut late = LinearBatches::default();
+        late.begin(&nl, &cells);
+        late.next_taps();
+        late.observe(&evidence, &ObservationWindow::flat(10));
+        assert_eq!(late.localized(), Some(cells[0]));
+    }
+
+    #[test]
     fn linear_exhausts_without_divergence() {
         let (nl, cells) = chain(10);
         let mut lin = LinearBatches::default();
         lin.begin(&nl, &cells);
+        let evidence = EvidenceBase::new(); // no verdicts: nothing diverges
         loop {
             let batch = lin.next_taps();
             if batch.is_empty() {
                 break;
             }
-            let obs: Vec<TapObservation> = batch
-                .iter()
-                .map(|&c| TapObservation {
-                    cell: c,
-                    diverged: false,
-                })
-                .collect();
-            lin.observe(&obs);
+            lin.observe(&evidence, &ObservationWindow::whole_sweep());
         }
         assert_eq!(lin.localized(), None);
     }
@@ -477,20 +505,14 @@ mod tests {
         let (nl, cells) = chain(12);
         let mut bin = BinarySearch::new();
         bin.begin(&nl, &cells);
+        let evidence = EvidenceBase::new();
         let mut guard = 0;
         loop {
             let batch = bin.next_taps();
             if batch.is_empty() {
                 break;
             }
-            let obs: Vec<TapObservation> = batch
-                .iter()
-                .map(|&c| TapObservation {
-                    cell: c,
-                    diverged: false,
-                })
-                .collect();
-            bin.observe(&obs);
+            bin.observe(&evidence, &ObservationWindow::whole_sweep());
             guard += 1;
             assert!(guard <= 24, "no convergence");
         }

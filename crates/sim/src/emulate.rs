@@ -1,6 +1,6 @@
 //! Golden-vs-DUT emulation with primary-output-only observability.
 
-use netlist::{CellId, NetId, Netlist, NetlistError};
+use netlist::{NetId, Netlist, NetlistError};
 
 use crate::patterns::PatternGen;
 use crate::simulator::Simulator;
@@ -144,58 +144,6 @@ pub fn net_first_divergences(
     Ok(onsets)
 }
 
-/// Structural candidate set for the error site, from one observed
-/// mismatch: cells in the fanin cone of every failing output that are
-/// *not* in the cone of any passing output.
-///
-/// This over-approximates single-error sites and is the seed for the
-/// paper's iterative localization: insert observation logic within the
-/// suspect region, re-emulate, narrow.
-pub fn suspect_cells(nl: &Netlist, mismatch: &Mismatch) -> Vec<CellId> {
-    let pos = nl.primary_outputs();
-    let failing: Vec<CellId> = pos
-        .iter()
-        .zip(&mismatch.output_ok)
-        .filter(|(_, &ok)| !ok)
-        .map(|(&c, _)| c)
-        .collect();
-    let passing: Vec<CellId> = pos
-        .iter()
-        .zip(&mismatch.output_ok)
-        .filter(|(_, &ok)| ok)
-        .map(|(&c, _)| c)
-        .collect();
-    if failing.is_empty() {
-        return Vec::new();
-    }
-    // Intersection of failing cones.
-    let mut counts = vec![0u32; nl.cell_capacity()];
-    for &f in &failing {
-        for c in nl.fanin_cone(&[f]) {
-            counts[c.index()] += 1;
-        }
-    }
-    let in_all_failing: Vec<CellId> = (0..counts.len())
-        .filter(|&i| counts[i] == failing.len() as u32)
-        .map(CellId::new)
-        .collect();
-    // Subtract cells that also reach a passing output. A single error
-    // there *could* still be masked on the passing side, so this is a
-    // heuristic — the standard one for single-error diagnosis.
-    let mut reaches_passing = vec![false; nl.cell_capacity()];
-    if !passing.is_empty() {
-        for c in nl.fanin_cone(&passing) {
-            reaches_passing[c.index()] = true;
-        }
-    }
-    in_all_failing
-        .into_iter()
-        .filter(|c| {
-            !reaches_passing[c.index()] && nl.cell(*c).map(|cell| cell.is_logic()).unwrap_or(false)
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,7 +176,7 @@ mod tests {
     }
 
     #[test]
-    fn planted_bug_is_detected_and_localized() {
+    fn planted_bug_is_detected_with_per_output_verdicts() {
         let golden = two_cone_design();
         let mut dut = golden.clone();
         let u1 = dut.find_cell("u1").unwrap();
@@ -237,12 +185,9 @@ mod tests {
             .unwrap()
             .expect("complemented gate must diverge");
         assert_eq!(m.output_name, "y1");
-        // Suspects must include u1 but not u0 (u0's cone is clean).
-        let suspects = suspect_cells(&golden, &m);
-        let u1g = golden.find_cell("u1").unwrap();
-        let u0g = golden.find_cell("u0").unwrap();
-        assert!(suspects.contains(&u1g));
-        assert!(!suspects.contains(&u0g));
+        // Per-output verdicts at the failing cycle: y0 clean, y1 bad
+        // (the raw material the diagnosis evidence layer consumes).
+        assert_eq!(m.output_ok, vec![true, false]);
     }
 
     #[test]

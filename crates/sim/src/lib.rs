@@ -8,7 +8,7 @@
 //!   netlist (the "emulator" clock);
 //! * [`patterns`] — test-pattern generation (exhaustive, LFSR,
 //!   uniform random), paper step 10;
-//! * [`inject`] — *design errors*: functional bugs planted in a
+//! * [`inject`](mod@inject) — *design errors*: functional bugs planted in a
 //!   netlist, plus the corrective ECO that repairs each one;
 //! * [`testlogic`] — control and observation logic generators
 //!   (observation taps, match counters, MISR signature registers,

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let options = TilingOptions {
-        tracks: 16, // the 32x32-CLB DES needs a wide channel
+        // The 32x32-CLB DES needs a wide channel; 18 tracks leaves
+        // routing slack for the multi-cluster tap batches (several
+        // probe taps + shared-core screening pads land in one ECO now
+        // that every failure cluster localizes concurrently).
+        tracks: 18,
         placer: place::PlacerConfig {
             max_temps: 60,
             ..Default::default()

@@ -1,10 +1,12 @@
 //! Multi-error triage: plant several design errors at once and watch
 //! one concurrent debugging campaign untangle them — failure
 //! clustering, suspect-cone partitioning (exclusive regions vs the
-//! shared core), frontier screening, shared observation-tap batches,
+//! shared core), frontier screening into the shared `EvidenceBase`,
+//! shared observation-tap batches read back per causal window,
 //! fault-simulation blame attribution, per-error confirmation, and a
 //! single corrective ECO — then compare against the paper's protocol
-//! of one sequential campaign per error.
+//! of one sequential campaign per error (which now rides the same
+//! evidence layer, so the comparison is strictly about sharing).
 //!
 //! Run with: `cargo run --release --example multi_error`
 

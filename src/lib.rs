@@ -79,10 +79,10 @@ pub mod prelude {
     pub use tiling::{
         AffectedSet, BinarySearch, CadEffort, CampaignOutcome, ClusterOutcome, ConcurrentOutcome,
         ConePartition, DebugEvent, DebugOutcome, DebugReport, DebugSession, EffortLedger,
-        FailureCluster, FaultAttribution, FullReplaceFlow, IncrementalFlow, LinearBatches,
-        LocalizationStrategy, MultiErrorScheduler, ObservationWindow, PatternSpec, Phase,
-        QuickEcoFlow, ReimplFlow, ResponseSignature, SuspectCone, TileId, TilePlan, TiledDesign,
-        TiledFlow, TilingError, TilingOptions,
+        EvidenceBase, FailureCluster, FaultAttribution, FullReplaceFlow, IncrementalFlow,
+        LinearBatches, LocalizationStrategy, MultiErrorScheduler, ObservationWindow, PatternSpec,
+        Phase, QuickEcoFlow, ReimplFlow, ResponseSignature, SuspectCone, TileId, TilePlan,
+        TiledDesign, TiledFlow, TilingError, TilingOptions,
     };
 }
 

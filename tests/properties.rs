@@ -456,10 +456,11 @@ proptest! {
             fpga_debug_tiling::sim::inject::random_distinct_errors(&mut dut, &seeds).unwrap();
         let matrix =
             collect_responses(&golden, &dut, PatternGen::random(1, 48, seed)).unwrap();
+        let evidence = EvidenceBase::from_sweep(&golden, &matrix);
         for cl in cluster_failures(&golden, &matrix) {
             // The window is the earliest failure of the union signature.
             prop_assert_eq!(Some(cl.window), cl.signature.first_failing());
-            let pruned = cl.windowed_suspects(&golden, &matrix);
+            let pruned = evidence.prune_cone(&cl.cone, &evidence.causal_window(&cl));
             // Pruning only ever shrinks the cluster's cone…
             prop_assert_eq!(&pruned.union(&cl.cone), &cl.cone);
             // …and never exonerates every culprit: whatever mix of
@@ -469,6 +470,96 @@ proptest! {
                 errors.iter().any(|e| pruned.contains(e.cell)),
                 "cluster pruned away every injected error"
             );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// EvidenceBase invariants
+// ---------------------------------------------------------------------
+
+/// One randomly-generated update against an `EvidenceBase` cell.
+#[derive(Debug, Clone)]
+enum EvidenceOp {
+    /// An exact physical measurement (`None` = clean everywhere).
+    Record(Option<usize>),
+    /// A whole-sweep assumption.
+    Assume(bool),
+    /// A derived screening exoneration.
+    Exonerate(usize),
+}
+
+fn evidence_op(raw: u32) -> EvidenceOp {
+    // Small onsets on purpose: collisions between bounds are the
+    // interesting regime.
+    let v = (raw % 16) as usize;
+    match raw % 4 {
+        0 => EvidenceOp::Record(Some(v)),
+        1 => EvidenceOp::Record((v > 3).then_some(v)),
+        2 => EvidenceOp::Assume(raw % 8 < 4),
+        _ => EvidenceOp::Exonerate(v),
+    }
+}
+
+proptest! {
+    #[test]
+    fn evidence_bounds_never_contradict(
+        ops in prop::collection::vec(0u32..4096, 1usize..24),
+    ) {
+        // Any interleaving of measurements, assumptions and derived
+        // exonerations keeps the onset bounds consistent: a cell is
+        // never simultaneously "diverged by p" and "clean through
+        // >= p" (diverged-by below clean-through is rejected), so no
+        // window can ever read both verdicts.
+        let cell = netlist::CellId::new(7);
+        let mut ev = EvidenceBase::new();
+        // Measurements merge by earliest onset (divergence cannot be
+        // un-observed); this mirror tracks what the bounds must pin.
+        let mut measured: Option<Option<usize>> = None;
+        for &raw in &ops {
+            match evidence_op(raw) {
+                EvidenceOp::Record(onset) => {
+                    ev.record(cell, onset);
+                    measured = Some(match measured {
+                        None => onset,
+                        Some(Some(a)) => Some(onset.map_or(a, |b| a.min(b))),
+                        Some(None) => onset,
+                    });
+                }
+                EvidenceOp::Assume(d) => ev.assume(cell, d),
+                EvidenceOp::Exonerate(w) => ev.exonerate_through(cell, w),
+            }
+            prop_assert!(ev.bounds_consistent(cell), "contradictory bounds");
+            if let (Some(p), Some(c)) = (ev.diverged_by(cell), ev.clean_through(cell)) {
+                prop_assert!(c < p, "clean-through {c} reaches diverged-by {p}");
+            }
+            // Measurements win over every derived bound, in any
+            // interleaving: once measured, the bounds are pinned.
+            match measured {
+                Some(Some(p)) => {
+                    prop_assert_eq!(ev.diverged_by(cell), Some(p));
+                    prop_assert_eq!(ev.clean_through(cell), p.checked_sub(1));
+                }
+                Some(None) => {
+                    prop_assert_eq!(
+                        ev.verdict(cell, EvidenceBase::WHOLE_SWEEP),
+                        Some(false),
+                        "a measured-clean net must stay clean"
+                    );
+                }
+                None => {}
+            }
+            // The two verdict readings can never disagree on one
+            // window.
+            for w in 0..20 {
+                let v = ev.verdict(cell, w);
+                if v == Some(true) {
+                    prop_assert!(ev.diverged_by(cell).is_some_and(|p| p <= w));
+                }
+                if v == Some(false) {
+                    prop_assert!(ev.clean_through(cell).is_some_and(|c| c >= w));
+                }
+            }
         }
     }
 }
