@@ -10,7 +10,11 @@
 //! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
 //! * [`test_runner::ProptestConfig::with_cases`];
 //! * [`strategy::collection::vec`] (as `prop::collection::vec` from
-//!   the prelude) for sized `Vec` generation.
+//!   the prelude) for sized `Vec` generation;
+//! * [`strategy::bool::weighted`] (as `prop::bool::weighted`) and
+//!   [`strategy::bits`] (as `prop::bits::u64::masked`) for biased
+//!   bits and lane-mask subsets — added for the packed-vs-scalar
+//!   simulator differential tests.
 //!
 //! Cases are generated from a deterministic per-test RNG (seeded from
 //! the test name and case index), so failures reproduce on rerun.
@@ -34,7 +38,7 @@ pub mod prelude {
     /// Mirror of `proptest::prelude::prop` (the `prop::collection::…`
     /// path tests conventionally use).
     pub mod prop {
-        pub use crate::strategy::collection;
+        pub use crate::strategy::{bits, bool, collection};
     }
 }
 

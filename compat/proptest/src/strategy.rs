@@ -47,6 +47,68 @@ impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
     }
 }
 
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`weighted`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// A `bool` that is `true` with the given probability — the
+    /// stub's equivalent of `proptest::bool::weighted`. Biased input
+    /// bits make packed-vs-scalar differential sweeps interesting:
+    /// skewed stimulus produces sparse divergence words whose onsets
+    /// land away from lane 0.
+    pub fn weighted(probability: f64) -> Weighted {
+        Weighted {
+            probability: probability.clamp(0.0, 1.0),
+        }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn sample(&self, rng: &mut SmallRng) -> bool {
+            rng.gen_bool(self.probability)
+        }
+    }
+}
+
+/// Bit-set strategies, mirroring `proptest::bits`.
+pub mod bits {
+    /// `u64` bit-set strategies (`proptest::bits::u64`).
+    pub mod u64 {
+        use crate::strategy::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy returned by [`masked`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Masked {
+            mask: u64,
+        }
+
+        /// A `u64` whose set bits are a random subset of `mask` (each
+        /// masked bit kept with probability 1/2) — the stub's
+        /// equivalent of `proptest::bits::u64::masked`. Used to draw
+        /// lane masks for packed-simulator fault-injection tests.
+        pub fn masked(mask: u64) -> Masked {
+            Masked { mask }
+        }
+
+        impl Strategy for Masked {
+            type Value = u64;
+            fn sample(&self, rng: &mut SmallRng) -> u64 {
+                rng.gen::<u64>() & self.mask
+            }
+        }
+    }
+}
+
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
     use super::Strategy;

@@ -1,0 +1,459 @@
+//! Pattern-parallel simulation core: packed vs the scalar oracle.
+//!
+//! Two workloads per design, both straight from the debugging flow:
+//!
+//! * **detect** — golden-vs-DUT output-divergence sweep (the
+//!   evidence-collection pass behind `collect_responses`). The packed
+//!   side runs the production `sim::emulate::po_divergence_words`
+//!   path; the scalar side replays the pre-packing per-pattern loop.
+//!   Combinational designs get 64 patterns per topo pass; sequential
+//!   designs run stream-mode (chunk width 1, see `sim::packed`), so
+//!   their rows are marked `parallel: false` and are exempt from the
+//!   CI speedup gate.
+//! * **faultsim** — candidate scoring: complement each of up to 64
+//!   LUT candidates and record which outputs ever diverge from the
+//!   fault-free design plus the first diverging pattern. Packed runs
+//!   pattern-parallel per candidate on combinational designs and
+//!   candidate-parallel (64 fault machines per stream pass) on
+//!   sequential ones — both 64-lane, so every faultsim row gates.
+//!
+//! Both sides fold their divergence results into a fingerprint that
+//! must agree bit-for-bit — the bench aborts on any mismatch, so the
+//! committed numbers double as a cross-implementation equivalence
+//! check on real designs.
+//!
+//! The full sweep writes **`BENCH_sim.json`** (the committed
+//! cross-PR snapshot: patterns/sec scalar vs packed per row);
+//! `--quick` writes `BENCH_sim.quick.json` — the mode CI's test job
+//! smoke-runs — so quick runs never clobber the tracked trajectory.
+//!
+//! Run: `cargo run --release -p bench-harness --bin simbench`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use netlist::{CellId, Netlist};
+use sim::inject::{inject, random_error, DesignErrorKind};
+use sim::{PackedSimulator, PatternGen, Simulator, LANES};
+use synth::PaperDesign;
+
+/// One (design, workload) comparison row.
+struct Row {
+    design: &'static str,
+    workload: &'static str,
+    sequential: bool,
+    /// Whether the packed side fills all 64 lanes (the CI speedup
+    /// gate applies only to these rows).
+    parallel: bool,
+    patterns: usize,
+    candidates: usize,
+    /// FNV-1a fold of the divergence results, asserted equal between
+    /// the scalar and packed sides before the row is emitted.
+    fingerprint: u64,
+    scalar_pps: f64,
+    packed_pps: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let designs: &[PaperDesign] = if quick {
+        &[PaperDesign::NineSym, PaperDesign::Styr]
+    } else {
+        &[
+            PaperDesign::NineSym,
+            PaperDesign::C499,
+            PaperDesign::C880,
+            PaperDesign::Styr,
+            PaperDesign::Sand,
+            PaperDesign::S9234,
+        ]
+    };
+
+    println!("Pattern-parallel simulation: scalar oracle vs 64-lane packed core");
+    println!(
+        "{:<10} {:<9} {:>4} {:>9} {:>5} | {:>12} {:>12} {:>8}",
+        "design", "workload", "seq", "patterns", "cand", "scalar p/s", "packed p/s", "speedup"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &design in designs {
+        let golden = design.generate()?.netlist;
+        let seq = golden.is_sequential();
+        let n_pi = golden.primary_inputs().len();
+        let (detect_pats, fault_pats, max_cand) = match (quick, seq) {
+            (true, false) => (512, 512, 32),
+            (true, true) => (512, 256, 32),
+            (false, false) => (4096, 2048, 64),
+            (false, true) => (1024, 512, 64),
+        };
+
+        let mut dut = golden.clone();
+        random_error(&mut dut, 33)?;
+        let pats: Vec<Vec<bool>> = PatternGen::random(n_pi, detect_pats, 97).collect();
+        rows.push(detect_row(design, &golden, &dut, &pats)?);
+
+        let pats: Vec<Vec<bool>> = PatternGen::random(n_pi, fault_pats, 97).collect();
+        rows.push(faultsim_row(design, &golden, &pats, max_cand)?);
+        for r in &rows[rows.len() - 2..] {
+            println!(
+                "{:<10} {:<9} {:>4} {:>9} {:>5} | {:>12.0} {:>12.0} {:>7.1}x",
+                r.design,
+                r.workload,
+                if r.sequential { "y" } else { "n" },
+                r.patterns,
+                r.candidates,
+                r.scalar_pps,
+                r.packed_pps,
+                r.packed_pps / r.scalar_pps,
+            );
+        }
+    }
+
+    let path = if quick {
+        "BENCH_sim.quick.json"
+    } else {
+        "BENCH_sim.json"
+    };
+    std::fs::write(path, render_json(quick, &rows))?;
+    println!("machine-readable results written to {path}");
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// detect: golden-vs-DUT divergence sweep
+// ---------------------------------------------------------------------
+
+fn detect_row(
+    design: PaperDesign,
+    golden: &Netlist,
+    dut: &Netlist,
+    pats: &[Vec<bool>],
+) -> Result<Row, Box<dyn std::error::Error>> {
+    let seq = golden.is_sequential();
+    let pairs: Vec<(usize, usize)> = (0..golden.primary_outputs().len())
+        .map(|k| (k, k))
+        .collect();
+
+    // Scalar oracle: the pre-packing per-pattern loop.
+    let t = Instant::now();
+    let mut gsim = Simulator::new(golden)?;
+    let mut dsim = Simulator::new(dut)?;
+    let mut words: Vec<Vec<u64>> = vec![vec![0; pats.len().div_ceil(LANES)]; pairs.len()];
+    for (p, pat) in pats.iter().enumerate() {
+        gsim.set_inputs(pat);
+        gsim.comb_eval();
+        dsim.set_inputs(pat);
+        dsim.comb_eval();
+        let (g, d) = (gsim.outputs(), dsim.outputs());
+        for (k, w) in words.iter_mut().enumerate() {
+            if g[k] != d[k] {
+                w[p / LANES] |= 1u64 << (p % LANES);
+            }
+        }
+        if seq {
+            gsim.step();
+            dsim.step();
+        }
+    }
+    let scalar_pps = pats.len() as f64 / t.elapsed().as_secs_f64();
+    let scalar_fp = fold_words(&words);
+
+    // Packed: the production evidence-collection path.
+    let t = Instant::now();
+    let (pwords, count) = sim::emulate::po_divergence_words(golden, dut, &pairs, pats.to_vec())?;
+    let packed_pps = count as f64 / t.elapsed().as_secs_f64();
+    // `po_divergence_words` trims nothing but may leave short vectors
+    // for clean tails; pad to the scalar layout before comparing.
+    let mut pwords = pwords;
+    for w in &mut pwords {
+        w.resize(pats.len().div_ceil(LANES), 0);
+    }
+    let packed_fp = fold_words(&pwords);
+
+    assert_eq!(
+        scalar_fp,
+        packed_fp,
+        "{} detect: packed divergences differ from the scalar oracle",
+        design.name()
+    );
+    Ok(Row {
+        design: design.name(),
+        workload: "detect",
+        sequential: seq,
+        parallel: !seq,
+        patterns: pats.len(),
+        candidates: 0,
+        fingerprint: scalar_fp,
+        scalar_pps,
+        packed_pps,
+    })
+}
+
+// ---------------------------------------------------------------------
+// faultsim: complement-candidate scoring
+// ---------------------------------------------------------------------
+
+/// Per candidate: first pattern where any output diverges (`None` =
+/// silent fault) and the per-output "ever diverged" bit set.
+type Footprint = (Option<usize>, Vec<bool>);
+
+fn faultsim_row(
+    design: PaperDesign,
+    golden: &Netlist,
+    pats: &[Vec<bool>],
+    max_cand: usize,
+) -> Result<Row, Box<dyn std::error::Error>> {
+    let seq = golden.is_sequential();
+    let n_po = golden.primary_outputs().len();
+    let luts: Vec<CellId> = golden
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    // Evenly spaced through the design so footprints span shallow and
+    // deep logic.
+    let stride = (luts.len() / max_cand).max(1);
+    let cands: Vec<CellId> = luts
+        .iter()
+        .copied()
+        .step_by(stride)
+        .take(max_cand)
+        .collect();
+
+    // Scalar oracle: one complemented clone + full re-simulation per
+    // candidate (what `FaultAttribution` did before packing).
+    let t = Instant::now();
+    let mut gsim = Simulator::new(golden)?;
+    let mut gtrace: Vec<Vec<bool>> = Vec::with_capacity(pats.len());
+    for pat in pats {
+        gsim.set_inputs(pat);
+        gsim.comb_eval();
+        gtrace.push(gsim.outputs());
+        if seq {
+            gsim.step();
+        }
+    }
+    let mut scalar_fps: Vec<Footprint> = Vec::with_capacity(cands.len());
+    for &cand in &cands {
+        let mut faulty = golden.clone();
+        inject(&mut faulty, cand, DesignErrorKind::Complement)?;
+        let mut fsim = Simulator::new(&faulty)?;
+        let mut onset = None;
+        let mut hit = vec![false; n_po];
+        for (p, pat) in pats.iter().enumerate() {
+            fsim.set_inputs(pat);
+            fsim.comb_eval();
+            let out = fsim.outputs();
+            for (k, h) in hit.iter_mut().enumerate() {
+                if out[k] != gtrace[p][k] {
+                    *h = true;
+                    onset.get_or_insert(p);
+                }
+            }
+            if seq {
+                fsim.step();
+            }
+        }
+        scalar_fps.push((onset, hit));
+    }
+    let evals = (pats.len() * cands.len()) as f64;
+    let scalar_pps = evals / t.elapsed().as_secs_f64();
+
+    // Packed: pattern-parallel per candidate (combinational) or 64
+    // candidate fault machines per stream pass (sequential).
+    let t = Instant::now();
+    let packed_fps = if seq {
+        packed_faultsim_seq(golden, &cands, pats, n_po)?
+    } else {
+        packed_faultsim_comb(golden, &cands, pats, n_po)?
+    };
+    let packed_pps = evals / t.elapsed().as_secs_f64();
+
+    assert_eq!(
+        scalar_fps,
+        packed_fps,
+        "{} faultsim: packed footprints differ from the scalar oracle",
+        design.name()
+    );
+    Ok(Row {
+        design: design.name(),
+        workload: "faultsim",
+        sequential: seq,
+        parallel: true,
+        patterns: pats.len(),
+        candidates: cands.len(),
+        fingerprint: fold_footprints(&scalar_fps),
+        scalar_pps,
+        packed_pps,
+    })
+}
+
+/// Combinational candidate scoring: for each candidate, sweep the
+/// pattern set 64 lanes at a time with the complement fault active in
+/// every lane, diffing against the fault-free packed pass.
+fn packed_faultsim_comb(
+    golden: &Netlist,
+    cands: &[CellId],
+    pats: &[Vec<bool>],
+    n_po: usize,
+) -> Result<Vec<Footprint>, Box<dyn std::error::Error>> {
+    let mut sim = PackedSimulator::new(golden)?;
+    let chunks: Vec<&[Vec<bool>]> = pats.chunks(LANES).collect();
+    let mut gwords: Vec<Vec<u64>> = vec![Vec::with_capacity(chunks.len()); n_po];
+    for chunk in &chunks {
+        sim.load_patterns(chunk);
+        sim.comb_eval();
+        for (k, w) in gwords.iter_mut().enumerate() {
+            w.push(sim.output_word(k));
+        }
+    }
+    let mut out = Vec::with_capacity(cands.len());
+    for &cand in cands {
+        sim.set_fault_lanes(cand, u64::MAX)?;
+        let mut onset = None;
+        let mut hit = vec![false; n_po];
+        for (c, chunk) in chunks.iter().enumerate() {
+            let lanes = sim.load_patterns(chunk);
+            sim.comb_eval();
+            for (k, h) in hit.iter_mut().enumerate() {
+                let diff = (sim.output_word(k) ^ gwords[k][c]) & lanes;
+                if diff != 0 {
+                    *h = true;
+                    let p = c * LANES + diff.trailing_zeros() as usize;
+                    if onset.is_none_or(|o| p < o) {
+                        onset = Some(p);
+                    }
+                }
+            }
+        }
+        sim.clear_faults();
+        out.push((onset, hit));
+    }
+    Ok(out)
+}
+
+/// Sequential candidate scoring: classic parallel-fault simulation —
+/// lane `i` of one stream pass carries candidate `i`'s complement
+/// fault, so each pass scores up to 64 machines against the
+/// broadcast fault-free trace.
+fn packed_faultsim_seq(
+    golden: &Netlist,
+    cands: &[CellId],
+    pats: &[Vec<bool>],
+    n_po: usize,
+) -> Result<Vec<Footprint>, Box<dyn std::error::Error>> {
+    // Fault-free stream first: one broadcast pass records each
+    // output's golden bit per cycle, pre-broadcast to a full word.
+    let mut sim = PackedSimulator::new(golden)?;
+    let mut gtrace: Vec<Vec<u64>> = Vec::with_capacity(pats.len());
+    for pat in pats {
+        sim.broadcast_inputs(pat);
+        sim.comb_eval();
+        gtrace.push(
+            (0..n_po)
+                .map(|k| 0u64.wrapping_sub(sim.output_word(k) & 1))
+                .collect(),
+        );
+        sim.step();
+    }
+    let mut out = Vec::new();
+    for batch in cands.chunks(LANES) {
+        sim.reset();
+        sim.clear_faults();
+        for (i, &cand) in batch.iter().enumerate() {
+            sim.set_fault_lanes(cand, 1u64 << i)?;
+        }
+        let mut onsets: Vec<Option<usize>> = vec![None; batch.len()];
+        let mut hits: Vec<u64> = vec![0; n_po];
+        let mut seen: u64 = 0;
+        for (p, pat) in pats.iter().enumerate() {
+            sim.broadcast_inputs(pat);
+            sim.comb_eval();
+            let mut any = 0u64;
+            for (k, h) in hits.iter_mut().enumerate() {
+                let diff = sim.output_word(k) ^ gtrace[p][k];
+                *h |= diff;
+                any |= diff;
+            }
+            let mut newly = any & !seen;
+            seen |= any;
+            while newly != 0 {
+                let i = newly.trailing_zeros() as usize;
+                newly &= newly - 1;
+                if i < onsets.len() {
+                    onsets[i] = Some(p);
+                }
+            }
+            sim.step();
+        }
+        for (i, onset) in onsets.into_iter().enumerate() {
+            out.push((onset, hits.iter().map(|h| h >> i & 1 == 1).collect()));
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Fingerprints and JSON
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+fn fold_words(words: &[Vec<u64>]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for &x in w {
+            h = fnv(h, x);
+        }
+        h = fnv(h, u64::MAX);
+    }
+    h
+}
+
+fn fold_footprints(fps: &[Footprint]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for (onset, hit) in fps {
+        h = fnv(h, onset.map_or(u64::MAX, |p| p as u64));
+        for &b in hit {
+            h = fnv(h, u64::from(b));
+        }
+    }
+    h
+}
+
+/// Renders the sweep as JSON (hand-rolled like the other bench bins:
+/// numbers, bools and design names only). Timing fields are last so
+/// the deterministic prefix of each row is easy to eyeball in diffs.
+fn render_json(quick: bool, rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"sim\",");
+    let _ = writeln!(out, "  \"quick\": {quick},");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"design\": \"{}\", \"workload\": \"{}\", \"sequential\": {}, \
+             \"parallel\": {}, \"patterns\": {}, \"candidates\": {}, \
+             \"fingerprint\": \"{:016x}\", \
+             \"scalar_pps\": {:.0}, \"packed_pps\": {:.0}, \"speedup\": {:.2}}}",
+            r.design,
+            r.workload,
+            r.sequential,
+            r.parallel,
+            r.patterns,
+            r.candidates,
+            r.fingerprint,
+            r.scalar_pps,
+            r.packed_pps,
+            r.packed_pps / r.scalar_pps,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

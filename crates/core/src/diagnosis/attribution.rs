@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use netlist::{CellId, Netlist, NetlistError};
 use sim::patterns::PatternGen;
-use sim::Simulator;
+use sim::{PackedSimulator, LANES};
 
 use super::cone::SuspectCone;
 
@@ -52,6 +52,17 @@ impl ResponseSignature {
             self.words.resize(w + 1, 0);
         }
         self.words[w] |= 1 << b;
+    }
+
+    /// Builds a signature directly from packed divergence words (bit
+    /// `p % 64` of word `p / 64` = pattern `p` failed) — the layout
+    /// [`sim::emulate::po_divergence_words`] produces. Trailing zero
+    /// words are trimmed to restore the invariant.
+    pub fn from_words(mut words: Vec<u64>) -> Self {
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        Self { words }
     }
 
     /// Whether pattern `index` failed.
@@ -126,8 +137,11 @@ impl ResponseMatrix {
 /// cell name, so a DUT carrying leftover debug instrumentation (extra
 /// observation outputs) is compared only on the original outputs.
 ///
-/// Sequential designs are clocked once per pattern without reset, as
-/// in [`sim::emulate::first_mismatch`]; unlike `first_mismatch` the
+/// The sweep runs packed ([`sim::emulate::po_divergence_words`]):
+/// combinational designs evaluate 64 patterns per topo pass and the
+/// divergence words *are* the signature words; sequential designs are
+/// clocked once per pattern without reset, as in
+/// [`sim::emulate::first_mismatch`]. Unlike `first_mismatch` the
 /// sweep does **not** stop at the first divergence — multi-error
 /// diagnosis needs the whole footprint.
 ///
@@ -139,32 +153,12 @@ pub fn collect_responses(
     dut: &Netlist,
     patterns: PatternGen,
 ) -> Result<ResponseMatrix, NetlistError> {
-    let mut gsim = Simulator::new(golden)?;
-    let mut dsim = Simulator::new(dut)?;
     let outputs = golden.primary_outputs();
     let pairs = po_pairs(golden, dut)?;
+    let (words, count) = sim::emulate::po_divergence_words(golden, dut, &pairs, patterns)?;
     let mut signatures = vec![ResponseSignature::default(); outputs.len()];
-    let sequential = golden.is_sequential() || dut.is_sequential();
-    let mut count = 0usize;
-    for (idx, pat) in patterns.enumerate() {
-        count = idx + 1;
-        gsim.set_inputs(&pat);
-        let mut dpat = pat.clone();
-        dpat.resize(dsim.num_inputs(), false);
-        dsim.set_inputs(&dpat);
-        gsim.comb_eval();
-        dsim.comb_eval();
-        let g = gsim.outputs();
-        let d = dsim.outputs();
-        for &(gk, dk) in &pairs {
-            if g[gk] != d[dk] {
-                signatures[gk].record(idx);
-            }
-        }
-        if sequential {
-            gsim.step();
-            dsim.step();
-        }
+    for (&(gk, _), w) in pairs.iter().zip(words) {
+        signatures[gk] = ResponseSignature::from_words(w);
     }
     Ok(ResponseMatrix {
         outputs,
@@ -267,11 +261,26 @@ pub fn cluster_failures(golden: &Netlist, matrix: &ResponseMatrix) -> Vec<Failur
 /// primary outputs ever diverge. A candidate *explains* a cluster to
 /// the degree its predicted failing-output set overlaps the cluster's
 /// observed one.
+///
+/// Fault simulation runs packed on both design classes, exploiting a
+/// different word axis on each: combinational candidates sweep 64
+/// *patterns* per topo pass (the candidate planted as an all-lane
+/// complement via [`PackedSimulator::set_fault_lanes`]), while
+/// sequential designs — whose stimulus stream cannot be
+/// pattern-parallel — batch up to 64 candidate *machines* per stream
+/// pass, one lane-complement fault each (classic parallel-fault
+/// simulation). [`prime`](Self::prime) fills the cache batch-wise;
+/// per-candidate queries fall back to batches of one.
 pub struct FaultAttribution<'a> {
     golden: &'a Netlist,
     patterns: Vec<Vec<bool>>,
-    /// Golden PO traces, one `Vec<bool>` of outputs per pattern.
-    golden_trace: Vec<Vec<bool>>,
+    /// Persistent packed engine over the golden model; faults are
+    /// planted and cleared around each candidate sweep.
+    psim: PackedSimulator<'a>,
+    /// Golden PO words, indexed `[po][pattern / 64]` with bit
+    /// `pattern % 64` = the golden output value.
+    golden_po_words: Vec<Vec<u64>>,
+    sequential: bool,
     /// Cache: candidate cell → predicted failing-PO mask.
     cache: HashMap<CellId, Vec<bool>>,
 }
@@ -284,23 +293,78 @@ impl<'a> FaultAttribution<'a> {
     ///
     /// Propagates simulator construction failures.
     pub fn new(golden: &'a Netlist, patterns: &[Vec<bool>]) -> Result<Self, NetlistError> {
-        let mut gsim = Simulator::new(golden)?;
+        let mut psim = PackedSimulator::new(golden)?;
         let sequential = golden.is_sequential();
-        let mut golden_trace = Vec::with_capacity(patterns.len());
-        for pat in patterns {
-            gsim.set_inputs(pat);
-            gsim.comb_eval();
-            golden_trace.push(gsim.outputs());
-            if sequential {
-                gsim.step();
+        let num_pos = golden.primary_outputs().len();
+        let chunks = patterns.len().div_ceil(LANES);
+        let mut golden_po_words = vec![vec![0u64; chunks]; num_pos];
+        if sequential {
+            for (idx, pat) in patterns.iter().enumerate() {
+                psim.broadcast_inputs(pat);
+                psim.comb_eval();
+                for (j, w) in golden_po_words.iter_mut().enumerate() {
+                    w[idx / LANES] |= (psim.output_word(j) & 1) << (idx % LANES);
+                }
+                psim.step();
+            }
+        } else {
+            for (c, chunk) in patterns.chunks(LANES).enumerate() {
+                let lanes = psim.load_patterns(chunk);
+                psim.comb_eval();
+                for (j, w) in golden_po_words.iter_mut().enumerate() {
+                    w[c] = psim.output_word(j) & lanes;
+                }
             }
         }
         Ok(Self {
             golden,
             patterns: patterns.to_vec(),
-            golden_trace,
+            psim,
+            golden_po_words,
+            sequential,
             cache: HashMap::new(),
         })
+    }
+
+    /// Fills the prediction cache for every candidate in one packed
+    /// sweep per 64 candidates (sequential designs) or one
+    /// pattern-parallel sweep per candidate (combinational designs).
+    /// Call before a loop of [`blame_score`](Self::blame_score)s so
+    /// sequential scoring pays one stream pass per candidate *batch*
+    /// rather than per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-simulation failures.
+    pub fn prime(&mut self, candidates: &[CellId]) -> Result<(), NetlistError> {
+        let mut luts: Vec<CellId> = Vec::new();
+        for &c in candidates {
+            if self.cache.contains_key(&c) || luts.contains(&c) {
+                continue;
+            }
+            let is_lut = self
+                .golden
+                .cell(c)
+                .ok()
+                .is_some_and(|cell| cell.lut_function().is_some());
+            if is_lut {
+                luts.push(c);
+            } else {
+                // Non-LUT candidates predict nothing.
+                self.cache
+                    .insert(c, vec![false; self.golden_po_words.len()]);
+            }
+        }
+        if self.sequential {
+            for batch in luts.chunks(LANES) {
+                self.fault_sweep_batch(batch)?;
+            }
+        } else {
+            for &c in &luts {
+                self.fault_sweep_patterns(c)?;
+            }
+        }
+        Ok(())
     }
 
     /// Predicted failing-PO mask (PO order) for a complement-model
@@ -310,35 +374,58 @@ impl<'a> FaultAttribution<'a> {
     ///
     /// Propagates netlist editing / simulation failures.
     pub fn fault_outputs(&mut self, cell: CellId) -> Result<Vec<bool>, NetlistError> {
-        if let Some(mask) = self.cache.get(&cell) {
-            return Ok(mask.clone());
+        if !self.cache.contains_key(&cell) {
+            self.prime(&[cell])?;
         }
-        let num_pos = self.golden.primary_outputs().len();
-        let mut mask = vec![false; num_pos];
-        let is_lut = self
-            .golden
-            .cell(cell)
-            .ok()
-            .and_then(|c| c.lut_function().copied());
-        if let Some(tt) = is_lut {
-            let mut hypo = self.golden.clone();
-            hypo.set_lut_function(cell, tt.complement())?;
-            let mut sim = Simulator::new(&hypo)?;
-            let sequential = hypo.is_sequential();
-            for (idx, pat) in self.patterns.iter().enumerate() {
-                sim.set_inputs(pat);
-                sim.comb_eval();
-                let out = sim.outputs();
-                for (k, m) in mask.iter_mut().enumerate() {
-                    *m |= out[k] != self.golden_trace[idx][k];
-                }
-                if sequential {
-                    sim.step();
-                }
+        Ok(self.cache[&cell].clone())
+    }
+
+    /// Combinational candidate: all 64 lanes carry the complemented
+    /// machine, patterns chunk through the lanes.
+    fn fault_sweep_patterns(&mut self, cell: CellId) -> Result<(), NetlistError> {
+        let num_pos = self.golden_po_words.len();
+        self.psim.set_fault_lanes(cell, u64::MAX)?;
+        let mut acc = vec![0u64; num_pos];
+        for (c, chunk) in self.patterns.chunks(LANES).enumerate() {
+            let lanes = self.psim.load_patterns(chunk);
+            self.psim.comb_eval();
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a |= (self.psim.output_word(j) ^ self.golden_po_words[j][c]) & lanes;
             }
         }
-        self.cache.insert(cell, mask.clone());
-        Ok(mask)
+        self.psim.clear_faults();
+        self.cache
+            .insert(cell, acc.iter().map(|&a| a != 0).collect());
+        Ok(())
+    }
+
+    /// Sequential candidates: lane `i` carries the machine with
+    /// `batch[i]` complemented, all lanes fed the same stimulus
+    /// stream. Fault-free lanes reproduce the golden trace exactly,
+    /// so their diff words stay zero and need no masking.
+    fn fault_sweep_batch(&mut self, batch: &[CellId]) -> Result<(), NetlistError> {
+        let num_pos = self.golden_po_words.len();
+        self.psim.clear_faults();
+        self.psim.reset();
+        for (i, &c) in batch.iter().enumerate() {
+            self.psim.set_fault_lanes(c, 1 << i)?;
+        }
+        let mut acc = vec![0u64; num_pos];
+        for (idx, pat) in self.patterns.iter().enumerate() {
+            self.psim.broadcast_inputs(pat);
+            self.psim.comb_eval();
+            let golden_bit = |j: usize| self.golden_po_words[j][idx / LANES] >> (idx % LANES) & 1;
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a |= self.psim.output_word(j) ^ 0u64.wrapping_sub(golden_bit(j));
+            }
+            self.psim.step();
+        }
+        self.psim.clear_faults();
+        for (i, &c) in batch.iter().enumerate() {
+            let mask = acc.iter().map(|&a| a >> i & 1 == 1).collect();
+            self.cache.insert(c, mask);
+        }
+        Ok(())
     }
 
     /// Jaccard similarity between the candidate's predicted
@@ -365,7 +452,8 @@ impl<'a> FaultAttribution<'a> {
 
     /// The candidate that best explains `observed`, with its score.
     /// Ties resolve to the lowest cell index; an empty candidate list
-    /// yields `None`.
+    /// yields `None`. Candidates are [`prime`](Self::prime)d first, so
+    /// sequential designs fault-simulate them 64 machines per pass.
     ///
     /// # Errors
     ///
@@ -375,6 +463,7 @@ impl<'a> FaultAttribution<'a> {
         candidates: &[CellId],
         observed: &[bool],
     ) -> Result<Option<(CellId, f64)>, NetlistError> {
+        self.prime(candidates)?;
         let mut best: Option<(CellId, f64)> = None;
         for &c in candidates {
             let s = self.blame_score(c, observed)?;

@@ -27,7 +27,6 @@ use sim::emulate::Mismatch;
 use sim::inject::InjectedError;
 use sim::patterns::PatternGen;
 use sim::testlogic::{insert_control_point, insert_observation_tap};
-use sim::Simulator;
 
 use crate::diagnosis::attribution::po_pairs;
 use crate::diagnosis::scheduler::Ambiguity;
@@ -826,6 +825,11 @@ impl<'a> DebugSession<'a> {
         // match.
         if !diagnosis.ambiguities.is_empty() {
             let mut attribution = FaultAttribution::new(self.golden, &pats)?;
+            // Prime the whole ambiguity set up front: sequential
+            // designs fault-simulate 64 candidate machines per packed
+            // stream pass instead of one hypothesis netlist each.
+            let amb_cells: Vec<CellId> = diagnosis.ambiguities.iter().map(|a| a.cell).collect();
+            attribution.prime(&amb_cells)?;
             let pos = self.golden.primary_outputs();
             let failing_masks: Vec<Vec<bool>> = clusters
                 .iter()
@@ -1264,41 +1268,16 @@ impl<'a> DebugSession<'a> {
             }
         };
 
-        let confirmed = {
-            let mut gsim = Simulator::new(self.golden)?;
-            let mut dsim = Simulator::new(&self.td.netlist)?;
-            // DUT inputs: golden pattern, then [force_val, force_en]
-            // (the two new PIs append to the input order).
-            assert_eq!(
-                dsim.num_inputs(),
-                gsim.num_inputs() + 2,
-                "control point adds two PIs"
-            );
-            let pairs = self.po_pairs_for(outputs)?;
-            let sequential = self.golden.is_sequential();
-            let mut matched = true;
-            for pat in self.patterns_for(self.golden).take(256) {
-                gsim.set_inputs(&pat);
-                gsim.comb_eval();
-                let forced = gsim.net_value(net);
-                let mut dpat = pat.clone();
-                dpat.push(forced); // force_val
-                dpat.push(true); // force_en
-                dsim.set_inputs(&dpat);
-                dsim.comb_eval();
-                let g = gsim.outputs();
-                let d = dsim.outputs();
-                if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
-                    matched = false;
-                    break;
-                }
-                if sequential {
-                    gsim.step();
-                    dsim.step();
-                }
-            }
-            matched
-        };
+        // DUT inputs: golden pattern, then [force_val, force_en] (the
+        // two new PIs append to the input order); the packed sweep
+        // drives force_val with the golden model's word for `net`.
+        let confirmed = sim::emulate::forced_outputs_equivalent(
+            self.golden,
+            &self.td.netlist,
+            net,
+            &self.po_pairs_for(outputs)?,
+            self.patterns_for(self.golden).take(256),
+        )?;
 
         self.retire_control_point(&cp, net)?;
         Ok((confirmed, phys.effort, phys.affected.tiles.len()))
@@ -1341,30 +1320,14 @@ impl<'a> DebugSession<'a> {
     /// `Some(subset)` only those golden PO cells are compared — how a
     /// multi-error session judges one cluster while others stay live.
     fn outputs_match(&self, outputs: Option<&[CellId]>) -> Result<bool, TilingError> {
-        let mut gsim = Simulator::new(self.golden)?;
-        let mut dsim = Simulator::new(&self.td.netlist)?;
-        let pairs = self.po_pairs_for(outputs)?;
-        let sequential = self.golden.is_sequential();
-        for pat in self.patterns_for(self.golden) {
-            gsim.set_inputs(&pat);
-            // The DUT may have grown extra PIs (control points); drive
-            // them inactive.
-            let mut dpat = pat.clone();
-            dpat.resize(dsim.num_inputs(), false);
-            dsim.set_inputs(&dpat);
-            gsim.comb_eval();
-            dsim.comb_eval();
-            let g = gsim.outputs();
-            let d = dsim.outputs();
-            if pairs.iter().any(|&(gk, dk)| g[gk] != d[dk]) {
-                return Ok(false);
-            }
-            if sequential {
-                gsim.step();
-                dsim.step();
-            }
-        }
-        Ok(true)
+        // The DUT may have grown extra PIs (control points); the
+        // packed sweep drives them inactive.
+        Ok(sim::emulate::outputs_equivalent(
+            self.golden,
+            &self.td.netlist,
+            &self.po_pairs_for(outputs)?,
+            self.patterns_for(self.golden),
+        )?)
     }
 }
 

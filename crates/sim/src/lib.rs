@@ -5,7 +5,9 @@
 //! with the same observable behaviour:
 //!
 //! * [`simulator::Simulator`] — cycle-accurate evaluation of a mapped
-//!   netlist (the "emulator" clock);
+//!   netlist (the "emulator" clock), kept as the scalar differential
+//!   oracle for the bit-packed [`packed::PackedSimulator`], which
+//!   evaluates 64 lanes per topo pass and powers every sweep;
 //! * [`patterns`] — test-pattern generation (exhaustive, LFSR,
 //!   uniform random), paper step 10;
 //! * [`inject`](mod@inject) — *design errors*: functional bugs planted in a
@@ -23,6 +25,7 @@
 
 pub mod emulate;
 pub mod inject;
+pub mod packed;
 pub mod patterns;
 pub mod simulator;
 pub mod testlogic;
@@ -31,5 +34,6 @@ pub use emulate::{first_mismatch, Mismatch};
 pub use inject::{
     inject, random_distinct_errors, random_error, repair_op, DesignErrorKind, InjectedError,
 };
+pub use packed::{PackedSimulator, LANES};
 pub use patterns::PatternGen;
 pub use simulator::Simulator;

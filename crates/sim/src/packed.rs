@@ -1,0 +1,523 @@
+//! Bit-packed pattern-parallel simulator: 64 values per net per pass.
+//!
+//! [`Simulator`](crate::Simulator) stores one `bool` per net and walks
+//! the topo order once per stimulus pattern. This module stores one
+//! `u64` *word* per net instead, so a single topo pass evaluates 64
+//! independent simulations at once — bit `l` of every word belongs to
+//! *lane* `l`. What a lane means is the caller's choice, and the two
+//! uses in this repo are:
+//!
+//! * **patterns as lanes** (combinational sweeps): lane `l` of a chunk
+//!   carries stimulus pattern `base + l`, so a 512-pattern sweep takes
+//!   8 topo passes instead of 512 ([`PackedSimulator::load_patterns`]);
+//! * **machines as lanes** (sequential fault simulation): all lanes
+//!   see the *same* stimulus stream
+//!   ([`PackedSimulator::broadcast_inputs`]) but each lane simulates a
+//!   different hypothesis machine — a per-lane complement fault
+//!   planted with [`PackedSimulator::set_fault_lanes`] — which is how
+//!   `FaultAttribution` scores 64 candidate sites in one stream pass.
+//!
+//! Sequential designs clock once per pattern *without* reset, so the
+//! stimulus stream is a temporal sequence: pattern `i`'s flip-flop
+//! state depends on pattern `i-1`, and lanes can never be time steps.
+//! Stream sweeps over sequential designs therefore run this engine
+//! with one-pattern chunks (bit-exact with the scalar oracle, same
+//! per-pass cost), and the 64× parallelism comes from the machine
+//! axis instead.
+//!
+//! LUT evaluation is word-wise truth-table selection: the `2^arity`
+//! rows of the [`TruthTable`](netlist::TruthTable) are broadcast to
+//! all-ones/all-zeros candidate words, then each input word
+//! mask-selects between candidate halves (a Shannon mux tree), leaving
+//! the output word after `arity` folding levels — about `2·2^arity`
+//! ALU ops for 64 lanes.
+//!
+//! The scalar [`Simulator`](crate::Simulator) stays untouched as the
+//! differential oracle: every packed consumer is pinned to it
+//! bit-exactly by property tests (`tests/properties.rs`).
+
+use netlist::{CellId, CellKind, NetId, Netlist, NetlistError};
+
+/// Lanes per machine word (bits in a `u64`).
+pub const LANES: usize = 64;
+
+/// One compiled evaluation step (topo order position).
+#[derive(Debug, Clone)]
+enum Op {
+    /// Copy primary-input word `pi` to net `out`.
+    Input { pi: u32, out: u32 },
+    /// Copy flip-flop state word of cell `cell` to net `out`.
+    Ff { cell: u32, out: u32 },
+    /// Word-wise LUT: mask-select over the truth table rows.
+    Lut {
+        bits: u64,
+        arity: u8,
+        ins: [u32; netlist::logic::MAX_ARITY],
+        out: u32,
+    },
+}
+
+/// Pattern-parallel (word-per-net) simulator over a mapped netlist.
+///
+/// The evaluation order is compiled once at construction into a flat
+/// op list over structure-of-arrays `u64` arenas, so the per-chunk
+/// walk touches no netlist data structures at all.
+///
+/// ```
+/// use netlist::{Netlist, TruthTable};
+/// use sim::PackedSimulator;
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut nl = Netlist::new("inv");
+/// let a = nl.add_input("a")?;
+/// let u = nl.add_lut("u", TruthTable::not(), &[nl.cell_output(a)?])?;
+/// nl.add_output("y", nl.cell_output(u)?)?;
+/// let mut sim = PackedSimulator::new(&nl)?;
+/// // Two patterns in lanes 0 and 1: a=0 and a=1.
+/// let lanes = sim.load_patterns(&[vec![false], vec![true]]);
+/// sim.comb_eval();
+/// assert_eq!(sim.output_word(0) & lanes, 0b01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedSimulator<'a> {
+    nl: &'a Netlist,
+    ops: Vec<Op>,
+    /// `(cell index, D-input net index)` per flip-flop.
+    latches: Vec<(u32, u32)>,
+    num_inputs: usize,
+    /// First input net of each primary output (None = dangling PO).
+    po_nets: Vec<Option<u32>>,
+    /// One word per net (indexed by `NetId::index`).
+    values: Vec<u64>,
+    /// Flip-flop state, one word per cell (indexed by `CellId::index`).
+    state: Vec<u64>,
+    /// Pending input words (PI order).
+    inputs: Vec<u64>,
+    /// Per-net lane mask XORed into the driven word after evaluation —
+    /// a complement fault in exactly those lanes.
+    fault: Vec<u64>,
+    /// Mux-tree scratch for LUT row candidates.
+    scratch: [u64; 1 << netlist::logic::MAX_ARITY],
+    cycles: u64,
+}
+
+impl<'a> PackedSimulator<'a> {
+    /// Compiles the evaluation order (topo order, PI positions, PO
+    /// nets, FF latch list) once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] for cyclic logic.
+    pub fn new(nl: &'a Netlist) -> Result<Self, NetlistError> {
+        let order = nl.topo_order()?;
+        let pis = nl.primary_inputs();
+        let mut ops = Vec::with_capacity(order.len());
+        for &id in &order {
+            let cell = nl.cell(id).expect("order holds live cells");
+            let Some(out) = cell.output else {
+                continue; // Output cells (and dangling) drive nothing.
+            };
+            let out = out.index() as u32;
+            match &cell.kind {
+                CellKind::Input => {
+                    let pi = pis.iter().position(|&p| p == id).expect("input is a PI") as u32;
+                    ops.push(Op::Input { pi, out });
+                }
+                CellKind::Ff { .. } => ops.push(Op::Ff {
+                    cell: id.index() as u32,
+                    out,
+                }),
+                CellKind::Lut(tt) => {
+                    let mut ins = [0u32; netlist::logic::MAX_ARITY];
+                    for (k, &n) in cell.inputs.iter().enumerate() {
+                        ins[k] = n.index() as u32;
+                    }
+                    ops.push(Op::Lut {
+                        bits: tt.bits(),
+                        arity: tt.arity() as u8,
+                        ins,
+                        out,
+                    });
+                }
+                CellKind::Output => {}
+            }
+        }
+        let mut latches = Vec::new();
+        let mut state = vec![0u64; nl.cell_capacity()];
+        for (id, cell) in nl.cells() {
+            if let CellKind::Ff { init } = cell.kind {
+                state[id.index()] = broadcast(init);
+                latches.push((id.index() as u32, cell.inputs[0].index() as u32));
+            }
+        }
+        let po_nets = nl
+            .primary_outputs()
+            .iter()
+            .map(|&po| {
+                let cell = nl.cell(po).expect("po is live");
+                cell.inputs.first().map(|n| n.index() as u32)
+            })
+            .collect();
+        Ok(Self {
+            nl,
+            ops,
+            latches,
+            num_inputs: pis.len(),
+            po_nets,
+            values: vec![0u64; nl.net_capacity()],
+            state,
+            inputs: vec![0u64; pis.len()],
+            fault: vec![0u64; nl.net_capacity()],
+            scratch: [0u64; 1 << netlist::logic::MAX_ARITY],
+            cycles: 0,
+        })
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.po_nets.len()
+    }
+
+    /// Clock cycles stepped since construction/reset.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Transposes up to [`LANES`] stimulus patterns into the input
+    /// words (pattern `l` of the chunk occupies lane `l`) and returns
+    /// the valid-lane mask (`(1 << n) - 1` for `n` patterns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] patterns are given or any pattern
+    /// width differs from the PI count (same contract as
+    /// [`Simulator::set_inputs`](crate::Simulator::set_inputs)).
+    pub fn load_patterns(&mut self, chunk: &[Vec<bool>]) -> u64 {
+        for pat in chunk {
+            assert_eq!(pat.len(), self.num_inputs, "input width mismatch");
+        }
+        self.load_patterns_padded(chunk)
+    }
+
+    /// Like [`load_patterns`](Self::load_patterns) but tolerates
+    /// pattern widths that differ from the PI count: missing inputs
+    /// are driven false, excess bits are ignored. This is the DUT-side
+    /// convention — a DUT carrying extra debug-instrumentation PIs is
+    /// driven inactive on them.
+    pub fn load_patterns_padded(&mut self, chunk: &[Vec<bool>]) -> u64 {
+        assert!(chunk.len() <= LANES, "at most {LANES} patterns per chunk");
+        for (k, word) in self.inputs.iter_mut().enumerate() {
+            let mut w = 0u64;
+            for (l, pat) in chunk.iter().enumerate() {
+                w |= u64::from(pat.get(k).copied().unwrap_or(false)) << l;
+            }
+            *word = w;
+        }
+        lane_mask(chunk.len())
+    }
+
+    /// Drives the *same* pattern on every lane (machines-as-lanes
+    /// mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the PI count.
+    pub fn broadcast_inputs(&mut self, pat: &[bool]) {
+        assert_eq!(pat.len(), self.num_inputs, "input width mismatch");
+        self.broadcast_inputs_padded(pat);
+    }
+
+    /// Like [`broadcast_inputs`](Self::broadcast_inputs) but missing
+    /// inputs are driven false and excess bits ignored.
+    pub fn broadcast_inputs_padded(&mut self, pat: &[bool]) {
+        for (k, word) in self.inputs.iter_mut().enumerate() {
+            *word = broadcast(pat.get(k).copied().unwrap_or(false));
+        }
+    }
+
+    /// Sets one primary input's word directly (lane `l` = bit `l`) —
+    /// how a control-point sweep drives `force_val` with the golden
+    /// model's packed net value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range index.
+    pub fn set_input_word(&mut self, index: usize, word: u64) {
+        self.inputs[index] = word;
+    }
+
+    /// Plants a complement fault on `cell`'s output in the lanes of
+    /// `mask`: after every evaluation the driven word is XORed with
+    /// `mask`, so those lanes simulate the machine with the cell's
+    /// function complemented. Faults accumulate until
+    /// [`clear_faults`](Self::clear_faults).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lookup error for unknown cells or cells that
+    /// drive no net.
+    pub fn set_fault_lanes(&mut self, cell: CellId, mask: u64) -> Result<(), NetlistError> {
+        let net = self.nl.cell_output(cell)?;
+        self.fault[net.index()] ^= mask;
+        Ok(())
+    }
+
+    /// Removes all planted lane faults.
+    pub fn clear_faults(&mut self) {
+        self.fault.fill(0);
+    }
+
+    /// Restores all flip-flops to their init values (all lanes).
+    pub fn reset(&mut self) {
+        for (id, cell) in self.nl.cells() {
+            if let CellKind::Ff { init } = cell.kind {
+                self.state[id.index()] = broadcast(init);
+            }
+        }
+        self.cycles = 0;
+    }
+
+    /// Propagates the current input words and FF state through the
+    /// combinational network — one topo pass for all 64 lanes.
+    pub fn comb_eval(&mut self) {
+        let Self {
+            ops,
+            values,
+            state,
+            inputs,
+            fault,
+            scratch,
+            ..
+        } = self;
+        for op in ops.iter() {
+            match *op {
+                Op::Input { pi, out } => {
+                    values[out as usize] = inputs[pi as usize] ^ fault[out as usize];
+                }
+                Op::Ff { cell, out } => {
+                    values[out as usize] = state[cell as usize] ^ fault[out as usize];
+                }
+                Op::Lut {
+                    bits,
+                    arity,
+                    ins,
+                    out,
+                } => {
+                    // Broadcast each truth-table row to a candidate
+                    // word, then mask-select with each input word —
+                    // a Shannon mux tree folded LSB-variable first.
+                    let arity = arity as usize;
+                    let mut n = 1usize << arity;
+                    for (r, slot) in scratch.iter_mut().enumerate().take(n) {
+                        *slot = broadcast(bits >> r & 1 == 1);
+                    }
+                    for k in 0..arity {
+                        let w = values[ins[k] as usize];
+                        n >>= 1;
+                        for j in 0..n {
+                            scratch[j] = (scratch[2 * j] & !w) | (scratch[2 * j + 1] & w);
+                        }
+                    }
+                    values[out as usize] = scratch[0] ^ fault[out as usize];
+                }
+            }
+        }
+    }
+
+    /// One clock cycle for every lane: combinational propagate, then
+    /// latch all FFs.
+    pub fn step(&mut self) {
+        self.comb_eval();
+        for &(cell, d) in &self.latches {
+            self.state[cell as usize] = self.values[d as usize];
+        }
+        self.cycles += 1;
+    }
+
+    /// Current word of a net (valid after `comb_eval`/`step`); lanes
+    /// of unknown nets read as 0.
+    pub fn net_word(&self, net: NetId) -> u64 {
+        self.values.get(net.index()).copied().unwrap_or(0)
+    }
+
+    /// Current word of primary output `index` (PO order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range index.
+    pub fn output_word(&self, index: usize) -> u64 {
+        self.po_nets[index].map_or(0, |n| self.values[n as usize])
+    }
+
+    /// The flip-flop state word of a sequential cell.
+    pub fn ff_word(&self, cell: CellId) -> Option<u64> {
+        let c = self.nl.cell(cell).ok()?;
+        c.is_sequential().then(|| self.state[cell.index()])
+    }
+}
+
+/// All-ones word for `true`, zero for `false`.
+#[inline]
+pub(crate) fn broadcast(bit: bool) -> u64 {
+    0u64.wrapping_sub(u64::from(bit))
+}
+
+/// Valid-lane mask for a chunk of `n <= 64` patterns.
+#[inline]
+pub(crate) fn lane_mask(n: usize) -> u64 {
+    debug_assert!(n <= LANES);
+    if n == LANES {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PatternGen, Simulator};
+    use netlist::TruthTable;
+
+    /// Exhaustively checks a packed comb eval against the scalar
+    /// oracle for every net.
+    fn assert_matches_scalar(nl: &Netlist, pats: &[Vec<bool>]) {
+        let mut packed = PackedSimulator::new(nl).unwrap();
+        let lanes = packed.load_patterns(pats);
+        packed.comb_eval();
+        let mut scalar = Simulator::new(nl).unwrap();
+        for (l, pat) in pats.iter().enumerate() {
+            scalar.set_inputs(pat);
+            scalar.comb_eval();
+            for (net, _) in nl.nets() {
+                assert_eq!(
+                    packed.net_word(net) >> l & 1 == 1,
+                    scalar.net_value(net),
+                    "net {net:?} lane {l}"
+                );
+            }
+        }
+        assert_eq!(lanes, lane_mask(pats.len()));
+    }
+
+    #[test]
+    fn combinational_lanes_match_scalar() {
+        let mut nl = Netlist::new("mix");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let c = nl.add_input("c").unwrap();
+        let (na, nb, nc) = (
+            nl.cell_output(a).unwrap(),
+            nl.cell_output(b).unwrap(),
+            nl.cell_output(c).unwrap(),
+        );
+        let u = nl.add_lut("u", TruthTable::and(2), &[na, nb]).unwrap();
+        let v = nl
+            .add_lut(
+                "v",
+                TruthTable::mux2(),
+                &[nc, na, nl.cell_output(u).unwrap()],
+            )
+            .unwrap();
+        nl.add_output("y", nl.cell_output(v).unwrap()).unwrap();
+        let pats: Vec<Vec<bool>> = PatternGen::exhaustive(3).collect();
+        assert_matches_scalar(&nl, &pats);
+    }
+
+    #[test]
+    fn sequential_stream_matches_scalar() {
+        // Toggle FF driven by an enable input; stream mode = chunks
+        // of one pattern, stepping between them.
+        let mut nl = Netlist::new("seq");
+        let en = nl.add_input("en").unwrap();
+        let seed = nl.add_net("seed").unwrap();
+        let ff = nl.add_ff("q", false, seed).unwrap();
+        let q = nl.cell_output(ff).unwrap();
+        let f = nl
+            .add_lut("f", TruthTable::xor(2), &[nl.cell_output(en).unwrap(), q])
+            .unwrap();
+        nl.set_pin(ff, 0, nl.cell_output(f).unwrap()).unwrap();
+        nl.add_output("out", q).unwrap();
+
+        let mut packed = PackedSimulator::new(&nl).unwrap();
+        let mut scalar = Simulator::new(&nl).unwrap();
+        for pat in PatternGen::random(1, 32, 9) {
+            packed.load_patterns(std::slice::from_ref(&pat));
+            packed.comb_eval();
+            scalar.set_inputs(&pat);
+            scalar.comb_eval();
+            assert_eq!(packed.output_word(0) & 1 == 1, scalar.outputs()[0]);
+            packed.step();
+            scalar.step();
+            assert_eq!(
+                packed.ff_word(ff).unwrap() & 1 == 1,
+                scalar.ff_state(ff).unwrap()
+            );
+        }
+        assert_eq!(packed.cycles(), 32);
+        packed.reset();
+        assert_eq!(packed.cycles(), 0);
+        assert_eq!(packed.ff_word(ff), Some(0));
+    }
+
+    #[test]
+    fn lane_faults_complement_exactly_those_lanes() {
+        // One AND gate; complement it in lane 1 only and check lanes
+        // 0 and 2 stay faithful while lane 1 inverts.
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let u = nl
+            .add_lut(
+                "u",
+                TruthTable::and(2),
+                &[nl.cell_output(a).unwrap(), nl.cell_output(b).unwrap()],
+            )
+            .unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        let mut sim = PackedSimulator::new(&nl).unwrap();
+        sim.set_fault_lanes(u, 0b10).unwrap();
+        // All three lanes see a=1, b=1.
+        sim.broadcast_inputs(&[true, true]);
+        sim.comb_eval();
+        assert_eq!(sim.output_word(0) & 0b111, 0b101);
+        sim.clear_faults();
+        sim.comb_eval();
+        assert_eq!(sim.output_word(0) & 0b111, 0b111);
+    }
+
+    #[test]
+    fn padded_loads_drive_missing_inputs_false() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a").unwrap();
+        let b = nl.add_input("b").unwrap();
+        let u = nl
+            .add_lut(
+                "u",
+                TruthTable::or(2),
+                &[nl.cell_output(a).unwrap(), nl.cell_output(b).unwrap()],
+            )
+            .unwrap();
+        nl.add_output("y", nl.cell_output(u).unwrap()).unwrap();
+        let mut sim = PackedSimulator::new(&nl).unwrap();
+        // One-wide patterns: b falls off the end and reads false.
+        sim.load_patterns_padded(&[vec![false], vec![true]]);
+        sim.comb_eval();
+        assert_eq!(sim.output_word(0) & 0b11, 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn strict_load_panics_on_width() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a").unwrap();
+        let mut sim = PackedSimulator::new(&nl).unwrap();
+        sim.load_patterns(&[vec![true, false]]);
+    }
+}

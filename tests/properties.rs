@@ -565,6 +565,299 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Packed simulator vs the scalar oracle
+// ---------------------------------------------------------------------
+//
+// The scalar `Simulator` is the semantic reference; every packed
+// sweep must be bit-exact against it — outputs, internal nets, FF
+// state, fault lanes and divergence onsets alike. Pattern counts are
+// drawn past 64 so the chunked path crosses word boundaries, and the
+// stimulus is biased (`prop::bool::weighted`) so divergence words are
+// sparse and onsets land away from lane 0.
+
+use fpga_debug_tiling::sim::{inject, PackedSimulator, LANES};
+
+/// Number of primary inputs every random combinational DAG uses.
+const RAND_PIS: usize = 5;
+
+/// A random combinational DAG: `RAND_PIS` inputs feeding one LUT per
+/// truth-table word, each LUT's fanins drawn from all earlier nets,
+/// with the last and a middle net observed as outputs.
+fn random_comb_netlist(tts: &[u64]) -> Netlist {
+    let mut nl = Netlist::new("randcomb");
+    let mut nets: Vec<NetId> = (0..RAND_PIS)
+        .map(|i| {
+            let c = nl.add_input(format!("i{i}")).unwrap();
+            nl.cell_output(c).unwrap()
+        })
+        .collect();
+    for (k, &bits) in tts.iter().enumerate() {
+        let arity = 1 + bits as usize % 3;
+        let ins: Vec<NetId> = (0..arity)
+            .map(|j| nets[(bits >> (7 * j + 3)) as usize % nets.len()])
+            .collect();
+        let tt = TruthTable::from_bits(arity, bits).unwrap();
+        let c = nl.add_lut(format!("u{k}"), tt, &ins).unwrap();
+        nets.push(nl.cell_output(c).unwrap());
+    }
+    nl.add_output("ylast", *nets.last().unwrap()).unwrap();
+    nl.add_output("ymid", nets[nets.len() / 2]).unwrap();
+    nl
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn packed_comb_eval_matches_scalar_on_every_net(
+        tts in prop::collection::vec(prop::bits::u64::masked(u64::MAX), 1usize..8),
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::bool::weighted(0.3), RAND_PIS..=RAND_PIS),
+            1usize..150,
+        ),
+    ) {
+        let nl = random_comb_netlist(&tts);
+        let mut scalar = Simulator::new(&nl).unwrap();
+        let mut packed = PackedSimulator::new(&nl).unwrap();
+        for (c, chunk) in pats.chunks(LANES).enumerate() {
+            packed.load_patterns(chunk);
+            packed.comb_eval();
+            for (lane, pat) in chunk.iter().enumerate() {
+                scalar.set_inputs(pat);
+                scalar.comb_eval();
+                for (net_id, _) in nl.nets() {
+                    prop_assert_eq!(
+                        packed.net_word(net_id) >> lane & 1 == 1,
+                        scalar.net_value(net_id),
+                        "net {:?}, pattern {}", net_id, c * LANES + lane
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_stream_matches_scalar_outputs_and_ff_state(
+        bb in 1usize..5,
+        branches in 1usize..3,
+        blen in 1usize..4,
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::bool::weighted(0.5), 1usize..=1),
+            1usize..40,
+        ),
+    ) {
+        let nl = seq_backbone_netlist(bb, branches, blen);
+        let mut scalar = Simulator::new(&nl).unwrap();
+        let mut packed = PackedSimulator::new(&nl).unwrap();
+        for pat in &pats {
+            scalar.set_inputs(pat);
+            scalar.comb_eval();
+            packed.broadcast_inputs(pat);
+            packed.comb_eval();
+            let want = scalar.outputs();
+            for (j, &w) in want.iter().enumerate() {
+                prop_assert_eq!(packed.output_word(j) & 1 == 1, w);
+            }
+            for (id, _) in nl.cells() {
+                prop_assert_eq!(
+                    packed.ff_word(id).map(|w| w & 1 == 1),
+                    scalar.ff_state(id),
+                    "FF {:?}", id
+                );
+            }
+            scalar.step();
+            packed.step();
+        }
+        prop_assert_eq!(packed.cycles(), scalar.cycles());
+    }
+
+    #[test]
+    fn packed_fault_lanes_match_a_complemented_netlist(
+        tts in prop::collection::vec(prop::bits::u64::masked(u64::MAX), 1usize..6),
+        mask_raw in prop::bits::u64::masked(u64::MAX),
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::bool::weighted(0.5), RAND_PIS..=RAND_PIS),
+            1usize..=LANES,
+        ),
+        cell_raw: usize,
+    ) {
+        let nl = random_comb_netlist(&tts);
+        let luts: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| id)
+            .collect();
+        let cell = luts[cell_raw % luts.len()];
+        let mut faulty_nl = nl.clone();
+        inject::inject(&mut faulty_nl, cell, inject::DesignErrorKind::Complement).unwrap();
+
+        let mut packed = PackedSimulator::new(&nl).unwrap();
+        let lanes = packed.load_patterns(&pats);
+        let mask = mask_raw & lanes;
+        packed.set_fault_lanes(cell, mask).unwrap();
+        packed.comb_eval();
+
+        let mut clean = Simulator::new(&nl).unwrap();
+        let mut faulted = Simulator::new(&faulty_nl).unwrap();
+        for (lane, pat) in pats.iter().enumerate() {
+            let oracle = if mask >> lane & 1 == 1 { &mut faulted } else { &mut clean };
+            oracle.set_inputs(pat);
+            oracle.comb_eval();
+            let want = oracle.outputs();
+            for (j, &w) in want.iter().enumerate() {
+                prop_assert_eq!(
+                    packed.output_word(j) >> lane & 1 == 1,
+                    w,
+                    "output {}, lane {}", j, lane
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_divergence_onsets_match_scalar_oracle(
+        tts in prop::collection::vec(prop::bits::u64::masked(u64::MAX), 2usize..8),
+        k in 1usize..=2,
+        seed: u64,
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::bool::weighted(0.4), RAND_PIS..=RAND_PIS),
+            1usize..150,
+        ),
+    ) {
+        let golden = random_comb_netlist(&tts);
+        let mut dut = golden.clone();
+        let seeds: Vec<u64> = (0..k as u64).map(|i| seed.wrapping_add(i)).collect();
+        inject::random_distinct_errors(&mut dut, &seeds).unwrap();
+        let nets: Vec<NetId> = golden
+            .cells()
+            .filter(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| golden.cell_output(id).unwrap())
+            .collect();
+
+        let got =
+            fpga_debug_tiling::sim::emulate::net_first_divergences(&golden, &dut, &nets, &pats)
+                .unwrap();
+
+        let mut g = Simulator::new(&golden).unwrap();
+        let mut d = Simulator::new(&dut).unwrap();
+        let mut want: Vec<Option<usize>> = vec![None; nets.len()];
+        for (p, pat) in pats.iter().enumerate() {
+            g.set_inputs(pat);
+            g.comb_eval();
+            d.set_inputs(pat);
+            d.comb_eval();
+            for (i, &net) in nets.iter().enumerate() {
+                if want[i].is_none() && g.net_value(net) != d.net_value(net) {
+                    want[i] = Some(p);
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}
+
+// The sequential (stream-mode) counterpart of the onset check, on the
+// same backbone shape the windowed-pruning property uses.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn packed_stream_onsets_match_scalar_oracle(
+        bb in 1usize..5,
+        branches in 1usize..3,
+        blen in 1usize..4,
+        seed: u64,
+        pats in prop::collection::vec(
+            prop::collection::vec(prop::bool::weighted(0.5), 1usize..=1),
+            1usize..48,
+        ),
+    ) {
+        let golden = seq_backbone_netlist(bb, branches, blen);
+        let mut dut = golden.clone();
+        inject::random_distinct_errors(&mut dut, &[seed]).unwrap();
+        let nets: Vec<NetId> = golden
+            .cells()
+            .filter(|(_, c)| c.lut_function().is_some())
+            .map(|(id, _)| golden.cell_output(id).unwrap())
+            .collect();
+
+        let got =
+            fpga_debug_tiling::sim::emulate::net_first_divergences(&golden, &dut, &nets, &pats)
+                .unwrap();
+
+        let mut g = Simulator::new(&golden).unwrap();
+        let mut d = Simulator::new(&dut).unwrap();
+        let mut want: Vec<Option<usize>> = vec![None; nets.len()];
+        for (p, pat) in pats.iter().enumerate() {
+            g.set_inputs(pat);
+            g.comb_eval();
+            d.set_inputs(pat);
+            d.comb_eval();
+            for (i, &net) in nets.iter().enumerate() {
+                if want[i].is_none() && g.net_value(net) != d.net_value(net) {
+                    want[i] = Some(p);
+                }
+            }
+            g.step();
+            d.step();
+        }
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Localization soundness on the packed combinational path
+// ---------------------------------------------------------------------
+//
+// `windowed_cluster_pruning_keeps_a_guilty_cell` above exercises the
+// stream-mode (sequential) sweep; this combinational twin drives the
+// 64-lane chunked path across a word boundary (100 patterns). Guilt
+// retention is asserted only for a single live error: with several,
+// errors can cancel along one branch (e.g. two complements in
+// series), leaving a clean output that falsely alibis the shared
+// culprit — the documented heuristic limit of the alibi. Multi-error
+// draws still check that pruning shrinks and that every cluster
+// keeps a non-empty, investigatable cone.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn comb_cluster_pruning_keeps_a_guilty_cell(
+        bb in 3usize..6,
+        branches in 1usize..4,
+        blen in 1usize..4,
+        k in 1usize..4,
+        seed: u64,
+    ) {
+        use fpga_debug_tiling::tiling::{cluster_failures, collect_responses};
+
+        let golden = backbone_netlist(bb, branches, blen);
+        let mut dut = golden.clone();
+        let seeds: Vec<u64> = (0..k as u64).map(|i| seed.wrapping_add(i)).collect();
+        let errors = inject::random_distinct_errors(&mut dut, &seeds).unwrap();
+        let matrix =
+            collect_responses(&golden, &dut, PatternGen::random(1, 100, seed)).unwrap();
+        let evidence = EvidenceBase::from_sweep(&golden, &matrix);
+        for cl in cluster_failures(&golden, &matrix) {
+            prop_assert_eq!(Some(cl.window), cl.signature.first_failing());
+            let pruned = evidence.prune_cone(&cl.cone, &evidence.causal_window(&cl));
+            // Pruning only ever shrinks the cluster's cone and never
+            // empties it — the failing output's own driver has depth
+            // 0 and onset == window, so it always survives.
+            prop_assert_eq!(&pruned.union(&cl.cone), &cl.cone);
+            prop_assert!(!pruned.is_empty(), "cluster pruned to nothing");
+            if k == 1 {
+                // One live error: no cross-error cancellation, the
+                // alibi is exact, and the culprit survives in every
+                // cluster it caused.
+                prop_assert!(
+                    errors.iter().any(|e| pruned.contains(e.cell)),
+                    "cluster pruned away the injected error"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Simulation vs direct interpretation
 // ---------------------------------------------------------------------
 
