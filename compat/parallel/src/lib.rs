@@ -1,0 +1,474 @@
+//! Scoped work-stealing parallelism on `std::thread::scope` — the
+//! offline stand-in for the *role* rayon would play in this
+//! workspace (no crates.io access; see `compat/README.md`).
+//!
+//! Three entry points:
+//!
+//! * [`join`] — run two closures, the second on its own scoped
+//!   thread, and return both results;
+//! * [`scope`] — a fixed-size work-stealing worker pool whose tasks
+//!   may borrow the caller's stack (`'env`), spawned dynamically
+//!   while the scope body runs;
+//! * [`map`] — order-preserving parallel map over an owned `Vec`.
+//!
+//! The pool is deliberately tiny and `unsafe`-free: each worker owns
+//! a deque behind a mutex, [`Scope::spawn`] deals tasks round-robin,
+//! idle workers steal from the front of their neighbours' deques
+//! (FIFO steal order keeps big early tasks moving first), and a
+//! single condvar parks idle workers. Tasks cannot themselves spawn
+//! into the scope — nested parallelism opens a nested [`scope`] or
+//! [`join`], which is how the diagnosis kernels use it under a
+//! campaign fleet.
+//!
+//! A panicking task never poisons the pool: the worker catches the
+//! unwind, keeps draining its queue, and the first payload is
+//! re-raised from [`scope`] *after* every remaining task has run —
+//! so a fleet survives one bad campaign, finishes the rest, and the
+//! caller still sees the failure. [`scope_with_stats`] additionally
+//! reports per-worker busy time, task/steal/panic counts, and the
+//! peak queue depth — the raw material for fleet telemetry.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A queued unit of work: boxed so it can borrow the scope's
+/// environment.
+type Task<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Worker-visible shared state guarded by one mutex (queue contents
+/// live in per-worker mutexes; this tracks only the counters the
+/// condvar protocol needs).
+#[derive(Debug, Default)]
+struct State {
+    /// Tasks pushed but not yet claimed by a worker.
+    queued: usize,
+    /// Tasks claimed and currently executing.
+    running: usize,
+    /// Set once the scope body has returned and the pool drained.
+    shutdown: bool,
+    /// High-water mark of `queued` (telemetry).
+    peak_queued: usize,
+}
+
+/// Everything the workers and the scope handle share.
+struct Registry<'env> {
+    /// One deque per worker; owners pop the back, thieves the front.
+    queues: Vec<Mutex<VecDeque<Task<'env>>>>,
+    state: Mutex<State>,
+    signal: Condvar,
+    /// Round-robin dealing cursor for [`Scope::spawn`].
+    next: AtomicUsize,
+    /// Tasks stolen from a non-owner queue (telemetry).
+    steals: AtomicUsize,
+    /// Panic payloads captured from tasks, re-raised after the drain.
+    panics: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<'env> Registry<'env> {
+    fn new(workers: usize) -> Self {
+        Self {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            state: Mutex::new(State::default()),
+            signal: Condvar::new(),
+            next: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Pushes a task (round-robin) and wakes one parked worker.
+    fn push(&self, task: Task<'env>) {
+        let slot = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(task);
+        let mut st = self.state.lock().unwrap();
+        st.queued += 1;
+        st.peak_queued = st.peak_queued.max(st.queued);
+        drop(st);
+        self.signal.notify_one();
+    }
+
+    /// Claims one task for worker `w`: own queue from the back,
+    /// otherwise steal a neighbour's front. Blocks on the condvar
+    /// while the pool is empty; returns `None` on shutdown.
+    fn claim(&self, w: usize) -> Option<Task<'env>> {
+        {
+            let mut st = self.state.lock().unwrap();
+            loop {
+                if st.queued > 0 {
+                    st.queued -= 1;
+                    st.running += 1;
+                    break;
+                }
+                if st.shutdown {
+                    return None;
+                }
+                st = self.signal.wait(st).unwrap();
+            }
+        }
+        // A claim ticket is held: at least one pushed task is
+        // unclaimed somewhere. Scan until it (or a sibling)
+        // appears — pushes land in their queue *before* `queued`
+        // is bumped, so this terminates.
+        loop {
+            if let Some(task) = self.queues[w].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+            let mut found = None;
+            for (v, q) in self.queues.iter().enumerate() {
+                if v == w {
+                    continue;
+                }
+                if let Some(task) = q.lock().unwrap().pop_front() {
+                    found = Some(task);
+                    break;
+                }
+            }
+            if let Some(task) = found {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Marks one claimed task finished and wakes the drain waiter.
+    fn finish(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.running -= 1;
+        if st.queued == 0 && st.running == 0 {
+            drop(st);
+            self.signal.notify_all();
+        }
+    }
+
+    /// Blocks until no task is queued or running.
+    fn wait_idle(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.queued > 0 || st.running > 0 {
+            st = self.signal.wait(st).unwrap();
+        }
+    }
+
+    /// Releases every worker from [`claim`](Self::claim).
+    fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.signal.notify_all();
+    }
+}
+
+/// Handle for spawning tasks into a running [`scope`].
+pub struct Scope<'reg, 'env> {
+    registry: &'reg Registry<'env>,
+}
+
+impl<'reg, 'env> Scope<'reg, 'env> {
+    /// Queues `task` for the worker pool. Tasks run in work-stealing
+    /// order (no FIFO guarantee across the pool); a panicking task is
+    /// recorded and re-raised by [`scope`] after the drain.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'env) {
+        self.registry.push(Box::new(task));
+    }
+
+    /// `(queued, running)` snapshot — fleet telemetry samples this as
+    /// its queue-depth gauge.
+    pub fn pending(&self) -> (usize, usize) {
+        let st = self.registry.state.lock().unwrap();
+        (st.queued, st.running)
+    }
+}
+
+/// What one [`scope_with_stats`] run observed — the raw material for
+/// fleet telemetry (worker utilization, queue depth, steal rate).
+#[derive(Debug, Clone, Default)]
+pub struct PoolStats {
+    /// Tasks executed, per worker.
+    pub tasks_per_worker: Vec<usize>,
+    /// Time spent inside tasks, per worker.
+    pub busy_per_worker: Vec<Duration>,
+    /// Wall-clock from pool start to full drain.
+    pub wall: Duration,
+    /// Tasks claimed from a non-owner queue.
+    pub steals: usize,
+    /// Tasks that panicked (their payloads were re-raised).
+    pub panics: usize,
+    /// High-water mark of the queued-task count.
+    pub peak_queued: usize,
+}
+
+impl PoolStats {
+    /// Mean fraction of the wall time workers spent executing tasks.
+    pub fn utilization(&self) -> f64 {
+        if self.busy_per_worker.is_empty() || self.wall.is_zero() {
+            return 0.0;
+        }
+        let busy: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
+        busy / (self.wall.as_secs_f64() * self.busy_per_worker.len() as f64)
+    }
+}
+
+/// Runs `f` with a [`Scope`] backed by `workers` work-stealing
+/// threads, waits for every spawned task to finish, and returns `f`'s
+/// result. Tasks may borrow anything that outlives the `scope` call.
+///
+/// If any task panicked, the first payload is re-raised — after all
+/// remaining tasks have run to completion, so sibling work is never
+/// abandoned.
+///
+/// ```
+/// let items = [1u64, 2, 3, 4];
+/// let sum = std::sync::atomic::AtomicU64::new(0);
+/// parallel::scope(2, |s| {
+///     for &x in &items {
+///         let sum = &sum;
+///         s.spawn(move || {
+///             sum.fetch_add(x * x, std::sync::atomic::Ordering::Relaxed);
+///         });
+///     }
+/// });
+/// assert_eq!(sum.into_inner(), 30);
+/// ```
+pub fn scope<'env, R>(workers: usize, f: impl FnOnce(&Scope<'_, 'env>) -> R) -> R {
+    scope_with_stats(workers, f).0
+}
+
+/// [`scope`] plus the pool's [`PoolStats`].
+pub fn scope_with_stats<'env, R>(
+    workers: usize,
+    f: impl FnOnce(&Scope<'_, 'env>) -> R,
+) -> (R, PoolStats) {
+    let workers = workers.max(1);
+    let registry = Registry::new(workers);
+    let tasks: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+    let busy: Vec<Mutex<Duration>> = (0..workers).map(|_| Mutex::new(Duration::ZERO)).collect();
+    let start = Instant::now();
+    let result = std::thread::scope(|ts| {
+        for w in 0..workers {
+            let registry = &registry;
+            let tasks = &tasks;
+            let busy = &busy;
+            ts.spawn(move || {
+                while let Some(task) = registry.claim(w) {
+                    let t0 = Instant::now();
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        registry.panics.lock().unwrap().push(payload);
+                    }
+                    *busy[w].lock().unwrap() += t0.elapsed();
+                    tasks[w].fetch_add(1, Ordering::Relaxed);
+                    registry.finish();
+                }
+            });
+        }
+        let r = f(&Scope {
+            registry: &registry,
+        });
+        registry.wait_idle();
+        registry.shutdown();
+        r
+    });
+    let panics = std::mem::take(&mut *registry.panics.lock().unwrap());
+    let stats = PoolStats {
+        tasks_per_worker: tasks.iter().map(|t| t.load(Ordering::Relaxed)).collect(),
+        busy_per_worker: busy.iter().map(|b| *b.lock().unwrap()).collect(),
+        wall: start.elapsed(),
+        steals: registry.steals.load(Ordering::Relaxed),
+        panics: panics.len(),
+        peak_queued: registry.state.lock().unwrap().peak_queued,
+    };
+    if let Some(first) = panics.into_iter().next() {
+        resume_unwind(first);
+    }
+    (result, stats)
+}
+
+/// Runs `a` inline and `b` on a scoped thread, returning both results
+/// (rayon-style `join`). A panic on either side propagates.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB + Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// Order-preserving parallel map: applies `f` to every item on a
+/// `workers`-wide [`scope`], returning results in input order.
+/// `workers <= 1` (or one item) runs inline with no threads — the
+/// bit-identical serial reference path.
+pub fn map<T, R>(workers: usize, items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    map_with_stats(workers, items, f).0
+}
+
+/// [`map`] plus the pool's [`PoolStats`]. The inline (`workers <= 1`
+/// or single-item) path synthesizes one-worker stats so telemetry
+/// derived from them stays well-defined.
+pub fn map_with_stats<T, R>(
+    workers: usize,
+    items: Vec<T>,
+    f: impl Fn(T) -> R + Sync,
+) -> (Vec<R>, PoolStats)
+where
+    T: Send,
+    R: Send,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        let start = Instant::now();
+        let results: Vec<R> = items.into_iter().map(f).collect();
+        let wall = start.elapsed();
+        let stats = PoolStats {
+            tasks_per_worker: vec![n],
+            busy_per_worker: vec![wall],
+            wall,
+            steals: 0,
+            panics: 0,
+            peak_queued: usize::from(n > 0),
+        };
+        return (results, stats);
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let f = &f;
+    let ((), stats) = scope_with_stats(workers.min(n), |s| {
+        for (item, slot) in items.into_iter().zip(slots.iter_mut()) {
+            s.spawn(move || *slot = Some(f(item)));
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|r| r.expect("scope drained every task"))
+        .collect();
+    (results, stats)
+}
+
+/// Worker count for "use the whole machine": the `FLEET_WORKERS` env
+/// var when set (clamped to at least 1), else
+/// [`std::thread::available_parallelism`].
+pub fn default_workers() -> usize {
+    if let Ok(v) = std::env::var("FLEET_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_preserves_order_and_results() {
+        for workers in [1, 2, 4, 9] {
+            let out = map(workers, (0u64..100).collect(), |x| x * x);
+            assert_eq!(out, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn scope_runs_borrowing_tasks() {
+        let total = AtomicU64::new(0);
+        let data: Vec<u64> = (1..=64).collect();
+        let total = &total;
+        scope(4, |s| {
+            for &x in &data {
+                s.spawn(move || {
+                    total.fetch_add(x, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64 * 65 / 2);
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // One long task dealt to worker 0 plus many short ones: with
+        // round-robin dealing and stealing, the short tasks all run
+        // even while the long one occupies its owner.
+        let done = AtomicUsize::new(0);
+        let (_, stats) = scope_with_stats(4, |s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(30));
+                done.fetch_add(1, Ordering::Relaxed);
+            });
+            for _ in 0..63 {
+                s.spawn(|| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 64);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<usize>(), 64);
+        assert_eq!(stats.panics, 0);
+        assert!(stats.peak_queued >= 1);
+    }
+
+    #[test]
+    fn panicking_task_drains_then_propagates() {
+        let done = AtomicUsize::new(0);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |s| {
+                s.spawn(|| panic!("injected worker panic"));
+                for _ in 0..40 {
+                    s.spawn(|| {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(caught.is_err(), "scope must re-raise the task panic");
+        // Every sibling task still ran: the queue was drained, not
+        // abandoned, before the panic propagated.
+        assert_eq!(done.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn join_returns_both_and_nests() {
+        let (a, (b, c)) = join(|| 1 + 1, || join(|| 2 + 2, || 3 + 3));
+        assert_eq!((a, b, c), (2, 4, 6));
+    }
+
+    #[test]
+    fn map_runs_inside_scope_tasks() {
+        // Nested parallelism: campaign tasks open their own inner
+        // pools (fault-sim batches) without deadlocking the outer one.
+        let outer = map(3, vec![10u64, 20, 30], |base| {
+            map(2, (0..8u64).collect(), |k| base + k)
+                .iter()
+                .sum::<u64>()
+        });
+        assert_eq!(outer, vec![108, 188, 268]);
+    }
+
+    #[test]
+    fn stats_report_utilization() {
+        let (_, stats) = scope_with_stats(2, |s| {
+            for _ in 0..8 {
+                s.spawn(|| std::thread::sleep(Duration::from_millis(2)));
+            }
+        });
+        assert!(stats.utilization() > 0.0);
+        assert!(stats.wall >= Duration::from_millis(2));
+        assert_eq!(stats.busy_per_worker.len(), 2);
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -29,6 +29,13 @@
 //! serial, plus cluster/localization counts — so the performance
 //! trajectory is tracked across PRs instead of living only in stdout.
 //!
+//! The design×k grid fans out over the `parallel` work-stealing
+//! pool (one task per grid cell, implements shared per design);
+//! campaigns are deterministic, so the pooled sweep's JSON is
+//! byte-identical to a serial one — pass `--check-serial` to re-run
+//! the grid on one worker and assert exactly that (CI does, in quick
+//! mode).
+//!
 //! Run: `cargo run --release -p bench-harness --bin multi`
 //! (pass `--quick` for the smallest design and k ≤ 2 — the mode CI
 //! runs end-to-end).
@@ -40,8 +47,10 @@ use sim::inject::inject;
 use synth::PaperDesign;
 use tiling::flows::TiledFlow;
 use tiling::session::DebugSession;
+use tiling::TiledDesign;
 
 /// One (design, k) comparison row.
+#[derive(PartialEq)]
 struct Row {
     design: &'static str,
     k: usize,
@@ -54,14 +63,111 @@ struct Row {
     seq_ecos: usize,
 }
 
+/// Runs one (design, k) grid cell: the concurrent campaign and its
+/// k-sequential baseline on fresh clones of the shared implement.
+fn run_cell(
+    design: PaperDesign,
+    td0: &TiledDesign,
+    golden: &netlist::Netlist,
+    k: usize,
+) -> Result<Row, tiling::TilingError> {
+    // Plant k distinct random errors, all live at once.
+    let mut td = td0.clone();
+    let seeds: Vec<u64> = (0..k as u64).map(|i| 31 + i).collect();
+    let errors = sim::inject::random_distinct_errors(&mut td.netlist, &seeds)?;
+    let conc = DebugSession::new(&mut td, golden)
+        .flow(TiledFlow::default())
+        .seed(7)
+        .run_concurrent(&errors)?;
+
+    // Sequential baseline: the same errors, one fresh
+    // single-error campaign each. Serial localization now
+    // runs through the same diagnosis::evidence layer, so
+    // its localized count is tracked per row too (the old
+    // whole-sweep passing-split failed to localize at all on
+    // the FSM designs).
+    let (mut slocalized, mut staps, mut secos) = (0usize, 0usize, 0usize);
+    for error in &errors {
+        let mut td = td0.clone();
+        let replant = inject(&mut td.netlist, error.cell, error.kind)?;
+        let out = DebugSession::new(&mut td, golden)
+            .flow(TiledFlow::default())
+            .seed(7)
+            .run(&replant)?;
+        slocalized += usize::from(out.localized.is_some());
+        staps += out.taps_inserted;
+        secos += out.ecos;
+    }
+
+    let found = conc
+        .clusters
+        .iter()
+        .filter(|c| c.localized.is_some())
+        .count();
+    Ok(Row {
+        design: design.name(),
+        k,
+        clusters: conc.clusters.len(),
+        localized: found,
+        conc_taps: conc.taps_inserted,
+        conc_ecos: conc.ecos,
+        seq_localized: slocalized,
+        seq_taps: staps,
+        seq_ecos: secos,
+    })
+}
+
+/// Sweeps the whole design×k grid on a `workers`-wide pool: one
+/// implement per design (itself fanned out), then one pool task per
+/// grid cell. Row order is design-major, k-minor — identical to the
+/// old serial loop, because `parallel::map` preserves input order.
+fn sweep(
+    designs: &[PaperDesign],
+    max_k: usize,
+    workers: usize,
+) -> Result<Vec<Row>, tiling::TilingError> {
+    let implemented = parallel::map(workers, designs.to_vec(), |design| {
+        implement_design(design, 10, 41).map(|td| (td.netlist.clone(), td))
+    });
+    let mut artifacts = Vec::with_capacity(designs.len());
+    for r in implemented {
+        let (golden, td) = r?;
+        artifacts.push((golden, td));
+    }
+    let jobs: Vec<(usize, usize)> = (0..designs.len())
+        .flat_map(|d| (1..=max_k).map(move |k| (d, k)))
+        .collect();
+    let artifacts = &artifacts;
+    parallel::map(workers, jobs, |(d, k)| {
+        let (golden, td0) = &artifacts[d];
+        run_cell(designs[d], td0, golden, k)
+    })
+    .into_iter()
+    .collect()
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let check_serial = std::env::args().any(|a| a == "--check-serial");
     let designs: &[PaperDesign] = if quick {
         &[PaperDesign::NineSym]
     } else {
         &[PaperDesign::NineSym, PaperDesign::Styr, PaperDesign::Sand]
     };
     let max_k = if quick { 2 } else { 4 };
+
+    let workers = parallel::default_workers();
+    let rows = sweep(designs, max_k, workers)?;
+    if check_serial {
+        // The pooled sweep must be a pure reordering of the serial
+        // one: same rows, same bytes out.
+        let serial = sweep(designs, max_k, 1)?;
+        assert!(
+            rows == serial && render_json(quick, &rows) == render_json(quick, &serial),
+            "pooled sweep diverged from the serial reference"
+        );
+        println!("(pooled sweep verified byte-identical to the serial path)");
+    }
 
     println!("Multi-error diagnosis: concurrent vs k sequential campaigns (tiled flow)");
     println!(
@@ -77,74 +183,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "taps/err",
         "ECOs/err"
     );
-
-    let mut rows: Vec<Row> = Vec::new();
-    for &design in designs {
-        let td0 = implement_design(design, 10, 41)?;
-        let golden = td0.netlist.clone();
-        for k in 1..=max_k {
-            // Plant k distinct random errors, all live at once.
-            let mut td = td0.clone();
-            let seeds: Vec<u64> = (0..k as u64).map(|i| 31 + i).collect();
-            let errors = sim::inject::random_distinct_errors(&mut td.netlist, &seeds)?;
-            let conc = DebugSession::new(&mut td, &golden)
-                .flow(TiledFlow::default())
-                .seed(7)
-                .run_concurrent(&errors)?;
-
-            // Sequential baseline: the same errors, one fresh
-            // single-error campaign each. Serial localization now
-            // runs through the same diagnosis::evidence layer, so
-            // its localized count is tracked per row too (the old
-            // whole-sweep passing-split failed to localize at all on
-            // the FSM designs).
-            let (mut slocalized, mut staps, mut secos) = (0usize, 0usize, 0usize);
-            for error in &errors {
-                let mut td = td0.clone();
-                let replant = inject(&mut td.netlist, error.cell, error.kind)?;
-                let out = DebugSession::new(&mut td, &golden)
-                    .flow(TiledFlow::default())
-                    .seed(7)
-                    .run(&replant)?;
-                slocalized += usize::from(out.localized.is_some());
-                staps += out.taps_inserted;
-                secos += out.ecos;
-            }
-
-            let found = conc
-                .clusters
-                .iter()
-                .filter(|c| c.localized.is_some())
-                .count();
-            println!(
-                "{:<12} {:>2} {:>2}/{:<2} {:>2}/{:<2} | {:>10} {:>10} | {:>10} {:>10} | {:>4}v{:<4} {:>4}v{:<4}",
-                design.name(),
-                k,
-                found,
-                conc.clusters.len(),
-                slocalized,
-                k,
-                conc.taps_inserted,
-                conc.ecos,
-                staps,
-                secos,
-                ratio(conc.taps_inserted, k),
-                ratio(staps, k),
-                ratio(conc.ecos, k),
-                ratio(secos, k),
-            );
-            rows.push(Row {
-                design: design.name(),
-                k,
-                clusters: conc.clusters.len(),
-                localized: found,
-                conc_taps: conc.taps_inserted,
-                conc_ecos: conc.ecos,
-                seq_localized: slocalized,
-                seq_taps: staps,
-                seq_ecos: secos,
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<12} {:>2} {:>2}/{:<2} {:>2}/{:<2} | {:>10} {:>10} | {:>10} {:>10} | {:>4}v{:<4} {:>4}v{:<4}",
+            r.design,
+            r.k,
+            r.localized,
+            r.clusters,
+            r.seq_localized,
+            r.k,
+            r.conc_taps,
+            r.conc_ecos,
+            r.seq_taps,
+            r.seq_ecos,
+            ratio(r.conc_taps, r.k),
+            ratio(r.seq_taps, r.k),
+            ratio(r.conc_ecos, r.k),
+            ratio(r.seq_ecos, r.k),
+        );
     }
     println!("\n(taps/err and ECOs/err: concurrent vs sequential, per planted error)");
 

@@ -337,6 +337,25 @@ impl<'a> FaultAttribution<'a> {
     ///
     /// Propagates fault-simulation failures.
     pub fn prime(&mut self, candidates: &[CellId]) -> Result<(), NetlistError> {
+        self.prime_with_workers(candidates, parallel::default_workers())
+    }
+
+    /// [`prime`](Self::prime) with an explicit worker count: with more
+    /// than one worker and more than one sweep unit, the candidate
+    /// fault-sims fan out over a [`parallel`] work-stealing pool, one
+    /// fresh [`PackedSimulator`] per in-flight unit (the engines are
+    /// cheap to compile next to the sweeps they run). Results are
+    /// merged in unit order, so the cache — and everything scored
+    /// from it — is bit-identical to a serial prime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fault-simulation failures.
+    pub fn prime_with_workers(
+        &mut self,
+        candidates: &[CellId],
+        workers: usize,
+    ) -> Result<(), NetlistError> {
         let mut luts: Vec<CellId> = Vec::new();
         for &c in candidates {
             if self.cache.contains_key(&c) || luts.contains(&c) {
@@ -355,13 +374,53 @@ impl<'a> FaultAttribution<'a> {
                     .insert(c, vec![false; self.golden_po_words.len()]);
             }
         }
-        if self.sequential {
-            for batch in luts.chunks(LANES) {
-                self.fault_sweep_batch(batch)?;
+        // One sweep unit = one packed pass: a 64-machine batch on
+        // sequential designs, one pattern-parallel candidate on
+        // combinational ones.
+        let units: Vec<Vec<CellId>> = if self.sequential {
+            luts.chunks(LANES).map(<[CellId]>::to_vec).collect()
+        } else {
+            luts.iter().map(|&c| vec![c]).collect()
+        };
+        if workers > 1 && units.len() > 1 {
+            let golden = self.golden;
+            let sequential = self.sequential;
+            let patterns = &self.patterns;
+            let po_words = &self.golden_po_words;
+            let swept = parallel::map(workers.min(units.len()), units, |unit| {
+                let mut psim = PackedSimulator::new(golden)?;
+                if sequential {
+                    sweep_candidate_batch(&mut psim, patterns, po_words, &unit)
+                } else {
+                    sweep_candidate_patterns(&mut psim, patterns, po_words, unit[0])
+                        .map(|mask| vec![(unit[0], mask)])
+                }
+            });
+            for unit in swept {
+                for (c, mask) in unit? {
+                    self.cache.insert(c, mask);
+                }
             }
         } else {
-            for &c in &luts {
-                self.fault_sweep_patterns(c)?;
+            for unit in units {
+                if self.sequential {
+                    for (c, mask) in sweep_candidate_batch(
+                        &mut self.psim,
+                        &self.patterns,
+                        &self.golden_po_words,
+                        &unit,
+                    )? {
+                        self.cache.insert(c, mask);
+                    }
+                } else {
+                    let mask = sweep_candidate_patterns(
+                        &mut self.psim,
+                        &self.patterns,
+                        &self.golden_po_words,
+                        unit[0],
+                    )?;
+                    self.cache.insert(unit[0], mask);
+                }
             }
         }
         Ok(())
@@ -378,54 +437,6 @@ impl<'a> FaultAttribution<'a> {
             self.prime(&[cell])?;
         }
         Ok(self.cache[&cell].clone())
-    }
-
-    /// Combinational candidate: all 64 lanes carry the complemented
-    /// machine, patterns chunk through the lanes.
-    fn fault_sweep_patterns(&mut self, cell: CellId) -> Result<(), NetlistError> {
-        let num_pos = self.golden_po_words.len();
-        self.psim.set_fault_lanes(cell, u64::MAX)?;
-        let mut acc = vec![0u64; num_pos];
-        for (c, chunk) in self.patterns.chunks(LANES).enumerate() {
-            let lanes = self.psim.load_patterns(chunk);
-            self.psim.comb_eval();
-            for (j, a) in acc.iter_mut().enumerate() {
-                *a |= (self.psim.output_word(j) ^ self.golden_po_words[j][c]) & lanes;
-            }
-        }
-        self.psim.clear_faults();
-        self.cache
-            .insert(cell, acc.iter().map(|&a| a != 0).collect());
-        Ok(())
-    }
-
-    /// Sequential candidates: lane `i` carries the machine with
-    /// `batch[i]` complemented, all lanes fed the same stimulus
-    /// stream. Fault-free lanes reproduce the golden trace exactly,
-    /// so their diff words stay zero and need no masking.
-    fn fault_sweep_batch(&mut self, batch: &[CellId]) -> Result<(), NetlistError> {
-        let num_pos = self.golden_po_words.len();
-        self.psim.clear_faults();
-        self.psim.reset();
-        for (i, &c) in batch.iter().enumerate() {
-            self.psim.set_fault_lanes(c, 1 << i)?;
-        }
-        let mut acc = vec![0u64; num_pos];
-        for (idx, pat) in self.patterns.iter().enumerate() {
-            self.psim.broadcast_inputs(pat);
-            self.psim.comb_eval();
-            let golden_bit = |j: usize| self.golden_po_words[j][idx / LANES] >> (idx % LANES) & 1;
-            for (j, a) in acc.iter_mut().enumerate() {
-                *a |= self.psim.output_word(j) ^ 0u64.wrapping_sub(golden_bit(j));
-            }
-            self.psim.step();
-        }
-        self.psim.clear_faults();
-        for (i, &c) in batch.iter().enumerate() {
-            let mask = acc.iter().map(|&a| a >> i & 1 == 1).collect();
-            self.cache.insert(c, mask);
-        }
-        Ok(())
     }
 
     /// Jaccard similarity between the candidate's predicted
@@ -477,6 +488,69 @@ impl<'a> FaultAttribution<'a> {
         }
         Ok(best)
     }
+}
+
+/// One pattern-parallel sweep of a single combinational candidate:
+/// all 64 lanes carry the complemented machine, patterns chunk
+/// through the lanes. Returns the predicted failing-PO mask in PO
+/// order.
+///
+/// A free function (rather than a method) so [`prime_with_workers`]
+/// can run it against worker-local engines without borrowing the
+/// whole attribution state.
+///
+/// [`prime_with_workers`]: FaultAttribution::prime_with_workers
+fn sweep_candidate_patterns(
+    psim: &mut PackedSimulator<'_>,
+    patterns: &[Vec<bool>],
+    golden_po_words: &[Vec<u64>],
+    cell: CellId,
+) -> Result<Vec<bool>, NetlistError> {
+    let mut acc = vec![0u64; golden_po_words.len()];
+    psim.set_fault_lanes(cell, u64::MAX)?;
+    for (c, chunk) in patterns.chunks(LANES).enumerate() {
+        let lanes = psim.load_patterns(chunk);
+        psim.comb_eval();
+        for (j, a) in acc.iter_mut().enumerate() {
+            *a |= (psim.output_word(j) ^ golden_po_words[j][c]) & lanes;
+        }
+    }
+    psim.clear_faults();
+    Ok(acc.iter().map(|&a| a != 0).collect())
+}
+
+/// One packed stream pass over up to 64 sequential candidates: lane
+/// `i` carries the machine with `batch[i]` complemented, all lanes
+/// fed the same stimulus stream. Returns `(candidate, failing-PO
+/// mask)` pairs in batch order.
+fn sweep_candidate_batch(
+    psim: &mut PackedSimulator<'_>,
+    patterns: &[Vec<bool>],
+    golden_po_words: &[Vec<u64>],
+    batch: &[CellId],
+) -> Result<Vec<(CellId, Vec<bool>)>, NetlistError> {
+    debug_assert!(batch.len() <= LANES);
+    let mut acc = vec![0u64; golden_po_words.len()];
+    psim.clear_faults();
+    psim.reset();
+    for (i, &c) in batch.iter().enumerate() {
+        psim.set_fault_lanes(c, 1u64 << i)?;
+    }
+    for (idx, pat) in patterns.iter().enumerate() {
+        psim.broadcast_inputs(pat);
+        psim.comb_eval();
+        for (j, a) in acc.iter_mut().enumerate() {
+            let golden_bit = golden_po_words[j][idx / LANES] >> (idx % LANES) & 1;
+            *a |= psim.output_word(j) ^ 0u64.wrapping_sub(golden_bit);
+        }
+        psim.step();
+    }
+    psim.clear_faults();
+    Ok(batch
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (c, acc.iter().map(|&a| a >> i & 1 == 1).collect()))
+        .collect())
 }
 
 #[cfg(test)]

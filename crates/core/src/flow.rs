@@ -1,6 +1,8 @@
 //! The global flow (paper §3.1 steps 1–8): implement a design with
 //! resource slack, draw tile boundaries, lock interfaces.
 
+use std::sync::Arc;
+
 use fpga::{DelayModel, Device, Placement, Routing, RoutingGraph, TimingReport};
 use netlist::{CellId, Hierarchy, NetId, Netlist};
 use place::{Constraints, PlacerConfig};
@@ -63,18 +65,31 @@ impl TilingOptions {
 
 /// A fully implemented, tiled design: the object every debugging
 /// iteration operates on.
+///
+/// The artifacts that are immutable after [`implement`] — the device,
+/// its routing-resource graph, the tile plan, and the hierarchy — are
+/// held behind [`Arc`]s, so cloning a `TiledDesign` (one clone per
+/// fleet campaign) shares them instead of duplicating them; only the
+/// ECO-mutated state (netlist, placement, routing) is deep-copied.
+/// Every flow reads these fields through deref coercion, which is why
+/// the `Arc` wrappers stay invisible at call sites.
 #[derive(Debug, Clone)]
 pub struct TiledDesign {
     /// The mapped netlist (mutated by ECOs).
     pub netlist: Netlist,
-    /// Module hierarchy with back-annotation links.
-    pub hierarchy: Hierarchy,
-    /// The slack-sized device.
-    pub device: Device,
-    /// Its routing-resource graph.
-    pub rrg: RoutingGraph,
-    /// Tile boundaries.
-    pub plan: TilePlan,
+    /// Module hierarchy with back-annotation links (shared, immutable
+    /// after implement).
+    pub hierarchy: Arc<Hierarchy>,
+    /// The slack-sized device (shared, immutable after implement).
+    pub device: Arc<Device>,
+    /// Its routing-resource graph (shared, immutable after
+    /// implement — the heaviest artifact a fleet would otherwise
+    /// clone per campaign).
+    pub rrg: Arc<RoutingGraph>,
+    /// Tile boundaries (shared, immutable after implement; tiles are
+    /// unlocked transiently by flows via placement/routing state, not
+    /// by mutating the plan).
+    pub plan: Arc<TilePlan>,
     /// Current placement.
     pub placement: Placement,
     /// Current routing.
@@ -226,10 +241,10 @@ pub fn implement(
     // ECO flow (crate::eco_flow) is the only code that unlocks tiles.
     Ok(TiledDesign {
         netlist,
-        hierarchy,
-        device,
-        rrg,
-        plan,
+        hierarchy: Arc::new(hierarchy),
+        device: Arc::new(device),
+        rrg: Arc::new(rrg),
+        plan: Arc::new(plan),
         placement,
         routing,
         initial_effort: effort,

@@ -50,7 +50,10 @@ use crate::flow::TiledDesign;
 /// # Ok(())
 /// # }
 /// ```
-pub trait ReimplFlow {
+/// (The `Send` supertrait is load-bearing: campaign fleets move
+/// boxed flows across worker threads — see the compile-time
+/// assertions in [`crate::session`].)
+pub trait ReimplFlow: Send {
     /// Short stable name for reports ("tiled", "full", ...).
     fn name(&self) -> &'static str;
 

@@ -296,8 +296,9 @@ impl ConcurrentOutcome {
     }
 }
 
-/// Boxed progress callback (see [`DebugSession::on_event`]).
-type EventCallback<'a> = Box<dyn FnMut(&DebugEvent) + 'a>;
+/// Boxed progress callback (see [`DebugSession::on_event`]). `Send`
+/// so a whole configured session can cross to a fleet worker thread.
+type EventCallback<'a> = Box<dyn FnMut(&DebugEvent) + Send + 'a>;
 
 /// A configured debugging session over one tiled design.
 ///
@@ -372,6 +373,22 @@ impl<'a> DebugSession<'a> {
         self
     }
 
+    /// [`strategy`](Self::strategy) for callers that picked the
+    /// strategy at runtime (the `debugd` request decoder).
+    #[must_use]
+    pub fn strategy_boxed(mut self, strategy: Box<dyn LocalizationStrategy + 'a>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// [`flow`](Self::flow) for callers that picked the flow at
+    /// runtime (the `debugd` request decoder).
+    #[must_use]
+    pub fn flow_boxed(mut self, flow: Box<dyn ReimplFlow + 'a>) -> Self {
+        self.flow = flow;
+        self
+    }
+
     /// Swaps the stimulus specification.
     #[must_use]
     pub fn patterns(mut self, patterns: PatternSpec) -> Self {
@@ -395,7 +412,7 @@ impl<'a> DebugSession<'a> {
 
     /// Registers a progress-event callback.
     #[must_use]
-    pub fn on_event(mut self, callback: impl FnMut(&DebugEvent) + 'a) -> Self {
+    pub fn on_event(mut self, callback: impl FnMut(&DebugEvent) + Send + 'a) -> Self {
         self.on_event = Some(Box::new(callback));
         self
     }
@@ -1330,6 +1347,31 @@ impl<'a> DebugSession<'a> {
         )?)
     }
 }
+
+// Compile-time `Send` regression gate (static_assertions-style): the
+// campaign fleet (`debugd`, `parallel::scope`) moves sessions, their
+// evidence, and whole tiled designs across worker threads. A change
+// that makes any of these `!Send` — an `Rc` slipping into a cone, a
+// non-`Send` trait object behind a session box — must fail *this
+// compile*, not deadlock or refuse to build the fleet three crates
+// downstream.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TiledDesign>();
+    assert_send::<crate::flow::TilingOptions>();
+    assert_send::<DebugSession<'static>>();
+    assert_send::<EvidenceBase>();
+    assert_send::<MultiErrorScheduler>();
+    assert_send::<FaultAttribution<'static>>();
+    assert_send::<Box<dyn LocalizationStrategy>>();
+    assert_send::<Box<dyn ReimplFlow>>();
+    assert_send::<DebugEvent>();
+    assert_send::<DebugOutcome>();
+    assert_send::<CampaignOutcome>();
+    assert_send::<ConcurrentOutcome>();
+    assert_send::<crate::report::DebugReport>();
+    assert_send::<TilingError>();
+};
 
 /// Everything the shared diagnosis pipeline
 /// ([`DebugSession::diagnose`]) produced.

@@ -64,7 +64,11 @@ use crate::diagnosis::evidence::{EvidenceBase, ObservationWindow};
 /// assert!(strat.next_taps().is_empty());
 /// assert_eq!(strat.localized(), Some(cells[1]));
 /// ```
-pub trait LocalizationStrategy {
+/// (The `Send` supertrait is load-bearing: campaign fleets move
+/// boxed strategies across worker threads, so a strategy that stops
+/// being `Send` must fail the build — see the compile-time assertions
+/// in [`crate::session`] — not the fleet.)
+pub trait LocalizationStrategy: Send {
     /// Short stable name for reports ("linear", "binary_search").
     fn name(&self) -> &'static str;
 
@@ -336,10 +340,20 @@ impl LocalizationStrategy for BinarySearch {
             let cones = &self.cones;
             self.window
                 .retain(|&c| cones[probe][c / 64] >> (c % 64) & 1 == 1);
-            debug_assert!(
-                self.window.len() < before || self.window.len() <= 1,
-                "balanced probe must shrink the window"
-            );
+            if self.window.len() == before && before > 1 {
+                // No shrink: every remaining candidate is in the
+                // probe's cone. Since the probe is the most balanced
+                // split available, that means every candidate covers
+                // the whole window — a cycle through FF feedback
+                // (fanin cones traverse registers), where each suspect
+                // explains every other. Bisection cannot refine inside
+                // such a component; take the diverging probe as the
+                // localization (control-point confirmation still
+                // vets it) rather than re-probing forever.
+                self.found = Some(probe_cell);
+                self.done = true;
+                return;
+            }
             // The probe survives its own cone filter, so a window of
             // one *is* the probe — and it was just observed diverging,
             // which is exactly what the confirmation probe would
@@ -446,6 +460,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn binary_search_terminates_on_cyclic_cones() {
+        // FF ring: fanin cones traverse registers, so every cell's
+        // cone covers every other — no probe can split the window.
+        // A diverging probe must then end the search with a
+        // localization instead of re-probing the same cell forever
+        // (this livelocked in release builds, where the old shrink
+        // guarantee was only a debug_assert).
+        let mut nl = Netlist::new("ring");
+        let loopback = nl.add_net("loopback").unwrap();
+        let mut cells = Vec::new();
+        let mut net = loopback;
+        for k in 0..4 {
+            let lut = nl
+                .add_lut(format!("inv{k}"), TruthTable::not(), &[net])
+                .unwrap();
+            net = nl.cell_output(lut).unwrap();
+            let ff = nl.add_ff(format!("ff{k}"), false, net).unwrap();
+            net = nl.cell_output(ff).unwrap();
+            cells.push(lut);
+            cells.push(ff);
+        }
+        let close = nl
+            .add_lut_driving("close", TruthTable::not(), &[net], loopback)
+            .unwrap();
+        cells.push(close);
+        nl.add_output("y", net).unwrap();
+
+        let mut bin = BinarySearch::new();
+        bin.begin(&nl, &cells);
+        let window = ObservationWindow::whole_sweep();
+        let mut evidence = EvidenceBase::new();
+        let mut ecos = 0usize;
+        loop {
+            let batch = bin.next_taps();
+            if batch.is_empty() {
+                break;
+            }
+            ecos += 1;
+            for &c in &batch {
+                evidence.record(c, Some(0)); // everything diverges
+            }
+            bin.observe(&evidence, &window);
+            assert!(ecos <= cells.len() + 1, "strategy failed to converge");
+        }
+        let found = bin.localized().expect("diverging ring must localize");
+        assert!(cells.contains(&found));
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! The `debugd` server binary: file-queue debug-as-a-service.
+//!
+//! ```text
+//! debugd --root <dir> [--workers N] [--once] [--poll-ms N]
+//! ```
+//!
+//! Clients drop request JSONs into `<root>/requests/`, the server
+//! writes `<root>/reports/<id>.json` + `<root>/events/<id>.jsonl`
+//! per campaign and keeps `<root>/telemetry.json` current. Touch
+//! `<root>/stop` to shut it down; `--once` drains the queue present
+//! at startup and exits (the mode the integration tests use).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use debugd::ServeOptions;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: debugd --root <dir> [--workers N] [--once] [--poll-ms N]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut opts = ServeOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(v) if v >= 1 => opts.workers = v,
+                _ => return usage(),
+            },
+            "--poll-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => opts.poll = Duration::from_millis(v),
+                None => return usage(),
+            },
+            "--once" => opts.once = true,
+            _ => return usage(),
+        }
+    }
+    let Some(root) = root else {
+        return usage();
+    };
+    println!(
+        "debugd: serving {} with {} workers ({})",
+        root.display(),
+        opts.workers,
+        if opts.once {
+            "drain once"
+        } else {
+            "until stopped"
+        }
+    );
+    match debugd::serve(&root, &opts) {
+        Ok(summary) => {
+            println!(
+                "debugd: done — {} campaign(s), {} rejected, {} scan(s)",
+                summary.campaigns, summary.rejected, summary.scans
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("debugd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

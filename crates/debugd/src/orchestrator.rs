@@ -1,0 +1,262 @@
+//! The orchestrator: batch execution and the file-queue service.
+//!
+//! ## Batch path ([`run_batch`])
+//!
+//! Takes a slice of parsed requests, resolves each request's design
+//! artifact through the shared [`ArtifactStore`] (building every
+//! distinct artifact exactly once), then fans the campaigns out over
+//! a [`parallel`] work-stealing pool. Results come back **in request
+//! order** regardless of worker count, and each campaign's report
+//! document is deterministic, so `run_batch(.., workers = 64)` and
+//! `run_batch(.., workers = 1)` produce byte-identical reports — the
+//! fleet determinism tests pin this down.
+//!
+//! A panicking campaign (pipeline bug, or the `inject_panic` test
+//! hook) is caught *inside* its worker task: the pool never sees the
+//! panic, the queue drains normally, and the campaign reports status
+//! `"panicked"` with the payload.
+//!
+//! ## File-queue path ([`serve`])
+//!
+//! The `debugd` bin wraps [`run_batch`] in a directory protocol:
+//!
+//! ```text
+//! <root>/requests/*.json     one request per file (client writes)
+//! <root>/reports/<id>.json   persisted report per campaign
+//! <root>/events/<id>.jsonl   streamed DebugEvents, one per line
+//! <root>/archive/            processed request files move here
+//! <root>/telemetry.json      cumulative fleet telemetry
+//! <root>/stop                touch to shut the server down
+//! ```
+//!
+//! Requests are picked up in filename order (so clients can encode
+//! priority), parsed, and batch-executed; unparseable files get a
+//! `"rejected"` report named after the file stem.
+
+use std::fs;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::artifacts::ArtifactStore;
+use crate::campaign::{failure_result, run_campaign, CampaignResult, CampaignStatus};
+use crate::json::escape;
+use crate::request::CampaignRequest;
+use crate::telemetry::FleetTelemetry;
+
+/// One batch's outcome: per-campaign results in request order, plus
+/// the telemetry the batch generated.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// One result per request, in request order.
+    pub results: Vec<CampaignResult>,
+    /// Telemetry for this batch alone.
+    pub telemetry: FleetTelemetry,
+}
+
+/// Turns a caught panic payload into a printable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes a batch of campaigns over `workers` work-stealing
+/// threads, sharing design artifacts through `store`.
+///
+/// Artifact resolution happens up front (once per distinct key, not
+/// once per campaign); campaigns whose artifact fails to build report
+/// status `"failed"` without occupying a worker.
+pub fn run_batch(
+    store: &ArtifactStore,
+    requests: &[CampaignRequest],
+    workers: usize,
+) -> FleetOutcome {
+    // Resolve artifacts first: the store dedups, so this pays one
+    // implement() per distinct (design, tiles, seed) and every
+    // campaign holds an Arc to the shared result.
+    let resolved: Vec<Result<Arc<crate::artifacts::DesignArtifact>, String>> = requests
+        .iter()
+        .map(|req| store.get_or_build(req).map_err(|e| e.to_string()))
+        .collect();
+    let jobs: Vec<(usize, &CampaignRequest)> = requests.iter().enumerate().collect();
+    let resolved = &resolved;
+    let (results, stats) = parallel::map_with_stats(workers, jobs, |(i, req)| {
+        match &resolved[i] {
+            Err(e) => failure_result(
+                req,
+                CampaignStatus::Failed(format!("artifact build failed: {e}")),
+                Vec::new(),
+            ),
+            Ok(artifact) => {
+                // Catch panics here, inside the task: the pool keeps
+                // draining and the failure becomes a reported result.
+                match catch_unwind(AssertUnwindSafe(|| run_campaign(artifact, req))) {
+                    Ok(result) => result,
+                    Err(payload) => failure_result(
+                        req,
+                        CampaignStatus::Panicked(panic_message(payload.as_ref())),
+                        Vec::new(),
+                    ),
+                }
+            }
+        }
+    });
+    let mut telemetry = FleetTelemetry::default();
+    telemetry.absorb_batch(&results, &stats);
+    let (builds, hits) = store.stats();
+    telemetry.set_artifact_stats(builds, hits);
+    FleetOutcome { results, telemetry }
+}
+
+/// `serve` configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker-pool width per batch.
+    pub workers: usize,
+    /// Process the requests present now, then exit (no polling).
+    pub once: bool,
+    /// Poll interval between queue scans.
+    pub poll: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            workers: parallel::default_workers(),
+            once: false,
+            poll: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What a `serve` run processed before exiting.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSummary {
+    /// Campaigns executed (any status).
+    pub campaigns: usize,
+    /// Request files rejected at parse time.
+    pub rejected: usize,
+    /// Queue-scan iterations performed.
+    pub scans: usize,
+}
+
+/// Runs the file-queue service until `once` semantics or the stop
+/// file ends it. See the module docs for the directory protocol.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unreadable root, undeletable
+/// request files). Individual bad *requests* never abort the server.
+pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
+    let requests_dir = root.join("requests");
+    let reports_dir = root.join("reports");
+    let events_dir = root.join("events");
+    let archive_dir = root.join("archive");
+    for d in [&requests_dir, &reports_dir, &events_dir, &archive_dir] {
+        fs::create_dir_all(d)?;
+    }
+    let stop_file = root.join("stop");
+    let store = ArtifactStore::new();
+    let mut telemetry = FleetTelemetry::default();
+    let mut summary = ServeSummary::default();
+    loop {
+        summary.scans += 1;
+        let mut files: Vec<PathBuf> = fs::read_dir(&requests_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        files.sort();
+        let mut batch: Vec<CampaignRequest> = Vec::new();
+        for path in &files {
+            let text = fs::read_to_string(path)?;
+            match CampaignRequest::from_json(&text) {
+                Ok(req) => batch.push(req),
+                Err(e) => {
+                    summary.rejected += 1;
+                    telemetry.rejected += 1;
+                    let stem = path
+                        .file_stem()
+                        .map_or_else(|| "unnamed".into(), |s| s.to_string_lossy().into_owned());
+                    fs::write(
+                        reports_dir.join(format!("{stem}.json")),
+                        format!(
+                            "{{\"id\": \"{}\", \"status\": \"rejected\", \"detail\": \"{}\"}}\n",
+                            escape(&stem),
+                            escape(&e.to_string()),
+                        ),
+                    )?;
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let outcome = run_batch(&store, &batch, opts.workers);
+            summary.campaigns += outcome.results.len();
+            for r in &outcome.results {
+                fs::write(reports_dir.join(format!("{}.json", r.id)), &r.report_json)?;
+                let mut stream = r.events.join("\n");
+                if !stream.is_empty() {
+                    stream.push('\n');
+                }
+                fs::write(events_dir.join(format!("{}.jsonl", r.id)), stream)?;
+            }
+            // Batch telemetry folds into the cumulative document.
+            let rejected = telemetry.rejected;
+            let mut merged = outcome.telemetry;
+            merged.rejected = rejected;
+            absorb_cumulative(&mut telemetry, &merged);
+        }
+        for path in &files {
+            let name = path.file_name().map_or_else(
+                || std::ffi::OsString::from("unnamed.json"),
+                std::ffi::OsStr::to_os_string,
+            );
+            fs::rename(path, archive_dir.join(name))?;
+        }
+        let (builds, hits) = store.stats();
+        telemetry.set_artifact_stats(builds, hits);
+        fs::write(root.join("telemetry.json"), telemetry.to_json())?;
+        if stop_file.exists() {
+            let _ = fs::remove_file(&stop_file);
+            break;
+        }
+        if opts.once {
+            break;
+        }
+        std::thread::sleep(opts.poll);
+    }
+    Ok(summary)
+}
+
+/// Folds one batch's telemetry into the server's cumulative document.
+fn absorb_cumulative(total: &mut FleetTelemetry, batch: &FleetTelemetry) {
+    total.campaigns += batch.campaigns;
+    total.completed += batch.completed;
+    total.failed += batch.failed;
+    total.panicked += batch.panicked;
+    total.rejected = batch.rejected;
+    total.workers = total.workers.max(batch.workers);
+    let prev = total.wall.as_secs_f64();
+    let add = batch.wall.as_secs_f64();
+    if prev + add > 0.0 {
+        total.worker_utilization =
+            (total.worker_utilization * prev + batch.worker_utilization * add) / (prev + add);
+    }
+    total.wall += batch.wall;
+    total.steals += batch.steals;
+    total.peak_queued = total.peak_queued.max(batch.peak_queued);
+    total.ledger.merge(&batch.ledger);
+    for (k, v) in &batch.taps_histogram {
+        *total.taps_histogram.entry(*k).or_insert(0) += v;
+    }
+    for (k, v) in &batch.ecos_histogram {
+        *total.ecos_histogram.entry(*k).or_insert(0) += v;
+    }
+}

@@ -1,0 +1,155 @@
+//! Fleet-wide telemetry.
+//!
+//! The per-campaign documents are deterministic by contract
+//! ([`crate::campaign`]); this is the one place wall-clock lives.
+//! Aggregated over a batch (and cumulatively over a `serve` loop's
+//! lifetime): throughput, per-phase effort totals, tap/ECO
+//! distributions, queue depth, worker utilization, artifact-cache
+//! behavior.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use parallel::PoolStats;
+use tiling::effort::Phase;
+use tiling::EffortLedger;
+
+use crate::campaign::{CampaignResult, CampaignStatus};
+
+/// Aggregated fleet counters.
+#[derive(Debug, Clone, Default)]
+pub struct FleetTelemetry {
+    /// Campaigns processed.
+    pub campaigns: usize,
+    /// ... that completed.
+    pub completed: usize,
+    /// ... that failed with a pipeline error.
+    pub failed: usize,
+    /// ... whose worker panicked (caught, queue drained).
+    pub panicked: usize,
+    /// Campaigns rejected before reaching a worker (bad requests).
+    pub rejected: usize,
+    /// Worker-pool width the batch ran at.
+    pub workers: usize,
+    /// Wall-clock spent executing batches.
+    pub wall: Duration,
+    /// Mean fraction of wall time workers spent inside campaigns.
+    pub worker_utilization: f64,
+    /// Tasks claimed from a non-owner queue (work-stealing traffic).
+    pub steals: usize,
+    /// High-water mark of queued campaigns.
+    pub peak_queued: usize,
+    /// Artifacts built (implement runs paid).
+    pub artifact_builds: usize,
+    /// Artifact cache hits (implement runs saved).
+    pub artifact_hits: usize,
+    /// Merged per-phase ledger across every completed campaign.
+    pub ledger: EffortLedger,
+    /// taps-per-campaign → campaign count.
+    pub taps_histogram: BTreeMap<usize, usize>,
+    /// ECOs-per-campaign → campaign count.
+    pub ecos_histogram: BTreeMap<usize, usize>,
+}
+
+impl FleetTelemetry {
+    /// Campaigns per wall-clock second (0 when no time elapsed).
+    pub fn campaigns_per_sec(&self) -> f64 {
+        let s = self.wall.as_secs_f64();
+        if s > 0.0 {
+            self.campaigns as f64 / s
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds one batch's results and pool stats in.
+    pub fn absorb_batch(&mut self, results: &[CampaignResult], stats: &PoolStats) {
+        for r in results {
+            self.campaigns += 1;
+            match &r.status {
+                CampaignStatus::Completed => self.completed += 1,
+                CampaignStatus::Failed(_) => self.failed += 1,
+                CampaignStatus::Panicked(_) => self.panicked += 1,
+            }
+            if let Some(report) = &r.report {
+                self.ledger.merge(&report.ledger);
+                *self.taps_histogram.entry(report.taps_inserted).or_insert(0) += 1;
+                *self
+                    .ecos_histogram
+                    .entry(report.ledger.total_ecos())
+                    .or_insert(0) += 1;
+            }
+        }
+        // Utilization is wall-weighted across batches.
+        let prev = self.wall.as_secs_f64();
+        let add = stats.wall.as_secs_f64();
+        if prev + add > 0.0 {
+            self.worker_utilization =
+                (self.worker_utilization * prev + stats.utilization() * add) / (prev + add);
+        }
+        self.wall += stats.wall;
+        self.workers = self.workers.max(stats.tasks_per_worker.len());
+        self.steals += stats.steals;
+        self.peak_queued = self.peak_queued.max(stats.peak_queued);
+    }
+
+    /// Records the artifact-store counters (absolute, not deltas).
+    pub fn set_artifact_stats(&mut self, builds: usize, hits: usize) {
+        self.artifact_builds = builds;
+        self.artifact_hits = hits;
+    }
+
+    /// Renders the telemetry document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"campaigns\": {},", self.campaigns);
+        let _ = writeln!(out, "  \"completed\": {},", self.completed);
+        let _ = writeln!(out, "  \"failed\": {},", self.failed);
+        let _ = writeln!(out, "  \"panicked\": {},", self.panicked);
+        let _ = writeln!(out, "  \"rejected\": {},", self.rejected);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        let _ = writeln!(out, "  \"wall_seconds\": {:.6},", self.wall.as_secs_f64());
+        let _ = writeln!(
+            out,
+            "  \"campaigns_per_sec\": {:.3},",
+            self.campaigns_per_sec()
+        );
+        let _ = writeln!(
+            out,
+            "  \"worker_utilization\": {:.4},",
+            self.worker_utilization
+        );
+        let _ = writeln!(out, "  \"steals\": {},", self.steals);
+        let _ = writeln!(out, "  \"queue_peak\": {},", self.peak_queued);
+        let _ = writeln!(out, "  \"artifact_builds\": {},", self.artifact_builds);
+        let _ = writeln!(out, "  \"artifact_hits\": {},", self.artifact_hits);
+        out.push_str("  \"phase_effort_units\": {");
+        for (i, ph) in Phase::ALL.iter().enumerate() {
+            let pe = self.ledger.phase(*ph);
+            let _ = write!(
+                out,
+                "{}\"{}\": {}",
+                if i == 0 { "" } else { ", " },
+                ph.name(),
+                pe.effort.total()
+            );
+        }
+        out.push_str("},\n");
+        let _ = writeln!(out, "  \"total_ecos\": {},", self.ledger.total_ecos());
+        out.push_str(&histogram_json("taps_histogram", &self.taps_histogram));
+        out.push_str(",\n");
+        out.push_str(&histogram_json("ecos_histogram", &self.ecos_histogram));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+fn histogram_json(name: &str, h: &BTreeMap<usize, usize>) -> String {
+    let body = h
+        .iter()
+        .map(|(k, v)| format!("{{\"value\": {k}, \"campaigns\": {v}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("  \"{name}\": [{body}]")
+}

@@ -1,0 +1,157 @@
+//! Fleet-level guarantees of the `debugd` orchestrator.
+//!
+//! * **Determinism:** N campaigns over shared artifacts produce
+//!   bit-identical report documents and event streams whether they
+//!   run serially or fanned out over the work-stealing pool.
+//! * **Fault containment:** a panicking worker task (injected via
+//!   the request-level test hook) is caught, the queue drains, and
+//!   the failure is *reported* — the orchestrator neither hangs nor
+//!   loses sibling campaigns.
+//! * **Protocol:** the file-queue server round-trips requests into
+//!   reports, event streams, archives, and telemetry.
+//!
+//! One artifact store is shared across all tests (it dedups), so the
+//! expensive implement() is paid once per process.
+
+use std::sync::OnceLock;
+
+use debugd::{
+    run_batch, ArtifactStore, CampaignRequest, CampaignStatus, FlowKind, ServeOptions, StrategyKind,
+};
+
+fn store() -> &'static ArtifactStore {
+    static STORE: OnceLock<ArtifactStore> = OnceLock::new();
+    STORE.get_or_init(ArtifactStore::new)
+}
+
+/// A deterministic mixed batch on the smallest design: both
+/// strategies, two flows, error budgets 1 and 2.
+fn mixed_requests(n: usize) -> Vec<CampaignRequest> {
+    (0..n)
+        .map(|i| CampaignRequest {
+            id: format!("c{i:02}"),
+            strategy: if i % 2 == 0 {
+                StrategyKind::LinearBatches
+            } else {
+                StrategyKind::BinarySearch
+            },
+            flow: if (i / 2) % 2 == 1 {
+                FlowKind::QuickEco
+            } else {
+                FlowKind::Tiled
+            },
+            error_seeds: (0..1 + (i as u64 % 2))
+                .map(|e| 31 + 5 * i as u64 + e)
+                .collect(),
+            ..Default::default()
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_reports_are_bit_identical_to_serial() {
+    let requests = mixed_requests(4);
+    let serial = run_batch(store(), &requests, 1);
+    let fleet = run_batch(store(), &requests, 4);
+    assert_eq!(serial.results.len(), requests.len());
+    assert_eq!(fleet.results.len(), requests.len());
+    for (s, f) in serial.results.iter().zip(&fleet.results) {
+        assert_eq!(s.status, CampaignStatus::Completed, "{}", s.id);
+        assert_eq!(f.status, CampaignStatus::Completed, "{}", f.id);
+        assert_eq!(s.id, f.id, "results must come back in request order");
+        assert!(
+            s.report_json == f.report_json,
+            "campaign {} report differs between 1 and 4 workers",
+            s.id
+        );
+        assert!(
+            s.events == f.events,
+            "campaign {} event stream differs between 1 and 4 workers",
+            s.id
+        );
+        // The documents are real reports, not empty shells.
+        assert!(s.report_json.contains("\"status\": \"completed\""));
+        assert!(!s.events.is_empty());
+    }
+    // Every campaign hit one shared artifact: exactly one build ever
+    // happens for the default key, however many batches ran.
+    let (builds, hits) = store().stats();
+    assert_eq!(builds, 1, "one implement() for the whole fleet");
+    assert!(
+        hits >= 7,
+        "every other campaign shares the Arc (got {hits} hits)"
+    );
+}
+
+#[test]
+fn injected_panic_is_drained_and_reported() {
+    let mut requests = mixed_requests(4);
+    // Poison one campaign mid-queue.
+    requests[2].inject_panic = true;
+    requests[2].id = "poisoned".into();
+    let outcome = run_batch(store(), &requests, 3);
+    // The queue drained: every campaign has a result, in order.
+    assert_eq!(outcome.results.len(), requests.len());
+    for (req, res) in requests.iter().zip(&outcome.results) {
+        assert_eq!(req.id, res.id);
+        if req.inject_panic {
+            match &res.status {
+                CampaignStatus::Panicked(msg) => {
+                    assert!(msg.contains("injected fault"), "payload surfaced: {msg}");
+                }
+                other => panic!("poisoned campaign reported {other:?}"),
+            }
+            assert!(res.report_json.contains("\"status\": \"panicked\""));
+        } else {
+            assert_eq!(res.status, CampaignStatus::Completed, "{}", res.id);
+        }
+    }
+    assert_eq!(outcome.telemetry.panicked, 1);
+    assert_eq!(outcome.telemetry.completed, requests.len() - 1);
+    assert_eq!(outcome.telemetry.campaigns, requests.len());
+}
+
+#[test]
+fn file_queue_serves_reports_events_and_telemetry() {
+    let root = std::env::temp_dir().join(format!("debugd-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(root.join("requests")).unwrap();
+    std::fs::write(
+        root.join("requests/01-ok.json"),
+        r#"{"id": "ok-1", "design": "9sym", "flow": "quick-eco"}"#,
+    )
+    .unwrap();
+    std::fs::write(
+        root.join("requests/02-bad.json"),
+        r#"{"design": "9sym"}"#, // no id -> rejected
+    )
+    .unwrap();
+    let summary = debugd::serve(
+        &root,
+        &ServeOptions {
+            workers: 2,
+            once: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(summary.campaigns, 1);
+    assert_eq!(summary.rejected, 1);
+
+    let report = std::fs::read_to_string(root.join("reports/ok-1.json")).unwrap();
+    assert!(report.contains("\"status\": \"completed\""));
+    assert!(report.contains("\"design\": \"9sym\""));
+    let events = std::fs::read_to_string(root.join("events/ok-1.jsonl")).unwrap();
+    assert!(events.lines().count() > 0);
+    assert!(events.contains("\"event\": \"error_injected\""));
+    let rejected = std::fs::read_to_string(root.join("reports/02-bad.json")).unwrap();
+    assert!(rejected.contains("\"status\": \"rejected\""));
+    let telemetry = std::fs::read_to_string(root.join("telemetry.json")).unwrap();
+    assert!(telemetry.contains("\"campaigns\": 1"));
+    assert!(telemetry.contains("\"rejected\": 1"));
+    // Processed requests moved out of the queue.
+    assert!(!root.join("requests/01-ok.json").exists());
+    assert!(root.join("archive/01-ok.json").exists());
+    assert!(root.join("archive/02-bad.json").exists());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -154,10 +154,31 @@ fn paper_scale_options(seed: u64) -> TilingOptions {
     }
 }
 
+/// Both paper-scale implements, paid once per test process: the two
+/// P&R runs go through `parallel::join` so whichever `--ignored`
+/// test runs first fans them over two cores, and the other test just
+/// reads the shared result.
+fn paper_scale_implementations() -> &'static (
+    Result<TiledDesign, tiling::TilingError>,
+    Result<TiledDesign, tiling::TilingError>,
+) {
+    static BOTH: std::sync::OnceLock<(
+        Result<TiledDesign, tiling::TilingError>,
+        Result<TiledDesign, tiling::TilingError>,
+    )> = std::sync::OnceLock::new();
+    BOTH.get_or_init(|| {
+        parallel::join(
+            || implement_paper_design(PaperDesign::MipsR2000, paper_scale_options(11)),
+            || implement_paper_design(PaperDesign::Des, paper_scale_options(12)),
+        )
+    })
+}
+
 #[test]
 #[ignore = "paper-scale P&R (~900 CLBs); run with `cargo test --release -- --ignored`"]
 fn mips_r2000_implements_with_tiling() {
-    let td = implement_paper_design(PaperDesign::MipsR2000, paper_scale_options(11)).unwrap();
+    let (mips, _) = paper_scale_implementations();
+    let td = mips.as_ref().unwrap();
     assert!(td.routing.is_feasible());
     assert!(td.plan.len() >= 4, "paper-scale design must be tiled");
 }
@@ -165,7 +186,8 @@ fn mips_r2000_implements_with_tiling() {
 #[test]
 #[ignore = "paper-scale P&R (~1050 CLBs); run with `cargo test --release -- --ignored`"]
 fn des_implements_with_tiling() {
-    let td = implement_paper_design(PaperDesign::Des, paper_scale_options(12)).unwrap();
+    let (_, des) = paper_scale_implementations();
+    let td = des.as_ref().unwrap();
     assert!(td.routing.is_feasible());
     assert!(td.plan.len() >= 4, "paper-scale design must be tiled");
 }
