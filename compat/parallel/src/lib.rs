@@ -196,6 +196,10 @@ pub struct PoolStats {
     pub panics: usize,
     /// High-water mark of the queued-task count.
     pub peak_queued: usize,
+    /// Per-worker `(start, end)` busy intervals, offsets from pool
+    /// start — the raw material tracing reconstructs worker tracks
+    /// from (one interval per executed task, in execution order).
+    pub busy_segments: Vec<Vec<(Duration, Duration)>>,
 }
 
 impl PoolStats {
@@ -206,6 +210,11 @@ impl PoolStats {
         }
         let busy: f64 = self.busy_per_worker.iter().map(Duration::as_secs_f64).sum();
         busy / (self.wall.as_secs_f64() * self.busy_per_worker.len() as f64)
+    }
+
+    /// Total time spent inside tasks, summed over workers.
+    pub fn busy_total(&self) -> Duration {
+        self.busy_per_worker.iter().sum()
     }
 }
 
@@ -243,19 +252,27 @@ pub fn scope_with_stats<'env, R>(
     let registry = Registry::new(workers);
     let tasks: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
     let busy: Vec<Mutex<Duration>> = (0..workers).map(|_| Mutex::new(Duration::ZERO)).collect();
+    let segments: Vec<Mutex<Vec<(Duration, Duration)>>> =
+        (0..workers).map(|_| Mutex::new(Vec::new())).collect();
     let start = Instant::now();
     let result = std::thread::scope(|ts| {
         for w in 0..workers {
             let registry = &registry;
             let tasks = &tasks;
             let busy = &busy;
+            let segments = &segments;
             ts.spawn(move || {
                 while let Some(task) = registry.claim(w) {
+                    let seg_start = start.elapsed();
                     let t0 = Instant::now();
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
                         registry.panics.lock().unwrap().push(payload);
                     }
                     *busy[w].lock().unwrap() += t0.elapsed();
+                    segments[w]
+                        .lock()
+                        .unwrap()
+                        .push((seg_start, start.elapsed()));
                     tasks[w].fetch_add(1, Ordering::Relaxed);
                     registry.finish();
                 }
@@ -276,6 +293,10 @@ pub fn scope_with_stats<'env, R>(
         steals: registry.steals.load(Ordering::Relaxed),
         panics: panics.len(),
         peak_queued: registry.state.lock().unwrap().peak_queued,
+        busy_segments: segments
+            .iter()
+            .map(|s| std::mem::take(&mut *s.lock().unwrap()))
+            .collect(),
     };
     if let Some(first) = panics.into_iter().next() {
         resume_unwind(first);
@@ -335,6 +356,11 @@ where
             steals: 0,
             panics: 0,
             peak_queued: usize::from(n > 0),
+            busy_segments: vec![if n > 0 {
+                vec![(Duration::ZERO, wall)]
+            } else {
+                Vec::new()
+            }],
         };
         return (results, stats);
     }
@@ -470,5 +496,95 @@ mod tests {
     #[test]
     fn default_workers_is_positive() {
         assert!(default_workers() >= 1);
+    }
+
+    /// Handcrafted stats = a deterministic fake clock: the aggregation
+    /// math (utilization, busy totals) must be exact arithmetic over
+    /// the recorded durations, independent of any real timer.
+    #[test]
+    fn utilization_math_is_exact_over_fake_clock_durations() {
+        let stats = PoolStats {
+            tasks_per_worker: vec![3, 1],
+            busy_per_worker: vec![Duration::from_millis(60), Duration::from_millis(20)],
+            wall: Duration::from_millis(100),
+            steals: 2,
+            panics: 0,
+            peak_queued: 4,
+            busy_segments: vec![
+                vec![(Duration::ZERO, Duration::from_millis(60))],
+                vec![(Duration::from_millis(10), Duration::from_millis(30))],
+            ],
+        };
+        // (60 + 20) ms busy over 100 ms x 2 workers = 0.4 exactly.
+        assert!((stats.utilization() - 0.4).abs() < 1e-12);
+        assert_eq!(stats.busy_total(), Duration::from_millis(80));
+        assert_eq!(stats.steals, 2);
+        assert_eq!(stats.peak_queued, 4);
+        // Segment totals agree with the per-worker busy durations.
+        let seg_busy: Duration = stats
+            .busy_segments
+            .iter()
+            .flatten()
+            .map(|(s, e)| *e - *s)
+            .sum();
+        assert_eq!(seg_busy, Duration::from_millis(80));
+    }
+
+    #[test]
+    fn utilization_degenerate_cases_are_zero() {
+        let empty = PoolStats::default();
+        assert_eq!(empty.utilization(), 0.0);
+        let zero_wall = PoolStats {
+            tasks_per_worker: vec![1],
+            busy_per_worker: vec![Duration::from_millis(5)],
+            wall: Duration::ZERO,
+            ..Default::default()
+        };
+        assert_eq!(zero_wall.utilization(), 0.0);
+    }
+
+    /// The `workers <= 1` inline map path never touches the pool: it
+    /// must synthesize one-worker stats with zero steals and a single
+    /// busy segment spanning the whole wall time.
+    #[test]
+    fn inline_map_path_reports_zero_steals_and_one_segment() {
+        let (out, stats) = map_with_stats(1, (0u64..16).collect(), |x| x + 1);
+        assert_eq!(out, (1u64..17).collect::<Vec<_>>());
+        assert_eq!(stats.steals, 0, "inline path cannot steal");
+        assert_eq!(stats.panics, 0);
+        assert_eq!(stats.tasks_per_worker, vec![16]);
+        assert_eq!(stats.peak_queued, 1);
+        assert_eq!(stats.busy_per_worker.len(), 1);
+        assert_eq!(stats.busy_per_worker[0], stats.wall);
+        assert_eq!(stats.busy_segments.len(), 1);
+        assert_eq!(stats.busy_segments[0], vec![(Duration::ZERO, stats.wall)]);
+        // Single-item inputs take the inline path at any width.
+        let (_, single) = map_with_stats(8, vec![41u64], |x| x + 1);
+        assert_eq!(single.steals, 0);
+        assert_eq!(single.tasks_per_worker, vec![1]);
+        // ... and so does the empty input.
+        let (none, empty) = map_with_stats(8, Vec::<u64>::new(), |x| x + 1);
+        assert!(none.is_empty());
+        assert_eq!(empty.peak_queued, 0);
+        assert_eq!(empty.busy_segments, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn pooled_runs_record_busy_segments_per_worker() {
+        let (_, stats) = scope_with_stats(3, |s| {
+            for _ in 0..9 {
+                s.spawn(|| std::thread::sleep(Duration::from_millis(1)));
+            }
+        });
+        assert_eq!(stats.busy_segments.len(), 3);
+        let segs: usize = stats.busy_segments.iter().map(Vec::len).sum();
+        assert_eq!(segs, 9, "one busy segment per executed task");
+        for (w, segments) in stats.busy_segments.iter().enumerate() {
+            assert_eq!(segments.len(), stats.tasks_per_worker[w]);
+            for &(start, end) in segments {
+                assert!(start <= end);
+                assert!(end <= stats.wall + Duration::from_millis(50));
+            }
+        }
     }
 }

@@ -39,10 +39,17 @@
 //! Run: `cargo run --release -p bench-harness --bin multi`
 //! (pass `--quick` for the smallest design and k ≤ 2 — the mode CI
 //! runs end-to-end).
+//!
+//! Pass `--trace <base>` to record the sweep through the `obs` layer:
+//! `<base>.trace.json` (Chrome trace-event JSON, one track per grid
+//! cell plus one per pool worker — loadable at ui.perfetto.dev),
+//! `<base>.trace.jsonl` (raw span rows), and `<base>.metrics.prom`
+//! (Prometheus text exposition of the session/sim counters).
 
 use std::fmt::Write as _;
 
 use bench_harness::implement_design;
+use obs::{MetricsRegistry, Tracer, TrackId};
 use sim::inject::inject;
 use synth::PaperDesign;
 use tiling::flows::TiledFlow;
@@ -70,15 +77,19 @@ fn run_cell(
     td0: &TiledDesign,
     golden: &netlist::Netlist,
     k: usize,
+    observe: Option<(&Tracer, TrackId, &MetricsRegistry)>,
 ) -> Result<Row, tiling::TilingError> {
     // Plant k distinct random errors, all live at once.
     let mut td = td0.clone();
     let seeds: Vec<u64> = (0..k as u64).map(|i| 31 + i).collect();
     let errors = sim::inject::random_distinct_errors(&mut td.netlist, &seeds)?;
-    let conc = DebugSession::new(&mut td, golden)
+    let mut session = DebugSession::new(&mut td, golden)
         .flow(TiledFlow::default())
-        .seed(7)
-        .run_concurrent(&errors)?;
+        .seed(7);
+    if let Some((tracer, track, registry)) = observe {
+        session = session.trace(tracer, track).metrics(registry);
+    }
+    let conc = session.run_concurrent(&errors)?;
 
     // Sequential baseline: the same errors, one fresh
     // single-error campaign each. Serial localization now
@@ -90,10 +101,13 @@ fn run_cell(
     for error in &errors {
         let mut td = td0.clone();
         let replant = inject(&mut td.netlist, error.cell, error.kind)?;
-        let out = DebugSession::new(&mut td, golden)
+        let mut session = DebugSession::new(&mut td, golden)
             .flow(TiledFlow::default())
-            .seed(7)
-            .run(&replant)?;
+            .seed(7);
+        if let Some((tracer, track, registry)) = observe {
+            session = session.trace(tracer, track).metrics(registry);
+        }
+        let out = session.run(&replant)?;
         slocalized += usize::from(out.localized.is_some());
         staps += out.taps_inserted;
         secos += out.ecos;
@@ -125,6 +139,7 @@ fn sweep(
     designs: &[PaperDesign],
     max_k: usize,
     workers: usize,
+    observe: Option<(&Tracer, &MetricsRegistry)>,
 ) -> Result<Vec<Row>, tiling::TilingError> {
     let implemented = parallel::map(workers, designs.to_vec(), |design| {
         implement_design(design, 10, 41).map(|td| (td.netlist.clone(), td))
@@ -137,18 +152,39 @@ fn sweep(
     let jobs: Vec<(usize, usize)> = (0..designs.len())
         .flat_map(|d| (1..=max_k).map(move |k| (d, k)))
         .collect();
+    // One trace track per grid cell, allocated up front in job order
+    // so track ids stay deterministic however the pool schedules.
+    let tracks: Option<Vec<TrackId>> = observe.map(|(tracer, _)| {
+        jobs.iter()
+            .map(|&(d, k)| tracer.track(&format!("{} k={k}", designs[d].name())))
+            .collect()
+    });
+    let t0_us = observe.map(|(tracer, _)| tracer.now_us()).unwrap_or(0);
     let artifacts = &artifacts;
-    parallel::map(workers, jobs, |(d, k)| {
+    let tracks = &tracks;
+    let jobs: Vec<(usize, (usize, usize))> = jobs.into_iter().enumerate().collect();
+    let (rows, stats) = parallel::map_with_stats(workers, jobs, |(i, (d, k))| {
         let (golden, td0) = &artifacts[d];
-        run_cell(designs[d], td0, golden, k)
-    })
-    .into_iter()
-    .collect()
+        let cell_obs = match (observe, tracks) {
+            (Some((tracer, registry)), Some(ids)) => Some((tracer, ids[i], registry)),
+            _ => None,
+        };
+        run_cell(designs[d], td0, golden, k, cell_obs)
+    });
+    if let Some((tracer, _)) = observe {
+        tracer.pool_tracks("worker", &stats, t0_us);
+    }
+    rows.into_iter().collect()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let check_serial = std::env::args().any(|a| a == "--check-serial");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_serial = args.iter().any(|a| a == "--check-serial");
+    let trace_base = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
     let designs: &[PaperDesign] = if quick {
         &[PaperDesign::NineSym]
     } else {
@@ -157,16 +193,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let max_k = if quick { 2 } else { 4 };
 
     let workers = parallel::default_workers();
-    let rows = sweep(designs, max_k, workers)?;
+    let tracer = trace_base.as_deref().map(|_| Tracer::new());
+    let registry = trace_base.as_deref().map(|_| MetricsRegistry::new());
+    let observe = match (&tracer, &registry) {
+        (Some(t), Some(r)) => Some((t, r)),
+        _ => None,
+    };
+    let sim_before = sim::counters::snapshot();
+    let rows = sweep(designs, max_k, workers, observe)?;
+    if let Some(reg) = &registry {
+        let sim_delta = sim::counters::snapshot().delta_since(&sim_before);
+        reg.counter_add("sim_sweeps_total", &[], sim_delta.sweeps);
+        reg.counter_add("sim_net_words_total", &[], sim_delta.net_words);
+        reg.counter_add("sim_lanes_loaded_total", &[], sim_delta.lanes_loaded);
+    }
     if check_serial {
         // The pooled sweep must be a pure reordering of the serial
-        // one: same rows, same bytes out.
-        let serial = sweep(designs, max_k, 1)?;
+        // one: same rows, same bytes out. (The serial reference runs
+        // unobserved so the trace only carries the pooled sweep.)
+        let serial = sweep(designs, max_k, 1, None)?;
         assert!(
             rows == serial && render_json(quick, &rows) == render_json(quick, &serial),
             "pooled sweep diverged from the serial reference"
         );
         println!("(pooled sweep verified byte-identical to the serial path)");
+    }
+    if let (Some(base), Some(tracer), Some(reg)) = (&trace_base, &tracer, &registry) {
+        std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
+        std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
+        std::fs::write(format!("{base}.metrics.prom"), reg.render_prometheus())?;
+        println!("trace + metrics artifacts written to {base}.*");
     }
 
     println!("Multi-error diagnosis: concurrent vs k sequential campaigns (tiled flow)");

@@ -28,11 +28,19 @@
 //! smoke-runs — so quick runs never clobber the tracked trajectory.
 //!
 //! Run: `cargo run --release -p bench-harness --bin simbench`
+//!
+//! Pass `--trace <base>` to record the sweep through the `obs` layer:
+//! `<base>.trace.json` (Chrome trace-event JSON with one span per
+//! (design, workload) row — loadable at ui.perfetto.dev),
+//! `<base>.trace.jsonl` (raw span rows), and `<base>.metrics.prom`
+//! (the packed core's sweep/word/lane counters plus per-row pattern
+//! totals).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use netlist::{CellId, Netlist};
+use obs::{MetricsRegistry, Tracer};
 use sim::inject::{inject, random_error, DesignErrorKind};
 use sim::{PackedSimulator, PatternGen, Simulator, LANES};
 use synth::PaperDesign;
@@ -55,7 +63,12 @@ struct Row {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace_base = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
     let designs: &[PaperDesign] = if quick {
         &[PaperDesign::NineSym, PaperDesign::Styr]
     } else {
@@ -75,6 +88,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "design", "workload", "seq", "patterns", "cand", "scalar p/s", "packed p/s", "speedup"
     );
 
+    let observe = trace_base
+        .as_deref()
+        .map(|_| (Tracer::new(), MetricsRegistry::new()));
+    let track = observe.as_ref().map(|(tracer, _)| tracer.track("simbench"));
+    let sim_before = sim::counters::snapshot();
+
     let mut rows: Vec<Row> = Vec::new();
     for &design in designs {
         let golden = design.generate()?.netlist;
@@ -90,10 +109,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut dut = golden.clone();
         random_error(&mut dut, 33)?;
         let pats: Vec<Vec<bool>> = PatternGen::random(n_pi, detect_pats, 97).collect();
+        let t_row = observe
+            .as_ref()
+            .map(|(tracer, _)| tracer.now_us())
+            .unwrap_or(0);
         rows.push(detect_row(design, &golden, &dut, &pats)?);
+        row_span(
+            &observe,
+            track,
+            t_row,
+            rows.last().expect("row just pushed"),
+        );
 
         let pats: Vec<Vec<bool>> = PatternGen::random(n_pi, fault_pats, 97).collect();
+        let t_row = observe
+            .as_ref()
+            .map(|(tracer, _)| tracer.now_us())
+            .unwrap_or(0);
         rows.push(faultsim_row(design, &golden, &pats, max_cand)?);
+        row_span(
+            &observe,
+            track,
+            t_row,
+            rows.last().expect("row just pushed"),
+        );
         for r in &rows[rows.len() - 2..] {
             println!(
                 "{:<10} {:<9} {:>4} {:>9} {:>5} | {:>12.0} {:>12.0} {:>7.1}x",
@@ -116,7 +155,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     std::fs::write(path, render_json(quick, &rows))?;
     println!("machine-readable results written to {path}");
+
+    if let (Some(base), Some((tracer, registry))) = (&trace_base, &observe) {
+        let sim_delta = sim::counters::snapshot().delta_since(&sim_before);
+        registry.counter_add("sim_sweeps_total", &[], sim_delta.sweeps);
+        registry.counter_add("sim_net_words_total", &[], sim_delta.net_words);
+        registry.counter_add("sim_lanes_loaded_total", &[], sim_delta.lanes_loaded);
+        std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
+        std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
+        std::fs::write(format!("{base}.metrics.prom"), registry.render_prometheus())?;
+        println!("trace + metrics artifacts written to {base}.*");
+    }
     Ok(())
+}
+
+/// Emits one trace span and the per-workload pattern counter for the
+/// row just computed (no-op when the sweep runs untraced).
+fn row_span(
+    observe: &Option<(Tracer, MetricsRegistry)>,
+    track: Option<obs::TrackId>,
+    start_us: u64,
+    row: &Row,
+) {
+    let (Some((tracer, registry)), Some(track)) = (observe, track) else {
+        return;
+    };
+    tracer.complete(
+        track,
+        &format!("{} {}", row.design, row.workload),
+        "workload",
+        start_us,
+        row.patterns as u64,
+    );
+    registry.counter_add(
+        "simbench_patterns_total",
+        &[("workload", row.workload)],
+        row.patterns as u64,
+    );
 }
 
 // ---------------------------------------------------------------------

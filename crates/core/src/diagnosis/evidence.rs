@@ -36,6 +36,7 @@
 //! [`crate::session::DebugSession`] records physical measurements.
 //! No pruning or window logic lives anywhere else.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 
 use netlist::{CellId, Netlist};
@@ -106,36 +107,48 @@ impl CellKnowledge {
         }
     }
 
-    fn note_diverged_by(&mut self, p: usize) {
+    /// Returns `true` when the update was clamped: ignored because a
+    /// measurement already pinned the bounds, or forced to pull an
+    /// existing clean bound down to keep the invariant.
+    fn note_diverged_by(&mut self, p: usize) -> bool {
         if self.measured.is_some() {
-            return; // the measurement already settled everything
+            return true; // the measurement already settled everything
         }
         self.diverged_by = Some(self.diverged_by.map_or(p, |q| q.min(p)));
         // Keep the invariant: clean bounds stop strictly below the
         // earliest known divergence.
+        let mut clamped = false;
         if let Some(d) = self.diverged_by {
             match d.checked_sub(1) {
                 Some(limit) => {
                     if self.clean_through.is_some_and(|c| c > limit) {
                         self.clean_through = Some(limit);
+                        clamped = true;
                     }
                 }
-                None => self.clean_through = None,
+                None => {
+                    clamped = self.clean_through.take().is_some();
+                }
             }
         }
+        clamped
     }
 
-    fn note_clean_through(&mut self, w: usize) {
+    /// Returns `true` when the requested bound was clamped below a
+    /// known divergence onset (or ignored outright because a
+    /// measurement already pinned the bounds).
+    fn note_clean_through(&mut self, w: usize) -> bool {
         if self.measured.is_some() {
-            return; // the measurement already settled everything
+            return true; // the measurement already settled everything
         }
         // A derived clean bound can never leapfrog a known onset.
-        let w = match self.diverged_by {
-            Some(0) => return,
-            Some(d) => w.min(d - 1),
-            None => w,
+        let (w, clamped) = match self.diverged_by {
+            Some(0) => return true,
+            Some(d) => (w.min(d - 1), w > d - 1),
+            None => (w, false),
         };
         self.clean_through = Some(self.clean_through.map_or(w, |q| q.max(w)));
+        clamped
     }
 
     /// Whether the bounds pin the onset down exactly — a physical tap
@@ -276,6 +289,39 @@ pub(crate) fn causal_depths(golden: &Netlist, outputs: &[CellId]) -> HashMap<Cel
     depth
 }
 
+/// Observability counters an [`EvidenceBase`] accumulates as a side
+/// effect of normal operation — scraped by the session into the
+/// metrics registry after localization. All values are deterministic
+/// functions of the diagnosis (no wall-clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvidenceStats {
+    /// Windowed verdict queries the (net, window) cache answered.
+    pub verdict_hits: u64,
+    /// Verdict queries that needed a physical tap for their window.
+    pub verdict_misses: u64,
+    /// Derived bound updates clamped against a known onset (or
+    /// dropped because a measurement already pinned the bounds).
+    pub onset_clamps: u64,
+    /// Exonerations recorded (screening/frontier testimony entries).
+    pub exonerations: u64,
+    /// Suspects removed by causal-window pruning, summed over
+    /// [`EvidenceBase::prune_cone`] calls.
+    pub window_shrinks: u64,
+}
+
+/// Interior-mutable counter cells: `verdict` and `prune_cone` take
+/// `&self` (the base is shared read-only during planning), so the
+/// counters live in `Cell`s. The base is `Send` but never `Sync` —
+/// each diagnosis owns its evidence — so plain cells suffice.
+#[derive(Debug, Default)]
+struct StatCells {
+    verdict_hits: Cell<u64>,
+    verdict_misses: Cell<u64>,
+    onset_clamps: Cell<u64>,
+    exonerations: Cell<u64>,
+    window_shrinks: Cell<u64>,
+}
+
 /// The accumulated causal evidence of one diagnosis: every net's
 /// divergence-onset bounds plus the per-output alibi tables of the
 /// detection sweep (see the module docs).
@@ -289,6 +335,8 @@ pub struct EvidenceBase {
     /// across the sweep), and min FF depth from every fanin cell —
     /// empty when the base was not built from a response sweep.
     index: Vec<(CellId, Option<usize>, HashMap<CellId, usize>)>,
+    /// Observability counters (see [`EvidenceStats`]).
+    stats: StatCells,
 }
 
 impl EvidenceBase {
@@ -325,6 +373,7 @@ impl EvidenceBase {
         let mut base = Self {
             knowledge: HashMap::new(),
             index,
+            stats: StatCells::default(),
         };
         for (k, &po) in matrix.outputs.iter().enumerate() {
             let onset = matrix.signatures[k].first_failing();
@@ -360,10 +409,15 @@ impl EvidenceBase {
     /// which answers every window.
     pub fn assume(&mut self, cell: CellId, diverged: bool) {
         let k = self.knowledge.entry(cell).or_default();
-        if diverged {
-            k.note_diverged_by(Self::WHOLE_SWEEP);
+        let clamped = if diverged {
+            k.note_diverged_by(Self::WHOLE_SWEEP)
         } else {
-            k.note_clean_through(Self::WHOLE_SWEEP);
+            k.note_clean_through(Self::WHOLE_SWEEP)
+        };
+        if clamped {
+            self.stats
+                .onset_clamps
+                .set(self.stats.onset_clamps.get() + 1);
         }
     }
 
@@ -372,10 +426,19 @@ impl EvidenceBase {
     /// base). Clamped below any known divergence onset so the bounds
     /// never contradict.
     pub fn exonerate_through(&mut self, cell: CellId, w: usize) {
-        self.knowledge
+        self.stats
+            .exonerations
+            .set(self.stats.exonerations.get() + 1);
+        let clamped = self
+            .knowledge
             .entry(cell)
             .or_default()
             .note_clean_through(w);
+        if clamped {
+            self.stats
+                .onset_clamps
+                .set(self.stats.onset_clamps.get() + 1);
+        }
     }
 
     /// Applies windowed, latency-aware frontier testimony: each
@@ -433,7 +496,14 @@ impl EvidenceBase {
     /// recorded bounds determine it (`None` = the cell still needs a
     /// physical tap *for that window*).
     pub fn verdict(&self, cell: CellId, window: usize) -> Option<bool> {
-        self.knowledge.get(&cell).and_then(|k| k.verdict(window))
+        let v = self.knowledge.get(&cell).and_then(|k| k.verdict(window));
+        let counter = if v.is_some() {
+            &self.stats.verdict_hits
+        } else {
+            &self.stats.verdict_misses
+        };
+        counter.set(counter.get() + 1);
+        v
     }
 
     /// Whether the bounds pin `cell`'s onset down exactly — a
@@ -513,7 +583,8 @@ impl EvidenceBase {
             return cone.clone();
         }
         let w = window.end();
-        cone.iter()
+        let pruned: SuspectCone = cone
+            .iter()
             .filter(|&c| {
                 let alibied = self.index.iter().any(|(_, onset, depths)| {
                     depths
@@ -522,7 +593,12 @@ impl EvidenceBase {
                 });
                 window.feasible(c) && !alibied
             })
-            .collect()
+            .collect();
+        let removed = (cone.len() - pruned.len()) as u64;
+        self.stats
+            .window_shrinks
+            .set(self.stats.window_shrinks.get() + removed);
+        pruned
     }
 
     /// Orders suspects temporally for the window: FF-deepest first
@@ -538,6 +614,21 @@ impl EvidenceBase {
         rank_of: impl Fn(CellId) -> usize,
     ) {
         suspects.sort_by_key(|&c| (std::cmp::Reverse(window.depth_of(c)), rank_of(c)));
+    }
+
+    // ---- Observability --------------------------------------------------
+
+    /// A copy of the accumulated observability counters (cache
+    /// hit/miss, clamps, exonerations, pruning) — scraped once per
+    /// diagnosis into the metrics registry.
+    pub fn stats(&self) -> EvidenceStats {
+        EvidenceStats {
+            verdict_hits: self.stats.verdict_hits.get(),
+            verdict_misses: self.stats.verdict_misses.get(),
+            onset_clamps: self.stats.onset_clamps.get(),
+            exonerations: self.stats.exonerations.get(),
+            window_shrinks: self.stats.window_shrinks.get(),
+        }
     }
 }
 
@@ -638,5 +729,23 @@ mod tests {
         ev.assume(id(8), true);
         let w = ObservationWindow::whole_sweep();
         assert_eq!(ev.verdict(id(8), w.for_cell(id(8))), Some(true));
+    }
+
+    #[test]
+    fn stats_count_cache_traffic_clamps_and_exonerations() {
+        let mut ev = EvidenceBase::new();
+        assert_eq!(ev.stats(), EvidenceStats::default());
+        ev.record(id(1), Some(5));
+        assert_eq!(ev.verdict(id(1), 4), Some(false)); // hit
+        assert_eq!(ev.verdict(id(1), 5), Some(true)); // hit
+        assert_eq!(ev.verdict(id(9), 5), None); // miss
+        ev.exonerate_through(id(2), 9); // exoneration, no clamp
+        ev.exonerate_through(id(1), 50); // exoneration, clamped by the measurement
+        let s = ev.stats();
+        assert_eq!(s.verdict_hits, 2);
+        assert_eq!(s.verdict_misses, 1);
+        assert_eq!(s.exonerations, 2);
+        assert_eq!(s.onset_clamps, 1);
+        assert_eq!(s.window_shrinks, 0);
     }
 }

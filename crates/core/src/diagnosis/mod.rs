@@ -74,7 +74,7 @@ pub use attribution::{
     ResponseSignature,
 };
 pub use cone::SuspectCone;
-pub use evidence::{EvidenceBase, ObservationWindow};
+pub use evidence::{EvidenceBase, EvidenceStats, ObservationWindow};
 pub use partition::{ConePartition, Ownership};
 pub use scheduler::{
     fsm_merge_witnesses, merge_fsm_clusters, Ambiguity, MultiErrorScheduler, RoundPlan,

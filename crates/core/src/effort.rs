@@ -164,6 +164,12 @@ impl EffortLedger {
         &self.phases[phase.index()]
     }
 
+    /// Overwrites one phase's accumulated effort — for reconstructing
+    /// a ledger from externally stored totals (the metrics registry).
+    pub fn set_phase(&mut self, phase: Phase, value: PhaseEffort) {
+        self.phases[phase.index()] = value;
+    }
+
     /// Total CAD effort across all phases.
     pub fn total(&self) -> CadEffort {
         self.phases

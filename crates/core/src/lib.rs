@@ -52,8 +52,8 @@ pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_
 pub use debug::run_debug_iteration;
 pub use diagnosis::{
     cluster_failures, collect_responses, fsm_merge_witnesses, merge_fsm_clusters, ConePartition,
-    EvidenceBase, FailureCluster, FaultAttribution, MultiErrorScheduler, ObservationWindow,
-    ResponseSignature, SuspectCone,
+    EvidenceBase, EvidenceStats, FailureCluster, FaultAttribution, MultiErrorScheduler,
+    ObservationWindow, ResponseSignature, SuspectCone,
 };
 pub use eco_flow::{replace_and_route, EcoPhysicalOutcome};
 pub use effort::{CadEffort, EffortLedger, Phase};

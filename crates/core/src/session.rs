@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 
 use netlist::{CellId, NetId, Netlist};
+use obs::{MetricsRegistry, Tracer, TrackId};
 use sim::emulate::Mismatch;
 use sim::inject::InjectedError;
 use sim::patterns::PatternGen;
@@ -340,6 +341,8 @@ pub struct DebugSession<'a> {
     seed: u64,
     confirm_with_control: bool,
     on_event: Option<EventCallback<'a>>,
+    metrics: Option<&'a MetricsRegistry>,
+    trace: Option<(&'a Tracer, TrackId)>,
 }
 
 impl<'a> DebugSession<'a> {
@@ -356,6 +359,8 @@ impl<'a> DebugSession<'a> {
             seed: 0,
             confirm_with_control: true,
             on_event: None,
+            metrics: None,
+            trace: None,
         }
     }
 
@@ -417,9 +422,93 @@ impl<'a> DebugSession<'a> {
         self
     }
 
+    /// Attaches a metrics registry: the session records its
+    /// deterministic per-phase effort counters
+    /// (`session_phase_*_total{phase=…}`) and evidence-layer counters
+    /// (`evidence_*_total`) into it as it runs.
+    #[must_use]
+    pub fn metrics(mut self, registry: &'a MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Attaches a tracer track: the session emits one span per phase
+    /// region (detect / localize / confirm / correct) onto it, each
+    /// carrying wall-clock bounds *and* the region's deterministic
+    /// effort-unit delta, so span totals reconcile exactly with the
+    /// [`EffortLedger`].
+    #[must_use]
+    pub fn trace(mut self, tracer: &'a Tracer, track: TrackId) -> Self {
+        self.trace = Some((tracer, track));
+        self
+    }
+
     fn emit(&mut self, event: DebugEvent) {
         if let Some(cb) = self.on_event.as_mut() {
             cb(&event);
+        }
+    }
+
+    /// Wall-clock start marker for a phase region (0 when untraced).
+    fn span_begin(&self) -> u64 {
+        self.trace.map(|(t, _)| t.now_us()).unwrap_or(0)
+    }
+
+    /// Closes one phase region: emits a trace span whose effort units
+    /// are the region's ledger delta for `phase`, and bumps the
+    /// deterministic per-phase counters by the same delta. Every
+    /// charge to a phase happens inside exactly one region of that
+    /// phase's name, so per-phase span sums equal the ledger exactly.
+    fn phase_mark(
+        &mut self,
+        phase: Phase,
+        start_us: u64,
+        before: EffortLedger,
+        after: &EffortLedger,
+    ) {
+        let b = before.phase(phase);
+        let a = after.phase(phase);
+        let units = a.effort.total() - b.effort.total();
+        if let Some((tracer, track)) = self.trace {
+            tracer.complete(track, phase.name(), "phase", start_us, units);
+        }
+        if let Some(reg) = self.metrics {
+            let labels = [("phase", phase.name())];
+            reg.counter_add("session_phase_effort_units_total", &labels, units);
+            reg.counter_add(
+                "session_phase_place_moves_total",
+                &labels,
+                a.effort.place_moves - b.effort.place_moves,
+            );
+            reg.counter_add(
+                "session_phase_route_expansions_total",
+                &labels,
+                a.effort.route_expansions - b.effort.route_expansions,
+            );
+            reg.counter_add(
+                "session_phase_ecos_total",
+                &labels,
+                (a.ecos - b.ecos) as u64,
+            );
+            reg.counter_add(
+                "session_phase_tiles_cleared_total",
+                &labels,
+                (a.tiles_cleared - b.tiles_cleared) as u64,
+            );
+        }
+    }
+
+    /// Scrapes one finished [`EvidenceBase`]'s counters into the
+    /// registry. Each evidence base is scraped exactly once, so
+    /// `counter_add` with the absolute stats is a correct delta.
+    fn record_evidence(&mut self, evidence: &EvidenceBase) {
+        if let Some(reg) = self.metrics {
+            let s = evidence.stats();
+            reg.counter_add("evidence_verdict_cache_hits_total", &[], s.verdict_hits);
+            reg.counter_add("evidence_verdict_cache_misses_total", &[], s.verdict_misses);
+            reg.counter_add("evidence_onset_clamps_total", &[], s.onset_clamps);
+            reg.counter_add("evidence_exonerations_total", &[], s.exonerations);
+            reg.counter_add("evidence_window_shrinks_total", &[], s.window_shrinks);
         }
     }
 
@@ -462,12 +551,16 @@ impl<'a> DebugSession<'a> {
         };
 
         // ---- Detection (steps 10, 21): one full response sweep --------
+        let t_detect = self.span_begin();
+        let detect_before = outcome.ledger;
         let matrix = collect_responses(
             self.golden,
             &self.td.netlist,
             self.patterns_for(self.golden),
         )?;
-        let Some(mismatch) = matrix_mismatch(self.golden, &matrix)? else {
+        let mismatch = matrix_mismatch(self.golden, &matrix)?;
+        self.phase_mark(Phase::Detect, t_detect, detect_before, &outcome.ledger);
+        let Some(mismatch) = mismatch else {
             self.emit(DebugEvent::CleanDesign);
             outcome.repaired = true; // nothing to do
             return Ok(outcome);
@@ -490,6 +583,8 @@ impl<'a> DebugSession<'a> {
         // evidence accumulated by one attempt (every measured onset)
         // carries over to the next for free.
         let pats: Vec<Vec<bool>> = self.patterns_for(self.golden).collect();
+        let t_localize = self.span_begin();
+        let localize_before = outcome.ledger;
         let (mut evidence, clusters, witness_taps, _) =
             self.screened_clusters(&matrix, &pats, &mut outcome.ledger)?;
         outcome.taps_inserted = witness_taps;
@@ -575,8 +670,11 @@ impl<'a> DebugSession<'a> {
             // *every* output, the error is contained in that cell —
             // and the hunt is over. An unconfirmed site sends the
             // search on to the next cluster's view of the failure.
+            let t_confirm = self.span_begin();
+            let confirm_before = outcome.ledger;
             let (confirmed, effort, tiles) = self.control_point_confirm(site, None)?;
             outcome.ledger.charge(Phase::Confirm, effort, tiles);
+            self.phase_mark(Phase::Confirm, t_confirm, confirm_before, &outcome.ledger);
             self.emit(DebugEvent::Confirmed {
                 cell: site,
                 confirmed,
@@ -590,8 +688,17 @@ impl<'a> DebugSession<'a> {
         if outcome.localized.is_none() {
             self.emit(DebugEvent::Localized { cell: None });
         }
+        self.phase_mark(
+            Phase::Localize,
+            t_localize,
+            localize_before,
+            &outcome.ledger,
+        );
+        self.record_evidence(&evidence);
 
         // ---- Correction (steps 11–15, 17–21) ---------------------------
+        let t_correct = self.span_begin();
+        let correct_before = outcome.ledger;
         let fix = sim::inject::repair_op(error);
         let rep = netlist::eco::apply(&mut self.td.netlist, &fix)?;
         let phys = self.flow.reimplement(self.td, &rep.touched(), &[])?;
@@ -608,6 +715,7 @@ impl<'a> DebugSession<'a> {
         self.emit(DebugEvent::Corrected {
             repaired: outcome.repaired,
         });
+        self.phase_mark(Phase::Correct, t_correct, correct_before, &outcome.ledger);
 
         outcome.effort = outcome.ledger.total();
         outcome.tiles_cleared = outcome.ledger.total_tiles_cleared();
@@ -802,12 +910,15 @@ impl<'a> DebugSession<'a> {
         };
 
         // ---- Detection: one full response sweep -----------------------
+        let t_detect = self.span_begin();
+        let detect_before = outcome.ledger;
         let matrix = collect_responses(
             self.golden,
             &self.td.netlist,
             self.patterns_for(self.golden),
         )?;
         let raw_clusters = cluster_failures(self.golden, &matrix);
+        self.phase_mark(Phase::Detect, t_detect, detect_before, &outcome.ledger);
         if raw_clusters.is_empty() {
             self.emit(DebugEvent::CleanDesign);
             // Undetectable errors are still repaired — at the netlist
@@ -824,6 +935,8 @@ impl<'a> DebugSession<'a> {
 
         // ---- Shared diagnosis pipeline --------------------------------
         let pats: Vec<Vec<bool>> = self.patterns_for(self.golden).collect();
+        let t_localize = self.span_begin();
+        let localize_before = outcome.ledger;
         let mut ledger = std::mem::take(&mut outcome.ledger);
         let mut diagnosis = self.diagnose(&matrix, &pats, &mut ledger)?;
         outcome.ledger = ledger;
@@ -872,16 +985,25 @@ impl<'a> DebugSession<'a> {
         for &cell in &localized {
             self.emit(DebugEvent::Localized { cell });
         }
+        self.phase_mark(
+            Phase::Localize,
+            t_localize,
+            localize_before,
+            &outcome.ledger,
+        );
 
         // ---- Per-cluster confirmation (§4.1) --------------------------
         let mut confirmed = vec![false; n];
         if self.confirm_with_control {
             for k in 0..n {
                 if let Some(suspect) = localized[k] {
+                    let t_confirm = self.span_begin();
+                    let confirm_before = outcome.ledger;
                     let (ok, effort, tiles) =
                         self.control_point_confirm(suspect, Some(&clusters[k].outputs))?;
                     outcome.ledger.charge(Phase::Confirm, effort, tiles);
                     cluster_ledgers[k].charge(Phase::Confirm, effort, tiles);
+                    self.phase_mark(Phase::Confirm, t_confirm, confirm_before, &outcome.ledger);
                     confirmed[k] = ok;
                     self.emit(DebugEvent::Confirmed {
                         cell: suspect,
@@ -892,6 +1014,8 @@ impl<'a> DebugSession<'a> {
         }
 
         // ---- One corrective ECO for every error -----------------------
+        let t_correct = self.span_begin();
+        let correct_before = outcome.ledger;
         let mut seeds: Vec<CellId> = Vec::with_capacity(errors.len());
         for error in errors {
             netlist::eco::apply(&mut self.td.netlist, &sim::inject::repair_op(error))?;
@@ -914,6 +1038,7 @@ impl<'a> DebugSession<'a> {
         self.emit(DebugEvent::Corrected {
             repaired: outcome.repaired,
         });
+        self.phase_mark(Phase::Correct, t_correct, correct_before, &outcome.ledger);
 
         // ---- Attribution: match clusters to planted errors ------------
         let mut matched: Vec<Option<usize>> = vec![None; n];
@@ -1020,6 +1145,7 @@ impl<'a> DebugSession<'a> {
             ledger,
             &mut cluster_ledgers,
         )?;
+        self.record_evidence(&evidence);
         Ok(Diagnosis {
             clusters,
             candidate_counts,

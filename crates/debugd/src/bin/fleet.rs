@@ -23,11 +23,20 @@
 //! Run: `cargo run --release -p debugd --bin fleet`
 //! (pass `--quick` for the one-design batch CI runs end-to-end;
 //! quick results go to `BENCH_fleet.quick.json`, which is
-//! gitignored).
+//! gitignored). Pass `--trace <base>` to also emit `<base>.trace.json`
+//! (Chrome trace-event JSON, loadable in Perfetto: per-campaign phase
+//! spans plus one track per pool worker), `<base>.trace.jsonl`,
+//! `<base>.metrics.prom` (the pooled run's metrics exposition) and
+//! `<base>.metrics.serial.prom` (the serial reference's) — whose
+//! deterministic sections this bin asserts byte-identical on every
+//! run, traced or not.
 
 use std::fmt::Write as _;
 
-use debugd::{run_batch, ArtifactStore, CampaignRequest, CampaignStatus, FlowKind, StrategyKind};
+use debugd::{
+    run_batch_observed, ArtifactStore, CampaignRequest, CampaignStatus, FlowKind, StrategyKind,
+};
+use obs::{MetricsRegistry, Tracer};
 use synth::PaperDesign;
 
 /// The modeled worker counts of the scaling curve.
@@ -46,6 +55,11 @@ struct Row {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let trace_base = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
     let designs: &[PaperDesign] = if quick {
         &[PaperDesign::NineSym]
     } else {
@@ -90,16 +104,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serial reference: one worker, bit-exact baseline.
     let store = ArtifactStore::new();
+    let serial_registry = MetricsRegistry::new();
     let t0 = std::time::Instant::now();
-    let serial = run_batch(&store, &requests, 1);
+    let serial = run_batch_observed(&store, &requests, 1, &serial_registry, None);
     let wall_serial = t0.elapsed().as_secs_f64();
 
     // Host pool: same batch, every available worker, fresh store so
     // artifact builds are paid (and telemetered) the same way.
     let host_workers = parallel::default_workers();
     let pool_store = ArtifactStore::new();
+    let pool_registry = MetricsRegistry::new();
+    let tracer = trace_base.as_deref().map(|_| Tracer::new());
     let t1 = std::time::Instant::now();
-    let pooled = run_batch(&pool_store, &requests, host_workers);
+    let pooled = run_batch_observed(
+        &pool_store,
+        &requests,
+        host_workers,
+        &pool_registry,
+        tracer.as_ref(),
+    );
     let wall_pool = t1.elapsed().as_secs_f64();
 
     // The determinism contract, enforced right here in the bench.
@@ -116,10 +139,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             s.id
         );
     }
-    println!(
-        "fleet: {campaigns} reports byte-identical at 1 vs {host_workers} worker(s); \
-         serial {wall_serial:.2}s, pool {wall_pool:.2}s"
+    // Same contract, extended to the metrics layer: every counter in
+    // the deterministic exposition section must be byte-identical
+    // between the 1-worker and pooled runs.
+    assert_eq!(
+        serial_registry.render_deterministic(),
+        pool_registry.render_deterministic(),
+        "deterministic metrics differ between 1 and {host_workers} worker(s)"
     );
+    println!(
+        "fleet: {campaigns} reports + deterministic metrics byte-identical at 1 vs \
+         {host_workers} worker(s); serial {wall_serial:.2}s, pool {wall_pool:.2}s"
+    );
+
+    if let (Some(base), Some(tracer)) = (trace_base.as_deref(), tracer.as_ref()) {
+        std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
+        std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
+        std::fs::write(
+            format!("{base}.metrics.prom"),
+            pool_registry.render_prometheus(),
+        )?;
+        std::fs::write(
+            format!("{base}.metrics.serial.prom"),
+            serial_registry.render_prometheus(),
+        )?;
+        println!("trace + metrics artifacts written to {base}.*");
+    }
 
     // Aggregate per-design rows from the serial run's reports.
     let mut rows: Vec<Row> = Vec::new();

@@ -10,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use obs::{MetricsRegistry, Tracer, TrackId};
 use tiling::effort::Phase;
 use tiling::report::DebugReport;
 use tiling::session::{DebugEvent, DebugSession};
@@ -65,11 +66,27 @@ pub struct CampaignResult {
 /// the pipeline does, and [`crate::orchestrator::run_batch`] converts
 /// either into a [`CampaignStatus::Panicked`] result.
 pub fn run_campaign(artifact: &DesignArtifact, req: &CampaignRequest) -> CampaignResult {
+    run_campaign_observed(artifact, req, None, None)
+}
+
+/// [`run_campaign`] with observability attached: the session records
+/// its deterministic phase/evidence counters into `metrics`, and the
+/// whole campaign plus its per-phase regions become spans on the
+/// given tracer track (the enclosing campaign span carries the
+/// campaign's total effort units). Both hooks are optional and change
+/// nothing about the deterministic report/event output.
+pub fn run_campaign_observed(
+    artifact: &DesignArtifact,
+    req: &CampaignRequest,
+    metrics: Option<&MetricsRegistry>,
+    trace: Option<(&Tracer, TrackId)>,
+) -> CampaignResult {
     assert!(
         !req.inject_panic,
         "injected fault in campaign '{}' (inject_panic test hook)",
         req.id
     );
+    let t0 = trace.map(|(t, _)| t.now_us()).unwrap_or(0);
     // The mutable working copy: netlist/placement/routing are cloned,
     // hierarchy/device/RRG/plan are shared Arcs.
     let mut td = artifact.td.clone();
@@ -81,12 +98,30 @@ pub fn run_campaign(artifact: &DesignArtifact, req: &CampaignRequest) -> Campaig
             .patterns(req.patterns.to_spec(req.pattern_count))
             .seed(req.seed)
             .confirm_with_control(req.confirm_with_control)
-            .on_event(|e| events.push(event_json(e)));
+            .on_event(|e| {
+                let seq = events.len();
+                events.push(event_json(seq, e));
+            });
+        if let Some(registry) = metrics {
+            session = session.metrics(registry);
+        }
+        if let Some((tracer, track)) = trace {
+            session = session.trace(tracer, track);
+        }
         session.run_campaign(&req.error_seeds)
     };
     match outcome {
         Ok(campaign) => {
             let report = DebugReport::from_outcomes(&campaign.iterations);
+            if let Some((tracer, track)) = trace {
+                tracer.complete(
+                    track,
+                    &format!("campaign {}", req.id),
+                    "campaign",
+                    t0,
+                    report.ledger.total().total(),
+                );
+            }
             let report_json = render_report_json(req, &report, &campaign.iterations, &events);
             CampaignResult {
                 id: req.id.clone(),
@@ -127,8 +162,17 @@ pub fn failure_result(
     }
 }
 
-/// One [`DebugEvent`] as a JSON line for the per-client stream.
-pub fn event_json(e: &DebugEvent) -> String {
+/// One [`DebugEvent`] as a JSON line for the per-client stream. `seq`
+/// is the row's position in the campaign's event stream — monotonic
+/// from 0, so event logs join deterministically against traces and
+/// any reordering of the persisted lines is detectable.
+pub fn event_json(seq: usize, e: &DebugEvent) -> String {
+    let body = event_body(e);
+    format!("{{\"seq\": {seq}, {}", &body[1..])
+}
+
+/// The event's fields as a JSON object (without the `seq` prefix).
+fn event_body(e: &DebugEvent) -> String {
     match e {
         DebugEvent::ErrorInjected { iteration, cell } => format!(
             "{{\"event\": \"error_injected\", \"iteration\": {iteration}, \"cell\": {}}}",

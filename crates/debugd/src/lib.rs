@@ -40,7 +40,9 @@ pub mod request;
 pub mod telemetry;
 
 pub use artifacts::{ArtifactStore, DesignArtifact};
-pub use campaign::{run_campaign, CampaignResult, CampaignStatus};
-pub use orchestrator::{run_batch, serve, FleetOutcome, ServeOptions, ServeSummary};
+pub use campaign::{run_campaign, run_campaign_observed, CampaignResult, CampaignStatus};
+pub use orchestrator::{
+    run_batch, run_batch_observed, serve, FleetOutcome, ServeOptions, ServeSummary,
+};
 pub use request::{CampaignRequest, FlowKind, PatternKind, StrategyKind};
 pub use telemetry::FleetTelemetry;

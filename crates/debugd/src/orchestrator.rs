@@ -26,6 +26,7 @@
 //! <root>/events/<id>.jsonl   streamed DebugEvents, one per line
 //! <root>/archive/            processed request files move here
 //! <root>/telemetry.json      cumulative fleet telemetry
+//! <root>/metrics.prom        Prometheus-style metrics exposition
 //! <root>/stop                touch to shut the server down
 //! ```
 //!
@@ -40,8 +41,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
+use obs::{MetricsRegistry, Tracer, TrackId};
+
 use crate::artifacts::ArtifactStore;
-use crate::campaign::{failure_result, run_campaign, CampaignResult, CampaignStatus};
+use crate::campaign::{failure_result, run_campaign_observed, CampaignResult, CampaignStatus};
 use crate::json::escape;
 use crate::request::CampaignRequest;
 use crate::telemetry::FleetTelemetry;
@@ -78,6 +81,29 @@ pub fn run_batch(
     requests: &[CampaignRequest],
     workers: usize,
 ) -> FleetOutcome {
+    let registry = MetricsRegistry::new();
+    run_batch_observed(store, requests, workers, &registry, None)
+}
+
+/// [`run_batch`] recording into a caller-owned metrics registry and
+/// (optionally) a tracer.
+///
+/// Deterministic counters (`debugd_campaigns_total`,
+/// `session_phase_*`, `evidence_*`, `sim_*`, `artifact_*`, the
+/// `campaign_taps`/`campaign_ecos` histograms) land in the registry's
+/// deterministic section and are byte-identical whatever the worker
+/// count; wall-clock, steals, and queue depth go to the measured
+/// section. With a tracer, every campaign gets its own track (request
+/// order) carrying its per-phase spans, and one track per pool worker
+/// is reconstructed from the pool's busy segments.
+pub fn run_batch_observed(
+    store: &ArtifactStore,
+    requests: &[CampaignRequest],
+    workers: usize,
+    registry: &MetricsRegistry,
+    tracer: Option<&Tracer>,
+) -> FleetOutcome {
+    let before = registry.snapshot();
     // Resolve artifacts first: the store dedups, so this pays one
     // implement() per distinct (design, tiles, seed) and every
     // campaign holds an Arc to the shared result.
@@ -85,9 +111,24 @@ pub fn run_batch(
         .iter()
         .map(|req| store.get_or_build(req).map_err(|e| e.to_string()))
         .collect();
+    // Per-campaign tracks are allocated up front, in request order,
+    // so track ids are deterministic however the pool schedules.
+    let tracks: Option<Vec<TrackId>> = tracer.map(|t| {
+        requests
+            .iter()
+            .map(|req| t.track(&format!("campaign {}", req.id)))
+            .collect()
+    });
+    let sim_before = sim::counters::snapshot();
+    let t0_us = tracer.map(Tracer::now_us).unwrap_or(0);
     let jobs: Vec<(usize, &CampaignRequest)> = requests.iter().enumerate().collect();
     let resolved = &resolved;
+    let tracks = &tracks;
     let (results, stats) = parallel::map_with_stats(workers, jobs, |(i, req)| {
+        let trace = match (tracer, tracks) {
+            (Some(t), Some(ids)) => Some((t, ids[i])),
+            _ => None,
+        };
         match &resolved[i] {
             Err(e) => failure_result(
                 req,
@@ -97,7 +138,9 @@ pub fn run_batch(
             Ok(artifact) => {
                 // Catch panics here, inside the task: the pool keeps
                 // draining and the failure becomes a reported result.
-                match catch_unwind(AssertUnwindSafe(|| run_campaign(artifact, req))) {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    run_campaign_observed(artifact, req, Some(registry), trace)
+                })) {
                     Ok(result) => result,
                     Err(payload) => failure_result(
                         req,
@@ -108,10 +151,45 @@ pub fn run_batch(
             }
         }
     });
-    let mut telemetry = FleetTelemetry::default();
-    telemetry.absorb_batch(&results, &stats);
+    // Batch-level deterministic counters: statuses and per-campaign
+    // distributions (sums and BTreeMap-ordered series are
+    // order-independent, so serial and pooled runs render the same).
+    for r in &results {
+        registry.counter_add("debugd_campaigns_total", &[("status", r.status.name())], 1);
+        if let Some(report) = &r.report {
+            registry.observe("campaign_taps", &[], report.taps_inserted as u64);
+            registry.observe("campaign_ecos", &[], report.ledger.total_ecos() as u64);
+        }
+    }
+    // The packed simulator's process-global counters, scraped as a
+    // delta over the batch. The delta is deterministic as long as no
+    // *other* simulation runs concurrently in this process (the bins
+    // run batches sequentially; concurrent tests must not assert
+    // exact values).
+    let sim_delta = sim::counters::snapshot().delta_since(&sim_before);
+    registry.counter_add("sim_sweeps_total", &[], sim_delta.sweeps);
+    registry.counter_add("sim_net_words_total", &[], sim_delta.net_words);
+    registry.counter_add("sim_lanes_loaded_total", &[], sim_delta.lanes_loaded);
     let (builds, hits) = store.stats();
-    telemetry.set_artifact_stats(builds, hits);
+    registry.counter_set("artifact_builds_total", &[], builds as u64);
+    registry.counter_set("artifact_hits_total", &[], hits as u64);
+    registry.measured_add(
+        "fleet_wall_microseconds_total",
+        &[],
+        u64::try_from(stats.wall.as_micros()).unwrap_or(u64::MAX),
+    );
+    registry.measured_add(
+        "fleet_worker_busy_microseconds_total",
+        &[],
+        u64::try_from(stats.busy_total().as_micros()).unwrap_or(u64::MAX),
+    );
+    registry.measured_add("fleet_steals_total", &[], stats.steals as u64);
+    registry.measured_max("fleet_peak_queued", &[], stats.peak_queued as u64);
+    registry.measured_max("fleet_workers", &[], stats.tasks_per_worker.len() as u64);
+    if let Some(t) = tracer {
+        t.pool_tracks("worker", &stats, t0_us);
+    }
+    let telemetry = FleetTelemetry::from_snapshot(&registry.snapshot().diff(&before));
     FleetOutcome { results, telemetry }
 }
 
@@ -164,10 +242,14 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
     }
     let stop_file = root.join("stop");
     let store = ArtifactStore::new();
-    let mut telemetry = FleetTelemetry::default();
+    // One cumulative registry for the server's lifetime; every loop
+    // iteration re-renders `telemetry.json` (the projected view) and
+    // `metrics.prom` (the raw exposition) from it.
+    let registry = MetricsRegistry::new();
     let mut summary = ServeSummary::default();
     loop {
         summary.scans += 1;
+        registry.counter_add("debugd_poll_scans_total", &[], 1);
         let mut files: Vec<PathBuf> = fs::read_dir(&requests_dir)?
             .filter_map(Result::ok)
             .map(|e| e.path())
@@ -181,7 +263,7 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
                 Ok(req) => batch.push(req),
                 Err(e) => {
                     summary.rejected += 1;
-                    telemetry.rejected += 1;
+                    registry.counter_add("debugd_rejected_total", &[], 1);
                     let stem = path
                         .file_stem()
                         .map_or_else(|| "unnamed".into(), |s| s.to_string_lossy().into_owned());
@@ -197,7 +279,7 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
             }
         }
         if !batch.is_empty() {
-            let outcome = run_batch(&store, &batch, opts.workers);
+            let outcome = run_batch_observed(&store, &batch, opts.workers, &registry, None);
             summary.campaigns += outcome.results.len();
             for r in &outcome.results {
                 fs::write(reports_dir.join(format!("{}.json", r.id)), &r.report_json)?;
@@ -207,11 +289,6 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
                 }
                 fs::write(events_dir.join(format!("{}.jsonl", r.id)), stream)?;
             }
-            // Batch telemetry folds into the cumulative document.
-            let rejected = telemetry.rejected;
-            let mut merged = outcome.telemetry;
-            merged.rejected = rejected;
-            absorb_cumulative(&mut telemetry, &merged);
         }
         for path in &files {
             let name = path.file_name().map_or_else(
@@ -220,9 +297,12 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
             );
             fs::rename(path, archive_dir.join(name))?;
         }
-        let (builds, hits) = store.stats();
-        telemetry.set_artifact_stats(builds, hits);
-        fs::write(root.join("telemetry.json"), telemetry.to_json())?;
+        let snap = registry.snapshot();
+        fs::write(
+            root.join("telemetry.json"),
+            FleetTelemetry::from_snapshot(&snap).to_json(),
+        )?;
+        fs::write(root.join("metrics.prom"), snap.render_prometheus())?;
         if stop_file.exists() {
             let _ = fs::remove_file(&stop_file);
             break;
@@ -233,30 +313,4 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
         std::thread::sleep(opts.poll);
     }
     Ok(summary)
-}
-
-/// Folds one batch's telemetry into the server's cumulative document.
-fn absorb_cumulative(total: &mut FleetTelemetry, batch: &FleetTelemetry) {
-    total.campaigns += batch.campaigns;
-    total.completed += batch.completed;
-    total.failed += batch.failed;
-    total.panicked += batch.panicked;
-    total.rejected = batch.rejected;
-    total.workers = total.workers.max(batch.workers);
-    let prev = total.wall.as_secs_f64();
-    let add = batch.wall.as_secs_f64();
-    if prev + add > 0.0 {
-        total.worker_utilization =
-            (total.worker_utilization * prev + batch.worker_utilization * add) / (prev + add);
-    }
-    total.wall += batch.wall;
-    total.steals += batch.steals;
-    total.peak_queued = total.peak_queued.max(batch.peak_queued);
-    total.ledger.merge(&batch.ledger);
-    for (k, v) in &batch.taps_histogram {
-        *total.taps_histogram.entry(*k).or_insert(0) += v;
-    }
-    for (k, v) in &batch.ecos_histogram {
-        *total.ecos_histogram.entry(*k).or_insert(0) += v;
-    }
 }

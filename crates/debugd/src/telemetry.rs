@@ -1,21 +1,21 @@
-//! Fleet-wide telemetry.
+//! Fleet-wide telemetry — a *view* over the metrics registry.
 //!
 //! The per-campaign documents are deterministic by contract
-//! ([`crate::campaign`]); this is the one place wall-clock lives.
-//! Aggregated over a batch (and cumulatively over a `serve` loop's
-//! lifetime): throughput, per-phase effort totals, tap/ECO
-//! distributions, queue depth, worker utilization, artifact-cache
-//! behavior.
+//! ([`crate::campaign`]); wall-clock lives in the registry's measured
+//! section. Since the observability refactor this type no longer
+//! keeps its own books: the orchestrator records everything into an
+//! [`obs::MetricsRegistry`] and [`FleetTelemetry::from_snapshot`]
+//! projects the familiar `telemetry.json` document out of a snapshot
+//! (a whole `serve` lifetime, or one batch via
+//! [`obs::MetricsSnapshot::diff`]).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use parallel::PoolStats;
-use tiling::effort::Phase;
+use obs::{HistogramData, MetricsSnapshot};
+use tiling::effort::{CadEffort, Phase, PhaseEffort};
 use tiling::EffortLedger;
-
-use crate::campaign::{CampaignResult, CampaignStatus};
 
 /// Aggregated fleet counters.
 #[derive(Debug, Clone, Default)]
@@ -53,6 +53,56 @@ pub struct FleetTelemetry {
 }
 
 impl FleetTelemetry {
+    /// Projects the telemetry document out of a metrics snapshot: the
+    /// deterministic counters rebuild the campaign/status/phase-ledger
+    /// numbers, the measured series supply wall-clock, utilization,
+    /// steals, and queue depth.
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        let workers = snap.value_u64("fleet_workers", &[]) as usize;
+        let wall_us = snap.value_u64("fleet_wall_microseconds_total", &[]);
+        let busy_us = snap.value_u64("fleet_worker_busy_microseconds_total", &[]);
+        let worker_utilization = if wall_us > 0 && workers > 0 {
+            busy_us as f64 / (wall_us as f64 * workers as f64)
+        } else {
+            0.0
+        };
+        let mut ledger = EffortLedger::default();
+        for ph in Phase::ALL {
+            let labels = [("phase", ph.name())];
+            ledger.set_phase(
+                ph,
+                PhaseEffort {
+                    effort: CadEffort {
+                        place_moves: snap.value_u64("session_phase_place_moves_total", &labels),
+                        route_expansions: snap
+                            .value_u64("session_phase_route_expansions_total", &labels),
+                    },
+                    ecos: snap.value_u64("session_phase_ecos_total", &labels) as usize,
+                    tiles_cleared: snap.value_u64("session_phase_tiles_cleared_total", &labels)
+                        as usize,
+                },
+            );
+        }
+        Self {
+            campaigns: snap.sum_counters("debugd_campaigns_total") as usize,
+            completed: snap.value_u64("debugd_campaigns_total", &[("status", "completed")])
+                as usize,
+            failed: snap.value_u64("debugd_campaigns_total", &[("status", "failed")]) as usize,
+            panicked: snap.value_u64("debugd_campaigns_total", &[("status", "panicked")]) as usize,
+            rejected: snap.value_u64("debugd_rejected_total", &[]) as usize,
+            workers,
+            wall: Duration::from_micros(wall_us),
+            worker_utilization,
+            steals: snap.value_u64("fleet_steals_total", &[]) as usize,
+            peak_queued: snap.value_u64("fleet_peak_queued", &[]) as usize,
+            artifact_builds: snap.value_u64("artifact_builds_total", &[]) as usize,
+            artifact_hits: snap.value_u64("artifact_hits_total", &[]) as usize,
+            ledger,
+            taps_histogram: histogram_map(snap.histogram("campaign_taps", &[])),
+            ecos_histogram: histogram_map(snap.histogram("campaign_ecos", &[])),
+        }
+    }
+
     /// Campaigns per wall-clock second (0 when no time elapsed).
     pub fn campaigns_per_sec(&self) -> f64 {
         let s = self.wall.as_secs_f64();
@@ -61,43 +111,6 @@ impl FleetTelemetry {
         } else {
             0.0
         }
-    }
-
-    /// Folds one batch's results and pool stats in.
-    pub fn absorb_batch(&mut self, results: &[CampaignResult], stats: &PoolStats) {
-        for r in results {
-            self.campaigns += 1;
-            match &r.status {
-                CampaignStatus::Completed => self.completed += 1,
-                CampaignStatus::Failed(_) => self.failed += 1,
-                CampaignStatus::Panicked(_) => self.panicked += 1,
-            }
-            if let Some(report) = &r.report {
-                self.ledger.merge(&report.ledger);
-                *self.taps_histogram.entry(report.taps_inserted).or_insert(0) += 1;
-                *self
-                    .ecos_histogram
-                    .entry(report.ledger.total_ecos())
-                    .or_insert(0) += 1;
-            }
-        }
-        // Utilization is wall-weighted across batches.
-        let prev = self.wall.as_secs_f64();
-        let add = stats.wall.as_secs_f64();
-        if prev + add > 0.0 {
-            self.worker_utilization =
-                (self.worker_utilization * prev + stats.utilization() * add) / (prev + add);
-        }
-        self.wall += stats.wall;
-        self.workers = self.workers.max(stats.tasks_per_worker.len());
-        self.steals += stats.steals;
-        self.peak_queued = self.peak_queued.max(stats.peak_queued);
-    }
-
-    /// Records the artifact-store counters (absolute, not deltas).
-    pub fn set_artifact_stats(&mut self, builds: usize, hits: usize) {
-        self.artifact_builds = builds;
-        self.artifact_hits = hits;
     }
 
     /// Renders the telemetry document.
@@ -143,6 +156,17 @@ impl FleetTelemetry {
         out.push_str("\n}\n");
         out
     }
+}
+
+/// A histogram series' raw value → count map (empty when absent).
+fn histogram_map(h: Option<&HistogramData>) -> BTreeMap<usize, usize> {
+    h.map(|h| {
+        h.counts()
+            .iter()
+            .map(|(&v, &n)| (v as usize, n as usize))
+            .collect()
+    })
+    .unwrap_or_default()
 }
 
 fn histogram_json(name: &str, h: &BTreeMap<usize, usize>) -> String {

@@ -1,0 +1,95 @@
+//! Process-global counters for the packed simulator.
+//!
+//! The packed engine is the workspace's hot loop: it runs deep inside
+//! sessions, fault-attribution kernels, and bench bins, often on pool
+//! workers, so threading a registry handle down to every
+//! [`PackedSimulator`](crate::PackedSimulator) call site would put an
+//! observability parameter on the innermost kernel APIs. Instead the
+//! engine bumps three relaxed process-global atomics (two adds per
+//! 64-lane topo pass — noise next to the op walk) and observers
+//! scrape **deltas** at a scope boundary:
+//!
+//! ```
+//! let before = sim::counters::snapshot();
+//! // ... run simulations ...
+//! let spent = sim::counters::snapshot().delta_since(&before);
+//! assert_eq!(spent.sweeps, 0);
+//! ```
+//!
+//! Totals are sums of per-call contributions, so a delta over a batch
+//! is deterministic (order-independent) however the batch was
+//! scheduled — which is what lets the fleet's metrics stay
+//! byte-identical serial vs. pooled. Deltas are only attributable
+//! when the scope owns all simulation in the process for its
+//! duration (true for the bins and the `debugd` serve loop; not true
+//! across concurrently running tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SWEEPS: AtomicU64 = AtomicU64::new(0);
+static NET_WORDS: AtomicU64 = AtomicU64::new(0);
+static LANES_LOADED: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the simulator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimCounters {
+    /// Packed topo passes (`comb_eval` calls) — each evaluates 64
+    /// lanes at once.
+    pub sweeps: u64,
+    /// Net *words* evaluated: ops walked per sweep, 64 lane-values
+    /// each.
+    pub net_words: u64,
+    /// Stimulus lanes loaded (pattern-load and broadcast calls):
+    /// `lanes_loaded / (sweeps * 64)` approximates lane occupancy.
+    pub lanes_loaded: u64,
+}
+
+impl SimCounters {
+    /// Counter movement since `earlier` (saturating).
+    pub fn delta_since(&self, earlier: &Self) -> Self {
+        Self {
+            sweeps: self.sweeps.saturating_sub(earlier.sweeps),
+            net_words: self.net_words.saturating_sub(earlier.net_words),
+            lanes_loaded: self.lanes_loaded.saturating_sub(earlier.lanes_loaded),
+        }
+    }
+}
+
+/// Reads all counters (relaxed; exact once the workload quiesces).
+pub fn snapshot() -> SimCounters {
+    SimCounters {
+        sweeps: SWEEPS.load(Ordering::Relaxed),
+        net_words: NET_WORDS.load(Ordering::Relaxed),
+        lanes_loaded: LANES_LOADED.load(Ordering::Relaxed),
+    }
+}
+
+/// One packed topo pass over `ops` compiled ops.
+pub(crate) fn record_sweep(ops: u64) {
+    SWEEPS.fetch_add(1, Ordering::Relaxed);
+    NET_WORDS.fetch_add(ops, Ordering::Relaxed);
+}
+
+/// `lanes` stimulus lanes loaded or broadcast.
+pub(crate) fn record_lanes(lanes: u64) {
+    LANES_LOADED.fetch_add(lanes, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_track_recorded_work() {
+        // Lower bounds only: sibling tests in this binary may be
+        // simulating concurrently (the counters are process-global).
+        let before = snapshot();
+        record_sweep(10);
+        record_sweep(10);
+        record_lanes(7);
+        let d = snapshot().delta_since(&before);
+        assert!(d.sweeps >= 2);
+        assert!(d.net_words >= 20);
+        assert!(d.lanes_loaded >= 7);
+    }
+}

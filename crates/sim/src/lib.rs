@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod emulate;
 pub mod inject;
 pub mod packed;
@@ -30,6 +31,7 @@ pub mod patterns;
 pub mod simulator;
 pub mod testlogic;
 
+pub use counters::SimCounters;
 pub use emulate::{first_mismatch, Mismatch};
 pub use inject::{
     inject, random_distinct_errors, random_error, repair_op, DesignErrorKind, InjectedError,

@@ -212,6 +212,7 @@ impl<'a> PackedSimulator<'a> {
     /// driven inactive on them.
     pub fn load_patterns_padded(&mut self, chunk: &[Vec<bool>]) -> u64 {
         assert!(chunk.len() <= LANES, "at most {LANES} patterns per chunk");
+        crate::counters::record_lanes(chunk.len() as u64);
         for (k, word) in self.inputs.iter_mut().enumerate() {
             let mut w = 0u64;
             for (l, pat) in chunk.iter().enumerate() {
@@ -236,6 +237,9 @@ impl<'a> PackedSimulator<'a> {
     /// Like [`broadcast_inputs`](Self::broadcast_inputs) but missing
     /// inputs are driven false and excess bits ignored.
     pub fn broadcast_inputs_padded(&mut self, pat: &[bool]) {
+        // Machines-as-lanes mode: one stimulus pattern drives all 64
+        // lanes, so this counts as a single loaded lane.
+        crate::counters::record_lanes(1);
         for (k, word) in self.inputs.iter_mut().enumerate() {
             *word = broadcast(pat.get(k).copied().unwrap_or(false));
         }
@@ -286,6 +290,7 @@ impl<'a> PackedSimulator<'a> {
     /// Propagates the current input words and FF state through the
     /// combinational network — one topo pass for all 64 lanes.
     pub fn comb_eval(&mut self) {
+        crate::counters::record_sweep(self.ops.len() as u64);
         let Self {
             ops,
             values,

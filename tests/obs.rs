@@ -1,0 +1,153 @@
+//! Observability-layer integration: the spans and counters the `obs`
+//! crate records while a session runs must reconcile **exactly** with
+//! the session's own `EffortLedger` — per phase, not just in total —
+//! on both the serial and the concurrent diagnosis paths. The fleet
+//! path's deterministic counter section must be byte-identical
+//! whatever the worker count (the metrics extension of the PR 7
+//! report/event invariant).
+
+use fpga_debug_tiling::prelude::*;
+use fpga_debug_tiling::{implement_paper_design, sim, tiling};
+use obs::{MetricsRegistry, Tracer};
+use tiling::effort::Phase;
+
+/// Middle LUT of the implemented design — the deterministic victim
+/// the session tests use.
+fn victim(td: &TiledDesign) -> netlist::CellId {
+    let luts: Vec<netlist::CellId> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    luts[luts.len() / 2]
+}
+
+/// Asserts that for every phase, the tracer's span effort totals and
+/// the registry's `session_phase_effort_units_total` counter both
+/// equal that phase's ledger entry exactly.
+fn assert_reconciled(tracer: &Tracer, registry: &MetricsRegistry, ledger: &tiling::EffortLedger) {
+    let spans = tracer.spans();
+    let snap = registry.snapshot();
+    for phase in Phase::ALL {
+        let ledger_units = ledger.phase(phase).effort.total();
+        let span_units: u64 = spans
+            .iter()
+            .filter(|s| s.cat == "phase" && s.name == phase.name())
+            .map(|s| s.effort_units)
+            .sum();
+        assert_eq!(
+            span_units,
+            ledger_units,
+            "{} spans disagree with the ledger",
+            phase.name()
+        );
+        let counter = snap.value_u64(
+            "session_phase_effort_units_total",
+            &[("phase", phase.name())],
+        );
+        assert_eq!(
+            counter,
+            ledger_units,
+            "{} counter disagrees with the ledger",
+            phase.name()
+        );
+    }
+    // Detect is never charged, but its region must still be traced
+    // (a zero-effort span proves the phase ran, not that it's free).
+    assert!(
+        spans.iter().any(|s| s.name == Phase::Detect.name()),
+        "no detect span recorded"
+    );
+}
+
+#[test]
+fn serial_session_spans_and_counters_reconcile_with_the_ledger() {
+    let td0 = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(201)).unwrap();
+    let golden = td0.netlist.clone();
+    let mut td = td0.clone();
+    let target = victim(&td);
+    let error = sim::inject::inject(
+        &mut td.netlist,
+        target,
+        sim::inject::DesignErrorKind::Complement,
+    )
+    .unwrap();
+
+    let tracer = Tracer::new();
+    let registry = MetricsRegistry::new();
+    let track = tracer.track("serial session");
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(9)
+        .flow(TiledFlow::default())
+        .trace(&tracer, track)
+        .metrics(&registry)
+        .run(&error)
+        .unwrap();
+    assert!(out.repaired);
+    assert_reconciled(&tracer, &registry, &out.ledger);
+
+    // The exports carry what was recorded: the Chrome trace has
+    // thread-name metadata plus complete events, and the prometheus
+    // text exposes the phase counter family.
+    let chrome = tracer.to_chrome_trace();
+    assert!(chrome.contains("\"ph\": \"M\"") && chrome.contains("\"ph\": \"X\""));
+    assert!(registry
+        .render_prometheus()
+        .contains("session_phase_effort_units_total"));
+}
+
+#[test]
+fn concurrent_session_spans_and_counters_reconcile_with_the_ledger() {
+    let td0 = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(201)).unwrap();
+    let golden = td0.netlist.clone();
+    let mut td = td0.clone();
+    let errors = sim::inject::random_distinct_errors(&mut td.netlist, &[31, 32]).unwrap();
+
+    let tracer = Tracer::new();
+    let registry = MetricsRegistry::new();
+    let track = tracer.track("concurrent session");
+    let out = DebugSession::new(&mut td, &golden)
+        .seed(7)
+        .flow(TiledFlow::default())
+        .trace(&tracer, track)
+        .metrics(&registry)
+        .run_concurrent(&errors)
+        .unwrap();
+    assert!(!out.clusters.is_empty());
+    assert_reconciled(&tracer, &registry, &out.ledger);
+}
+
+#[test]
+fn fleet_deterministic_metrics_are_byte_identical_across_worker_counts() {
+    let requests: Vec<debugd::CampaignRequest> = (0..4)
+        .map(|i| debugd::CampaignRequest {
+            id: format!("m{i:02}"),
+            error_seeds: vec![31 + 5 * i as u64],
+            ..Default::default()
+        })
+        .collect();
+    // Separate stores: artifact build/hit counters are part of the
+    // deterministic section, so both sides must pay the same builds.
+    let serial_store = debugd::ArtifactStore::new();
+    let serial_registry = MetricsRegistry::new();
+    debugd::run_batch_observed(&serial_store, &requests, 1, &serial_registry, None);
+    let pooled_store = debugd::ArtifactStore::new();
+    let pooled_registry = MetricsRegistry::new();
+    debugd::run_batch_observed(&pooled_store, &requests, 4, &pooled_registry, None);
+    // The `sim_*` counters are process-global deltas; sibling tests in
+    // this harness simulate concurrently, so only the bins (which run
+    // batches alone in their process — the `fleet` bin asserts the
+    // full section) can pin them. Everything else must match exactly.
+    let strip_sim = |s: String| {
+        s.lines()
+            .filter(|l| !l.contains("sim_"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_sim(serial_registry.render_deterministic()),
+        strip_sim(pooled_registry.render_deterministic()),
+        "deterministic metrics section must not depend on worker count"
+    );
+}
