@@ -1,0 +1,213 @@
+//! Static design-rule lint over the bundled paper designs, debugd
+//! request files, and seeded-malformed fixtures.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench-harness --bin drc -- --all
+//! cargo run --release -p bench-harness --bin drc -- 9sym c499 "MIPS R2000"
+//! cargo run --release -p bench-harness --bin drc -- --requests <dir>
+//! cargo run --release -p bench-harness --bin drc -- --fixture cyclic
+//! ```
+//!
+//! Design mode implements each named design (paper options: ten-tile
+//! partition, 20% slack) and runs every [`drc`] layer over the result
+//! via [`tiling::check_design`]. Requests mode parses and validates
+//! every `*.json` file in a directory as a [`CampaignRequest`] —
+//! exactly the gate `debugd` applies before spending a worker slot.
+//! Fixture mode corrupts the smallest design in a named way (`cyclic`,
+//! `multi-driven`, `dangling-route`) and lints it; CI asserts these
+//! exit nonzero so the analyzer itself stays honest.
+//!
+//! Exit status: nonzero when any finding or invalid request is
+//! reported, zero when everything is clean.
+
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use debugd::request::CampaignRequest;
+use synth::PaperDesign;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let problems = match args.first().map(String::as_str) {
+        Some("--requests") => match args.get(1) {
+            Some(dir) => lint_requests(Path::new(dir)),
+            None => usage("--requests needs a directory"),
+        },
+        Some("--fixture") => match args.get(1) {
+            Some(kind) => lint_fixture(kind),
+            None => usage("--fixture needs a kind (cyclic, multi-driven, dangling-route)"),
+        },
+        Some("--all") | None => lint_designs(&PaperDesign::ALL),
+        Some(_) => {
+            let mut designs = Vec::new();
+            for name in &args {
+                match PaperDesign::ALL.iter().find(|d| d.name() == name) {
+                    Some(d) => designs.push(*d),
+                    None => return usage_code(&format!("unknown design \"{name}\"")),
+                }
+            }
+            lint_designs(&designs)
+        }
+    };
+    if problems == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> usize {
+    eprintln!("drc: {msg}");
+    1
+}
+
+fn usage_code(msg: &str) -> ExitCode {
+    usage(msg);
+    ExitCode::FAILURE
+}
+
+/// Implements and lints each design; returns the total finding count.
+fn lint_designs(designs: &[PaperDesign]) -> usize {
+    let mut total = 0;
+    for &design in designs {
+        match bench_harness::implement_design(design, 10, 1) {
+            Ok(td) => match tiling::check_design(&td) {
+                Ok(findings) => {
+                    total += findings.len();
+                    report(design.name(), &findings);
+                }
+                Err(e) => {
+                    total += 1;
+                    println!("{:<12} ERROR {e}", design.name());
+                }
+            },
+            Err(e) => {
+                total += 1;
+                println!("{:<12} ERROR implement failed: {e}", design.name());
+            }
+        }
+    }
+    total
+}
+
+fn report(name: &str, findings: &[drc::Finding]) {
+    if findings.is_empty() {
+        println!("{name:<12} clean");
+    } else {
+        println!("{name:<12} {} finding(s)", findings.len());
+        for f in findings {
+            println!("  {f}");
+        }
+    }
+}
+
+/// Parses and validates every `*.json` request in `dir`; returns the
+/// number of rejected (or unreadable) files.
+fn lint_requests(dir: &Path) -> usize {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => return usage(&format!("cannot read {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return usage(&format!("no *.json requests in {}", dir.display()));
+    }
+    let mut rejected = 0;
+    for path in &paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                CampaignRequest::from_json(&text)
+                    .and_then(|req| req.validate().map(|()| req))
+                    .map_err(|e| e.to_string())
+            });
+        match verdict {
+            Ok(req) => println!("{name:<28} ok ({})", req.id),
+            Err(e) => {
+                rejected += 1;
+                println!("{name:<28} REJECTED {e}");
+            }
+        }
+    }
+    rejected
+}
+
+/// Builds a deliberately malformed design and lints it. Each fixture
+/// starts from a clean implementation of the smallest design and
+/// breaks exactly one invariant, so a zero-finding run here means the
+/// analyzer has gone blind, not that the fixture is healthy.
+fn lint_fixture(kind: &str) -> usize {
+    let mut td = match bench_harness::implement_design(PaperDesign::NineSym, 10, 1) {
+        Ok(td) => td,
+        Err(e) => return usage(&format!("fixture base implement failed: {e}")),
+    };
+    match kind {
+        // Two fresh LUTs feeding each other: a = !b, b = !a.
+        "cyclic" => {
+            let a = td.netlist.add_net("drc_fixture_a").unwrap();
+            let b = td.netlist.add_net("drc_fixture_b").unwrap();
+            td.netlist
+                .add_lut_driving("drc_fixture_u1", netlist::TruthTable::not(), &[b], a)
+                .unwrap();
+            td.netlist
+                .add_lut_driving("drc_fixture_u2", netlist::TruthTable::not(), &[a], b)
+                .unwrap();
+        }
+        // Re-point a second LUT's output at a net that already has a
+        // driver (only reachable through the import escape hatch).
+        "multi-driven" => {
+            let luts: Vec<netlist::CellId> = td
+                .netlist
+                .cells()
+                .filter(|(_, c)| c.lut_function().is_some())
+                .map(|(id, _)| id)
+                .collect();
+            let victim_net = td.netlist.cell(luts[0]).unwrap().output.unwrap();
+            td.netlist.force_driver(luts[1], victim_net).unwrap();
+        }
+        // Truncate one routed net so a branch dead-ends on a wire
+        // instead of a sink pin.
+        "dangling-route" => {
+            let (net, tree) = td
+                .routing
+                .iter()
+                .find(|(_, t)| t.paths.iter().any(|p| p.len() > 2))
+                .map(|(n, t)| (n, t.clone()))
+                .expect("9sym has a multi-segment route");
+            let mut broken = tree;
+            for path in &mut broken.paths {
+                if path.len() > 2 {
+                    path.pop();
+                    break;
+                }
+            }
+            td.routing.set_route(net, broken);
+        }
+        other => {
+            return usage(&format!(
+                "unknown fixture \"{other}\" (cyclic, multi-driven, dangling-route)"
+            ));
+        }
+    }
+    match tiling::check_design(&td) {
+        Ok(findings) => {
+            report(&format!("fixture:{kind}"), &findings);
+            findings.len()
+        }
+        Err(e) => {
+            println!("fixture:{kind} ERROR {e}");
+            1
+        }
+    }
+}

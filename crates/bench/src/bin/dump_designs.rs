@@ -4,6 +4,9 @@
 //! Usage: `cargo run --release -p bench-harness --bin dump_designs [dir]`
 //! (default output directory: `./designs`)
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::fs;
 use std::path::PathBuf;
 

@@ -5,6 +5,9 @@
 //! Run: `cargo run --release -p bench-harness --bin fig3`
 //! (set `FAST_BENCH=1` to skip MIPS/DES, pass `--quick` for 9sym only).
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use bench_harness::{cli_designs, implement_design};
 use tiling::testpoints::affected_fraction;
 

@@ -44,7 +44,11 @@
 //! `<base>.trace.json` (Chrome trace-event JSON, one track per grid
 //! cell plus one per pool worker — loadable at ui.perfetto.dev),
 //! `<base>.trace.jsonl` (raw span rows), and `<base>.metrics.prom`
-//! (Prometheus text exposition of the session/sim counters).
+//! (Prometheus text exposition of the session/sim counters). A bare
+//! stem collects under the gitignored `artifacts/` directory.
+
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
 
 use std::fmt::Write as _;
 
@@ -219,6 +223,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("(pooled sweep verified byte-identical to the serial path)");
     }
     if let (Some(base), Some(tracer), Some(reg)) = (&trace_base, &tracer, &registry) {
+        let base = obs::artifact_base(base)?;
+        let base = base.display();
         std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
         std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
         std::fs::write(format!("{base}.metrics.prom"), reg.render_prometheus())?;

@@ -34,7 +34,11 @@
 //! (design, workload) row — loadable at ui.perfetto.dev),
 //! `<base>.trace.jsonl` (raw span rows), and `<base>.metrics.prom`
 //! (the packed core's sweep/word/lane counters plus per-row pattern
-//! totals).
+//! totals). A bare stem collects under the gitignored `artifacts/`
+//! directory.
+
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -161,6 +165,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         registry.counter_add("sim_sweeps_total", &[], sim_delta.sweeps);
         registry.counter_add("sim_net_words_total", &[], sim_delta.net_words);
         registry.counter_add("sim_lanes_loaded_total", &[], sim_delta.lanes_loaded);
+        let base = obs::artifact_base(base)?;
+        let base = base.display();
         std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
         std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
         std::fs::write(format!("{base}.metrics.prom"), registry.render_prometheus())?;

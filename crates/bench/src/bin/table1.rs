@@ -8,6 +8,9 @@
 //! (set `FAST_BENCH=1` to skip MIPS/DES; pass `--quick` for the
 //! smallest design only — the mode CI runs end-to-end).
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use bench_harness::{cli_designs, experiment_options, fmt_overhead};
 use tiling::implement;
 

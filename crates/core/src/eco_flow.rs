@@ -38,6 +38,12 @@ pub struct EcoPhysicalOutcome {
     pub replaced_cells: usize,
     /// Nets re-routed (fully or partially).
     pub rerouted_nets: usize,
+    /// Whether the re-route stayed confined to the affected tiles, so
+    /// the locked-interface / frozen-route contract holds outside them.
+    /// The coarse-granularity and full-reroute fallback paths (and the
+    /// non-tiled flows) legitimately clear routes everywhere and
+    /// report `false`; the post-ECO audit only applies when `true`.
+    pub confined: bool,
 }
 
 /// Clears the tiles affected by a change and re-implements them.
@@ -94,6 +100,30 @@ pub fn replace_and_route(
         match attempt(td, &tiles, added, extra_clbs) {
             Ok(mut outcome) => {
                 outcome.effort += wasted;
+                // Debug builds re-prove the paper's contract after
+                // every confined ECO: everything outside the cleared
+                // tiles — placements and cross-boundary routes — is
+                // byte-identical to the snapshots. A violation here is
+                // a flow bug, not bad input (pre-flight owns input),
+                // so it asserts rather than returning an error.
+                #[cfg(debug_assertions)]
+                if outcome.confined {
+                    let findings = crate::preflight::audit_confined_eco(
+                        td,
+                        &outcome.affected.tiles,
+                        &placement_snapshot,
+                        &routing_snapshot,
+                    );
+                    assert!(
+                        findings.is_empty(),
+                        "post-ECO DRC audit failed:\n{}",
+                        findings
+                            .iter()
+                            .map(ToString::to_string)
+                            .collect::<Vec<_>>()
+                            .join("\n")
+                    );
+                }
                 return Ok(outcome);
             }
             // Once expansion retries stop being promising — half the
@@ -151,6 +181,7 @@ pub fn replace_and_route(
                     },
                     replaced_cells: td.netlist.cells().filter(|(_, c)| c.is_logic()).count(),
                     rerouted_nets: td.routing.num_routed(),
+                    confined: false,
                 });
             }
             Err((TilingError::Route(_), spent)) if tiles.len() < td.plan.len() => {
@@ -347,6 +378,7 @@ fn attempt_inner(
             affected,
             replaced_cells: to_replace.len(),
             rerouted_nets: n_rerouted,
+            confined: false,
         });
     }
 
@@ -563,6 +595,7 @@ fn attempt_inner(
         affected,
         replaced_cells: to_replace.len(),
         rerouted_nets: rerouted.len(),
+        confined: true,
     })
 }
 

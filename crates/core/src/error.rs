@@ -24,6 +24,12 @@ pub enum TilingError {
     },
     /// A tile id is out of range.
     UnknownTile(usize),
+    /// Static analysis rejected the design before the flow touched it.
+    Drc {
+        /// Every finding the analyzer produced (warnings included; at
+        /// least one has error severity).
+        findings: Vec<drc::Finding>,
+    },
 }
 
 impl fmt::Display for TilingError {
@@ -40,6 +46,20 @@ impl fmt::Display for TilingError {
                 )
             }
             Self::UnknownTile(t) => write!(f, "unknown tile {t}"),
+            Self::Drc { findings } => {
+                let errors = findings
+                    .iter()
+                    .filter(|x| x.severity == drc::Severity::Error)
+                    .count();
+                write!(f, "design rejected by static analysis: {errors} error(s)")?;
+                for x in findings.iter().take(4) {
+                    write!(f, "; {x}")?;
+                }
+                if findings.len() > 4 {
+                    write!(f, "; … {} more", findings.len() - 4)?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -164,6 +164,7 @@ impl ReimplFlow for FullReplaceFlow {
             affected: whole_design_affected(td)?,
             replaced_cells: replaced,
             rerouted_nets: td.routing.num_routed(),
+            confined: false,
         })
     }
 }
@@ -494,6 +495,7 @@ fn reimplement_subset_inner(
         },
         replaced_cells: moved.len(),
         rerouted_nets: work.len(),
+        confined: false,
     })
 }
 

@@ -41,11 +41,16 @@ pub mod flow;
 pub mod flows;
 pub mod interface;
 pub mod partition;
+pub mod preflight;
 pub mod report;
 pub mod session;
 pub mod strategy;
 pub mod testpoints;
 pub mod tile;
+
+// Re-exported so `TilingError::Drc { findings }` callers can name the
+// finding types without depending on the analyzer crate directly.
+pub use drc;
 
 pub use affected::AffectedSet;
 pub use baselines::{flow_effort, full_replace_effort, incremental_effort, quick_eco_effort};
@@ -63,6 +68,7 @@ pub use flows::{
     standard_flows, FullReplaceFlow, IncrementalFlow, QuickEcoFlow, ReimplFlow, TiledFlow,
 };
 pub use partition::partition;
+pub use preflight::{audit_confined_eco, check_design, preflight, tile_views};
 pub use report::{DebugReport, TilingReport};
 pub use session::{
     CampaignOutcome, ClusterOutcome, ConcurrentOutcome, DebugEvent, DebugOutcome, DebugSession,

@@ -343,6 +343,7 @@ pub struct DebugSession<'a> {
     on_event: Option<EventCallback<'a>>,
     metrics: Option<&'a MetricsRegistry>,
     trace: Option<(&'a Tracer, TrackId)>,
+    preflighted: bool,
 }
 
 impl<'a> DebugSession<'a> {
@@ -361,6 +362,7 @@ impl<'a> DebugSession<'a> {
             on_event: None,
             metrics: None,
             trace: None,
+            preflighted: false,
         }
     }
 
@@ -516,6 +518,32 @@ impl<'a> DebugSession<'a> {
         self.patterns.generate(nl, self.seed)
     }
 
+    /// The DRC pre-flight, run once per session before any entry
+    /// point touches the design: a structurally broken DUT (cyclic,
+    /// multi-driven, dangling routes, …) gets a typed
+    /// [`TilingError::Drc`] instead of a panic or livelock deep in
+    /// simulation or the flow. Findings — warnings included — land in
+    /// the metrics registry as `drc_findings_total{rule=…}`, and a
+    /// traced session gets a `preflight` span.
+    fn preflight(&mut self) -> Result<(), TilingError> {
+        if self.preflighted {
+            return Ok(());
+        }
+        let t0 = self.span_begin();
+        let result = crate::preflight::preflight(self.td);
+        let findings: &[drc::Finding] = match &result {
+            Ok(findings) | Err(TilingError::Drc { findings }) => findings,
+            Err(_) => &[],
+        };
+        if let Some(reg) = self.metrics {
+            drc::record_findings(reg, findings);
+        }
+        if let Some((tracer, track)) = self.trace {
+            tracer.complete(track, "preflight", "drc", t0, findings.len() as u64);
+        }
+        result.map(|_| self.preflighted = true)
+    }
+
     /// Runs one full detect → localize → confirm → correct iteration
     /// for a planted error already present in the DUT netlist.
     ///
@@ -535,6 +563,7 @@ impl<'a> DebugSession<'a> {
     ///
     /// Propagates netlist/placement/routing failures from the flow.
     pub fn run(&mut self, error: &InjectedError) -> Result<DebugOutcome, TilingError> {
+        self.preflight()?;
         let mut outcome = DebugOutcome {
             mismatch: None,
             initial_suspects: 0,
@@ -742,6 +771,7 @@ impl<'a> DebugSession<'a> {
     ///
     /// Propagates injection and flow failures.
     pub fn run_campaign(&mut self, seeds: &[u64]) -> Result<CampaignOutcome, TilingError> {
+        self.preflight()?;
         if seeds.len() <= 1 {
             return self.run_campaign_serial(seeds);
         }
@@ -834,6 +864,7 @@ impl<'a> DebugSession<'a> {
     ///
     /// Propagates injection and flow failures.
     pub fn run_campaign_serial(&mut self, seeds: &[u64]) -> Result<CampaignOutcome, TilingError> {
+        self.preflight()?;
         let mut campaign = CampaignOutcome::default();
         for (iteration, &seed) in seeds.iter().enumerate() {
             let error = sim::inject::random_error(&mut self.td.netlist, seed)?;
@@ -864,6 +895,7 @@ impl<'a> DebugSession<'a> {
         &mut self,
         seeds: &[u64],
     ) -> Result<ConcurrentOutcome, TilingError> {
+        self.preflight()?;
         let errors = sim::inject::random_distinct_errors(&mut self.td.netlist, seeds)?;
         for (iteration, error) in errors.iter().enumerate() {
             self.emit(DebugEvent::ErrorInjected {
@@ -897,6 +929,7 @@ impl<'a> DebugSession<'a> {
         &mut self,
         errors: &[InjectedError],
     ) -> Result<ConcurrentOutcome, TilingError> {
+        self.preflight()?;
         let mut outcome = ConcurrentOutcome {
             clusters: Vec::new(),
             rounds: 0,
@@ -1243,17 +1276,33 @@ impl<'a> DebugSession<'a> {
             output_name: self.golden.cell(cl.outputs[0])?.name.clone(),
         });
         let window = evidence.causal_window(cl);
+        let live_lut = |c: CellId| {
+            self.td
+                .netlist
+                .cell(c)
+                .map(|cell| cell.lut_function().is_some())
+                .unwrap_or(false)
+        };
         let mut suspects: Vec<CellId> = evidence
             .prune_cone(&cl.cone, &window)
             .iter()
-            .filter(|&c| {
-                self.td
-                    .netlist
-                    .cell(c)
-                    .map(|cell| cell.lut_function().is_some())
-                    .unwrap_or(false)
-            })
+            .filter(|&c| live_lut(c))
             .collect();
+        if suspects.is_empty() {
+            // The prune's alibi direction is heuristic — value
+            // masking can hide a wavefront from the "clean" output
+            // that vouched the alibi — while "this cluster's
+            // divergence has a cause inside its cone" is ground
+            // truth. An empty suspect list therefore proves the
+            // alibi misfired (seen on merged FSM clusters whose
+            // earliest member onset shrinks the window); retry with
+            // only the exact causal-feasibility direction.
+            suspects = cl
+                .cone
+                .iter()
+                .filter(|&c| window.feasible(c) && live_lut(c))
+                .collect();
+        }
         evidence.order_suspects(&window, &mut suspects, rank_of);
         self.emit(DebugEvent::SuspectsComputed {
             structural: cl.cone.len(),

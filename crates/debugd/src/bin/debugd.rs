@@ -10,6 +10,9 @@
 //! `<root>/stop` to shut it down; `--once` drains the queue present
 //! at startup and exits (the mode the integration tests use).
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;

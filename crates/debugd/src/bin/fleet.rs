@@ -29,7 +29,11 @@
 //! `<base>.metrics.prom` (the pooled run's metrics exposition) and
 //! `<base>.metrics.serial.prom` (the serial reference's) — whose
 //! deterministic sections this bin asserts byte-identical on every
-//! run, traced or not.
+//! run, traced or not. A bare stem collects under the gitignored
+//! `artifacts/` directory.
+
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
 
 use std::fmt::Write as _;
 
@@ -153,6 +157,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let (Some(base), Some(tracer)) = (trace_base.as_deref(), tracer.as_ref()) {
+        let base = obs::artifact_base(base)?;
+        let base = base.display();
         std::fs::write(format!("{base}.trace.json"), tracer.to_chrome_trace())?;
         std::fs::write(format!("{base}.trace.jsonl"), tracer.to_jsonl())?;
         std::fs::write(

@@ -30,15 +30,21 @@ pub enum CampaignStatus {
     /// The worker panicked; the orchestrator caught it, drained the
     /// rest of the queue, and reports the payload here.
     Panicked(String),
+    /// The request was structurally valid JSON but semantically
+    /// unservable — out-of-range fields, or a design the DRC
+    /// pre-flight rejected. Nothing ran; no worker slot was spent.
+    Rejected(String),
 }
 
 impl CampaignStatus {
-    /// The protocol name (`"completed"` / `"failed"` / `"panicked"`).
+    /// The protocol name (`"completed"` / `"failed"` / `"panicked"` /
+    /// `"rejected"`).
     pub fn name(&self) -> &'static str {
         match self {
             Self::Completed => "completed",
             Self::Failed(_) => "failed",
             Self::Panicked(_) => "panicked",
+            Self::Rejected(_) => "rejected",
         }
     }
 }
@@ -87,6 +93,20 @@ pub fn run_campaign_observed(
         req.id
     );
     let t0 = trace.map(|(t, _)| t.now_us()).unwrap_or(0);
+    // Guard the one stimulus choice that panics instead of erroring:
+    // exhaustive enumeration is capped at 24 inputs by `PatternGen`.
+    // The artifact knows the real width, so the check lives here
+    // rather than in `CampaignRequest::validate`.
+    let width = artifact.golden.primary_inputs().len();
+    if req.patterns == crate::request::PatternKind::Exhaustive && width > 24 {
+        return failure_result(
+            req,
+            CampaignStatus::Rejected(format!(
+                "exhaustive stimulus on a {width}-input design (24 max)"
+            )),
+            Vec::new(),
+        );
+    }
     // The mutable working copy: netlist/placement/routing are cloned,
     // hierarchy/device/RRG/plan are shared Arcs.
     let mut td = artifact.td.clone();
@@ -131,6 +151,12 @@ pub fn run_campaign_observed(
                 report_json,
             }
         }
+        // A DRC pre-flight error means the *design* was unservable —
+        // the session refused it before running anything — which is a
+        // rejection, not a pipeline failure.
+        Err(e @ tiling::TilingError::Drc { .. }) => {
+            failure_result(req, CampaignStatus::Rejected(e.to_string()), events)
+        }
         Err(e) => failure_result(req, CampaignStatus::Failed(e.to_string()), events),
     }
 }
@@ -144,7 +170,9 @@ pub fn failure_result(
 ) -> CampaignResult {
     let detail = match &status {
         CampaignStatus::Completed => String::new(),
-        CampaignStatus::Failed(m) | CampaignStatus::Panicked(m) => m.clone(),
+        CampaignStatus::Failed(m) | CampaignStatus::Panicked(m) | CampaignStatus::Rejected(m) => {
+            m.clone()
+        }
     };
     let report_json = format!(
         "{{\n  \"id\": \"{}\",\n  \"status\": \"{}\",\n  \"detail\": \"{}\",\n  \"request\": {}\n}}\n",

@@ -104,12 +104,24 @@ pub fn run_batch_observed(
     tracer: Option<&Tracer>,
 ) -> FleetOutcome {
     let before = registry.snapshot();
+    // Semantic validation before anything is paid for: an
+    // out-of-range request never builds an artifact and never
+    // occupies a worker — it reports `"rejected"` straight away.
+    let validity: Vec<Result<(), String>> = requests
+        .iter()
+        .map(|req| req.validate().map_err(|e| e.to_string()))
+        .collect();
     // Resolve artifacts first: the store dedups, so this pays one
     // implement() per distinct (design, tiles, seed) and every
     // campaign holds an Arc to the shared result.
-    let resolved: Vec<Result<Arc<crate::artifacts::DesignArtifact>, String>> = requests
+    let resolved: Vec<Option<Result<Arc<crate::artifacts::DesignArtifact>, String>>> = requests
         .iter()
-        .map(|req| store.get_or_build(req).map_err(|e| e.to_string()))
+        .zip(&validity)
+        .map(|(req, valid)| {
+            valid
+                .is_ok()
+                .then(|| store.get_or_build(req).map_err(|e| e.to_string()))
+        })
         .collect();
     // Per-campaign tracks are allocated up front, in request order,
     // so track ids are deterministic however the pool schedules.
@@ -124,18 +136,21 @@ pub fn run_batch_observed(
     let jobs: Vec<(usize, &CampaignRequest)> = requests.iter().enumerate().collect();
     let resolved = &resolved;
     let tracks = &tracks;
+    let validity = &validity;
     let (results, stats) = parallel::map_with_stats(workers, jobs, |(i, req)| {
         let trace = match (tracer, tracks) {
             (Some(t), Some(ids)) => Some((t, ids[i])),
             _ => None,
         };
-        match &resolved[i] {
-            Err(e) => failure_result(
+        match (&validity[i], &resolved[i]) {
+            (Err(e), _) => failure_result(req, CampaignStatus::Rejected(e.clone()), Vec::new()),
+            (Ok(()), None) => unreachable!("valid requests always resolve an artifact slot"),
+            (Ok(()), Some(Err(e))) => failure_result(
                 req,
                 CampaignStatus::Failed(format!("artifact build failed: {e}")),
                 Vec::new(),
             ),
-            Ok(artifact) => {
+            (Ok(()), Some(Ok(artifact))) => {
                 // Catch panics here, inside the task: the pool keeps
                 // draining and the failure becomes a reported result.
                 match catch_unwind(AssertUnwindSafe(|| {
@@ -156,6 +171,9 @@ pub fn run_batch_observed(
     // order-independent, so serial and pooled runs render the same).
     for r in &results {
         registry.counter_add("debugd_campaigns_total", &[("status", r.status.name())], 1);
+        if matches!(r.status, CampaignStatus::Rejected(_)) {
+            registry.counter_add("debugd_requests_rejected_total", &[], 1);
+        }
         if let Some(report) = &r.report {
             registry.observe("campaign_taps", &[], report.taps_inserted as u64);
             registry.observe("campaign_ecos", &[], report.ledger.total_ecos() as u64);
@@ -259,11 +277,18 @@ pub fn serve(root: &Path, opts: &ServeOptions) -> io::Result<ServeSummary> {
         let mut batch: Vec<CampaignRequest> = Vec::new();
         for path in &files {
             let text = fs::read_to_string(path)?;
-            match CampaignRequest::from_json(&text) {
+            // Shape first (parse), then ranges (validate): either way
+            // the file yields a structured `"rejected"` report instead
+            // of a batch slot.
+            match CampaignRequest::from_json(&text).and_then(|req| {
+                req.validate()?;
+                Ok(req)
+            }) {
                 Ok(req) => batch.push(req),
                 Err(e) => {
                     summary.rejected += 1;
                     registry.counter_add("debugd_rejected_total", &[], 1);
+                    registry.counter_add("debugd_requests_rejected_total", &[], 1);
                     let stem = path
                         .file_stem()
                         .map_or_else(|| "unnamed".into(), |s| s.to_string_lossy().into_owned());

@@ -333,6 +333,44 @@ impl CampaignRequest {
         Ok(req)
     }
 
+    /// Semantic validation, run after parsing and before any worker
+    /// is occupied: field *ranges* a well-formed request can still get
+    /// wrong. Parse-time checks ([`Self::from_json`]) own shape and
+    /// enum names; this owns what "in range" means for the service —
+    /// a tile count the design's CLB budget cannot fill, a stimulus
+    /// or error budget past the service caps.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError`] naming the offending field and bound.
+    pub fn validate(&self) -> Result<(), RequestError> {
+        // One tile per paper CLB is already degenerate; past it the
+        // partitioner cannot even assign every tile a cell.
+        let max_tiles = self.design.paper_clbs();
+        if self.target_tiles == 0 || self.target_tiles > max_tiles {
+            return Err(RequestError(format!(
+                "\"target_tiles\" {} out of range 1..={max_tiles} for design \"{}\"",
+                self.target_tiles,
+                self.design.name()
+            )));
+        }
+        const MAX_PATTERNS: usize = 1 << 16;
+        if self.pattern_count == 0 || self.pattern_count > MAX_PATTERNS {
+            return Err(RequestError(format!(
+                "\"pattern_count\" {} out of range 1..={MAX_PATTERNS}",
+                self.pattern_count
+            )));
+        }
+        const MAX_ERRORS: usize = 64;
+        if self.error_seeds.is_empty() || self.error_seeds.len() > MAX_ERRORS {
+            return Err(RequestError(format!(
+                "\"error_seeds\" carries {} seeds, allowed 1..={MAX_ERRORS}",
+                self.error_seeds.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Renders the request back to protocol JSON (used when echoing
     /// the request into its report).
     pub fn to_json(&self) -> String {

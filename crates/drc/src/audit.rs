@@ -1,0 +1,157 @@
+//! The tiling-layer pass: per-tile slack accounting, and the post-ECO
+//! locked-interface / frozen-route audit.
+
+use std::collections::BTreeSet;
+
+use fpga::{BelLoc, NodeId, NodeKind, Placement, RouteTree, Routing, RoutingGraph};
+use netlist::{CellId, NetId, Netlist};
+
+use crate::{Finding, Rule, Site, TileView};
+
+/// The ECO region, as the audit sees it. The tiling core builds this
+/// from its `RegionSet`; this crate deliberately knows nothing about
+/// tile plans.
+pub trait EcoRegion {
+    /// Whether the region overlaps this RRG node at all (a node
+    /// partially inside counts — the audit must skip, not compare,
+    /// any route that so much as grazes the region).
+    fn touches_node(&self, node: NodeId) -> bool;
+
+    /// Whether a BEL location lies inside the region.
+    fn contains_loc(&self, loc: BelLoc) -> bool;
+}
+
+/// One side of an ECO: the physical state before or after.
+#[derive(Clone, Copy)]
+pub struct EcoSnapshot<'a> {
+    /// Cell placements on that side.
+    pub placement: &'a Placement,
+    /// Route trees on that side.
+    pub routing: &'a Routing,
+}
+
+/// Slack accounting: a tile with negative slack (more CLBs of logic
+/// than it has), or a design with no spare CLB anywhere for the next
+/// ECO to land in.
+pub(crate) fn check_tiles(tiles: &[TileView]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for t in tiles {
+        if t.used_clbs > t.capacity_clbs {
+            out.push(Finding::new(
+                Rule::TileSlackDeficit,
+                Site::Tile(t.id),
+                format!(
+                    "negative slack: {} CLBs of logic in a {}-CLB tile",
+                    t.used_clbs, t.capacity_clbs
+                ),
+            ));
+        }
+    }
+    if !tiles.is_empty() && tiles.iter().map(TileView::free_clbs).sum::<usize>() == 0 {
+        out.push(Finding::new(
+            Rule::TileSlackDeficit,
+            Site::Design,
+            "no tile has a free CLB; the next ECO cannot land".to_string(),
+        ));
+    }
+    out
+}
+
+/// The post-ECO audit. See [`crate::Drc::audit_eco`] for the contract;
+/// the skip conditions below mirror the "untouched" predicate the ECO
+/// flow itself uses, so a net is only byte-compared when the flow was
+/// obliged to freeze it.
+pub(crate) fn audit_eco(
+    nl: &Netlist,
+    rrg: &RoutingGraph,
+    region: &dyn EcoRegion,
+    before: EcoSnapshot<'_>,
+    after: EcoSnapshot<'_>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+
+    // Locked interfaces: every surviving cell that sat outside the
+    // region must still sit on its pre-ECO BEL.
+    let mut cells: Vec<(CellId, BelLoc)> = before.placement.iter().collect();
+    cells.sort_by_key(|&(c, _)| c);
+    for (cell, was) in cells {
+        if region.contains_loc(was) {
+            continue;
+        }
+        let Ok(c) = nl.cell(cell) else { continue };
+        let now = after.placement.loc_of(cell);
+        if now != Some(was) {
+            let fate = match now {
+                Some(l) => format!("moved to {l}"),
+                None => "is now unplaced".to_string(),
+            };
+            out.push(Finding::new(
+                Rule::UnlockedInterfacePin,
+                Site::Cell(cell),
+                format!(
+                    "\"{}\" was locked outside the ECO region at {was} but {fate}",
+                    c.name
+                ),
+            ));
+        }
+    }
+
+    // Frozen routes: a pre-ECO route that never touches the region,
+    // and whose terminals are all still live and unmoved, must survive
+    // byte-identical. Anything else was legitimately re-routed.
+    let mut routes: Vec<(NetId, &RouteTree)> = before.routing.iter().collect();
+    routes.sort_by_key(|&(n, _)| n);
+    for (net_id, tree) in routes {
+        let Ok(net) = nl.net(net_id) else { continue };
+        let nodes = tree.nodes();
+        if nodes.iter().any(|&n| region.touches_node(n)) {
+            continue;
+        }
+        let Some(driver) = net.driver else { continue };
+        let Some(driver_loc) = after.placement.loc_of(driver) else {
+            continue;
+        };
+        let source = rrg.source_node(driver_loc);
+        if tree.paths.iter().any(|p| p.first() != Some(&source)) {
+            continue;
+        }
+        let mut live_pins: BTreeSet<NodeId> = BTreeSet::new();
+        let mut all_placed = true;
+        for s in &net.sinks {
+            match after.placement.loc_of(s.cell) {
+                Some(l) => {
+                    live_pins.insert(rrg.sink_node(l, s.pin));
+                }
+                None => {
+                    all_placed = false;
+                    break;
+                }
+            }
+        }
+        if !all_placed || !live_pins.iter().all(|p| nodes.contains(p)) {
+            continue;
+        }
+        let stale_terminal = tree.paths.iter().any(|p| {
+            let Some(&last) = p.last() else { return true };
+            matches!(
+                rrg.node(last),
+                NodeKind::ChanX { .. } | NodeKind::ChanY { .. }
+            ) || !live_pins.contains(&last)
+        });
+        if stale_terminal {
+            continue;
+        }
+        if after.routing.route(net_id) != Some(tree) {
+            out.push(Finding::new(
+                Rule::FrozenRouteChanged,
+                Site::Net(net_id),
+                format!(
+                    "net \"{}\" never touches the ECO region yet its route changed",
+                    net.name
+                ),
+            ));
+        }
+    }
+
+    out
+}

@@ -1,0 +1,384 @@
+//! Static design-rule and invariant analysis.
+//!
+//! The paper's tiling argument rests on invariants that the rest of
+//! this workspace only exercises *dynamically*: tile interfaces stay
+//! locked, cross-boundary routes stay frozen across an ECO, and every
+//! design layer (netlist, placement, routing, tiling) remains
+//! internally consistent. This crate checks them *statically*, as a
+//! library of pure passes over the design databases:
+//!
+//! * **netlist** — combinational loops (via SCC, so the whole cycle is
+//!   reported, not just one stuck cell), multi-driven and floating
+//!   nets, LUT-arity mismatches, unreachable logic, dangling
+//!   observation-tap pads;
+//! * **placement** — BEL/slot kind violations, per-tile capacity,
+//!   orphaned cells, lock/region constraint violations;
+//! * **routing** — route-tree connectivity driver → every placed sink,
+//!   dangling route segments, double-booked RRG wires;
+//! * **tiling** — per-tile slack accounting, and (across an ECO)
+//!   locked-interface placements actually locked plus frozen
+//!   cross-boundary routes byte-unchanged ([`Drc::audit_eco`]).
+//!
+//! Every violation is a typed [`Finding`] `{ rule, severity, site }`;
+//! passes never panic on malformed input — malformed input is exactly
+//! what they exist to describe. The crate sits *below* the tiling
+//! core: it sees plain `netlist`/`fpga` databases plus small caller
+//! -built views ([`TileView`], [`EcoRegion`]), so the core, the
+//! `debugd` service, and the `drc` bin can all drive the same passes.
+//!
+//! ```
+//! use drc::Drc;
+//! let mut nl = netlist::Netlist::new("doc");
+//! let a = nl.add_net("a").unwrap();
+//! let b = nl.add_net("b").unwrap();
+//! // A two-LUT combinational cycle: a = !b, b = !a.
+//! nl.add_lut_driving("u1", netlist::TruthTable::not(), &[b], a).unwrap();
+//! nl.add_lut_driving("u2", netlist::TruthTable::not(), &[a], b).unwrap();
+//! let findings = Drc::new().check_netlist(&nl);
+//! assert!(findings.iter().any(|f| f.rule == drc::Rule::CombinationalLoop));
+//! ```
+
+use std::fmt;
+
+use fpga::{NodeId, Placement, Rect, Routing, RoutingGraph};
+use netlist::{CellId, NetId, Netlist};
+use obs::MetricsRegistry;
+
+mod audit;
+mod netlist_pass;
+mod physical_pass;
+
+pub use audit::{EcoRegion, EcoSnapshot};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: the design works but carries dead weight or thin
+    /// margins.
+    Warning,
+    /// The design violates a structural invariant; downstream passes
+    /// may misbehave or the tiling guarantees do not hold.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label (`"warning"` / `"error"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Warning => "warning",
+            Self::Error => "error",
+        }
+    }
+}
+
+/// The design rule a finding violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    // ---- netlist ------------------------------------------------------
+    /// A cycle through combinational (LUT) cells.
+    CombinationalLoop,
+    /// Two live cells claim the same output net, or a net's driver
+    /// record disagrees with its driver's output record.
+    MultiDrivenNet,
+    /// A net with sinks but no driver.
+    FloatingNet,
+    /// A LUT whose truth-table arity differs from its pin count.
+    LutArityMismatch,
+    /// Logic that reaches no primary output (dead weight that placers
+    /// and tap budgets still pay for).
+    UnreachableLogic,
+    /// An output pad consuming a driverless net — the residue of a
+    /// removed observation tap.
+    DanglingTapPad,
+    // ---- placement ----------------------------------------------------
+    /// A cell on a BEL slot that cannot host its kind.
+    BelCapacityExceeded,
+    /// A lock or region constraint that placement did not honor.
+    ConstraintViolated,
+    /// A live cell with no placement, or a placement entry for a cell
+    /// the netlist no longer contains.
+    OrphanCell,
+    // ---- routing ------------------------------------------------------
+    /// A net whose route tree fails to connect the driver to every
+    /// placed sink (including nets with no route at all).
+    UnroutedSink,
+    /// A route path that ends on a channel wire or on a pin that no
+    /// live sink owns.
+    DanglingRouteSegment,
+    /// An RRG node occupied by more than one net.
+    DoubleBookedWire,
+    // ---- tiling -------------------------------------------------------
+    /// A cell outside the ECO region moved — the locked tile
+    /// interface was not actually locked.
+    UnlockedInterfacePin,
+    /// The route of a net entirely outside the ECO region changed —
+    /// the frozen cross-boundary invariant was violated.
+    FrozenRouteChanged,
+    /// Per-tile slack accounting failed (a tile is past capacity, or
+    /// the design has no free CLB anywhere for an ECO to land in).
+    TileSlackDeficit,
+}
+
+impl Rule {
+    /// Every rule, in declaration order.
+    pub const ALL: [Rule; 15] = [
+        Rule::CombinationalLoop,
+        Rule::MultiDrivenNet,
+        Rule::FloatingNet,
+        Rule::LutArityMismatch,
+        Rule::UnreachableLogic,
+        Rule::DanglingTapPad,
+        Rule::BelCapacityExceeded,
+        Rule::ConstraintViolated,
+        Rule::OrphanCell,
+        Rule::UnroutedSink,
+        Rule::DanglingRouteSegment,
+        Rule::DoubleBookedWire,
+        Rule::UnlockedInterfacePin,
+        Rule::FrozenRouteChanged,
+        Rule::TileSlackDeficit,
+    ];
+
+    /// Stable kebab-case name (doubles as the `rule` metrics label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::CombinationalLoop => "combinational-loop",
+            Self::MultiDrivenNet => "multi-driven-net",
+            Self::FloatingNet => "floating-net",
+            Self::LutArityMismatch => "lut-arity-mismatch",
+            Self::UnreachableLogic => "unreachable-logic",
+            Self::DanglingTapPad => "dangling-tap-pad",
+            Self::BelCapacityExceeded => "bel-capacity-exceeded",
+            Self::ConstraintViolated => "constraint-violated",
+            Self::OrphanCell => "orphan-cell",
+            Self::UnroutedSink => "unrouted-sink",
+            Self::DanglingRouteSegment => "dangling-route-segment",
+            Self::DoubleBookedWire => "double-booked-wire",
+            Self::UnlockedInterfacePin => "unlocked-interface-pin",
+            Self::FrozenRouteChanged => "frozen-route-changed",
+            Self::TileSlackDeficit => "tile-slack-deficit",
+        }
+    }
+
+    /// The rule's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Self::UnreachableLogic | Self::TileSlackDeficit => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Where a finding points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Site {
+    /// A netlist cell.
+    Cell(CellId),
+    /// A netlist net.
+    Net(NetId),
+    /// A routing-resource-graph node.
+    Node(NodeId),
+    /// A tile, by plan index.
+    Tile(usize),
+    /// The design as a whole.
+    Design,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Cell(c) => write!(f, "cell {c}"),
+            Self::Net(n) => write!(f, "net {n}"),
+            Self::Node(n) => write!(f, "node {}", n.index()),
+            Self::Tile(t) => write!(f, "tile {t}"),
+            Self::Design => f.write_str("design"),
+        }
+    }
+}
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Its severity (always `rule.severity()`).
+    pub severity: Severity,
+    /// Where it fired.
+    pub site: Site,
+    /// Human-readable specifics (names, counts, locations).
+    pub detail: String,
+}
+
+impl Finding {
+    /// Builds a finding for `rule` at `site`.
+    pub fn new(rule: Rule, site: Site, detail: impl Into<String>) -> Self {
+        Self {
+            rule,
+            severity: rule.severity(),
+            site,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity.name(),
+            self.rule,
+            self.site,
+            self.detail
+        )
+    }
+}
+
+/// A tile as the slack-accounting pass sees it: identity, geometry,
+/// and CLB usage. Built by the caller (the tiling core knows the
+/// plan; this crate deliberately does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileView {
+    /// Plan index.
+    pub id: usize,
+    /// CLB-grid rectangle the tile covers.
+    pub rect: Rect,
+    /// CLBs consumed by placed logic.
+    pub used_clbs: usize,
+    /// CLBs the tile offers.
+    pub capacity_clbs: usize,
+}
+
+impl TileView {
+    /// CLBs still free.
+    pub fn free_clbs(&self) -> usize {
+        self.capacity_clbs.saturating_sub(self.used_clbs)
+    }
+}
+
+/// A whole design, as [`Drc::check_design`] sees it.
+#[derive(Clone, Copy)]
+pub struct DesignView<'a> {
+    /// The logical netlist.
+    pub netlist: &'a Netlist,
+    /// Cell placements.
+    pub placement: &'a Placement,
+    /// Per-net route trees.
+    pub routing: &'a Routing,
+    /// The routing-resource graph the routes live in.
+    pub rrg: &'a RoutingGraph,
+    /// Tile usage summaries (empty slice skips the tiling pass).
+    pub tiles: &'a [TileView],
+}
+
+/// The static analyzer. Stateless today; construction is kept so that
+/// rule configuration has a place to land later.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Drc {
+    _private: (),
+}
+
+impl Drc {
+    /// A checker with the default rule set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs every layer's pass over a full design view. Findings come
+    /// back ordered by layer (netlist, placement, routing, tiling) and
+    /// deterministically within each layer.
+    pub fn check_design(&self, view: &DesignView<'_>) -> Vec<Finding> {
+        let mut findings = self.check_netlist(view.netlist);
+        findings.extend(self.check_placement(view.netlist, view.placement));
+        findings.extend(self.check_routing(view.netlist, view.placement, view.routing, view.rrg));
+        findings.extend(self.check_tiles(view.tiles));
+        findings
+    }
+
+    /// The netlist-layer pass: loops, multi-driven/floating nets, LUT
+    /// arity, unreachable logic, dangling tap pads.
+    pub fn check_netlist(&self, nl: &Netlist) -> Vec<Finding> {
+        netlist_pass::check(nl)
+    }
+
+    /// The placement-layer pass: BEL slot kinds and orphaned cells.
+    pub fn check_placement(&self, nl: &Netlist, placement: &Placement) -> Vec<Finding> {
+        physical_pass::check_placement(nl, placement)
+    }
+
+    /// Checks a placement against the lock/region constraints a
+    /// placer run was given: locked cells must sit where `reference`
+    /// had them, confined cells must sit inside their region.
+    pub fn check_constraints(
+        &self,
+        constraints: &place::Constraints,
+        reference: &Placement,
+        placement: &Placement,
+    ) -> Vec<Finding> {
+        physical_pass::check_constraints(constraints, reference, placement)
+    }
+
+    /// The routing-layer pass: connectivity driver → every placed
+    /// sink, dangling segments, double-booked wires.
+    pub fn check_routing(
+        &self,
+        nl: &Netlist,
+        placement: &Placement,
+        routing: &Routing,
+        rrg: &RoutingGraph,
+    ) -> Vec<Finding> {
+        physical_pass::check_routing(nl, placement, routing, rrg)
+    }
+
+    /// The tiling-layer slack accounting: no tile past capacity, and
+    /// at least one free CLB somewhere for an ECO to land in.
+    pub fn check_tiles(&self, tiles: &[TileView]) -> Vec<Finding> {
+        audit::check_tiles(tiles)
+    }
+
+    /// Audits one ECO against the paper's locked-interface contract:
+    /// every cell that was outside the cleared region is still on its
+    /// pre-ECO BEL ([`Rule::UnlockedInterfacePin`]), and every net
+    /// whose pre-ECO route never touched the region — and whose
+    /// terminals did not change — kept a byte-identical route tree
+    /// ([`Rule::FrozenRouteChanged`]).
+    ///
+    /// `netlist` is the *post-ECO* netlist (the ECO edits it before
+    /// re-implementation runs); nets or cells it no longer contains
+    /// are skipped, as are nets whose live pin set changed — those are
+    /// legitimately re-routed.
+    pub fn audit_eco(
+        &self,
+        netlist: &Netlist,
+        rrg: &RoutingGraph,
+        region: &dyn EcoRegion,
+        before: EcoSnapshot<'_>,
+        after: EcoSnapshot<'_>,
+    ) -> Vec<Finding> {
+        audit::audit_eco(netlist, rrg, region, before, after)
+    }
+}
+
+/// Records findings into a metrics registry: one
+/// `drc_findings_total{rule=…}` bump per finding. Deterministic, so
+/// the counters land in the registry's deterministic section.
+pub fn record_findings(registry: &MetricsRegistry, findings: &[Finding]) {
+    // Register the family even when the design is clean, so an
+    // exposition showing zero reads as "checked, nothing found"
+    // rather than "never ran".
+    registry.counter_add("drc_findings_total", &[], 0);
+    for f in findings {
+        registry.counter_add("drc_findings_total", &[("rule", f.rule.name())], 1);
+    }
+}
+
+/// The highest severity present, if any findings exist.
+pub fn max_severity(findings: &[Finding]) -> Option<Severity> {
+    findings.iter().map(|f| f.severity).max()
+}

@@ -1,0 +1,267 @@
+//! The netlist-layer pass: graph-structural rules.
+
+use netlist::{CellId, CellKind, Netlist};
+
+use crate::{Finding, Rule, Site};
+
+/// Runs every netlist rule, in rule order.
+pub(crate) fn check(nl: &Netlist) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    combinational_loops(nl, &mut findings);
+    multi_driven(nl, &mut findings);
+    floating_nets(nl, &mut findings);
+    lut_arity(nl, &mut findings);
+    unreachable_logic(nl, &mut findings);
+    dangling_pads(nl, &mut findings);
+    findings
+}
+
+/// Two cells claiming one output net, or a stale driver record.
+fn multi_driven(nl: &Netlist, out: &mut Vec<Finding>) {
+    let mut drivers: Vec<Vec<CellId>> = vec![Vec::new(); nl.net_capacity()];
+    for (id, cell) in nl.cells() {
+        if let Some(net) = cell.output {
+            if net.index() < drivers.len() {
+                drivers[net.index()].push(id);
+            }
+        }
+    }
+    for (id, net) in nl.nets() {
+        let claimants = &drivers[id.index()];
+        if claimants.len() > 1 {
+            let names: Vec<&str> = claimants
+                .iter()
+                .filter_map(|&c| nl.cell(c).ok().map(|cell| cell.name.as_str()))
+                .collect();
+            out.push(Finding::new(
+                Rule::MultiDrivenNet,
+                Site::Net(id),
+                format!(
+                    "net \"{}\" is driven by {} cells: {}",
+                    net.name,
+                    claimants.len(),
+                    names.join(", ")
+                ),
+            ));
+        }
+        if let Some(d) = net.driver {
+            match nl.cell(d) {
+                Err(_) => out.push(Finding::new(
+                    Rule::MultiDrivenNet,
+                    Site::Net(id),
+                    format!("net \"{}\" records deleted cell {d} as driver", net.name),
+                )),
+                Ok(cell) if cell.output != Some(id) => out.push(Finding::new(
+                    Rule::MultiDrivenNet,
+                    Site::Net(id),
+                    format!(
+                        "net \"{}\" records \"{}\" as driver but that cell drives elsewhere",
+                        net.name, cell.name
+                    ),
+                )),
+                Ok(_) => {}
+            }
+        }
+    }
+}
+
+/// Nets consumed by sinks but driven by nothing.
+fn floating_nets(nl: &Netlist, out: &mut Vec<Finding>) {
+    for (id, net) in nl.nets() {
+        if net.driver.is_none() && !net.sinks.is_empty() {
+            out.push(Finding::new(
+                Rule::FloatingNet,
+                Site::Net(id),
+                format!(
+                    "net \"{}\" has {} sink(s) but no driver",
+                    net.name,
+                    net.sinks.len()
+                ),
+            ));
+        }
+    }
+}
+
+/// LUTs whose truth-table arity disagrees with their pin count.
+fn lut_arity(nl: &Netlist, out: &mut Vec<Finding>) {
+    for (id, cell) in nl.cells() {
+        if let Some(tt) = cell.lut_function() {
+            if tt.arity() != cell.arity() {
+                out.push(Finding::new(
+                    Rule::LutArityMismatch,
+                    Site::Cell(id),
+                    format!(
+                        "LUT \"{}\" has {} input pins but a {}-input function",
+                        cell.name,
+                        cell.arity(),
+                        tt.arity()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Logic outside the fanin cone of every primary output.
+fn unreachable_logic(nl: &Netlist, out: &mut Vec<Finding>) {
+    let mut reachable = vec![false; nl.cell_capacity()];
+    for c in nl.fanin_cone(&nl.primary_outputs()) {
+        if c.index() < reachable.len() {
+            reachable[c.index()] = true;
+        }
+    }
+    for (id, cell) in nl.cells() {
+        if cell.is_logic() && !reachable[id.index()] {
+            out.push(Finding::new(
+                Rule::UnreachableLogic,
+                Site::Cell(id),
+                format!(
+                    "\"{}\" ({}) reaches no primary output",
+                    cell.name, cell.kind
+                ),
+            ));
+        }
+    }
+}
+
+/// Output pads consuming nothing, or consuming a driverless net — the
+/// residue PR 1's leaked-tap-pad seed bug left behind.
+fn dangling_pads(nl: &Netlist, out: &mut Vec<Finding>) {
+    for (id, cell) in nl.cells() {
+        if !matches!(cell.kind, CellKind::Output) {
+            continue;
+        }
+        let Some(&input) = cell.inputs.first() else {
+            out.push(Finding::new(
+                Rule::DanglingTapPad,
+                Site::Cell(id),
+                format!("pad \"{}\" consumes no net", cell.name),
+            ));
+            continue;
+        };
+        match nl.net(input) {
+            Err(_) => out.push(Finding::new(
+                Rule::DanglingTapPad,
+                Site::Cell(id),
+                format!("pad \"{}\" consumes deleted net {input}", cell.name),
+            )),
+            Ok(net) if net.driver.is_none() => out.push(Finding::new(
+                Rule::DanglingTapPad,
+                Site::Cell(id),
+                format!(
+                    "pad \"{}\" consumes driverless net \"{}\"",
+                    cell.name, net.name
+                ),
+            )),
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Cycles through combinational cells, found as strongly connected
+/// components of the LUT-only subgraph (flip-flops cut the edges).
+/// Reports the *whole* cycle per finding — richer than
+/// `Netlist::topo_order`'s single stuck cell.
+fn combinational_loops(nl: &Netlist, out: &mut Vec<Finding>) {
+    let cap = nl.cell_capacity();
+    // LUT-only adjacency, by dense cell index.
+    let mut is_lut = vec![false; cap];
+    for (id, cell) in nl.cells() {
+        is_lut[id.index()] = matches!(cell.kind, CellKind::Lut(_));
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); cap];
+    for (id, cell) in nl.cells() {
+        if !is_lut[id.index()] {
+            continue;
+        }
+        let Some(net) = cell.output.and_then(|n| nl.net(n).ok()) else {
+            continue;
+        };
+        for s in &net.sinks {
+            if s.cell.index() < cap && is_lut[s.cell.index()] {
+                adj[id.index()].push(s.cell.index());
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC.
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; cap];
+    let mut lowlink = vec![0usize; cap];
+    let mut on_stack = vec![false; cap];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // (node, next child position) call frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+    for root in 0..cap {
+        if !is_lut[root] || index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&(v, child)) = frames.last() {
+            if child < adj[v].len() {
+                let w = adj[v][child];
+                frames.last_mut().expect("frame just read").1 = child + 1;
+                if index[w] == UNSET {
+                    frames.push((w, 0));
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    // A loop: more than one cell, or a self edge.
+                    if scc.len() > 1 || adj[v].contains(&v) {
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+    }
+
+    sccs.sort();
+    for scc in sccs {
+        let mut names: Vec<String> = scc
+            .iter()
+            .take(6)
+            .filter_map(|&i| nl.cell(CellId::new(i)).ok().map(|c| c.name.clone()))
+            .collect();
+        if scc.len() > 6 {
+            names.push(format!("… {} more", scc.len() - 6));
+        }
+        out.push(Finding::new(
+            Rule::CombinationalLoop,
+            Site::Cell(CellId::new(scc[0])),
+            format!(
+                "combinational cycle through {} LUT(s): {}",
+                scc.len(),
+                names.join(" → ")
+            ),
+        ));
+    }
+}

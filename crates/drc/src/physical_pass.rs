@@ -1,0 +1,239 @@
+//! The placement- and routing-layer passes.
+
+use std::collections::BTreeSet;
+
+use fpga::{BelLoc, NodeId, NodeKind, Placement, Routing, RoutingGraph};
+use netlist::{CellKind, Netlist};
+use place::Constraints;
+
+use crate::{Finding, Rule, Site};
+
+/// Placement rules: every live cell placed on a slot of its kind, no
+/// placement entries for deleted cells.
+pub(crate) fn check_placement(nl: &Netlist, placement: &Placement) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut placed = vec![false; nl.cell_capacity()];
+    let mut entries: Vec<(netlist::CellId, BelLoc)> = placement.iter().collect();
+    entries.sort_by_key(|&(c, _)| c);
+    for (cell, loc) in entries {
+        if cell.index() < placed.len() {
+            placed[cell.index()] = true;
+        }
+        let Ok(c) = nl.cell(cell) else {
+            out.push(Finding::new(
+                Rule::OrphanCell,
+                Site::Cell(cell),
+                format!("placement entry at {loc} references a deleted cell"),
+            ));
+            continue;
+        };
+        let kind_ok = match (&c.kind, loc) {
+            (CellKind::Lut(_), BelLoc::Clb { slot, .. }) => slot.is_lut(),
+            (CellKind::Ff { .. }, BelLoc::Clb { slot, .. }) => slot.is_ff(),
+            (CellKind::Input | CellKind::Output, BelLoc::Iob(_)) => true,
+            _ => false,
+        };
+        if !kind_ok {
+            out.push(Finding::new(
+                Rule::BelCapacityExceeded,
+                Site::Cell(cell),
+                format!("\"{}\" ({}) cannot occupy {loc}", c.name, c.kind),
+            ));
+        }
+    }
+    for (id, cell) in nl.cells() {
+        if !placed[id.index()] {
+            out.push(Finding::new(
+                Rule::OrphanCell,
+                Site::Cell(id),
+                format!("\"{}\" ({}) has no placement", cell.name, cell.kind),
+            ));
+        }
+    }
+    out
+}
+
+/// Checks lock/region constraints against the placement that came out
+/// of a placer run (`reference` is the placement the run started
+/// from; locked cells must not have moved relative to it).
+pub(crate) fn check_constraints(
+    constraints: &Constraints,
+    reference: &Placement,
+    placement: &Placement,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut entries: Vec<(netlist::CellId, BelLoc)> = placement.iter().collect();
+    entries.sort_by_key(|&(c, _)| c);
+    for (cell, loc) in entries {
+        if constraints.is_locked(cell) && reference.loc_of(cell) != Some(loc) {
+            out.push(Finding::new(
+                Rule::ConstraintViolated,
+                Site::Cell(cell),
+                format!("locked cell moved to {loc}"),
+            ));
+        }
+        if let Some(rects) = constraints.region_of(cell) {
+            if let BelLoc::Clb { coord, .. } = loc {
+                if !rects.iter().any(|r| r.contains(coord)) {
+                    out.push(Finding::new(
+                        Rule::ConstraintViolated,
+                        Site::Cell(cell),
+                        format!("confined cell placed at {loc}, outside its region"),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Routing rules: every net with placed terminals has a route tree
+/// connecting its source pin to every placed sink pin; no path ends
+/// on a bare wire or a pin no live sink owns; no RRG node carries two
+/// nets.
+pub(crate) fn check_routing(
+    nl: &Netlist,
+    placement: &Placement,
+    routing: &Routing,
+    rrg: &RoutingGraph,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for node in routing.overused_nodes() {
+        out.push(Finding::new(
+            Rule::DoubleBookedWire,
+            Site::Node(node),
+            format!(
+                "RRG node {} carries {} nets",
+                rrg.node(node),
+                routing.occupancy(node)
+            ),
+        ));
+    }
+    // Routed nets: tree shape and terminal liveness.
+    for (net_id, tree) in routing.iter() {
+        let Ok(net) = nl.net(net_id) else {
+            out.push(Finding::new(
+                Rule::DanglingRouteSegment,
+                Site::Net(net_id),
+                "route tree for a deleted net".to_string(),
+            ));
+            continue;
+        };
+        let Some(driver) = net.driver else {
+            out.push(Finding::new(
+                Rule::DanglingRouteSegment,
+                Site::Net(net_id),
+                format!("net \"{}\" is routed but has no driver", net.name),
+            ));
+            continue;
+        };
+        let Some(driver_loc) = placement.loc_of(driver) else {
+            out.push(Finding::new(
+                Rule::DanglingRouteSegment,
+                Site::Net(net_id),
+                format!("net \"{}\" is routed but its driver is unplaced", net.name),
+            ));
+            continue;
+        };
+        let source = rrg.source_node(driver_loc);
+        let live_pins: BTreeSet<NodeId> = net
+            .sinks
+            .iter()
+            .filter_map(|s| placement.loc_of(s.cell).map(|l| rrg.sink_node(l, s.pin)))
+            .collect();
+        for (k, path) in tree.paths.iter().enumerate() {
+            let (Some(&first), Some(&last)) = (path.first(), path.last()) else {
+                out.push(Finding::new(
+                    Rule::DanglingRouteSegment,
+                    Site::Net(net_id),
+                    format!("net \"{}\" path {k} is empty", net.name),
+                ));
+                continue;
+            };
+            if first != source {
+                out.push(Finding::new(
+                    Rule::DanglingRouteSegment,
+                    Site::Net(net_id),
+                    format!(
+                        "net \"{}\" path {k} starts at {} instead of its source pin",
+                        net.name,
+                        rrg.node(first)
+                    ),
+                ));
+            }
+            let ends_on_wire = matches!(
+                rrg.node(last),
+                NodeKind::ChanX { .. } | NodeKind::ChanY { .. }
+            );
+            if ends_on_wire {
+                out.push(Finding::new(
+                    Rule::DanglingRouteSegment,
+                    Site::Net(net_id),
+                    format!(
+                        "net \"{}\" path {k} dead-ends on channel wire {}",
+                        net.name,
+                        rrg.node(last)
+                    ),
+                ));
+            } else if !live_pins.contains(&last) {
+                out.push(Finding::new(
+                    Rule::DanglingRouteSegment,
+                    Site::Net(net_id),
+                    format!(
+                        "net \"{}\" path {k} ends on {}, which no live sink owns",
+                        net.name,
+                        rrg.node(last)
+                    ),
+                ));
+            }
+        }
+    }
+    // Connectivity: driver → every placed sink, for every net that
+    // should be routed at all.
+    for (net_id, net) in nl.nets() {
+        let Some(driver) = net.driver else { continue };
+        let Some(_driver_loc) = placement.loc_of(driver) else {
+            continue;
+        };
+        let placed_sinks: Vec<(usize, NodeId)> = net
+            .sinks
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| {
+                placement
+                    .loc_of(s.cell)
+                    .map(|l| (k, rrg.sink_node(l, s.pin)))
+            })
+            .collect();
+        if placed_sinks.is_empty() {
+            continue;
+        }
+        let Some(tree) = routing.route(net_id) else {
+            out.push(Finding::new(
+                Rule::UnroutedSink,
+                Site::Net(net_id),
+                format!(
+                    "net \"{}\" has {} placed sink(s) but no route",
+                    net.name,
+                    placed_sinks.len()
+                ),
+            ));
+            continue;
+        };
+        let nodes = tree.nodes();
+        for (k, pin) in placed_sinks {
+            if !nodes.contains(&pin) {
+                out.push(Finding::new(
+                    Rule::UnroutedSink,
+                    Site::Net(net_id),
+                    format!(
+                        "net \"{}\" sink {k} (pin {}) is not reached by the route tree",
+                        net.name,
+                        rrg.node(pin)
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -519,6 +519,36 @@ impl Netlist {
         Ok(())
     }
 
+    /// Points `net`'s driver record at `cell` and `cell`'s output
+    /// record at `net`, *without* detaching whatever drove the net
+    /// before.
+    ///
+    /// This is a deliberate escape hatch around the builder API's
+    /// single-driver guarantee, for import shims and design-rule-check
+    /// fixtures that must represent an already-inconsistent netlist
+    /// (the `drc` crate's multi-driven-net rule exists to catch
+    /// exactly the state this creates). No synthesis or ECO path uses
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownCell`] /
+    /// [`NetlistError::UnknownNet`] if either side is dead, or
+    /// [`NetlistError::KindMismatch`] if the cell is an output pad
+    /// (pads drive nothing).
+    pub fn force_driver(&mut self, cell: CellId, net: NetId) -> Result<(), NetlistError> {
+        self.net(net)?;
+        if matches!(self.cell(cell)?.kind, CellKind::Output) {
+            return Err(NetlistError::KindMismatch {
+                cell,
+                expected: "driving cell",
+            });
+        }
+        self.cell_mut_raw(cell)?.output = Some(net);
+        self.net_mut_raw(net)?.driver = Some(cell);
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Analysis
     // ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+//! Where `--trace <base>` observability artifacts land on disk.
+//!
+//! Every bin that records traces/metrics (`multi`, `simbench`,
+//! `fleet`) writes `<base>.trace.json`, `<base>.trace.jsonl`, and
+//! `<base>.metrics.prom`. Historically a bare stem like `multi.quick`
+//! scattered those files across the repository root; they now collect
+//! under a gitignored `artifacts/` directory instead. An explicit path
+//! (anything containing a separator) is honored verbatim, so callers
+//! can still direct output wherever they want.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The directory bare-stem artifacts collect under.
+pub const ARTIFACT_DIR: &str = "artifacts";
+
+/// Resolves a `--trace` base: a bare stem lands under
+/// [`ARTIFACT_DIR`] (created on demand); a path with a separator is
+/// returned unchanged.
+///
+/// # Errors
+///
+/// Propagates the failure to create [`ARTIFACT_DIR`].
+pub fn artifact_base(base: &str) -> io::Result<PathBuf> {
+    if base.contains('/') || base.contains(std::path::MAIN_SEPARATOR) {
+        return Ok(PathBuf::from(base));
+    }
+    let dir = Path::new(ARTIFACT_DIR);
+    std::fs::create_dir_all(dir)?;
+    Ok(dir.join(base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_stem_lands_in_artifact_dir() {
+        let p = artifact_base("t.quick").unwrap();
+        assert_eq!(p, Path::new(ARTIFACT_DIR).join("t.quick"));
+        assert!(Path::new(ARTIFACT_DIR).is_dir());
+    }
+
+    #[test]
+    fn explicit_path_is_untouched() {
+        let p = artifact_base("/tmp/elsewhere/t.quick").unwrap();
+        assert_eq!(p, Path::new("/tmp/elsewhere/t.quick"));
+    }
+}

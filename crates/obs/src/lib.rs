@@ -23,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
 pub mod metrics;
 pub mod trace;
 
+pub use artifacts::{artifact_base, ARTIFACT_DIR};
 pub use metrics::{
     HistogramData, MetricValue, MetricsRegistry, MetricsSnapshot, Section, MEASURED_MARKER,
 };

@@ -259,6 +259,7 @@ pub fn generate(key: u64, rounds: usize) -> Result<(Netlist, Hierarchy), Netlist
     preout.extend(&l);
     let ct: Vec<NetId> = FP.iter().map(|&src| preout[src as usize - 1]).collect();
     b.output_bus("ct", &ct)?;
+    crate::filler::tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;

@@ -95,6 +95,50 @@ pub fn pad_to_lut_count(
     Ok(())
 }
 
+/// Ties every logic cone that cannot reach a primary output into
+/// auxiliary `deadpad[k]` outputs.
+///
+/// [`random_cloud`]'s output layer draws from only the deepest quarter
+/// of its pool, so shallow cones (and state bits no cloud happened to
+/// sample) would otherwise sweep away — exactly the dead logic the
+/// DRC's unreachable-logic rule flags. Every generator calls this
+/// once, right before `finish`, to restore the module invariant that
+/// nothing dangles. XOR-folding keeps the added logic small (roughly a
+/// third of the dead-net count) and the fold LUTs live in their own
+/// `deadpad` hierarchy block.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+pub fn tie_off_unreachable(b: &mut NetBuilder) -> Result<(), NetlistError> {
+    let dead: Vec<NetId> = {
+        let nl = b.netlist();
+        let mut reachable = vec![false; nl.cell_capacity()];
+        for c in nl.fanin_cone(&nl.primary_outputs()) {
+            if c.index() < reachable.len() {
+                reachable[c.index()] = true;
+            }
+        }
+        nl.cells()
+            .filter(|(id, c)| c.is_logic() && !reachable[id.index()])
+            .filter_map(|(_, c)| c.output)
+            .collect()
+    };
+    if dead.is_empty() {
+        return Ok(());
+    }
+    b.enter_block("deadpad");
+    let mut folds = Vec::new();
+    for chunk in dead.chunks(16) {
+        folds.push(b.xor_tree(chunk)?);
+    }
+    b.exit_to_root();
+    for (k, y) in folds.into_iter().enumerate() {
+        b.output(format!("deadpad[{k}]"), y)?;
+    }
+    Ok(())
+}
+
 /// Builds a layered random combinational cloud.
 ///
 /// Produces `outputs` nets computed from `inputs` through roughly

@@ -7,7 +7,7 @@
 use netlist::{Hierarchy, Netlist, NetlistError};
 
 use crate::builder::NetBuilder;
-use crate::filler::random_cloud;
+use crate::filler::{random_cloud, tie_off_unreachable};
 
 /// Shape parameters of a generated FSM benchmark.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +95,7 @@ pub fn generate(name: &str, spec: FsmSpec) -> Result<(Netlist, Hierarchy), Netli
         }
     }
     b.output_bus("out", &outs)?;
+    tie_off_unreachable(&mut b)?;
     let (nl, h) = b.finish();
     nl.validate()?;
     Ok((nl, h))
@@ -120,7 +121,13 @@ mod tests {
         let (nl, _) = generate("fsm_t", spec()).unwrap();
         assert_eq!(nl.num_ffs(), 5);
         assert_eq!(nl.primary_inputs().len(), 9);
-        assert_eq!(nl.primary_outputs().len(), 10);
+        // Spec outputs plus any `deadpad[k]` tie-offs.
+        let functional = nl
+            .primary_outputs()
+            .iter()
+            .filter(|&&c| nl.cell(c).unwrap().name.starts_with("out["))
+            .count();
+        assert_eq!(functional, 10);
         assert!(nl.num_luts() >= 100);
         assert!(nl.is_sequential());
     }

@@ -9,7 +9,7 @@
 use netlist::{Hierarchy, Netlist, NetlistError};
 
 use crate::builder::NetBuilder;
-use crate::filler::{pad_to_lut_count, random_cloud};
+use crate::filler::{pad_to_lut_count, random_cloud, tie_off_unreachable};
 use crate::fsm::{self, FsmSpec};
 
 /// 9sym: 9-input symmetric function (true when 3..=6 inputs are high),
@@ -39,6 +39,7 @@ pub fn nine_sym() -> Result<(Netlist, Hierarchy), NetlistError> {
     b.enter_block("pad");
     pad_to_lut_count(&mut b, 0x95_193, 112, &ins)?;
     b.exit_to_root();
+    tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;
@@ -114,6 +115,7 @@ pub fn c499() -> Result<(Netlist, Hierarchy), NetlistError> {
     b.enter_block("pad");
     pad_to_lut_count(&mut b, 0xc4_99, 230, &data)?;
     b.exit_to_root();
+    tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;
@@ -184,6 +186,7 @@ pub fn c880() -> Result<(Netlist, Hierarchy), NetlistError> {
     seeds.extend(&bb);
     pad_to_lut_count(&mut b, 0xc8_80, 270, &seeds)?;
     b.exit_to_root();
+    tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;
@@ -291,6 +294,7 @@ pub fn s9234() -> Result<(Netlist, Hierarchy), NetlistError> {
     let outs = random_cloud(&mut b, 0x0923_40ff, &cloud_in, 55, 39)?;
     b.exit_to_root();
     b.output_bus("out", &outs)?;
+    tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;

@@ -12,7 +12,7 @@
 use netlist::{Hierarchy, NetId, Netlist, NetlistError};
 
 use crate::builder::NetBuilder;
-use crate::filler::{pad_to_lut_count, random_cloud};
+use crate::filler::{pad_to_lut_count, random_cloud, tie_off_unreachable};
 
 const XLEN: usize = 32;
 const NREGS: usize = 8;
@@ -215,6 +215,7 @@ pub fn generate() -> Result<(Netlist, Hierarchy), NetlistError> {
     seeds.extend(&ir);
     pad_to_lut_count(&mut b, 0x3000, 1800, &seeds)?;
     b.exit_to_root();
+    tie_off_unreachable(&mut b)?;
 
     let (nl, h) = b.finish();
     nl.validate()?;

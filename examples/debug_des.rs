@@ -7,6 +7,9 @@
 //! Run with: `cargo run --release --example debug_des`
 //! (release strongly recommended — this places ~2000 LUTs).
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{sim, synth, tiling};
 

@@ -7,6 +7,9 @@
 //!
 //! Run with: `cargo run --release --example mips_emulation`
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{sim, tiling};
 
@@ -46,11 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // initial route converges but leaves no slack for the MISR ECO
     // (its seeds span half the tiles, so the re-placed region is
     // large and its confined routing congests unrecoverably). 20
-    // tracks routes both comfortably.
+    // tracks plus a full annealing schedule routes both comfortably.
     let options = TilingOptions {
         tracks: 20,
         placer: place::PlacerConfig {
-            max_temps: 60,
+            max_temps: 120,
             ..Default::default()
         },
         router: route::RouteOptions {

@@ -10,6 +10,9 @@
 //!
 //! Run with: `cargo run --release --example multi_error`
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{sim, tiling};
 use netlist::TruthTable;

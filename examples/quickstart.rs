@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, sim, tiling};
 

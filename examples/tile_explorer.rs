@@ -8,6 +8,9 @@
 //!
 //! Run with: `cargo run --release --example tile_explorer`
 
+// CLI/example output goes to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use fpga_debug_tiling::prelude::*;
 use fpga_debug_tiling::{implement_paper_design, tiling};
 

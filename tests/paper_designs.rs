@@ -142,12 +142,18 @@ fn hierarchy_back_annotation_covers_all_logic() {
 // ---------------------------------------------------------------------
 
 /// Options sized for the two big cores: wide channel for the
-/// register-file / S-box fanout, short annealing schedule.
+/// register-file / S-box fanout, and the bench harness's annealing
+/// and router budgets — `fast`'s short schedule leaves more
+/// congestion than PathFinder can negotiate away at this scale.
 fn paper_scale_options(seed: u64) -> TilingOptions {
     TilingOptions {
-        tracks: 18,
+        tracks: 20,
         placer: place::PlacerConfig {
-            max_temps: 60,
+            max_temps: 120,
+            ..Default::default()
+        },
+        router: route::RouteOptions {
+            max_iterations: 45,
             ..Default::default()
         },
         ..TilingOptions::fast(seed)
