@@ -1,0 +1,40 @@
+//! Criterion bench of the two placement engines on the same design
+//! and budget: pure annealing vs the analytical pipeline (quadratic
+//! solve + tetris legalization + low-temperature polish).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use place::{run_placer, Constraints, PlaceEngine, PlacerConfig};
+
+fn bench_placecore(c: &mut Criterion) {
+    let bundle = synth::PaperDesign::NineSym.generate().expect("generate");
+    let stats = bundle.netlist.stats();
+    let device = fpga::Device::for_design(
+        stats.luts,
+        stats.ffs,
+        stats.inputs + stats.outputs,
+        0.20,
+        11,
+    )
+    .expect("device");
+
+    let mut group = c.benchmark_group("placecore");
+    group.sample_size(10);
+    for engine in [PlaceEngine::Annealing, PlaceEngine::Analytical] {
+        group.bench_function(format!("{}_9sym_full", engine.label()), |b| {
+            b.iter(|| {
+                run_placer(
+                    &bundle.netlist,
+                    &device,
+                    &Constraints::free(),
+                    None,
+                    &PlacerConfig::fast(3).with_engine(engine),
+                )
+                .expect("place")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placecore);
+criterion_main!(benches);

@@ -41,6 +41,7 @@ pub fn experiment_options(seed: u64, target_tiles: usize, tracks: u16) -> Tiling
             ..Default::default()
         },
         enforce_tile_slack: true,
+        incremental_routing: true,
     }
 }
 

@@ -78,9 +78,11 @@ pub struct RoundPlan {
     /// batches of at most `max_taps_per_eco` cells. Each batch is one
     /// observation-tap ECO.
     pub batches: Vec<Vec<CellId>>,
-    /// Whether this is the shared-core screening round (no track
-    /// requested these cells; the scheduler did, to rule the whole
-    /// core in or out at frontier cost).
+    /// Whether this round carries the shared-core screening batch:
+    /// the frontier cells the scheduler taps (to rule the whole core
+    /// in or out at frontier cost) ride the same ECO as the tracks'
+    /// first non-core requests, so screening does not cost an extra
+    /// tap round.
     pub screening: bool,
 }
 
@@ -217,9 +219,12 @@ impl MultiErrorScheduler {
     /// Collects every live track's next tap request and merges them
     /// into deduplicated, capped batches of cells whose verdict the
     /// evidence base cannot answer *at the requesting track's
-    /// window*. The very first round screens the shared core's
-    /// frontier instead (when cones overlap). Rounds whose requests
-    /// the evidence already answers are fed back internally and cost
+    /// window*. The very first round (when cones overlap) also
+    /// carries the shared core's frontier screening, piggybacked onto
+    /// the same ECO as the tracks' non-core requests — core requests
+    /// are held back until the screening verdict lands, since a clean
+    /// frontier answers them for free. Rounds whose requests the
+    /// evidence already answers are fed back internally and cost
     /// nothing; `None` means every track has finished.
     pub fn plan_round(&mut self, evidence: &mut EvidenceBase) -> Option<RoundPlan> {
         if matches!(self.screening, Screening::Planned) {
@@ -234,9 +239,39 @@ impl MultiErrorScheduler {
                 self.screening = Screening::Done;
                 evidence.exonerate_fanin(&self.screen);
             } else {
+                // Piggyback the strategies' first requests onto the
+                // screening ECO — minus every shared-core cell, whose
+                // verdict a clean frontier answers for free (tapping
+                // those now would waste the exoneration). Held-back
+                // cells the screening cannot answer re-merge into the
+                // next round; a track is only fed once its whole
+                // request is answerable.
+                let mut merged = cells;
+                let mut seen: HashSet<CellId> = merged.iter().copied().collect();
+                for t in &mut self.tracks {
+                    if t.done {
+                        continue;
+                    }
+                    if t.requested.is_empty() {
+                        let req = t.strategy.next_taps();
+                        if req.is_empty() {
+                            t.done = true;
+                            continue;
+                        }
+                        t.taps_requested += req.len();
+                        t.rounds_joined += 1;
+                        t.requested = req;
+                    }
+                    for &c in &t.requested {
+                        let answered = evidence.verdict(c, t.window.for_cell(c)).is_some();
+                        if !answered && !self.partition.shared.contains(c) && seen.insert(c) {
+                            merged.push(c);
+                        }
+                    }
+                }
                 self.screening = Screening::Pending;
                 return Some(RoundPlan {
-                    batches: self.chunk(cells),
+                    batches: self.chunk(merged),
                     screening: true,
                 });
             }
@@ -318,7 +353,7 @@ impl MultiErrorScheduler {
             // Frontier ⊆ shared core ⇒ ≥ 2 owning cones, but only
             // owners whose window reaches the onset actually see the
             // divergence — one of them alone is not ambiguous.
-            return self
+            let mut ambiguities: Vec<Ambiguity> = self
                 .screen
                 .iter()
                 .filter_map(|&(cell, _, _)| {
@@ -327,6 +362,12 @@ impl MultiErrorScheduler {
                     (tracks.len() > 1).then_some(Ambiguity { cell, tracks })
                 })
                 .collect();
+            // Feed the piggybacked first-round requests the screening
+            // ECO measured (or its exonerations now answer).
+            ambiguities.extend(self.feed_requested(evidence, fresh));
+            let mut flagged: HashSet<CellId> = HashSet::new();
+            ambiguities.retain(|a| flagged.insert(a.cell));
+            return ambiguities;
         }
         self.feed_requested(evidence, fresh)
     }
@@ -394,6 +435,21 @@ impl MultiErrorScheduler {
         for k in 0..self.tracks.len() {
             if self.tracks[k].requested.is_empty() {
                 continue;
+            }
+            // A piggybacked round can leave a request half-answered
+            // (held-back core cells whose exoneration fell through
+            // when the frontier diverged): keep it pending — the next
+            // `plan_round` re-merges the unanswered remainder — so a
+            // strategy never observes a partial batch as "clean".
+            {
+                let t = &self.tracks[k];
+                if !t
+                    .requested
+                    .iter()
+                    .all(|&c| evidence.verdict(c, t.window.for_cell(c)).is_some())
+                {
+                    continue;
+                }
             }
             let requested = std::mem::take(&mut self.tracks[k].requested);
             for &cell in &requested {
@@ -835,22 +891,33 @@ mod tests {
                 Box::new(LinearBatches::default()),
             );
         }
+        // The screening ECO carries the frontier plus both tracks'
+        // piggybacked non-core (branch) requests; the core requests
+        // are held back pending the frontier verdict.
         let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(plan.screening);
-        assert_eq!(plan.batches, vec![vec![backbone[3]]]);
+        let mut expected = vec![backbone[3]];
+        expected.extend_from_slice(&branches[0]);
+        expected.extend_from_slice(&branches[1]);
+        assert_eq!(plan.batches, vec![expected]);
         // The frontier first diverges on pattern 10: the whole core
         // is exonerated for the window-2 track (clean through 9) but
         // stays live for the window-20 track, which alone sees the
         // divergence — no ambiguity.
-        let amb = sched.record_round(&mut evidence, &HashMap::from([(backbone[3], Some(10))]));
+        let mut verdicts: HashMap<CellId, Option<usize>> = HashMap::from([(backbone[3], Some(10))]);
+        for b in &branches {
+            for &c in b {
+                verdicts.insert(c, None);
+            }
+        }
+        let amb = sched.record_round(&mut evidence, &verdicts);
         assert!(amb.is_empty());
+        // Track 0's whole request is answered (exonerated core +
+        // measured branch); only track 1's still-live core cells need
+        // a second round.
         let plan = sched.plan_round(&mut evidence).unwrap();
         assert!(!plan.screening);
-        // Track 0's backbone requests resolve from evidence; only
-        // its branch plus track 1's still-live cells need taps.
-        let tapped: Vec<CellId> = plan.batches.concat();
-        assert!(backbone[..3].iter().all(|c| tapped.contains(c)));
-        assert!(branches[0].iter().all(|c| tapped.contains(c)));
+        assert_eq!(plan.batches, vec![backbone[..3].to_vec()]);
     }
 
     /// One state register fanning out into two outputs through

@@ -96,8 +96,18 @@ pub fn replace_and_route(
     let mut tiles = affected.tiles.clone();
     let mut wasted = CadEffort::default();
     let mut retries = 0usize;
+    // The truly incremental path goes first: nothing is cleared, only
+    // missing connections are routed. One shot — if the surviving
+    // routes leave too little capacity, tile-clearing takes over.
+    let mut try_incremental = td.options.incremental_routing;
     loop {
-        match attempt(td, &tiles, added, extra_clbs) {
+        let incremental_now = std::mem::take(&mut try_incremental);
+        let result = if incremental_now {
+            attempt_incremental(td, &tiles, added, extra_clbs)
+        } else {
+            attempt(td, &tiles, added, extra_clbs)
+        };
+        match result {
             Ok(mut outcome) => {
                 outcome.effort += wasted;
                 // Debug builds re-prove the paper's contract after
@@ -125,6 +135,16 @@ pub fn replace_and_route(
                     );
                 }
                 return Ok(outcome);
+            }
+            // The incremental attempt is best-effort: capacity
+            // shortfalls (congestion around the frozen routes, or no
+            // free slot for added logic) demote to tile-clearing on
+            // the same tiles, with the failed attempt's effort
+            // charged. Anything else is a real error.
+            Err((TilingError::Route(_) | TilingError::Place(_), spent)) if incremental_now => {
+                wasted += spent;
+                td.placement = placement_snapshot.clone();
+                td.routing = routing_snapshot.clone();
             }
             // Once expansion retries stop being promising — half the
             // device drafted, or several failures already paid for —
@@ -167,6 +187,7 @@ pub fn replace_and_route(
                     TilingError::Route(e)
                 })?;
                 wasted.route_expansions += stats.expansions;
+                route::counters::record_full_rips(td.routing.num_routed() as u64);
                 let mut free_clbs = 0;
                 for &t in &tiles {
                     free_clbs += td.plan.usage(t, &td.placement)?.free_clbs();
@@ -255,6 +276,209 @@ pub fn replace_and_route(
     }
 }
 
+/// One truly incremental attempt: no clearing at all.
+///
+/// Surviving placements and routes stay installed (so the router sees
+/// their present congestion and treats their wires as locked), added
+/// logic is placed into the affected tiles, and only nets whose
+/// terminals changed — new nets, added sinks, retired sinks, moved or
+/// replaced drivers — are touched. Ripping is minimal: a net keeps
+/// every source-connected path that still ends on a live sink pin, and
+/// the router grows the missing connections from that seed tree.
+///
+/// On error the caller restores the snapshots and retries with the
+/// tile-clearing path; the effort spent is returned so it is charged.
+fn attempt_incremental(
+    td: &mut TiledDesign,
+    tiles: &[crate::tile::TileId],
+    added: &[CellId],
+    extra_clbs: usize,
+) -> Result<EcoPhysicalOutcome, (TilingError, CadEffort)> {
+    let mut spent = CadEffort::default();
+    attempt_incremental_inner(td, tiles, added, extra_clbs, &mut spent).map_err(|e| (e, spent))
+}
+
+fn attempt_incremental_inner(
+    td: &mut TiledDesign,
+    tiles: &[crate::tile::TileId],
+    added: &[CellId],
+    extra_clbs: usize,
+    spent: &mut CadEffort,
+) -> Result<EcoPhysicalOutcome, TilingError> {
+    let mut free_clbs = 0;
+    for &t in tiles {
+        free_clbs += td.plan.usage(t, &td.placement)?.free_clbs();
+    }
+    let affected = AffectedSet {
+        tiles: tiles.to_vec(),
+        needed_clbs: extra_clbs,
+        free_clbs,
+        fits: free_clbs >= extra_clbs,
+    };
+    let rects: Vec<fpga::Rect> = affected
+        .tiles
+        .iter()
+        .map(|&t| td.plan.tile(t).map(|tile| tile.rect))
+        .collect::<Result<_, _>>()?;
+
+    // Retired instruments lose their placements/routes first, so their
+    // resources are genuinely free for the new connections.
+    crate::flow::drop_stale_physical_state(td);
+
+    let mut effort = CadEffort::default();
+
+    // ----- Place only the added logic ------------------------------
+    let added_logic: Vec<CellId> = added
+        .iter()
+        .copied()
+        .filter(|&c| td.netlist.cell(c).is_ok_and(netlist::Cell::is_logic))
+        .collect();
+    let placeable = added
+        .iter()
+        .any(|&c| td.netlist.cell(c).is_ok() && td.placement.loc_of(c).is_none());
+    if placeable {
+        let mut constraints = Constraints::free();
+        for (id, _) in td.netlist.cells() {
+            if td.placement.loc_of(id).is_some() {
+                constraints.lock(id);
+            }
+        }
+        for &c in &added_logic {
+            constraints.confine_any(c, rects.clone());
+        }
+        let out = place::run_placer(
+            &td.netlist,
+            &td.device,
+            &constraints,
+            Some(std::mem::take(&mut td.placement)),
+            &td.options.placer,
+        )?;
+        td.placement = out.placement;
+        spent.place_moves += out.moves_evaluated;
+        effort.place_moves += out.moves_evaluated;
+    }
+
+    // ----- Minimal routing work list --------------------------------
+    // A net needs work iff its installed tree no longer matches its
+    // terminals. Everything else stays untouched — including nets
+    // threading through the affected tiles.
+    let mut requests: Vec<ConnectionRequest> = Vec::new();
+    let mut touched: BTreeSet<NetId> = BTreeSet::new();
+    let net_ids: Vec<NetId> = td.netlist.nets().map(|(id, _)| id).collect();
+    for net_id in net_ids {
+        let net = td.netlist.net(net_id)?.clone();
+        let Some(driver) = net.driver else {
+            if td.routing.route(net_id).is_some() {
+                td.routing.clear_route(net_id);
+                touched.insert(net_id);
+            }
+            continue;
+        };
+        let Some(driver_loc) = td.placement.loc_of(driver) else {
+            continue;
+        };
+        let source = td.rrg.source_node(driver_loc);
+        let mut pins: Vec<NodeId> = net
+            .sinks
+            .iter()
+            .filter_map(|s| {
+                td.placement
+                    .loc_of(s.cell)
+                    .map(|loc| td.rrg.sink_node(loc, s.pin))
+            })
+            .collect();
+        pins.sort_unstable();
+        pins.dedup();
+        let tree = td.routing.route(net_id).cloned();
+        let Some(tree) = tree else {
+            if !pins.is_empty() {
+                requests.push(ConnectionRequest {
+                    net: net_id,
+                    source,
+                    sinks: pins,
+                });
+                touched.insert(net_id);
+            }
+            continue;
+        };
+        if tree.paths.iter().any(|p| p.first() != Some(&source)) {
+            // Driver replaced or re-sourced: the tree's root is stale,
+            // so the whole net reroutes (its wires are freed first).
+            td.routing.clear_route(net_id);
+            touched.insert(net_id);
+            if !pins.is_empty() {
+                requests.push(ConnectionRequest {
+                    net: net_id,
+                    source,
+                    sinks: pins,
+                });
+            }
+            continue;
+        }
+        let pin_set: BTreeSet<NodeId> = pins.iter().copied().collect();
+        let endpoints: BTreeSet<NodeId> = tree
+            .paths
+            .iter()
+            .filter_map(|p| p.last().copied())
+            .collect();
+        let missing: Vec<NodeId> = pins
+            .iter()
+            .copied()
+            .filter(|p| !endpoints.contains(p))
+            .collect();
+        let keep: Vec<Vec<NodeId>> = tree
+            .paths
+            .iter()
+            .filter(|p| p.last().is_some_and(|l| pin_set.contains(l)))
+            .cloned()
+            .collect();
+        if keep.len() < tree.paths.len() {
+            // A sink retired (e.g. a removed observation tap): strip
+            // its path so the wires are freed instead of squatting.
+            td.routing.clear_route(net_id);
+            if !keep.is_empty() {
+                td.routing.set_route(net_id, RouteTree { paths: keep });
+            }
+            touched.insert(net_id);
+        }
+        if !missing.is_empty() {
+            requests.push(ConnectionRequest {
+                net: net_id,
+                source,
+                sinks: missing,
+            });
+            touched.insert(net_id);
+        }
+    }
+
+    // ----- One free routing pass ------------------------------------
+    // No mask: new connections (taps, pads) may legitimately leave the
+    // region, and every surviving route is locked, so the request nets
+    // negotiate only among themselves on genuinely free resources.
+    if !requests.is_empty() {
+        let stats = route::route(&td.rrg, &requests, &mut td.routing, &td.options.router)?;
+        effort.route_expansions += stats.expansions;
+        spent.route_expansions += stats.expansions;
+    }
+    route::counters::record_incremental_rips(touched.len() as u64);
+
+    route::normalize_routes(
+        &td.netlist,
+        &td.placement,
+        &td.rrg,
+        &mut td.routing,
+        touched.iter().copied(),
+    );
+
+    Ok(EcoPhysicalOutcome {
+        effort,
+        affected,
+        replaced_cells: added_logic.len(),
+        rerouted_nets: touched.len(),
+        confined: true,
+    })
+}
+
 /// One clear/re-place/re-route attempt on an explicit tile set.
 ///
 /// On error the caller restores the design from its snapshots; the
@@ -333,7 +557,7 @@ fn attempt_inner(
     for &c in &to_replace {
         constraints.confine_any(c, rects.clone());
     }
-    let out = place::place(
+    let out = place::run_placer(
         &td.netlist,
         &td.device,
         &constraints,
@@ -372,6 +596,7 @@ fn attempt_inner(
         spent.route_expansions += stats.expansions;
         let all: Vec<NetId> = td.netlist.nets().map(|(id, _)| id).collect();
         let n_rerouted = all.len();
+        route::counters::record_full_rips(n_rerouted as u64);
         route::normalize_routes(&td.netlist, &td.placement, &td.rrg, &mut td.routing, all);
         return Ok(EcoPhysicalOutcome {
             effort,
@@ -578,6 +803,8 @@ fn attempt_inner(
         effort.route_expansions += stats.expansions;
         spent.route_expansions += stats.expansions;
     }
+
+    route::counters::record_full_rips(rerouted.len() as u64);
 
     // Normalize the rerouted nets' trees: one contiguous source→sink
     // path per netlist sink, in sink order, so downstream timing

@@ -130,7 +130,7 @@ impl ReimplFlow for FullReplaceFlow {
         _seeds: &[CellId],
         _added: &[CellId],
     ) -> Result<EcoPhysicalOutcome, TilingError> {
-        let out = place::place(
+        let out = place::run_placer(
             &td.netlist,
             &td.device,
             &Constraints::free(),
@@ -383,7 +383,7 @@ fn reimplement_subset_inner(
             constraints.lock(id);
         }
     }
-    let out = place::place(
+    let out = place::run_placer(
         &td.netlist,
         &td.device,
         &constraints,

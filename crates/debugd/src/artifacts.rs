@@ -62,6 +62,7 @@ pub fn implement_options(design: PaperDesign, target_tiles: usize, seed: u64) ->
             ..Default::default()
         },
         enforce_tile_slack: true,
+        incremental_routing: true,
     }
 }
 

@@ -132,6 +132,8 @@ pub fn run_batch_observed(
             .collect()
     });
     let sim_before = sim::counters::snapshot();
+    let place_before = place::counters::snapshot();
+    let route_before = route::counters::snapshot();
     let t0_us = tracer.map(Tracer::now_us).unwrap_or(0);
     let jobs: Vec<(usize, &CampaignRequest)> = requests.iter().enumerate().collect();
     let resolved = &resolved;
@@ -188,6 +190,31 @@ pub fn run_batch_observed(
     registry.counter_add("sim_sweeps_total", &[], sim_delta.sweeps);
     registry.counter_add("sim_net_words_total", &[], sim_delta.net_words);
     registry.counter_add("sim_lanes_loaded_total", &[], sim_delta.lanes_loaded);
+    // Placer/router effort counters, same delta-over-the-batch scrape
+    // (order-independent sums keep serial and pooled runs identical).
+    let place_delta = place::counters::snapshot().delta_since(&place_before);
+    registry.counter_add(
+        "place_moves_evaluated_total",
+        &[("engine", "annealing")],
+        place_delta.moves_annealing,
+    );
+    registry.counter_add(
+        "place_moves_evaluated_total",
+        &[("engine", "analytical")],
+        place_delta.moves_analytical,
+    );
+    registry.counter_add("place_cg_iterations_total", &[], place_delta.cg_iterations);
+    let route_delta = route::counters::snapshot().delta_since(&route_before);
+    registry.counter_add(
+        "route_nets_ripped_total",
+        &[("mode", "incremental")],
+        route_delta.nets_ripped_incremental,
+    );
+    registry.counter_add(
+        "route_nets_ripped_total",
+        &[("mode", "full")],
+        route_delta.nets_ripped_full,
+    );
     let (builds, hits) = store.stats();
     registry.counter_set("artifact_builds_total", &[], builds as u64);
     registry.counter_set("artifact_hits_total", &[], hits as u64);

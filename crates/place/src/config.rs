@@ -5,6 +5,28 @@ use std::collections::{HashMap, HashSet};
 use fpga::Rect;
 use netlist::CellId;
 
+/// Which engine [`crate::run_placer`] dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlaceEngine {
+    /// Pure VPR-style simulated annealing (the original engine).
+    Annealing,
+    /// Clique/star quadratic-wirelength solve (conjugate gradient),
+    /// tetris legalization, then a short low-temperature annealing
+    /// polish whose budget is `polish_inner` / `polish_temps`.
+    #[default]
+    Analytical,
+}
+
+impl PlaceEngine {
+    /// Stable label used in metrics and bench output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Annealing => "annealing",
+            Self::Analytical => "analytical",
+        }
+    }
+}
+
 /// Annealing schedule and effort parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacerConfig {
@@ -16,6 +38,16 @@ pub struct PlacerConfig {
     pub exit_ratio: f64,
     /// Fast mode for tests: caps total temperatures.
     pub max_temps: usize,
+    /// Engine selection for [`crate::run_placer`]. [`crate::place`]
+    /// itself is always the annealer; the analytical engine calls it
+    /// for its polish phase.
+    pub engine: PlaceEngine,
+    /// Polish `inner_num` for the analytical engine (a fraction of
+    /// the full schedule's — the quadratic solve already did the
+    /// global work, the polish only repairs legalization damage).
+    pub polish_inner: f64,
+    /// Polish temperature cap for the analytical engine.
+    pub polish_temps: usize,
 }
 
 impl Default for PlacerConfig {
@@ -25,6 +57,9 @@ impl Default for PlacerConfig {
             inner_num: 1.0,
             exit_ratio: 0.005,
             max_temps: 200,
+            engine: PlaceEngine::default(),
+            polish_inner: 0.75,
+            polish_temps: 80,
         }
     }
 }
@@ -37,7 +72,17 @@ impl PlacerConfig {
             inner_num: 0.5,
             exit_ratio: 0.02,
             max_temps: 60,
+            polish_inner: 0.35,
+            polish_temps: 30,
+            ..Self::default()
         }
+    }
+
+    /// The same schedule driven by the other engine — used by the
+    /// flow bench to price both engines on identical budgets.
+    pub fn with_engine(mut self, engine: PlaceEngine) -> Self {
+        self.engine = engine;
+        self
     }
 }
 

@@ -4,7 +4,7 @@ use fpga::{Device, Placement};
 use netlist::{NetId, Netlist};
 
 /// VPR's fanout compensation factor `q(n)` for HPWL.
-fn q_factor(terminals: usize) -> f64 {
+pub(crate) fn q_factor(terminals: usize) -> f64 {
     // Piecewise values from Cheng's tables as used by VPR, flattened
     // to a smooth approximation beyond 3 terminals.
     match terminals {

@@ -1,0 +1,86 @@
+//! Process-global placer effort counters.
+//!
+//! Same pattern as `sim`'s counters: relaxed atomics that only ever
+//! add, scraped at scope boundaries via [`snapshot`] +
+//! [`PlaceCounters::delta_since`]. Deltas are order-independent, so a
+//! work-stealing fleet aggregating per-request deltas produces the
+//! same totals as a serial run — which is what keeps the exported
+//! `place_*_total` metric families byte-identical serial vs fleet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static MOVES_ANNEALING: AtomicU64 = AtomicU64::new(0);
+static MOVES_ANALYTICAL: AtomicU64 = AtomicU64::new(0);
+static CG_ITERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the placer counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlaceCounters {
+    /// Moves evaluated by [`crate::run_placer`] runs with the
+    /// annealing engine.
+    pub moves_annealing: u64,
+    /// Moves evaluated by analytical-engine runs (the polish phase
+    /// plus the folded-in conjugate-gradient iterations).
+    pub moves_analytical: u64,
+    /// Conjugate-gradient iterations across analytical solves.
+    pub cg_iterations: u64,
+}
+
+impl PlaceCounters {
+    /// Counter increments since `before` (saturating, like the sim
+    /// counters, so a stale snapshot cannot underflow).
+    pub fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            moves_annealing: self.moves_annealing.saturating_sub(before.moves_annealing),
+            moves_analytical: self
+                .moves_analytical
+                .saturating_sub(before.moves_analytical),
+            cg_iterations: self.cg_iterations.saturating_sub(before.cg_iterations),
+        }
+    }
+}
+
+/// Reads the current totals.
+pub fn snapshot() -> PlaceCounters {
+    PlaceCounters {
+        moves_annealing: MOVES_ANNEALING.load(Ordering::Relaxed),
+        moves_analytical: MOVES_ANALYTICAL.load(Ordering::Relaxed),
+        cg_iterations: CG_ITERATIONS.load(Ordering::Relaxed),
+    }
+}
+
+pub(crate) fn record_annealing_moves(n: u64) {
+    MOVES_ANNEALING.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_analytical_moves(n: u64) {
+    MOVES_ANALYTICAL.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cg_iterations(n: u64) {
+    CG_ITERATIONS.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate_and_saturate() {
+        let before = snapshot();
+        record_annealing_moves(5);
+        record_analytical_moves(7);
+        record_cg_iterations(3);
+        let d = snapshot().delta_since(&before);
+        assert!(d.moves_annealing >= 5);
+        assert!(d.moves_analytical >= 7);
+        assert!(d.cg_iterations >= 3);
+        // A snapshot from the future saturates to zero.
+        let future = PlaceCounters {
+            moves_annealing: u64::MAX,
+            moves_analytical: u64::MAX,
+            cg_iterations: u64::MAX,
+        };
+        assert_eq!(snapshot().delta_since(&future), PlaceCounters::default());
+    }
+}

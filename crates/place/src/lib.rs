@@ -1,7 +1,15 @@
-//! Simulated-annealing placement with region and lock constraints.
+//! Placement engines with region and lock constraints.
 //!
-//! This is a VPR-style annealer specialized for the tiling flow's two
-//! modes of operation:
+//! Two engines sit behind the [`Placer`] trait, selected per call via
+//! [`config::PlaceEngine`] and dispatched by [`run_placer`]:
+//!
+//! * **annealing** — the original VPR-style simulated annealer;
+//! * **analytical** (default) — clique/star-decomposed quadratic
+//!   wirelength solved by conjugate gradient, tetris legalization onto
+//!   compatible BELs, then a short low-temperature anneal polish. Same
+//!   final HPWL ballpark at a fraction of the moves.
+//!
+//! Both serve the tiling flow's two modes of operation:
 //!
 //! * **full placement** — every cell is movable anywhere on the device
 //!   (paper step 2, and the full re-place-and-route baseline);
@@ -14,17 +22,24 @@
 //!
 //! Placement effort is metered in *moves evaluated*, the quantity
 //! Figure 5's speedups are computed from (wall-clock on 1996 hardware
-//! is not reproducible; the move count is, and is proportional).
+//! is not reproducible; the move count is, and is proportional). The
+//! analytical engine folds its conjugate-gradient iterations into the
+//! same meter so cross-engine comparisons stay honest.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analytical;
 pub mod config;
 pub mod cost;
+pub mod counters;
 pub mod initial;
+mod legalize;
+mod placer;
 pub mod sa;
 
-pub use config::{Constraints, PlacerConfig};
+pub use config::{Constraints, PlaceEngine, PlacerConfig};
 pub use cost::{net_bbox_cost, total_wirelength_cost};
 pub use initial::initial_place;
+pub use placer::{run_placer, AnalyticalPlacer, AnnealingPlacer, Placer};
 pub use sa::{place, PlaceError, PlaceOutcome};

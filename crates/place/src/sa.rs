@@ -9,7 +9,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{Constraints, PlacerConfig};
-use crate::cost::net_bbox_cost;
+use crate::cost::q_factor;
 use crate::initial::{clip, compatible, initial_place, slots_for};
 
 /// Errors from placement.
@@ -53,12 +53,63 @@ pub struct PlaceOutcome {
     pub placement: Placement,
     /// Final HPWL cost.
     pub cost: f64,
-    /// Moves evaluated — the paper-comparable CAD-effort metric.
+    /// Moves evaluated — the paper-comparable CAD-effort metric. The
+    /// analytical engine folds its conjugate-gradient iterations in
+    /// here too, so engine efforts stay comparable.
     pub moves_evaluated: u64,
     /// Moves accepted.
     pub moves_accepted: u64,
     /// Temperatures annealed through.
     pub temperatures: usize,
+    /// Conjugate-gradient iterations (zero for the pure annealer).
+    pub cg_iterations: u64,
+}
+
+/// How the annealing schedule picks its starting temperature.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum TempInit {
+    /// Calibrate from the cost variance of random probe moves (the
+    /// full VPR run). Probe moves are *applied* (`T = ∞` accepts
+    /// everything), so this is destructive — only for cold starts.
+    Probe,
+    /// `T0 = fraction × cost / nets` — a non-destructive low start
+    /// for polishing an already-good placement.
+    CostFraction(f64),
+}
+
+/// One annealing schedule: the full run and the analytical polish
+/// share the move engine and differ only in these knobs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Schedule {
+    pub temp_init: TempInit,
+    pub inner_num: f64,
+    pub exit_ratio: f64,
+    pub max_temps: usize,
+    /// Starting move-window radius (the full run uses the device
+    /// diagonal; the polish starts local).
+    pub rlim0: f64,
+}
+
+impl Schedule {
+    pub(crate) fn full(config: &PlacerConfig, device: &Device) -> Self {
+        Self {
+            temp_init: TempInit::Probe,
+            inner_num: config.inner_num,
+            exit_ratio: config.exit_ratio,
+            max_temps: config.max_temps,
+            rlim0: f64::from(device.width().max(device.height())),
+        }
+    }
+
+    pub(crate) fn polish(config: &PlacerConfig, device: &Device) -> Self {
+        Self {
+            temp_init: TempInit::CostFraction(0.65),
+            inner_num: config.polish_inner,
+            exit_ratio: config.exit_ratio,
+            max_temps: config.polish_temps,
+            rlim0: f64::from(device.width().max(device.height()) / 2).max(3.0),
+        }
+    }
 }
 
 /// Places a netlist on a device under constraints.
@@ -67,6 +118,10 @@ pub struct PlaceOutcome {
 /// unplaced movable cells are constructively placed first, then the
 /// movable set is annealed. With `Constraints::free()` and no initial
 /// placement this is a full VPR-style run.
+///
+/// This is the raw annealing engine; [`crate::run_placer`] dispatches
+/// between it and the analytical engine via
+/// [`crate::PlacerConfig::engine`].
 ///
 /// # Errors
 ///
@@ -81,32 +136,59 @@ pub fn place(
 ) -> Result<PlaceOutcome, PlaceError> {
     let mut placement = initial.unwrap_or_else(|| Placement::new(nl.cell_capacity()));
     initial_place(nl, device, constraints, &mut placement, config.seed)?;
+    anneal(
+        nl,
+        device,
+        constraints,
+        placement,
+        config.seed,
+        Schedule::full(config, device),
+    )
+}
 
+/// Runs one annealing schedule over an already-complete placement.
+/// Shared by [`place`] (full schedule) and the analytical engine's
+/// polish phase.
+pub(crate) fn anneal(
+    nl: &Netlist,
+    device: &Device,
+    constraints: &Constraints,
+    placement: Placement,
+    seed: u64,
+    schedule: Schedule,
+) -> Result<PlaceOutcome, PlaceError> {
     let movable: Vec<CellId> = nl
         .cells()
         .filter(|(id, _)| !constraints.is_locked(*id))
         .map(|(id, _)| id)
         .collect();
 
-    // Nets incident to each cell (movable cells only need them).
-    let mut incident: Vec<Vec<NetId>> = vec![Vec::new(); nl.cell_capacity()];
+    // Nets incident to each cell, with the cell's terminal
+    // multiplicity on the net (HPWL counts every sink occurrence, so
+    // a cell sinking a net twice moves two bounding-box points).
+    let mut incident: Vec<Vec<(NetId, u32)>> = vec![Vec::new(); nl.cell_capacity()];
     for (id, cell) in nl.cells() {
         let mut nets: Vec<NetId> = cell.inputs.clone();
         if let Some(o) = cell.output {
             nets.push(o);
         }
         nets.sort_unstable();
-        nets.dedup();
-        incident[id.index()] = nets;
+        let with_mult = &mut incident[id.index()];
+        for n in nets {
+            match with_mult.last_mut() {
+                Some((last, m)) if *last == n => *m += 1,
+                _ => with_mult.push((n, 1)),
+            }
+        }
     }
 
-    // Per-net cost cache.
-    let mut net_cost: Vec<f64> = vec![0.0; nl.net_capacity()];
+    // Per-net incremental bounding-box cache.
+    let mut net_box: Vec<NetBox> = vec![NetBox::default(); nl.net_capacity()];
     let mut cost = 0.0;
     for (id, _) in nl.nets() {
-        let c = net_bbox_cost(nl, device, &placement, id);
-        net_cost[id.index()] = c;
-        cost += c;
+        let b = NetBox::scan(nl, device, &placement, id);
+        cost += b.cost;
+        net_box[id.index()] = b;
     }
 
     let mut outcome = PlaceOutcome {
@@ -115,12 +197,13 @@ pub fn place(
         moves_evaluated: 0,
         moves_accepted: 0,
         temperatures: 0,
+        cg_iterations: 0,
     };
     if movable.len() < 2 {
         return Ok(outcome);
     }
 
-    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut rng = SmallRng::seed_from_u64(seed);
     let mut annealer = Annealer {
         nl,
         device,
@@ -128,29 +211,35 @@ pub fn place(
         incident: &incident,
         rng: &mut rng,
         placement: &mut outcome.placement,
-        net_cost: &mut net_cost,
+        net_box: &mut net_box,
         cost: &mut outcome.cost,
         scratch: Vec::new(),
+        candidates: Vec::new(),
     };
 
-    // Estimate the starting temperature from random move deltas.
-    let probes = (movable.len() * 4).clamp(16, 512);
-    let mut deltas = Vec::with_capacity(probes);
-    for _ in 0..probes {
-        if let Some(d) = annealer.try_move(&movable, f64::INFINITY) {
-            deltas.push(d);
-        }
-    }
-    let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
-    let var =
-        deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / deltas.len().max(1) as f64;
-    let mut temp = (20.0 * var.sqrt()).max(1.0);
-
-    let inner = ((movable.len() as f64).powf(4.0 / 3.0) * config.inner_num).max(8.0) as u64;
     let num_nets = nl.num_nets().max(1) as f64;
-    let mut rlim = f64::from(device.width().max(device.height()));
+    let mut temp = match schedule.temp_init {
+        TempInit::Probe => {
+            // Estimate the starting temperature from random move deltas.
+            let probes = (movable.len() * 4).clamp(16, 512);
+            let mut deltas = Vec::with_capacity(probes);
+            for _ in 0..probes {
+                if let Some(d) = annealer.try_move(&movable, f64::INFINITY) {
+                    deltas.push(d);
+                }
+            }
+            let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+            let var = deltas.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>()
+                / deltas.len().max(1) as f64;
+            (20.0 * var.sqrt()).max(1.0)
+        }
+        TempInit::CostFraction(f) => (f * *annealer.cost / num_nets).max(1e-3),
+    };
 
-    for _ in 0..config.max_temps {
+    let inner = ((movable.len() as f64).powf(4.0 / 3.0) * schedule.inner_num).max(8.0) as u64;
+    let mut rlim = schedule.rlim0;
+
+    for _ in 0..schedule.max_temps {
         outcome.temperatures += 1;
         let mut accepted = 0u64;
         for _ in 0..inner {
@@ -175,23 +264,162 @@ pub fn place(
         temp *= alpha;
         rlim =
             (rlim * (1.0 - 0.44 + rate)).clamp(1.0, f64::from(device.width().max(device.height())));
-        if temp < config.exit_ratio * *annealer.cost / num_nets {
+        if temp < schedule.exit_ratio * *annealer.cost / num_nets {
             break;
         }
     }
     Ok(outcome)
 }
 
+/// One net's cached bounding box: corners, how many placed terminals
+/// sit on each edge, and the resulting HPWL cost. A move updates the
+/// box incrementally; only when a departing terminal empties the edge
+/// that defined a bound does the net get rescanned.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct NetBox {
+    x0: u16,
+    y0: u16,
+    x1: u16,
+    y1: u16,
+    on_x0: u32,
+    on_x1: u32,
+    on_y0: u32,
+    on_y1: u32,
+    /// Placed terminal occurrences (driver + every sink occurrence).
+    terms: u32,
+    cost: f64,
+}
+
+impl NetBox {
+    /// Full scan of the net under the current placement.
+    fn scan(nl: &Netlist, device: &Device, placement: &Placement, net: NetId) -> Self {
+        let Ok(n) = nl.net(net) else {
+            return Self::default();
+        };
+        let (w, h) = (device.width(), device.height());
+        let mut b = Self {
+            x0: u16::MAX,
+            y0: u16::MAX,
+            ..Self::default()
+        };
+        let mut visit = |cell: CellId| {
+            if let Some(loc) = placement.loc_of(cell) {
+                let c = loc.proxy_coord(w, h);
+                b.x0 = b.x0.min(c.x);
+                b.y0 = b.y0.min(c.y);
+                b.x1 = b.x1.max(c.x);
+                b.y1 = b.y1.max(c.y);
+                b.terms += 1;
+            }
+        };
+        if let Some(driver) = n.driver {
+            visit(driver);
+        }
+        for s in &n.sinks {
+            visit(s.cell);
+        }
+        if b.terms == 0 {
+            return Self::default();
+        }
+        // Second pass for the edge counts (bounds are known now).
+        let mut count = |cell: CellId| {
+            if let Some(loc) = placement.loc_of(cell) {
+                let c = loc.proxy_coord(w, h);
+                b.on_x0 += u32::from(c.x == b.x0);
+                b.on_x1 += u32::from(c.x == b.x1);
+                b.on_y0 += u32::from(c.y == b.y0);
+                b.on_y1 += u32::from(c.y == b.y1);
+            }
+        };
+        if let Some(driver) = n.driver {
+            count(driver);
+        }
+        for s in &n.sinks {
+            count(s.cell);
+        }
+        b.recost();
+        b
+    }
+
+    fn recost(&mut self) {
+        self.cost = if self.terms < 2 {
+            0.0
+        } else {
+            let span = f64::from(self.x1 - self.x0) + f64::from(self.y1 - self.y0);
+            q_factor(self.terms as usize) * span
+        };
+    }
+
+    /// Removes `m` terminal occurrences at `c`. Returns `false` when a
+    /// bound-defining edge emptied and the box needs a rescan.
+    fn remove(&mut self, c: fpga::Coord, m: u32) -> bool {
+        if c.x == self.x0 {
+            self.on_x0 -= m.min(self.on_x0);
+            if self.on_x0 == 0 {
+                return false;
+            }
+        }
+        if c.x == self.x1 {
+            self.on_x1 -= m.min(self.on_x1);
+            if self.on_x1 == 0 {
+                return false;
+            }
+        }
+        if c.y == self.y0 {
+            self.on_y0 -= m.min(self.on_y0);
+            if self.on_y0 == 0 {
+                return false;
+            }
+        }
+        if c.y == self.y1 {
+            self.on_y1 -= m.min(self.on_y1);
+            if self.on_y1 == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Adds `m` terminal occurrences at `c`, growing the box if needed.
+    fn add(&mut self, c: fpga::Coord, m: u32) {
+        if c.x < self.x0 {
+            self.x0 = c.x;
+            self.on_x0 = m;
+        } else if c.x == self.x0 {
+            self.on_x0 += m;
+        }
+        if c.x > self.x1 {
+            self.x1 = c.x;
+            self.on_x1 = m;
+        } else if c.x == self.x1 {
+            self.on_x1 += m;
+        }
+        if c.y < self.y0 {
+            self.y0 = c.y;
+            self.on_y0 = m;
+        } else if c.y == self.y0 {
+            self.on_y0 += m;
+        }
+        if c.y > self.y1 {
+            self.y1 = c.y;
+            self.on_y1 = m;
+        } else if c.y == self.y1 {
+            self.on_y1 += m;
+        }
+    }
+}
+
 struct Annealer<'a> {
     nl: &'a Netlist,
     device: &'a Device,
     constraints: &'a Constraints,
-    incident: &'a [Vec<NetId>],
+    incident: &'a [Vec<(NetId, u32)>],
     rng: &'a mut SmallRng,
     placement: &'a mut Placement,
-    net_cost: &'a mut [f64],
+    net_box: &'a mut [NetBox],
     cost: &'a mut f64,
     scratch: Vec<NetId>,
+    candidates: Vec<(NetId, NetBox)>,
 }
 
 impl Annealer<'_> {
@@ -233,24 +461,40 @@ impl Annealer<'_> {
 
         // Affected nets.
         self.scratch.clear();
-        self.scratch.extend_from_slice(&self.incident[cell.index()]);
+        self.scratch
+            .extend(self.incident[cell.index()].iter().map(|&(n, _)| n));
         if let Some(other) = occupant {
             self.scratch
-                .extend_from_slice(&self.incident[other.index()]);
+                .extend(self.incident[other.index()].iter().map(|&(n, _)| n));
         }
         self.scratch.sort_unstable();
         self.scratch.dedup();
-        let old: f64 = self.scratch.iter().map(|n| self.net_cost[n.index()]).sum();
+        let old: f64 = self
+            .scratch
+            .iter()
+            .map(|n| self.net_box[n.index()].cost)
+            .sum();
 
-        // Apply.
+        // Apply, then update each touched net's box incrementally
+        // (rescanning only when a bound-defining edge empties).
         match occupant {
             Some(other) => self.placement.swap(cell, other).ok()?,
             None => self.placement.place(cell, target).ok()?,
         }
+        let moved: [(CellId, BelLoc); 2] = match occupant {
+            Some(other) => [(cell, cur), (other, target)],
+            None => [(cell, cur), (cell, cur)],
+        };
+        let moved = &moved[..if occupant.is_some() { 2 } else { 1 }];
+        let scratch = std::mem::take(&mut self.scratch);
+        self.candidates.clear();
         let mut new = 0.0;
-        for &n in &self.scratch {
-            new += net_bbox_cost(self.nl, self.device, self.placement, n);
+        for &n in &scratch {
+            let b = self.candidate_box(n, moved);
+            new += b.cost;
+            self.candidates.push((n, b));
         }
+        self.scratch = scratch;
         let delta = new - old;
         let accept = delta <= 0.0
             || (temp.is_finite()
@@ -268,12 +512,39 @@ impl Annealer<'_> {
             }
             return None;
         }
-        for &n in &self.scratch {
-            let c = net_bbox_cost(self.nl, self.device, self.placement, n);
-            *self.cost += c - self.net_cost[n.index()];
-            self.net_cost[n.index()] = c;
+        for &(n, b) in &self.candidates {
+            *self.cost += b.cost - self.net_box[n.index()].cost;
+            self.net_box[n.index()] = b;
         }
         Some(delta)
+    }
+
+    /// The net's bounding box after the applied move: start from the
+    /// cached box, remove each moved terminal at its old proxy
+    /// coordinate and re-add it at the new one. Falls back to a full
+    /// scan when a removal empties the edge that defined a bound.
+    fn candidate_box(&self, net: NetId, moved: &[(CellId, BelLoc)]) -> NetBox {
+        let (w, h) = (self.device.width(), self.device.height());
+        let mut b = self.net_box[net.index()];
+        for &(cell, old) in moved {
+            let nets = &self.incident[cell.index()];
+            let Ok(i) = nets.binary_search_by_key(&net, |&(n, _)| n) else {
+                continue;
+            };
+            let m = nets[i].1;
+            let new = match self.placement.loc_of(cell) {
+                Some(loc) => loc,
+                None => return NetBox::scan(self.nl, self.device, self.placement, net),
+            };
+            if !b.remove(old.proxy_coord(w, h), m) {
+                // A bound's edge emptied; the placement already holds
+                // every moved cell, so one rescan settles the box.
+                return NetBox::scan(self.nl, self.device, self.placement, net);
+            }
+            b.add(new.proxy_coord(w, h), m);
+        }
+        b.recost();
+        b
     }
 
     fn propose_target(
@@ -320,7 +591,7 @@ impl Annealer<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::total_wirelength_cost;
+    use crate::cost::{net_bbox_cost, total_wirelength_cost};
     use netlist::TruthTable;
 
     /// Two clusters of tightly connected LUTs.
@@ -361,6 +632,59 @@ mod tests {
         // Cache consistency: recomputed cost matches incremental cost.
         let recomputed = total_wirelength_cost(&nl, &dev, &out.placement);
         assert!((recomputed - out.cost).abs() < 1e-6);
+    }
+
+    /// The incremental bounding-box cache must agree with the full
+    /// per-net scan after any accepted/rejected move mix — driven
+    /// through several real annealing runs with different shapes
+    /// (swaps, empty-edge rescans, high-fanout q-factor changes).
+    #[test]
+    fn bbox_cache_matches_scan_recompute() {
+        // A design with a high-fanout net and a cell that sinks the
+        // same net twice (multiplicity > 1 matters for edge counts).
+        let mut nl = Netlist::new("fanout");
+        let a = nl.add_input("a").unwrap();
+        let anet = nl.cell_output(a).unwrap();
+        let mut last = anet;
+        for i in 0..12 {
+            let u = nl
+                .add_lut(format!("u{i}"), TruthTable::and(2), &[anet, last])
+                .unwrap();
+            last = nl.cell_output(u).unwrap();
+        }
+        let d = nl
+            .add_lut("dbl", TruthTable::and(2), &[anet, anet])
+            .unwrap();
+        nl.add_output("yd", nl.cell_output(d).unwrap()).unwrap();
+        nl.add_output("y", last).unwrap();
+
+        let dev = Device::new(6, 6, 4, 2).unwrap();
+        for seed in [3, 17, 99] {
+            let out = place(
+                &nl,
+                &dev,
+                &Constraints::free(),
+                None,
+                &PlacerConfig::fast(seed),
+            )
+            .unwrap();
+            let mut total = 0.0;
+            for (id, _) in nl.nets() {
+                let scanned = NetBox::scan(&nl, &dev, &out.placement, id);
+                let cached = net_bbox_cost(&nl, &dev, &out.placement, id);
+                assert!(
+                    (scanned.cost - cached).abs() < 1e-9,
+                    "net {id}: box scan {} != direct scan {cached}",
+                    scanned.cost
+                );
+                total += cached;
+            }
+            assert!(
+                (total - out.cost).abs() < 1e-6,
+                "seed {seed}: cached total {} != scanned {total}",
+                out.cost
+            );
+        }
     }
 
     #[test]

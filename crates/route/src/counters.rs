@@ -1,0 +1,78 @@
+//! Process-global rip-up counters.
+//!
+//! Same pattern as the `sim` and `place` counters: relaxed atomics
+//! that only ever add, scraped at scope boundaries via [`snapshot`] +
+//! [`RouteCounters::delta_since`]. Deltas are order-independent, so a
+//! work-stealing fleet aggregating per-request deltas produces the
+//! same totals as a serial run — which keeps the exported
+//! `route_nets_ripped_total` metric family byte-identical serial vs
+//! fleet.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static RIPPED_INCREMENTAL: AtomicU64 = AtomicU64::new(0);
+static RIPPED_FULL: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time snapshot of the rip-up counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCounters {
+    /// Nets ripped (partially or fully) by incremental ECO routing —
+    /// surviving route trees were preserved and seeded.
+    pub nets_ripped_incremental: u64,
+    /// Nets ripped by full/tile-clearing re-routes (the masked ECO
+    /// pass, coarse-granularity path, and full-re-route fallbacks).
+    pub nets_ripped_full: u64,
+}
+
+impl RouteCounters {
+    /// Counter increments since `before` (saturating, so a stale
+    /// snapshot cannot underflow).
+    pub fn delta_since(&self, before: &Self) -> Self {
+        Self {
+            nets_ripped_incremental: self
+                .nets_ripped_incremental
+                .saturating_sub(before.nets_ripped_incremental),
+            nets_ripped_full: self
+                .nets_ripped_full
+                .saturating_sub(before.nets_ripped_full),
+        }
+    }
+}
+
+/// Reads the current totals.
+pub fn snapshot() -> RouteCounters {
+    RouteCounters {
+        nets_ripped_incremental: RIPPED_INCREMENTAL.load(Ordering::Relaxed),
+        nets_ripped_full: RIPPED_FULL.load(Ordering::Relaxed),
+    }
+}
+
+/// Records `n` nets ripped on the incremental ECO path.
+pub fn record_incremental_rips(n: u64) {
+    RIPPED_INCREMENTAL.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `n` nets ripped on a full/tile-clearing path.
+pub fn record_full_rips(n: u64) {
+    RIPPED_FULL.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_accumulate_and_saturate() {
+        let before = snapshot();
+        record_incremental_rips(3);
+        record_full_rips(9);
+        let d = snapshot().delta_since(&before);
+        assert!(d.nets_ripped_incremental >= 3);
+        assert!(d.nets_ripped_full >= 9);
+        let future = RouteCounters {
+            nets_ripped_incremental: u64::MAX,
+            nets_ripped_full: u64::MAX,
+        };
+        assert_eq!(snapshot().delta_since(&future), RouteCounters::default());
+    }
+}

@@ -69,24 +69,25 @@ fn eco_locality_invariant_c499() {
     let routes_before: Vec<(NetId, fpga::RouteTree)> =
         td.routing.iter().map(|(n, t)| (n, t.clone())).collect();
 
-    // Pick the victim inside the *smallest* tile so the cleared
-    // region stays well under the coarse-granularity threshold (a
-    // region covering >=20% of the device deliberately falls back to
-    // a full re-route — see tiling::eco_flow).
-    let smallest = td
+    // Pick the victim inside the smallest tile *that holds a LUT* so
+    // the cleared region stays well under the coarse-granularity
+    // threshold (a region covering >=20% of the device deliberately
+    // falls back to a full re-route — see tiling::eco_flow).
+    let victim = td
         .plan
         .iter()
-        .min_by_key(|(_, t)| t.rect.area())
-        .map(|(id, _)| id)
-        .unwrap();
-    let victim = td
-        .netlist
-        .cells()
-        .find(|(id, c)| {
-            c.lut_function().is_some() && td.plan.tile_of_cell(&td.placement, *id) == Some(smallest)
+        .filter_map(|(tid, t)| {
+            td.netlist
+                .cells()
+                .find(|(id, c)| {
+                    c.lut_function().is_some()
+                        && td.plan.tile_of_cell(&td.placement, *id) == Some(tid)
+                })
+                .map(|(id, _)| (t.rect.area(), id))
         })
-        .map(|(id, _)| id)
-        .expect("smallest tile holds a LUT");
+        .min_by_key(|&(area, _)| area)
+        .map(|(_, id)| id)
+        .expect("some tile holds a LUT");
     let tt = td
         .netlist
         .cell(victim)

@@ -219,3 +219,171 @@ fn quick_eco_hierarchy_granularity_orders_effort() {
     assert!(whole.place_moves >= blocks.place_moves);
     assert!(blocks.total() > tiled.total());
 }
+
+#[test]
+fn incremental_eco_reroutes_fewer_nets_than_tile_clearing() {
+    // The truly incremental ECO path keeps every surviving route
+    // installed: a function-only change re-routes nothing at all, and
+    // a tap insertion re-routes only the nets that gained sinks. Tile
+    // clearing pays for every net crossing the affected tiles.
+    let base = implement_paper_design(PaperDesign::NineSym, TilingOptions::fast(37)).unwrap();
+    let luts: Vec<CellId> = base
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    let victim = luts[luts.len() / 2];
+
+    let run_func = |incremental: bool| {
+        let mut td = base.clone();
+        td.options.incremental_routing = incremental;
+        let tt = *td.netlist.cell(victim).unwrap().lut_function().unwrap();
+        td.netlist
+            .set_lut_function(victim, tt.complement())
+            .unwrap();
+        let out = TiledFlow::default()
+            .reimplement(&mut td, &[victim], &[])
+            .unwrap();
+        assert!(td.routing.is_feasible());
+        out
+    };
+    let inc = run_func(true);
+    let full = run_func(false);
+    assert_eq!(
+        inc.rerouted_nets, 0,
+        "function-only ECO must keep all routes"
+    );
+    assert_eq!(inc.effort.route_expansions, 0);
+    assert!(
+        full.rerouted_nets > 0,
+        "tile clearing re-routes the tile's nets"
+    );
+    assert!(inc.rerouted_nets < full.rerouted_nets);
+
+    let run_tap = |incremental: bool| {
+        let mut td = base.clone();
+        td.options.incremental_routing = incremental;
+        let net = td.netlist.cell_output(victim).unwrap();
+        let rep =
+            sim::testlogic::insert_observation_tap(&mut td.netlist, net, "cmp_tap", true).unwrap();
+        let out = TiledFlow::default()
+            .reimplement(&mut td, &[victim], &rep.added)
+            .unwrap();
+        assert!(td.routing.is_feasible());
+        td.netlist.validate().unwrap();
+        out
+    };
+    let inc_tap = run_tap(true);
+    let full_tap = run_tap(false);
+    // The tapped net plus the new tap cells' nets — a handful, not a tile.
+    assert!(inc_tap.rerouted_nets >= 1);
+    assert!(
+        inc_tap.rerouted_nets < full_tap.rerouted_nets,
+        "incremental tap re-routed {} nets, tile clearing {}",
+        inc_tap.rerouted_nets,
+        full_tap.rerouted_nets
+    );
+    assert!(inc_tap.effort.route_expansions < full_tap.effort.route_expansions);
+}
+
+#[test]
+fn incremental_eco_survivors_stay_frozen_and_drc_clean() {
+    // After an incremental tap ECO the surviving route trees outside
+    // the affected tiles must be byte-identical to the pre-ECO state
+    // (the locked-interface contract), and the whole design must still
+    // pass the static design-rule audit.
+    let mut td = implement_paper_design(PaperDesign::Styr, TilingOptions::fast(38)).unwrap();
+    assert!(td.options.incremental_routing);
+    let luts: Vec<CellId> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| id)
+        .collect();
+    let victim = luts[luts.len() / 3];
+    let before_placement = td.placement.clone();
+    let before_routing = td.routing.clone();
+
+    let net = td.netlist.cell_output(victim).unwrap();
+    let rep =
+        sim::testlogic::insert_observation_tap(&mut td.netlist, net, "frozen_tap", true).unwrap();
+    let out = TiledFlow::default()
+        .reimplement(&mut td, &[victim], &rep.added)
+        .unwrap();
+    assert!(out.confined, "tap ECO should stay on the incremental path");
+    assert!(out.rerouted_nets >= 1);
+
+    // Confinement audit: placement and routing outside the affected
+    // tiles are untouched; interface pins did not move.
+    let findings =
+        tiling::audit_confined_eco(&td, &out.affected.tiles, &before_placement, &before_routing);
+    assert!(findings.is_empty(), "confinement violated: {findings:?}");
+
+    // The surviving trees plus the freshly routed connections must be
+    // drc-clean as a whole design (no dangling segments, no overuse,
+    // no phantom pins).
+    let drc = tiling::check_design(&td).unwrap();
+    assert!(drc.is_empty(), "post-ECO drc findings: {drc:?}");
+    assert!(td.routing.is_feasible());
+    td.netlist.validate().unwrap();
+}
+
+#[test]
+fn incremental_congestion_fallback_converges() {
+    // Starve the channel so the one-shot incremental pass cannot
+    // thread a burst of new connections between frozen survivor trees.
+    // The flow must detect the congestion, fall back to tile clearing
+    // (visible as re-placing far more than just the added cells), and
+    // still converge to a feasible routed design.
+    // At the fast-options default of 12 tracks this same burst stays
+    // on the incremental path; at 8 the frozen survivors leave too
+    // little channel and the one-shot pass congests deterministically.
+    let mut opts = TilingOptions::fast(39);
+    opts.tracks = 8;
+    let mut td = implement_paper_design(PaperDesign::NineSym, opts).unwrap();
+    assert!(td.options.incremental_routing);
+
+    // Tap the highest-fanout nets in one bundled ECO: many new
+    // connections landing in the same neighbourhood.
+    let mut by_fanout: Vec<(usize, CellId)> = td
+        .netlist
+        .cells()
+        .filter(|(_, c)| c.lut_function().is_some())
+        .map(|(id, _)| {
+            let net = td.netlist.cell_output(id).unwrap();
+            (td.netlist.net(net).unwrap().sinks.len(), id)
+        })
+        .collect();
+    by_fanout.sort();
+    by_fanout.reverse();
+    let mut seeds = Vec::new();
+    let mut added = Vec::new();
+    for (k, &(_, cell)) in by_fanout.iter().take(6).enumerate() {
+        let net = td.netlist.cell_output(cell).unwrap();
+        let rep = sim::testlogic::insert_observation_tap(
+            &mut td.netlist,
+            net,
+            &format!("burst{k}"),
+            true,
+        )
+        .unwrap();
+        seeds.push(cell);
+        added.extend(rep.added);
+    }
+
+    let out = TiledFlow::default()
+        .reimplement(&mut td, &seeds, &added)
+        .unwrap();
+    // Fallback proof: the incremental path only ever places the added
+    // cells; tile clearing re-places every cell in the cleared tiles.
+    assert!(
+        out.replaced_cells > added.len(),
+        "expected tile-clearing fallback, got incremental outcome \
+         (replaced {} cells for {} added)",
+        out.replaced_cells,
+        added.len()
+    );
+    assert!(td.routing.is_feasible());
+    td.netlist.validate().unwrap();
+}
